@@ -1,0 +1,58 @@
+// Command mca runs the machine-code-analyzer-style pipeline throughput
+// analysis on a Polybench kernel body and prints an llvm-mca-inspired
+// report: cycles per work item, IPC, critical dependency chains, and
+// per-unit resource pressure.
+//
+// Usage:
+//
+//	mca -kernel gemm -cpu power9 -n 1100
+//	mca -kernel corr -cpu power8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/mca"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+)
+
+func main() {
+	kernel := flag.String("kernel", "gemm", "kernel name")
+	cpuName := flag.String("cpu", "power9", "host model: power8|power9")
+	n := flag.Int64("n", 0, "bind n for exact trip counts (0 = static 128 heuristic)")
+	flag.Parse()
+
+	var cpu *machine.CPU
+	switch *cpuName {
+	case "power9":
+		cpu = machine.POWER9()
+	case "power8":
+		cpu = machine.POWER8()
+	default:
+		fatal(fmt.Errorf("unknown cpu %q (power8|power9)", *cpuName))
+	}
+
+	k, err := polybench.Get(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	opt := ir.DefaultCountOptions()
+	if *n > 0 {
+		opt.Bindings = ir.MidpointBindings(k.IR, map[string]int64{"n": *n})
+	}
+	prog, err := mca.Lower(k.IR, opt)
+	if err != nil {
+		fatal(err)
+	}
+	rep := mca.Analyze(prog, cpu)
+	fmt.Print(rep.Format())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mca:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command polybench runs the Polybench suite through the offloading
+// runtime under a chosen policy, printing per-kernel decisions, model
+// predictions, executed times and the end-of-run policy summary.
+//
+// Usage:
+//
+//	polybench -mode test -policy model-guided
+//	polybench -mode benchmark -policy always-gpu -threads 160
+//	polybench -mode test -policy oracle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/stats"
+)
+
+func main() {
+	mode := flag.String("mode", "test", "dataset mode: test|benchmark")
+	policy := flag.String("policy", "model-guided",
+		"policy: model-guided|always-gpu|always-cpu|oracle|split")
+	threads := flag.Int("threads", 160, "host thread count")
+	platform := flag.String("platform", "p9v100", "platform: p9v100|p8k80")
+	flag.Parse()
+
+	var m polybench.Mode
+	switch *mode {
+	case "test":
+		m = polybench.Test
+	case "benchmark":
+		m = polybench.Benchmark
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	var p offload.Policy
+	switch *policy {
+	case "model-guided":
+		p = offload.ModelGuided
+	case "always-gpu":
+		p = offload.AlwaysGPU
+	case "always-cpu":
+		p = offload.AlwaysCPU
+	case "oracle":
+		p = offload.Oracle
+	case "split":
+		p = offload.Split
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	var plat machine.Platform
+	switch *platform {
+	case "p9v100":
+		plat = machine.PlatformP9V100()
+	case "p8k80":
+		plat = machine.PlatformP8K80()
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platform))
+	}
+
+	rt := offload.NewRuntime(offload.Config{
+		Platform: plat, Threads: *threads, Policy: p,
+	})
+	for _, k := range polybench.Suite() {
+		if _, err := rt.Register(k.IR); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("Polybench OpenMP suite — %s mode, %s policy, %s, %d host threads\n\n",
+		m, p, plat.Name, *threads)
+	t := stats.NewTable("", "kernel", "target", "executed",
+		"pred cpu", "pred gpu", "decision time")
+	var total float64
+	var overhead time.Duration
+	start := time.Now()
+	for _, k := range polybench.Suite() {
+		out, err := rt.Launch(k.Name, k.Bindings(m))
+		if err != nil {
+			fatal(err)
+		}
+		total += out.ActualSeconds
+		overhead += out.DecisionOverhead
+		t.AddRow(k.Name, out.Target.String(),
+			fmtSec(out.ActualSeconds),
+			fmtSec(out.PredCPUSeconds), fmtSec(out.PredGPUSeconds),
+			out.DecisionOverhead.Round(time.Microsecond).String())
+	}
+	fmt.Println(t.String())
+	fmt.Printf("suite executed (simulated) time: %s\n", fmtSec(total))
+	fmt.Printf("total selector overhead: %v (wall clock, %d launches)\n",
+		overhead.Round(time.Microsecond), len(polybench.Suite()))
+	fmt.Printf("driver wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fmtSec(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1fus", s*1e6)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "polybench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Generation study: the paper's Section III experiment in miniature.
+// Pick kernels with different memory characters and measure how the GPU
+// offloading decision changes between a POWER8+K80 (PCIe) platform and a
+// POWER9+V100 (NVLink 2) platform — the same computation, two answers.
+//
+//	go run ./examples/generationstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/sim"
+	"github.com/hybridsel/hybridsel/internal/stats"
+)
+
+func main() {
+	kernels := []string{"2dconv", "3dconv", "syrk", "gemm", "gesummv"}
+	platforms := []machine.Platform{
+		machine.PlatformP8K80(),
+		machine.PlatformP8P100(),
+		machine.PlatformP9V100(),
+	}
+
+	t := stats.NewTable(
+		"GPU offloading speedup over the 160-thread host (benchmark mode)",
+		"kernel", platforms[0].Name, platforms[1].Name, platforms[2].Name, "verdict")
+	for _, name := range kernels {
+		k, err := polybench.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := k.Bindings(polybench.Benchmark)
+		speedup := make([]float64, len(platforms))
+		for i, plat := range platforms {
+			cpu, err := sim.SimulateCPU(k.IR, plat.CPU, b,
+				sim.CPUConfig{Threads: plat.CPU.Threads()})
+			if err != nil {
+				log.Fatal(err)
+			}
+			gpu, err := sim.SimulateGPU(k.IR, plat.GPU, plat.Link, b,
+				sim.GPUConfig{IncludeTransfer: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			speedup[i] = cpu.Seconds / gpu.Seconds
+		}
+		verdict := "same decision"
+		for i := 1; i < len(speedup); i++ {
+			if (speedup[0] >= 1) != (speedup[i] >= 1) {
+				verdict = "DECISION FLIPS across generations"
+			}
+		}
+		t.AddRow(name, fmt.Sprintf("%.2fx", speedup[0]),
+			fmt.Sprintf("%.2fx", speedup[1]),
+			fmt.Sprintf("%.2fx", speedup[2]), verdict)
+	}
+	fmt.Println(t.String())
+	fmt.Println("A single GPU generation can sway the offloading decision " +
+		"drastically (paper Section III): performance models must be tuned " +
+		"per generation.")
+}

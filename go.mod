@@ -1,0 +1,3 @@
+module github.com/hybridsel/hybridsel
+
+go 1.22

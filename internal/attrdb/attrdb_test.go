@@ -1,0 +1,198 @@
+package attrdb
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+func TestBuildResolveGemm(t *testing.T) {
+	g, err := polybench.Get("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Build(g.IR, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Region != "gemm" || len(ra.Params) != 1 || ra.Params[0] != "n" {
+		t.Fatalf("attrs = %+v", ra)
+	}
+	if len(ra.Sites) != 4 { // A, B loads; C load (beta*C) + store
+		t.Fatalf("sites = %d", len(ra.Sites))
+	}
+
+	res, err := ra.Resolve(symbolic.Bindings{"n": 1100}, ipda.DefaultWarpGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1100*1100 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	// 3 matrices in, C also out: 4 matrix transfers.
+	if res.TransferBytes != 4*1100*1100*8 {
+		t.Fatalf("transfer = %d", res.TransferBytes)
+	}
+	if res.Coalescing.CoalescedFraction() != 1 {
+		t.Fatalf("gemm coalescing = %v", res.Coalescing)
+	}
+	// GEMM's inner k-loop walks a B column: not vectorizable.
+	if res.Vectorizable {
+		t.Fatal("gemm should not be vectorizable")
+	}
+	if res.Loadout.Loads == 0 || res.Loadout.FPMul == 0 {
+		t.Fatalf("loadout = %+v", res.Loadout)
+	}
+}
+
+func TestResolveMissingParam(t *testing.T) {
+	g, _ := polybench.Get("gemm")
+	ra, err := Build(g.IR, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ra.Resolve(nil, ipda.DefaultWarpGeom()); err == nil {
+		t.Fatal("resolve without bindings accepted")
+	}
+}
+
+func TestSymbolicStrideSurvivesSerialization(t *testing.T) {
+	// The paper's case 2: a stride expression with a runtime unknown is
+	// stored symbolically and resolved after deserialization.
+	max := ir.V("max")
+	k := &ir.Kernel{
+		Name:   "paper",
+		Params: []string{"max"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, max.Mul(max))},
+		Body: []ir.Stmt{
+			ir.ParFor("a", ir.N(0), max,
+				ir.Store(ir.R("A", max.Mul(ir.V("a"))), ir.F(1))),
+		},
+	}
+	ra, err := Build(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	db.Put(ra)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra2, err := db2.Get("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max=1: contiguous -> coalesced; max=1000: uncoalesced.
+	r1, err := ra2.Resolve(symbolic.Bindings{"max": 1}, ipda.DefaultWarpGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Coalescing.CoalescedFraction() != 1 {
+		t.Fatalf("max=1: %v", r1.Coalescing)
+	}
+	r2, err := ra2.Resolve(symbolic.Bindings{"max": 1000}, ipda.DefaultWarpGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Coalescing.CoalescedFraction() != 0 {
+		t.Fatalf("max=1000: %v", r2.Coalescing)
+	}
+}
+
+func TestDBSaveLoadFullSuite(t *testing.T) {
+	db := New()
+	for _, k := range polybench.Suite() {
+		ra, err := Build(k.IR, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		db.Put(ra)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.Regions) != len(polybench.Suite()) {
+		t.Fatalf("regions = %d", len(db2.Regions))
+	}
+	// Every region must resolve at both dataset modes after the round
+	// trip, and match a resolve from the in-memory record.
+	for _, k := range polybench.Suite() {
+		ra, err := db2.Get(k.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+			b := k.Bindings(m)
+			got, err := ra.Resolve(b, ipda.DefaultWarpGeom())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k.Name, m, err)
+			}
+			orig, _ := db.Regions[k.Name].Resolve(b, ipda.DefaultWarpGeom())
+			if got.Iterations != orig.Iterations ||
+				got.TransferBytes != orig.TransferBytes ||
+				got.Coalescing.CoalescedFraction() != orig.Coalescing.CoalescedFraction() ||
+				got.Vectorizable != orig.Vectorizable {
+				t.Fatalf("%s/%s: resolve differs after round trip", k.Name, m)
+			}
+		}
+	}
+}
+
+func TestGetUnknownRegion(t *testing.T) {
+	db := New()
+	if _, err := db.Get("missing"); err == nil {
+		t.Fatal("Get accepted unknown region")
+	}
+}
+
+func TestLoadMalformed(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestResolveAgreesWithDirectIPDA(t *testing.T) {
+	// The stored-attribute path must agree with running IPDA directly.
+	for _, name := range []string{"mvt1", "atax2", "2dconv", "corr"} {
+		k, _ := polybench.Get(name)
+		b := k.Bindings(polybench.Test)
+		ra, err := Build(k.IR, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ra.Resolve(b, ipda.DefaultWarpGeom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := ipda.Analyze(k.IR, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := an.GPUCoalescing(b, ipda.DefaultWarpGeom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coalescing.CoalescedFraction() != direct.CoalescedFraction() {
+			t.Errorf("%s: attrdb %v vs direct %v", name,
+				res.Coalescing.CoalescedFraction(), direct.CoalescedFraction())
+		}
+		if res.Vectorizable != an.Vectorizable(b) {
+			t.Errorf("%s: vectorizable %v vs direct %v", name,
+				res.Vectorizable, an.Vectorizable(b))
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package cpumodel implements the compile-time OpenMP cost model of Liao
+// and Chapman (paper Figure 3, OpenUH/Open64 lineage), specialised — as in
+// the paper — to strictly-parallel loop regions:
+//
+//	Parallel_Region = Fork + Σ_j max_i(Thread_exe_i_j) + Join
+//	Parallel_for    = Schedule_times × (Schedule + Loop_chunk)
+//	Loop_chunk      = Machine_cycles_per_iter × Chunk_size + Cache + Loop_overhead
+//
+// Machine_cycles_per_iter comes from the MCA-style pipeline analyzer
+// (package mca), replacing the original model's dependence on the OpenUH
+// instruction scheduler exactly as the paper replaces it with LLVM-MCA.
+// Runtime parameters (Table II) are measured with EPCC-style
+// micro-benchmarks (package epcc).
+package cpumodel
+
+import (
+	"fmt"
+
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/mca"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// CPIEstimator supplies Machine_cycles_per_iter for one work item.
+// The default is the MCA pipeline analysis; FixedCPI provides the
+// ablation baseline of a flat cycles-per-instruction guess.
+type CPIEstimator interface {
+	CyclesPerWorkItem(k *ir.Kernel, cpu *machine.CPU, opt ir.CountOptions) (float64, error)
+	Name() string
+}
+
+// MCAEstimator estimates cycles with the machine-code analyzer.
+type MCAEstimator struct{}
+
+// CyclesPerWorkItem implements CPIEstimator via mca.EstimateCyclesPerIter.
+func (MCAEstimator) CyclesPerWorkItem(k *ir.Kernel, cpu *machine.CPU, opt ir.CountOptions) (float64, error) {
+	return mca.EstimateCyclesPerIter(k, cpu, opt)
+}
+
+// Name identifies the estimator.
+func (MCAEstimator) Name() string { return "llvm-mca" }
+
+// FixedCPI multiplies the static instruction count by a constant CPI —
+// the crude estimate analytical models used before scheduler-driven tools.
+type FixedCPI struct{ CPI float64 }
+
+// CyclesPerWorkItem implements CPIEstimator with count × CPI.
+func (f FixedCPI) CyclesPerWorkItem(k *ir.Kernel, cpu *machine.CPU, opt ir.CountOptions) (float64, error) {
+	l := ir.Count(k, opt)
+	return l.Total() * f.CPI, nil
+}
+
+// Name identifies the estimator.
+func (f FixedCPI) Name() string { return fmt.Sprintf("fixed-cpi(%.2g)", f.CPI) }
+
+// Input gathers everything the model needs for one prediction.
+type Input struct {
+	Kernel  *ir.Kernel
+	CPU     *machine.CPU
+	Threads int // OMP_NUM_THREADS; capped at the hardware thread count
+
+	// Bindings are the runtime parameter values (the hybrid part).
+	Bindings symbolic.Bindings
+
+	// CountOpt carries the static heuristics; its Bindings field is set
+	// from Bindings automatically when nil.
+	CountOpt ir.CountOptions
+
+	// IPDA, when non-nil, refines the model: vectorizability scales the
+	// per-iteration cycles, and false-sharing risk adds coherence
+	// penalties. When nil the model assumes scalar, non-interfering code.
+	IPDA *ipda.Result
+
+	// Estimator defaults to MCAEstimator.
+	Estimator CPIEstimator
+
+	// IterFraction, when in (0,1), predicts execution of only the
+	// leading fraction of the iteration space — the building block of
+	// cooperative CPU+GPU split execution. 0 (or 1) means the whole
+	// space.
+	IterFraction float64
+
+	// DynamicChunk, when positive, models `schedule(dynamic, chunk)`:
+	// threads draw chunks of that many iterations from a shared queue, so
+	// work balances to the mean at the cost of one dispatch per chunk
+	// (Liao's Schedule_times × Schedule_c term). Zero models the default
+	// static schedule, whose region time follows the slowest thread — the
+	// maximum in Figure 3's parallel-region equation.
+	DynamicChunk int64
+}
+
+// Prediction is the model output with its additive breakdown (cycles at
+// the CPU clock).
+type Prediction struct {
+	Cycles  float64
+	Seconds float64
+
+	Fork          float64 // Par_Startup
+	Schedule      float64 // Par_Schedule_Overhead_static
+	ChunkWork     float64 // Machine_cycles_per_iter × chunk
+	LoopOverhead  float64 // Loop_overhead_per_iter × chunk
+	Cache         float64 // TLB-miss estimate (the model's only memory term)
+	Join          float64 // Synchronization_Overhead
+	FalseSharing  float64 // coherence penalty from IPDA store analysis
+	CyclesPerIter float64 // per work item, after vectorization scaling
+	Vectorized    bool
+	Threads       int
+	ChunkIters    int64
+	EffParallel   float64
+}
+
+// Predict evaluates the Liao cost model for the kernel on the CPU.
+func Predict(in Input) (Prediction, error) {
+	if in.Kernel == nil || in.CPU == nil {
+		return Prediction{}, fmt.Errorf("cpumodel: nil kernel or CPU")
+	}
+	est := in.Estimator
+	if est == nil {
+		est = MCAEstimator{}
+	}
+	opt := in.CountOpt
+	if opt.DefaultTrip == 0 {
+		opt = ir.DefaultCountOptions()
+	}
+	if opt.Bindings == nil {
+		// Default to hybrid counting: runtime values plus midpoints for
+		// parallel indices, so triangular inner loops resolve to their
+		// mean rather than the 128-iteration fallback.
+		opt.Bindings = ir.MidpointBindings(in.Kernel, in.Bindings)
+	}
+
+	iters, err := in.Kernel.IterSpace().Eval(in.Bindings)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("cpumodel: iteration space: %w", err)
+	}
+	if f := in.IterFraction; f > 0 && f < 1 {
+		iters = int64(float64(iters)*f + 0.5)
+		if iters < 1 {
+			iters = 1
+		}
+	}
+	if iters <= 0 {
+		return Prediction{}, fmt.Errorf("cpumodel: empty iteration space (%d)", iters)
+	}
+	threads := in.Threads
+	if threads <= 0 || threads > in.CPU.Threads() {
+		threads = in.CPU.Threads()
+	}
+	if int64(threads) > iters {
+		threads = int(iters)
+	}
+
+	cpi, err := est.CyclesPerWorkItem(in.Kernel, in.CPU, opt)
+	if err != nil {
+		return Prediction{}, err
+	}
+
+	p := Prediction{Threads: threads}
+
+	// Figure 3 takes the maximum over threads. Under the default static
+	// schedule, a triangular nest gives its first and last chunks very
+	// different work: evaluate the per-iteration cost at the edges of
+	// the iteration space and charge the slowest thread's chunk. Under a
+	// dynamic schedule the queue balances work to the mean, so the
+	// midpoint estimate (already in cpi) stands, plus per-chunk dispatch.
+	if in.DynamicChunk <= 0 && threads > 1 {
+		for _, frac := range []float64{1 / (2 * float64(threads)),
+			1 - 1/(2*float64(threads))} {
+			edgeOpt := opt
+			edgeOpt.Bindings = ir.FractionBindings(in.Kernel, in.Bindings, frac)
+			edgeCPI, err := est.CyclesPerWorkItem(in.Kernel, in.CPU, edgeOpt)
+			if err != nil {
+				return Prediction{}, err
+			}
+			if edgeCPI > cpi {
+				cpi = edgeCPI
+			}
+		}
+	}
+
+	// Vectorization of the compiler-generated fallback loop: IPDA proves
+	// lane-contiguity; the generation's SIMD quality scales the win.
+	if in.IPDA != nil && in.IPDA.Vectorizable(in.Bindings) {
+		vf := 1 + float64(in.CPU.VectorLanesF64-1)*in.CPU.VecEfficiency
+		cpi /= vf
+		p.Vectorized = true
+	}
+	p.CyclesPerIter = cpi
+
+	// Static schedule: each thread receives one chunk of ceil(I/T)
+	// iterations; the region cost follows the slowest (= largest) chunk.
+	chunk := (iters + int64(threads) - 1) / int64(threads)
+	p.ChunkIters = chunk
+
+	// SMT de-rating: threads beyond the physical cores add only
+	// SMTYield of a core each, so per-thread throughput drops.
+	eff := float64(threads)
+	if threads > in.CPU.Cores {
+		c := float64(in.CPU.Cores)
+		eff = c * (1 + in.CPU.SMTYield*(float64(threads)/c-1))
+	}
+	p.EffParallel = eff
+	slowdown := float64(threads) / eff
+
+	p.Fork, p.Schedule, p.Join = in.CPU.OverheadCycles(threads)
+	if in.DynamicChunk > 0 {
+		// Schedule_times = chunks handled per thread; each costs one
+		// dispatch round trip to the shared queue.
+		chunks := (iters + in.DynamicChunk - 1) / in.DynamicChunk
+		perThread := (chunks + int64(threads) - 1) / int64(threads)
+		p.Schedule += float64(perThread) * float64(in.CPU.OMP.ChunkDispatch)
+	}
+	p.ChunkWork = cpi * float64(chunk) * slowdown
+	p.LoopOverhead = float64(in.CPU.OMP.LoopOverheadIter) * float64(chunk)
+
+	// Cache_c term of Loop_chunk: an analytical memory cost per access
+	// site classified by its IPDA inner stride (this is the locality
+	// information Section II-C says the analysis exposes):
+	//
+	//   stride 0   — loop-invariant operand, register/L1 resident;
+	//   stride ±1  — hardware-prefetched stream: one line fill amortized
+	//                over the elements of the line;
+	//   large      — unprefetchable walk: full memory latency, plus the
+	//                TLB miss penalty (Table II) when the stride crosses
+	//                pages.
+	//
+	// Without IPDA the model falls back to charging every access the
+	// prefetched-stream cost plus a page-grain TLB estimate.
+	load := ir.Count(in.Kernel, opt)
+	c := in.CPU
+	// Contiguous streams are caught by the load-stream prefetcher: a
+	// refill costs roughly an L2 hit, amortized over the line.
+	streamCost := float64(c.L1.LatencyCycle) +
+		float64(c.L2.LatencyCycle)*8/float64(c.L1.LineBytes)
+	if in.IPDA != nil {
+		var memCycles float64
+		for i := range in.IPDA.Sites {
+			s := &in.IPDA.Sites[i]
+			// Locality axis: the innermost sequential loop when there is
+			// one; otherwise consecutive work items of the same thread
+			// (the innermost parallel loop).
+			strideE, affine := s.InnerStride, s.InnerAffine
+			if !s.HasInner {
+				strideE, affine = s.ThreadStride, s.ThreadAffine
+			}
+			lat := streamCost
+			if affine {
+				if st, err := strideE.Eval(in.Bindings); err == nil {
+					elem := s.Access.Elem.Size()
+					switch {
+					case st == 0:
+						lat = float64(c.L1.LatencyCycle)
+					case st == 1 || st == -1:
+						lat = streamCost
+					default:
+						// Large-stride walk. If consecutive work items of
+						// the same thread revisit the neighbouring element
+						// (thread stride ≤ 1 element), the lines stay L2
+						// resident across items; otherwise the walk pays
+						// full memory latency.
+						lat = float64(c.MemLatency)
+						if s.ThreadAffine {
+							if ts, err := s.ThreadStride.Eval(in.Bindings); err == nil &&
+								ts >= -1 && ts <= 1 {
+								lat = float64(c.L2.LatencyCycle)
+							}
+						}
+						if abs64(st*elem) >= c.PageBytes {
+							lat += float64(c.TLBMissPenalty)
+						}
+					}
+				}
+			} else {
+				lat = float64(c.MemLatency)
+			}
+			memCycles += s.Access.Weight * lat
+		}
+		p.Cache = memCycles * float64(chunk)
+	} else {
+		pages := float64(chunk) * load.Mem() * 8 / float64(c.PageBytes)
+		p.Cache = load.Mem()*streamCost*float64(chunk) +
+			pages*float64(c.TLBMissPenalty)
+	}
+
+	// False sharing: stores by adjacent threads within one line serialize
+	// on coherence; penalty ≈ a cross-core transfer per risky store.
+	if in.IPDA != nil {
+		risk := in.IPDA.FalseSharingRisk(in.Bindings, chunk, in.CPU.L1.LineBytes)
+		if risk > 0 {
+			storesPerChunk := load.Stores * float64(chunk)
+			p.FalseSharing = risk * storesPerChunk * float64(in.CPU.L3.LatencyCycle)
+		}
+	}
+
+	p.Cycles = p.Fork + p.Schedule + p.ChunkWork + p.LoopOverhead +
+		p.Cache + p.Join + p.FalseSharing
+	p.Seconds = p.Cycles / (in.CPU.FreqGHz * 1e9)
+	return p, nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,213 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// stream builds A[i] = B[i] + C[i]: vectorizable, embarrassingly parallel.
+func stream() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "stream",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("B", ir.F64, n), ir.In("C", ir.F64, n), ir.Out("A", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.Store(ir.R("A", ir.V("i")),
+					ir.FAdd(ir.Ld("B", ir.V("i")), ir.Ld("C", ir.V("i"))))),
+		},
+	}
+}
+
+func predict(t *testing.T, k *ir.Kernel, threads int, n int64, withIPDA bool) Prediction {
+	t.Helper()
+	b := symbolic.Bindings{"n": n}
+	in := Input{Kernel: k, CPU: machine.POWER9(), Threads: threads, Bindings: b}
+	if withIPDA {
+		res, err := ipda.Analyze(k, ir.CountOptions{DefaultTrip: 128,
+			BranchProb: 0.5, Bindings: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.IPDA = res
+	}
+	p, err := Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMoreThreadsFaster(t *testing.T) {
+	k := stream()
+	p4 := predict(t, k, 4, 1<<22, false)
+	p20 := predict(t, k, 20, 1<<22, false)
+	if p20.Cycles >= p4.Cycles {
+		t.Fatalf("20 threads (%.0f cycles) not faster than 4 (%.0f)",
+			p20.Cycles, p4.Cycles)
+	}
+	// The breakdown must add up.
+	sum := p4.Fork + p4.Schedule + p4.ChunkWork + p4.LoopOverhead +
+		p4.Cache + p4.Join + p4.FalseSharing
+	if diff := sum - p4.Cycles; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("breakdown sum %.2f != total %.2f", sum, p4.Cycles)
+	}
+}
+
+func TestSMTDerating(t *testing.T) {
+	// 160 SMT threads on 20 cores must be faster than 20 threads but far
+	// from 8x faster.
+	k := stream()
+	p20 := predict(t, k, 20, 1<<24, false)
+	p160 := predict(t, k, 160, 1<<24, false)
+	if p160.ChunkWork >= p20.ChunkWork {
+		t.Fatalf("SMT gave no speedup: %v vs %v", p160.ChunkWork, p20.ChunkWork)
+	}
+	speedup := p20.ChunkWork / p160.ChunkWork
+	if speedup > 4 {
+		t.Fatalf("SMT8 speedup %.1fx is implausibly high", speedup)
+	}
+	if p160.EffParallel <= 20 || p160.EffParallel >= 160 {
+		t.Fatalf("EffParallel = %v", p160.EffParallel)
+	}
+}
+
+func TestOverheadsDominateTinyRegions(t *testing.T) {
+	// A 64-iteration region is almost pure fork/schedule/join overhead:
+	// the team-size-scaled fixed costs (base Table II: 3000+10154+4000)
+	// dominate.
+	p := predict(t, stream(), 160, 64, false)
+	fixed := p.Fork + p.Schedule + p.Join
+	wf, ws, wj := machine.POWER9().OverheadCycles(64)
+	if want := wf + ws + wj; fixed != want {
+		t.Fatalf("fixed overheads = %.0f, want %.0f", fixed, want)
+	}
+	if fixed < 17154 {
+		t.Fatalf("scaled overheads %.0f below the Table II base", fixed)
+	}
+	if p.ChunkWork > fixed/10 {
+		t.Fatalf("tiny region work %.0f should be dwarfed by overhead %.0f",
+			p.ChunkWork, fixed)
+	}
+	// Threads are capped at the iteration count.
+	if p.Threads != 64 {
+		t.Fatalf("threads = %d, want 64", p.Threads)
+	}
+}
+
+func TestVectorizationScalesWork(t *testing.T) {
+	k := stream()
+	scalar := predict(t, k, 20, 1<<22, false)
+	vector := predict(t, k, 20, 1<<22, true)
+	if !vector.Vectorized {
+		t.Fatal("stream kernel should vectorize")
+	}
+	if scalar.Vectorized {
+		t.Fatal("without IPDA the model must stay scalar")
+	}
+	wantFactor := 1 + 1*machine.POWER9().VecEfficiency // 2 lanes
+	got := scalar.CyclesPerIter / vector.CyclesPerIter
+	if got < wantFactor*0.99 || got > wantFactor*1.01 {
+		t.Fatalf("vector factor = %.3f, want %.3f", got, wantFactor)
+	}
+}
+
+func TestPOWER8VectorizesWorse(t *testing.T) {
+	k := stream()
+	b := symbolic.Bindings{"n": 1 << 22}
+	res, err := ipda.Analyze(k, ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5, Bindings: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p9, err := Predict(Input{Kernel: k, CPU: machine.POWER9(), Threads: 20,
+		Bindings: b, IPDA: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Predict(Input{Kernel: k, CPU: machine.POWER8(), Threads: 20,
+		Bindings: b, IPDA: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both vectorize, but POWER9's VSX3 earns a bigger reduction, so its
+	// per-iteration cycles are lower.
+	if p9.CyclesPerIter >= p8.CyclesPerIter {
+		t.Fatalf("POWER9 %.2f >= POWER8 %.2f cycles/iter",
+			p9.CyclesPerIter, p8.CyclesPerIter)
+	}
+}
+
+func TestFalseSharingPenalty(t *testing.T) {
+	// With as many threads as iterations the static chunk is 1 iteration:
+	// adjacent threads store into the same cache line.
+	k := stream()
+	p := predict(t, k, 160, 160, true)
+	if p.ChunkIters != 1 {
+		t.Fatalf("chunk = %d, want 1", p.ChunkIters)
+	}
+	if p.FalseSharing <= 0 {
+		t.Fatal("expected a false-sharing penalty at chunk 1")
+	}
+	// With big chunks the penalty vanishes.
+	pBig := predict(t, k, 4, 1<<20, true)
+	if pBig.FalseSharing != 0 {
+		t.Fatalf("false sharing at chunk %d = %v", pBig.ChunkIters, pBig.FalseSharing)
+	}
+}
+
+func TestFixedCPIAblation(t *testing.T) {
+	k := stream()
+	b := symbolic.Bindings{"n": 1 << 20}
+	mcaP, err := Predict(Input{Kernel: k, CPU: machine.POWER9(), Threads: 20, Bindings: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixP, err := Predict(Input{Kernel: k, CPU: machine.POWER9(), Threads: 20,
+		Bindings: b, Estimator: FixedCPI{CPI: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcaP.CyclesPerIter == fixP.CyclesPerIter {
+		t.Fatal("MCA and fixed-CPI estimates should differ")
+	}
+	if (FixedCPI{CPI: 1}).Name() == (MCAEstimator{}).Name() {
+		t.Fatal("estimator names must differ")
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	p := predict(t, stream(), 20, 1<<20, false)
+	want := p.Cycles / 3e9 // POWER9 at 3 GHz
+	if diff := p.Seconds - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Seconds = %v, want %v", p.Seconds, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Predict(Input{}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	k := stream()
+	if _, err := Predict(Input{Kernel: k, CPU: machine.POWER9()}); err == nil {
+		t.Error("unbound parameter accepted")
+	}
+	if _, err := Predict(Input{Kernel: k, CPU: machine.POWER9(),
+		Bindings: symbolic.Bindings{"n": 0}}); err == nil {
+		t.Error("empty iteration space accepted")
+	}
+}
+
+func TestCacheTermScalesWithFootprint(t *testing.T) {
+	small := predict(t, stream(), 4, 1<<16, false)
+	large := predict(t, stream(), 4, 1<<24, false)
+	if large.Cache <= small.Cache {
+		t.Fatalf("TLB term did not grow: %v vs %v", large.Cache, small.Cache)
+	}
+}

@@ -1,0 +1,38 @@
+package cpumodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the prediction with its additive breakdown — the
+// white-box transparency that the paper argues distinguishes analytical
+// models from ML inference: every cycle in the answer is attributable to
+// a term of Figure 3.
+func (p Prediction) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CPU model prediction: %.6g s (%.4g cycles, %d threads)\n",
+		p.Seconds, p.Cycles, p.Threads)
+	row := func(name string, v float64) {
+		if p.Cycles <= 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "  %-28s %14.4g cycles  %5.1f%%\n", name, v, v/p.Cycles*100)
+	}
+	row("Fork (Par_Startup)", p.Fork)
+	row("Schedule overhead", p.Schedule)
+	row("Chunk work (cpi x chunk)", p.ChunkWork)
+	row("Loop overhead", p.LoopOverhead)
+	row("Cache_c (memory/TLB)", p.Cache)
+	row("Join (Synchronization)", p.Join)
+	if p.FalseSharing > 0 {
+		row("False sharing", p.FalseSharing)
+	}
+	fmt.Fprintf(&sb, "  cycles/work-item %.4g   chunk %d iters   effective parallelism %.1f",
+		p.CyclesPerIter, p.ChunkIters, p.EffParallel)
+	if p.Vectorized {
+		sb.WriteString("   [vectorized]")
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,31 @@
+package cpumodel
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+func TestPredictionFormat(t *testing.T) {
+	p, err := Predict(Input{Kernel: stream(), CPU: machine.POWER9(),
+		Threads: 20, Bindings: symbolic.Bindings{"n": 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Format()
+	for _, want := range []string{
+		"CPU model prediction", "Fork (Par_Startup)", "Chunk work",
+		"Cache_c", "Join (Synchronization)", "cycles/work-item",
+		"20 threads",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	// Percentages should approximately total 100.
+	if !strings.Contains(out, "%") {
+		t.Error("no percentage breakdown")
+	}
+}

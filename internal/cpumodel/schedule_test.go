@@ -1,0 +1,93 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// triangle: a covar-shaped triangular nest (inner trip count shrinks with
+// the parallel index).
+func triangle() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "triangle",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.In("D", ir.F64, n, n), ir.Out("s", ir.F64, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("j1", ir.N(0), n,
+				ir.Set("acc", ir.F(0)),
+				ir.For("j2", ir.V("j1"), n,
+					ir.AccumS("acc", ir.Ld("D", ir.V("j1"), ir.V("j2")))),
+				ir.Store(ir.R("s", ir.V("j1")), ir.S("acc"))),
+		},
+	}
+}
+
+func TestStaticScheduleChargesSlowestThread(t *testing.T) {
+	// With 8 threads, thread 0's chunk of the triangle does ~2x the mean
+	// work; the static prediction must exceed the dynamic (balanced)
+	// prediction by a sizeable factor.
+	b := symbolic.Bindings{"n": 4096}
+	in := Input{Kernel: triangle(), CPU: machine.POWER9(), Threads: 8, Bindings: b}
+	static, err := Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.DynamicChunk = 32
+	dynamic, err := Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := static.ChunkWork / dynamic.ChunkWork
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("static/dynamic chunk-work ratio = %.2f, want ~2 "+
+			"(first chunk of a triangle does ~2x mean work)", ratio)
+	}
+	if dynamic.Schedule <= static.Schedule {
+		t.Fatal("dynamic schedule should add dispatch overhead")
+	}
+}
+
+func TestStaticScheduleUniformKernelUnchanged(t *testing.T) {
+	// Rectangular kernels: the edge-of-space evaluations equal the
+	// midpoint one, so max-over-threads adds nothing.
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "uniform",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.Store(ir.R("A", ir.V("i")), ir.FMul(ir.Ld("A", ir.V("i")), ir.F(2)))),
+		},
+	}
+	b := symbolic.Bindings{"n": 1 << 20}
+	one, err := Predict(Input{Kernel: k, CPU: machine.POWER9(), Threads: 1, Bindings: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Predict(Input{Kernel: k, CPU: machine.POWER9(), Threads: 16, Bindings: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same per-iteration cost whether or not the max-over-threads pass
+	// ran (threads=1 skips it).
+	if one.CyclesPerIter != many.CyclesPerIter {
+		t.Fatalf("uniform kernel cpi changed with threads: %v vs %v",
+			one.CyclesPerIter, many.CyclesPerIter)
+	}
+}
+
+func TestFractionBindings(t *testing.T) {
+	k := triangle()
+	b := symbolic.Bindings{"n": 100}
+	lo := ir.FractionBindings(k, b, 0)
+	mid := ir.FractionBindings(k, b, 0.5)
+	hi := ir.FractionBindings(k, b, 1)
+	if lo["j1"] != 0 || mid["j1"] != 50 || hi["j1"] != 99 {
+		t.Fatalf("fraction bindings = %v %v %v", lo["j1"], mid["j1"], hi["j1"])
+	}
+}

@@ -1,0 +1,54 @@
+package epcc
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+)
+
+func TestMeasureParallelOverhead(t *testing.T) {
+	cpu := machine.POWER9()
+	got, err := MeasureParallelOverhead(cpu, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured fixed cost must recover the injected team-size-scaled
+	// runtime overheads to within the differencing noise.
+	f, s, j := cpu.OverheadCycles(20)
+	want := f + s + j
+	if got < want*0.5 || got > want*2 {
+		t.Fatalf("measured fixed overhead = %.0f cycles, configured %.0f", got, want)
+	}
+}
+
+func TestMeasureTLBPenalty(t *testing.T) {
+	for _, cpu := range []*machine.CPU{machine.POWER9(), machine.POWER8()} {
+		got := MeasureTLBPenalty(cpu)
+		want := float64(cpu.TLBMissPenalty)
+		if got < want*0.9 || got > want*1.1 {
+			t.Fatalf("%s: measured TLB penalty %.2f, configured %.0f",
+				cpu.Name, got, want)
+		}
+	}
+}
+
+func TestMeasureAndTable(t *testing.T) {
+	cpu := machine.POWER9()
+	m, err := Measure(cpu, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU != "POWER9" {
+		t.Fatalf("CPU = %q", m.CPU)
+	}
+	tbl := Table2(cpu, m)
+	for _, want := range []string{
+		"Table II", "3 GHz", "1024", "14 cycles", "10154", "4000", "3000",
+		"Loop_overhead_per_iter", "EPCC",
+	} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table II missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"github.com/hybridsel/hybridsel/internal/cpumodel"
+	"github.com/hybridsel/hybridsel/internal/gpumodel"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/stats"
+)
+
+// Variant is one model configuration under ablation.
+type Variant struct {
+	Name     string
+	GPUOpts  gpumodel.Options
+	Est      cpumodel.CPIEstimator
+	CountOpt ir.CountOptions
+}
+
+// AblationRow summarizes prediction quality of one variant over the
+// suite: how well predicted offload speedups track actuals.
+type AblationRow struct {
+	Variant string
+	// Agreement is the fraction of kernels where the variant makes the
+	// correct offload decision (the metric that matters to the selector).
+	Agreement float64
+	// Corr is the Pearson correlation of log-speedups... rank-free
+	// correlation of raw speedups.
+	Corr float64
+	// MAPE of predicted vs actual speedup.
+	MAPE float64
+}
+
+// defaultVariant returns the runtime's default configuration. The zero
+// CountOpt is substituted per kernel with hybrid (midpoint-bound) counting
+// at evaluation time.
+func defaultVariant(name string) Variant {
+	return Variant{
+		Name:    name,
+		GPUOpts: gpumodel.DefaultOptions(),
+		Est:     cpumodel.MCAEstimator{},
+	}
+}
+
+// CoalescingVariants ablates the IPDA coalescing analysis against the
+// crude assumptions of prior work (paper Section IV-C).
+func CoalescingVariants() []Variant {
+	ipdaV := defaultVariant("ipda-coalescing")
+	coal := defaultVariant("assume-all-coalesced")
+	coal.GPUOpts.Coalescing = gpumodel.AssumeAllCoalesced
+	uncoal := defaultVariant("assume-all-uncoalesced")
+	uncoal.GPUOpts.Coalescing = gpumodel.AssumeAllUncoalesced
+	return []Variant{ipdaV, coal, uncoal}
+}
+
+// CPIVariants ablates the MCA pipeline analysis against flat
+// cycles-per-instruction guesses (paper Section IV-A.1).
+func CPIVariants() []Variant {
+	mca := defaultVariant("llvm-mca")
+	f1 := defaultVariant("fixed-cpi-1.0")
+	f1.Est = cpumodel.FixedCPI{CPI: 1}
+	f4 := defaultVariant("fixed-cpi-4.0")
+	f4.Est = cpumodel.FixedCPI{CPI: 4}
+	return []Variant{mca, f1, f4}
+}
+
+// OMPRepVariants ablates the paper's #OMP_Rep grid-coverage extension.
+func OMPRepVariants() []Variant {
+	on := defaultVariant("omp-rep-on")
+	off := defaultVariant("omp-rep-off")
+	off.GPUOpts.OMPRep = false
+	return []Variant{on, off}
+}
+
+// AssumptionVariants contrasts the static counting heuristics (128
+// iterations, 50% branches) with fully runtime-bound trip counts — the
+// hybrid upgrade the paper lists as future work.
+func AssumptionVariants() []Variant {
+	static := defaultVariant("static-128/50%")
+	static.CountOpt = staticCountOpt()
+	bound := defaultVariant("runtime-bound-trips")
+	return []Variant{static, bound}
+}
+
+// Ablate evaluates the variants over the suite for one mode against the
+// ground truth at the given host thread count.
+func (r *Runner) Ablate(m polybench.Mode, threads int, variants []Variant) ([]AblationRow, error) {
+	plat := machine.PlatformP9V100()
+	actual := make([]float64, len(r.kernels))
+	err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
+		cpuSec, err := r.CPUSeconds(k, m, plat.CPU, threads)
+		if err != nil {
+			return err
+		}
+		gpuSec, err := r.GPUSeconds(k, m, plat.GPU, plat.Link)
+		if err != nil {
+			return err
+		}
+		actual[i] = cpuSec / gpuSec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		pred := make([]float64, len(r.kernels))
+		err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
+			opt := v.CountOpt
+			if opt.DefaultTrip == 0 {
+				// Default: hybrid counting with this kernel's values.
+				opt = hybridCountOpt(k, m)
+			}
+			cp, gp, err := PredictVariant(k, m, plat, threads, v.GPUOpts, v.Est, opt)
+			if err != nil {
+				return err
+			}
+			pred[i] = cp / gp
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant:   v.Name,
+			Agreement: stats.AgreementRate(actual, pred),
+			Corr:      stats.Correlation(actual, pred),
+			MAPE:      stats.MAPE(actual, pred),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,350 @@
+// Package experiments contains the drivers that regenerate every table
+// and figure of the paper's evaluation:
+//
+//   - Table I: GPU-offloading speedup of each Polybench kernel across two
+//     platform generations (POWER8+K80/PCIe vs POWER9+V100/NVLink2).
+//   - Table II: the CPU cost-model parameters, validated by EPCC-style
+//     micro-benchmarks (package epcc).
+//   - Table III: the GPU device/bus parameters.
+//   - Figures 6 and 7: actual versus predicted offload speedup against a
+//     4-thread host, in test and benchmark modes.
+//   - Figure 8: suite speedups under the always-offload policy versus the
+//     model-guided selector against a 160-thread host.
+//   - Ablations: coalescing source, CPI estimator, #OMP_Rep, and static
+//     counting heuristics.
+//
+// Ground-truth numbers come from the cycle-approximate simulators
+// (package sim); predictions from the analytical models exactly as the
+// offload runtime evaluates them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/hybridsel/hybridsel/internal/cpumodel"
+	"github.com/hybridsel/hybridsel/internal/gpumodel"
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/sim"
+	"github.com/hybridsel/hybridsel/internal/stats"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Options tune experiment fidelity and resources.
+type Options struct {
+	// Parallelism bounds concurrent kernel simulations (0 = NumCPU).
+	Parallelism int
+	// CPUSim/GPUSim override simulator sampling (tests shrink them).
+	CPUSim sim.CPUConfig
+	GPUSim sim.GPUConfig
+	// Kernels restricts the suite (nil = all).
+	Kernels []string
+}
+
+// Runner executes experiments with memoized ground-truth simulations.
+type Runner struct {
+	opts    Options
+	kernels []*polybench.Kernel
+
+	mu    sync.Mutex
+	cache map[string]float64
+}
+
+// NewRunner builds a runner.
+func NewRunner(opts Options) (*Runner, error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.NumCPU()
+	}
+	r := &Runner{opts: opts, cache: map[string]float64{}}
+	if opts.Kernels == nil {
+		r.kernels = polybench.Suite()
+	} else {
+		for _, name := range opts.Kernels {
+			k, err := polybench.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			r.kernels = append(r.kernels, k)
+		}
+	}
+	return r, nil
+}
+
+// Kernels returns the kernels the runner operates on.
+func (r *Runner) Kernels() []*polybench.Kernel { return r.kernels }
+
+// cached memoizes f under key.
+func (r *Runner) cached(key string, f func() (float64, error)) (float64, error) {
+	r.mu.Lock()
+	if v, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return v, nil
+	}
+	r.mu.Unlock()
+	v, err := f()
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.cache[key] = v
+	r.mu.Unlock()
+	return v, nil
+}
+
+// CPUSeconds returns the ground-truth host execution time.
+func (r *Runner) CPUSeconds(k *polybench.Kernel, m polybench.Mode,
+	cpu *machine.CPU, threads int) (float64, error) {
+	key := fmt.Sprintf("cpu/%s/%s/%s/%d", k.Name, m, cpu.Name, threads)
+	return r.cached(key, func() (float64, error) {
+		cfg := r.opts.CPUSim
+		cfg.Threads = threads
+		res, err := sim.SimulateCPU(k.IR, cpu, k.Bindings(m), cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Seconds, nil
+	})
+}
+
+// GPUSeconds returns the ground-truth offload time (kernel + transfer).
+func (r *Runner) GPUSeconds(k *polybench.Kernel, m polybench.Mode,
+	gpu *machine.GPU, link machine.Link) (float64, error) {
+	key := fmt.Sprintf("gpu/%s/%s/%s/%s", k.Name, m, gpu.Name, link.Name)
+	return r.cached(key, func() (float64, error) {
+		cfg := r.opts.GPUSim
+		cfg.IncludeTransfer = true
+		res, err := sim.SimulateGPU(k.IR, gpu, link, k.Bindings(m), cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Seconds, nil
+	})
+}
+
+// forEachKernel runs fn over the runner's kernels with bounded
+// parallelism, collecting the first error.
+func (r *Runner) forEachKernel(fn func(i int, k *polybench.Kernel) error) error {
+	sem := make(chan struct{}, r.opts.Parallelism)
+	errCh := make(chan error, len(r.kernels))
+	var wg sync.WaitGroup
+	for i, k := range r.kernels {
+		wg.Add(1)
+		go func(i int, k *polybench.Kernel) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := fn(i, k); err != nil {
+				errCh <- fmt.Errorf("%s: %w", k.Name, err)
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// staticCountOpt is the paper's purely static counting configuration
+// (128 iterations, 50% branches) used by the assumptions ablation.
+func staticCountOpt() ir.CountOptions {
+	return ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+		Bindings: symbolic.Bindings{}}
+}
+
+// hybridCountOpt mirrors the offload runtime's default: runtime-supplied
+// trip counts with midpoint substitution for parallel indices.
+func hybridCountOpt(k *polybench.Kernel, m polybench.Mode) ir.CountOptions {
+	return ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+		Bindings: ir.MidpointBindings(k.IR, k.Bindings(m))}
+}
+
+// PredictVariant evaluates the analytical models for one kernel with the
+// given variant knobs, returning predicted CPU and GPU seconds.
+func PredictVariant(k *polybench.Kernel, m polybench.Mode, plat machine.Platform,
+	threads int, gpuOpts gpumodel.Options, est cpumodel.CPIEstimator,
+	countOpt ir.CountOptions) (cpuSec, gpuSec float64, err error) {
+	b := k.Bindings(m)
+	an, err := ipda.Analyze(k.IR, ir.DefaultCountOptions())
+	if err != nil {
+		return 0, 0, err
+	}
+	cp, err := cpumodel.Predict(cpumodel.Input{
+		Kernel: k.IR, CPU: plat.CPU, Threads: threads, Bindings: b,
+		CountOpt: countOpt, IPDA: an, Estimator: est,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	gp, err := gpumodel.Predict(gpumodel.Input{
+		Kernel: k.IR, GPU: plat.GPU, Link: plat.Link, Bindings: b,
+		CountOpt: countOpt, IPDA: an, Options: gpuOpts,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return cp.Seconds, gp.Seconds, nil
+}
+
+// Predict evaluates the models in the runtime's default configuration.
+func Predict(k *polybench.Kernel, m polybench.Mode, plat machine.Platform,
+	threads int) (cpuSec, gpuSec float64, err error) {
+	return PredictVariant(k, m, plat, threads, gpumodel.DefaultOptions(),
+		cpumodel.MCAEstimator{}, hybridCountOpt(k, m))
+}
+
+// ------------------------------------------------------------- Table I --
+
+// Table1Row is one kernel/mode line of Table I.
+type Table1Row struct {
+	Kernel string
+	Mode   polybench.Mode
+	// Speedups of GPU offloading over the 160-thread host on each
+	// platform (values < 1 are slowdowns, as in the paper).
+	K80Speedup  float64
+	V100Speedup float64
+	// Component times for inspection.
+	P8CPUSec, K80GPUSec, P9CPUSec, V100GPUSec float64
+}
+
+// Table1 reproduces the cross-generation offloading study.
+func (r *Runner) Table1() ([]Table1Row, error) {
+	p8k80 := machine.PlatformP8K80()
+	p9v100 := machine.PlatformP9V100()
+	rows := make([]Table1Row, 2*len(r.kernels))
+	err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
+		for mi, m := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+			row := Table1Row{Kernel: k.Name, Mode: m}
+			var err error
+			if row.P8CPUSec, err = r.CPUSeconds(k, m, p8k80.CPU, p8k80.CPU.Threads()); err != nil {
+				return err
+			}
+			if row.K80GPUSec, err = r.GPUSeconds(k, m, p8k80.GPU, p8k80.Link); err != nil {
+				return err
+			}
+			if row.P9CPUSec, err = r.CPUSeconds(k, m, p9v100.CPU, p9v100.CPU.Threads()); err != nil {
+				return err
+			}
+			if row.V100GPUSec, err = r.GPUSeconds(k, m, p9v100.GPU, p9v100.Link); err != nil {
+				return err
+			}
+			row.K80Speedup = row.P8CPUSec / row.K80GPUSec
+			row.V100Speedup = row.P9CPUSec / row.V100GPUSec
+			rows[i*2+mi] = row
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// ------------------------------------------------------- Figures 6 & 7 --
+
+// PredRow is one kernel point of Figures 6/7: actual versus predicted
+// GPU-offload speedup over the host at the given thread count.
+type PredRow struct {
+	Kernel    string
+	Actual    float64
+	Predicted float64
+}
+
+// Figure runs the actual-vs-predicted study for a dataset mode against a
+// host restricted to `threads` threads (the paper uses 4) on the
+// POWER9+V100 platform.
+func (r *Runner) Figure(m polybench.Mode, threads int) ([]PredRow, error) {
+	plat := machine.PlatformP9V100()
+	rows := make([]PredRow, len(r.kernels))
+	err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
+		cpuSec, err := r.CPUSeconds(k, m, plat.CPU, threads)
+		if err != nil {
+			return err
+		}
+		gpuSec, err := r.GPUSeconds(k, m, plat.GPU, plat.Link)
+		if err != nil {
+			return err
+		}
+		predCPU, predGPU, err := Predict(k, m, plat, threads)
+		if err != nil {
+			return err
+		}
+		rows[i] = PredRow{
+			Kernel:    k.Name,
+			Actual:    cpuSec / gpuSec,
+			Predicted: predCPU / predGPU,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// ------------------------------------------------------------ Figure 8 --
+
+// Fig8Row is one kernel line of the policy comparison.
+type Fig8Row struct {
+	Kernel string
+	// Speedups over the 160-thread host baseline.
+	AlwaysOffload float64
+	ModelGuided   float64
+	ChoseGPU      bool
+	Correct       bool // the model picked the faster target
+}
+
+// Fig8Result aggregates a mode's policy comparison.
+type Fig8Result struct {
+	Mode      polybench.Mode
+	Rows      []Fig8Row
+	AlwaysGeo float64
+	GuidedGeo float64
+	OracleGeo float64
+}
+
+// Figure8 compares the compiler's always-offload default against the
+// model-guided selector (and the oracle bound) on the POWER9+V100
+// platform with the full 160-thread host.
+func (r *Runner) Figure8(m polybench.Mode) (Fig8Result, error) {
+	plat := machine.PlatformP9V100()
+	threads := plat.CPU.Threads()
+	res := Fig8Result{Mode: m, Rows: make([]Fig8Row, len(r.kernels))}
+	err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
+		cpuSec, err := r.CPUSeconds(k, m, plat.CPU, threads)
+		if err != nil {
+			return err
+		}
+		gpuSec, err := r.GPUSeconds(k, m, plat.GPU, plat.Link)
+		if err != nil {
+			return err
+		}
+		predCPU, predGPU, err := Predict(k, m, plat, threads)
+		if err != nil {
+			return err
+		}
+		row := Fig8Row{Kernel: k.Name, ChoseGPU: predGPU < predCPU}
+		chosen := cpuSec
+		if row.ChoseGPU {
+			chosen = gpuSec
+		}
+		row.AlwaysOffload = cpuSec / gpuSec
+		row.ModelGuided = cpuSec / chosen
+		row.Correct = (gpuSec < cpuSec) == row.ChoseGPU
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	var always, guided, oracle []float64
+	for _, row := range res.Rows {
+		always = append(always, row.AlwaysOffload)
+		guided = append(guided, row.ModelGuided)
+		best := row.AlwaysOffload
+		if best < 1 {
+			best = 1
+		}
+		oracle = append(oracle, best)
+	}
+	res.AlwaysGeo = stats.GeoMean(always)
+	res.GuidedGeo = stats.GeoMean(guided)
+	res.OracleGeo = stats.GeoMean(oracle)
+	return res, nil
+}

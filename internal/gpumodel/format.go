@@ -1,0 +1,25 @@
+package gpumodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the prediction with its Hong–Kim intermediates — the
+// white-box view of where the predicted time comes from.
+func (p Prediction) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GPU model prediction: %.6g s\n", p.Seconds)
+	fmt.Fprintf(&sb, "  grid: %d blocks x %d threads   active SMs %d   warps/SM %.0f\n",
+		p.Blocks, p.ThreadsPerBlk, p.ActiveSMs, p.WarpsPerSM)
+	fmt.Fprintf(&sb, "  MWP %.2f (no-BW %.2f, peak-BW %.2f)   CWP %.2f   N %.0f\n",
+		p.MWP, p.MWPWithoutBW, p.MWPPeakBW, p.CWP, p.N)
+	fmt.Fprintf(&sb, "  #Rep %.2f   #OMP_Rep %.0f   coalesced fraction %.0f%%\n",
+		p.Rep, p.OMPRep, p.CoalFraction*100)
+	fmt.Fprintf(&sb, "  mem cycles/item %.4g   comp cycles/item %.4g   exec %.4g cycles\n",
+		p.MemCycles, p.CompCycles, p.ExecCycles)
+	fmt.Fprintf(&sb, "  kernel %.6g s   transfer %.6g s (%d bytes)   launch %.2g s\n",
+		p.Seconds-p.TransferSeconds-p.LaunchSeconds, p.TransferSeconds,
+		p.TransferBytes, p.LaunchSeconds)
+	return sb.String()
+}

@@ -1,0 +1,22 @@
+package gpumodel
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+)
+
+func TestPredictionFormat(t *testing.T) {
+	p := mustPredict(t, stream(), machine.TeslaV100(), machine.NVLink2(),
+		1<<22, DefaultOptions())
+	out := p.Format()
+	for _, want := range []string{
+		"GPU model prediction", "MWP", "CWP", "#Rep", "#OMP_Rep",
+		"coalesced fraction", "transfer", "grid:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package gpumodel
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// stream: A[i] = B[i] + C[i], coalesced and memory-bound.
+func stream() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "stream",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("B", ir.F64, n), ir.In("C", ir.F64, n), ir.Out("A", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.Store(ir.R("A", ir.V("i")),
+					ir.FAdd(ir.Ld("B", ir.V("i")), ir.Ld("C", ir.V("i"))))),
+		},
+	}
+}
+
+// rowStore: threads walk rows of a row-major matrix — every access
+// uncoalesced.
+func rowStore() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "rowstore",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.For("j", ir.N(0), n,
+					ir.Store(ir.R("A", ir.V("i"), ir.V("j")), ir.F(1)))),
+		},
+	}
+}
+
+func mustPredict(t *testing.T, k *ir.Kernel, gpu *machine.GPU, link machine.Link,
+	n int64, opts Options) Prediction {
+	t.Helper()
+	b := symbolic.Bindings{"n": n}
+	in := Input{Kernel: k, GPU: gpu, Link: link, Bindings: b, Options: opts}
+	if opts.Coalescing == UseIPDA {
+		res, err := ipda.Analyze(k, ir.CountOptions{DefaultTrip: 128,
+			BranchProb: 0.5, Bindings: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.IPDA = res
+	}
+	p, err := Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStreamIsMemoryBound(t *testing.T) {
+	p := mustPredict(t, stream(), machine.TeslaV100(), machine.NVLink2(),
+		1<<24, DefaultOptions())
+	if p.Seconds <= 0 || p.ExecCycles <= 0 {
+		t.Fatalf("prediction = %+v", p)
+	}
+	// A 3-access, 1-flop kernel must classify memory-bound: CWP
+	// saturates against MWP.
+	if p.CWP < p.MWP {
+		t.Fatalf("CWP %.1f < MWP %.1f for a streaming kernel", p.CWP, p.MWP)
+	}
+	if p.CoalFraction != 1 {
+		t.Fatalf("stream should be fully coalesced, got %v", p.CoalFraction)
+	}
+}
+
+func TestBandwidthGenerationGap(t *testing.T) {
+	// The same memory-bound kernel must run roughly bandwidth-ratio
+	// faster on the V100 than the K80 (paper: 900 vs 480 GB/s explains
+	// 3DCONV flipping profitable).
+	nolink := machine.Link{Name: "none", BandwidthGBs: 1e9}
+	v := mustPredict(t, stream(), machine.TeslaV100(), nolink, 1<<24, DefaultOptions())
+	k := mustPredict(t, stream(), machine.TeslaK80(), nolink, 1<<24, DefaultOptions())
+	ratio := k.Seconds / v.Seconds
+	if ratio < 1.4 {
+		t.Fatalf("V100/K80 speedup = %.2f, want >= 1.4 (bandwidth-bound)", ratio)
+	}
+}
+
+func TestUncoalescedPenalty(t *testing.T) {
+	// Compare under the flat Hong–Kim memory term (cache refinement off)
+	// to isolate the coalescing penalty itself.
+	v100 := machine.TeslaV100()
+	link := machine.NVLink2()
+	opts := DefaultOptions()
+	opts.CacheAware = false
+	coal := mustPredict(t, stream(), v100, link, 1<<24, opts)
+	unc := mustPredict(t, rowStore(), v100, link, 1<<12, opts)
+	if unc.CoalFraction != 0 {
+		t.Fatalf("rowStore coal fraction = %v, want 0", unc.CoalFraction)
+	}
+	// Per memory instruction, uncoalesced accesses must be far more
+	// expensive.
+	coalPer := coal.MemCycles / coal.MemInsts
+	uncPer := unc.MemCycles / unc.MemInsts
+	if uncPer < coalPer*2 {
+		t.Fatalf("uncoalesced %.0f cyc/inst vs coalesced %.0f: no penalty",
+			uncPer, coalPer)
+	}
+}
+
+func TestCoalescingAblationOrdering(t *testing.T) {
+	// For a fully-coalesced kernel: the all-uncoalesced assumption must
+	// overestimate, the all-coalesced assumption must match IPDA.
+	v100 := machine.TeslaV100()
+	link := machine.NVLink2()
+	b := symbolic.Bindings{"n": 1 << 24}
+	res, err := ipda.Analyze(stream(), ir.CountOptions{DefaultTrip: 128,
+		BranchProb: 0.5, Bindings: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Input{Kernel: stream(), GPU: v100, Link: link, Bindings: b, IPDA: res}
+
+	pi := base
+	pi.Options = Options{Coalescing: UseIPDA, OMPRep: true, IncludeTransfer: true}
+	pc := base
+	pc.Options = Options{Coalescing: AssumeAllCoalesced, OMPRep: true, IncludeTransfer: true}
+	pu := base
+	pu.Options = Options{Coalescing: AssumeAllUncoalesced, OMPRep: true, IncludeTransfer: true}
+
+	ri, err := Predict(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Predict(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := Predict(pu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IPDA (with cache refinement off for a like-for-like comparison)
+	// must match the all-coalesced assumption on a fully-coalesced
+	// kernel; the all-uncoalesced assumption must overestimate.
+	pi2 := base
+	pi2.Options = Options{Coalescing: UseIPDA, OMPRep: true, IncludeTransfer: true,
+		CacheAware: false}
+	ri2, err := Predict(pi2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri2.Seconds != rc.Seconds {
+		t.Fatalf("IPDA (%.6f) != all-coalesced (%.6f) on a coalesced kernel",
+			ri2.Seconds, rc.Seconds)
+	}
+	if ru.Seconds <= ri.Seconds || ru.Seconds <= ri2.Seconds {
+		t.Fatalf("all-uncoalesced (%.6f) should overestimate IPDA (%.6f)",
+			ru.Seconds, ri.Seconds)
+	}
+}
+
+func TestCacheAwareRefinement(t *testing.T) {
+	// A kernel with an L2-resident re-walked column footprint must be
+	// predicted faster with the cache-aware memory term than without.
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "rewalk",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.In("D", ir.F64, n, n), ir.Out("s", ir.F64, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("j1", ir.N(0), n,
+				ir.For("j2", ir.N(0), n,
+					ir.Set("acc", ir.F(0)),
+					ir.For("i", ir.N(0), n,
+						ir.AccumS("acc", ir.FMul(
+							ir.Ld("D", ir.V("i"), ir.V("j1")),
+							ir.Ld("D", ir.V("i"), ir.V("j2"))))),
+					ir.Accum(ir.R("s", ir.V("j1")), ir.S("acc")))),
+		},
+	}
+	b := symbolic.Bindings{"n": 2048}
+	res, err := ipda.Analyze(k, ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5, Bindings: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Input{Kernel: k, GPU: machine.TeslaV100(), Link: machine.NVLink2(),
+		Bindings: b, IPDA: res,
+		CountOpt: ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5, Bindings: b}}
+	in.Options = DefaultOptions()
+	aware, err := Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Options.CacheAware = false
+	flat, err := Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.MemCycles >= flat.MemCycles {
+		t.Fatalf("cache-aware mem cycles %.0f >= flat %.0f",
+			aware.MemCycles, flat.MemCycles)
+	}
+}
+
+func TestOMPRepExtension(t *testing.T) {
+	// Paper's example scaled up: with a one-wave grid cap, a huge
+	// iteration space forces each GPU thread to run multiple loop
+	// iterations.
+	v100 := machine.TeslaV100()
+	n := int64(1 << 24) // 16M iterations >> 2560 blocks × 128 threads
+	p := mustPredict(t, stream(), v100, machine.NVLink2(), n, DefaultOptions())
+	wantRep := float64((n + 2560*128 - 1) / (2560 * 128))
+	if p.OMPRep != wantRep {
+		t.Fatalf("OMPRep = %v, want %v", p.OMPRep, wantRep)
+	}
+	// Disabling the extension must shrink the prediction.
+	off := mustPredict(t, stream(), v100, machine.NVLink2(), n,
+		Options{Coalescing: UseIPDA, OMPRep: false, IncludeTransfer: true})
+	if off.ExecCycles >= p.ExecCycles {
+		t.Fatalf("OMPRep off (%.0f) >= on (%.0f)", off.ExecCycles, p.ExecCycles)
+	}
+	if off.OMPRep != 1 {
+		t.Fatalf("OMPRep disabled but = %v", off.OMPRep)
+	}
+}
+
+func TestSmallGridUnderOccupies(t *testing.T) {
+	// 256 iterations = 2 blocks: only 2 SMs active, N small, case-1 path.
+	p := mustPredict(t, stream(), machine.TeslaV100(), machine.NVLink2(),
+		256, DefaultOptions())
+	if p.Blocks != 2 || p.ActiveSMs != 2 {
+		t.Fatalf("blocks=%d activeSMs=%d", p.Blocks, p.ActiveSMs)
+	}
+	if p.N != 4 { // 1 resident block × 4 warps
+		t.Fatalf("N = %v, want 4", p.N)
+	}
+	if p.Rep != 1 {
+		t.Fatalf("Rep = %v", p.Rep)
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	k := stream()
+	b := symbolic.Bindings{"n": 1 << 20}
+	bytes, err := TransferBytes(k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B and C are In (8 MB each), A is Out (8 MB): 24 MB total.
+	want := int64(3 * (1 << 20) * 8)
+	if bytes != want {
+		t.Fatalf("TransferBytes = %d, want %d", bytes, want)
+	}
+	with := mustPredict(t, k, machine.TeslaV100(), machine.NVLink2(), 1<<20,
+		DefaultOptions())
+	without := mustPredict(t, k, machine.TeslaV100(), machine.NVLink2(), 1<<20,
+		Options{Coalescing: UseIPDA, OMPRep: true, IncludeTransfer: false})
+	if with.Seconds <= without.Seconds {
+		t.Fatal("transfer time not added")
+	}
+	if with.TransferBytes != want {
+		t.Fatalf("prediction TransferBytes = %d", with.TransferBytes)
+	}
+}
+
+func TestLinkGenerationGap(t *testing.T) {
+	// Same device, PCIe vs NVLink: transfer-heavy small kernels improve.
+	k := stream()
+	pcie := mustPredict(t, k, machine.TeslaV100(), machine.PCIe3(), 1<<22,
+		DefaultOptions())
+	nvl := mustPredict(t, k, machine.TeslaV100(), machine.NVLink2(), 1<<22,
+		DefaultOptions())
+	if nvl.TransferSeconds >= pcie.TransferSeconds {
+		t.Fatal("NVLink transfer not faster than PCIe")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Predict(Input{}); err == nil {
+		t.Error("nil input accepted")
+	}
+	k := stream()
+	if _, err := Predict(Input{Kernel: k, GPU: machine.TeslaV100(),
+		Bindings: symbolic.Bindings{"n": 100},
+		Options:  DefaultOptions()}); err == nil {
+		t.Error("missing IPDA accepted with UseIPDA")
+	}
+	if _, err := Predict(Input{Kernel: k, GPU: machine.TeslaV100(),
+		Options: DefaultOptions()}); err == nil {
+		t.Error("unbound parameters accepted")
+	}
+	if _, err := Predict(Input{Kernel: k, GPU: machine.TeslaV100(),
+		Bindings: symbolic.Bindings{"n": 0},
+		Options:  DefaultOptions()}); err == nil {
+		t.Error("empty iteration space accepted")
+	}
+}
+
+func TestCoalescingSourceString(t *testing.T) {
+	if UseIPDA.String() != "ipda" || AssumeAllCoalesced.String() != "all-coalesced" ||
+		AssumeAllUncoalesced.String() != "all-uncoalesced" {
+		t.Error("stringer mismatch")
+	}
+}

@@ -1,0 +1,358 @@
+// Package ipda implements the Iteration Point Difference Analysis of
+// Chikin et al.: a hybrid symbolic analysis that determines the
+// inter-thread memory access stride of every subscripted reference in an
+// OpenMP parallel loop.
+//
+// For each access site the analysis builds the exact symbolic difference
+//
+//	IPD_thread(ref) = subscript[v := v+1] - subscript[v]
+//
+// where v is the loop variable along which adjacent GPU threads (or
+// adjacent CPU threads / vector lanes) advance. When the difference is
+// free of loop variables it is a closed-form stride expression over kernel
+// parameters — possibly a plain constant (fully static case 1 of the
+// paper), possibly containing runtime unknowns like [max] (case 2), which
+// the runtime resolves by binding values immediately before kernel launch.
+//
+// Three strides matter to the downstream models:
+//
+//   - ThreadStride: per adjacent GPU thread (innermost collapsed parallel
+//     loop variable) — memory coalescing on the GPU.
+//   - OuterStride: per iteration of the outermost parallel loop — false
+//     sharing between CPU threads under chunked scheduling.
+//   - InnerStride: per iteration of the innermost sequential loop —
+//     vectorizability of the CPU fallback version.
+package ipda
+
+import (
+	"fmt"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Site is the IPDA result for one static memory access.
+type Site struct {
+	Access ir.Access
+
+	// Linear is the flattened row-major element-offset expression.
+	Linear symbolic.Expr
+
+	// ThreadStride is the element stride between adjacent GPU threads
+	// (difference along the innermost parallel loop variable). Valid only
+	// when ThreadAffine.
+	ThreadStride symbolic.Expr
+	// ThreadAffine reports whether the difference is free of loop
+	// variables (i.e. the stride is uniform across the iteration space).
+	ThreadAffine bool
+
+	// OuterStride is the element stride along the outermost parallel
+	// loop variable (CPU thread dimension). Valid only when OuterAffine.
+	OuterStride symbolic.Expr
+	OuterAffine bool
+
+	// InnerStride is the element stride along the innermost sequential
+	// loop enclosing the access (vector-lane dimension); zero expression
+	// if the access is not inside a sequential loop. Valid only when
+	// InnerAffine.
+	InnerStride symbolic.Expr
+	InnerAffine bool
+	// HasInner reports whether the access is enclosed in a sequential loop.
+	HasInner bool
+}
+
+// Result is the analysis output for a whole kernel.
+type Result struct {
+	Kernel *ir.Kernel
+	Sites  []Site
+
+	// ThreadVar is the loop variable along which adjacent GPU threads
+	// advance (innermost parallel loop), empty if the kernel has no
+	// parallel loop.
+	ThreadVar string
+	// OuterVar is the outermost parallel loop variable.
+	OuterVar string
+}
+
+// Analyze runs IPDA on every memory access site of the kernel.
+func Analyze(k *ir.Kernel, opt ir.CountOptions) (*Result, error) {
+	par := k.ParallelLoops()
+	if len(par) == 0 {
+		return nil, fmt.Errorf("ipda: kernel %s has no parallel loop", k.Name)
+	}
+	res := &Result{
+		Kernel:    k,
+		ThreadVar: par[len(par)-1].Var,
+		OuterVar:  par[0].Var,
+	}
+	for _, acc := range k.Accesses(opt) {
+		arr := k.Array(acc.Ref.Array)
+		if arr == nil {
+			return nil, fmt.Errorf("ipda: kernel %s: access to undeclared array %q",
+				k.Name, acc.Ref.Array)
+		}
+		lin := arr.LinearIndex(acc.Ref.Index)
+		s := Site{Access: acc, Linear: lin}
+
+		loopVars := map[string]bool{}
+		for _, l := range acc.Loops {
+			loopVars[l.Var] = true
+		}
+		s.ThreadStride, s.ThreadAffine = diff(lin, res.ThreadVar, 1, loopVars)
+		s.OuterStride, s.OuterAffine = diff(lin, res.OuterVar, par[0].Step, loopVars)
+
+		// Innermost *sequential* loop enclosing this access.
+		for i := len(acc.Loops) - 1; i >= 0; i-- {
+			if !acc.Loops[i].Parallel {
+				s.HasInner = true
+				s.InnerStride, s.InnerAffine =
+					diff(lin, acc.Loops[i].Var, acc.Loops[i].Step, loopVars)
+				break
+			}
+		}
+		if !s.HasInner {
+			s.InnerStride, s.InnerAffine = symbolic.Zero(), true
+		}
+		res.Sites = append(res.Sites, s)
+	}
+	return res, nil
+}
+
+// diff computes the finite difference of e along v with the given step and
+// reports whether the result is uniform (free of every loop variable).
+func diff(e symbolic.Expr, v string, step int64, loopVars map[string]bool) (symbolic.Expr, bool) {
+	d := e.Diff(v, step)
+	for _, s := range d.FreeSyms() {
+		if loopVars[s] {
+			return d, false
+		}
+	}
+	return d, true
+}
+
+// Class is the coalescing classification of a memory access for one warp.
+type Class uint8
+
+// Coalescing classes, from best to worst.
+const (
+	// Uniform: all threads of the warp touch the same element (stride 0);
+	// serviced by a single transaction (and typically cached/broadcast).
+	Uniform Class = iota
+	// Coalesced: adjacent threads touch adjacent elements; the warp is
+	// serviced with the minimum possible number of transactions.
+	Coalesced
+	// Strided: a constant stride larger than one element; more
+	// transactions than the minimum but fewer than one per thread.
+	Strided
+	// Uncoalesced: each thread's access requires its own transaction.
+	Uncoalesced
+	// NonUniform: the inter-thread difference varies across the
+	// iteration space (non-affine subscript); treated pessimistically.
+	NonUniform
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Uniform:
+		return "uniform"
+	case Coalesced:
+		return "coalesced"
+	case Strided:
+		return "strided"
+	case Uncoalesced:
+		return "uncoalesced"
+	case NonUniform:
+		return "non-uniform"
+	}
+	return fmt.Sprintf("Class(%d)", c)
+}
+
+// WarpGeom describes the memory geometry relevant to coalescing.
+type WarpGeom struct {
+	WarpSize         int   // threads per warp (32 on every NVIDIA generation)
+	TransactionBytes int64 // memory transaction granularity (128B)
+}
+
+// DefaultWarpGeom is the NVIDIA geometry used throughout the paper.
+func DefaultWarpGeom() WarpGeom { return WarpGeom{WarpSize: 32, TransactionBytes: 128} }
+
+// WarpAccess is the resolved (concrete) coalescing behaviour of one site.
+type WarpAccess struct {
+	Class        Class
+	ByteStride   int64
+	Transactions int // memory transactions issued per warp-access
+}
+
+// ClassifyStride classifies a concrete inter-thread byte stride.
+func ClassifyStride(byteStride, elemSize int64, g WarpGeom) WarpAccess {
+	abs := byteStride
+	if abs < 0 {
+		abs = -abs
+	}
+	minTx := int((int64(g.WarpSize)*elemSize + g.TransactionBytes - 1) / g.TransactionBytes)
+	if minTx < 1 {
+		minTx = 1
+	}
+	switch {
+	case abs == 0:
+		return WarpAccess{Class: Uniform, ByteStride: byteStride, Transactions: 1}
+	case abs == elemSize:
+		return WarpAccess{Class: Coalesced, ByteStride: byteStride, Transactions: minTx}
+	case abs >= g.TransactionBytes:
+		return WarpAccess{Class: Uncoalesced, ByteStride: byteStride,
+			Transactions: g.WarpSize}
+	default:
+		tx := int((int64(g.WarpSize)*abs + g.TransactionBytes - 1) / g.TransactionBytes)
+		if tx < minTx {
+			tx = minTx
+		}
+		if tx >= g.WarpSize {
+			return WarpAccess{Class: Uncoalesced, ByteStride: byteStride,
+				Transactions: g.WarpSize}
+		}
+		return WarpAccess{Class: Strided, ByteStride: byteStride, Transactions: tx}
+	}
+}
+
+// ResolveGPU resolves the site's thread stride under runtime bindings and
+// classifies its warp-level coalescing behaviour.
+func (s *Site) ResolveGPU(b symbolic.Bindings, g WarpGeom) (WarpAccess, error) {
+	elem := s.Access.Elem.Size()
+	if !s.ThreadAffine {
+		return WarpAccess{Class: NonUniform, Transactions: g.WarpSize}, nil
+	}
+	stride, err := s.ThreadStride.Eval(b)
+	if err != nil {
+		return WarpAccess{}, err
+	}
+	return ClassifyStride(stride*elem, elem, g), nil
+}
+
+// CoalescingSummary aggregates warp behaviour over all sites of a kernel,
+// weighted by per-work-item execution counts — the #Coal_Mem_insts /
+// #Uncoal_Mem_insts inputs of the Hong–Kim model.
+type CoalescingSummary struct {
+	CoalescedWeight   float64 // uniform + coalesced accesses
+	UncoalescedWeight float64 // strided + uncoalesced + non-uniform
+	TotalWeight       float64
+	// AvgTransactions is the execution-weighted mean number of memory
+	// transactions per warp-access (1.0 == uniform broadcast).
+	AvgTransactions float64
+	// Sites counts classified sites per class.
+	Sites map[Class]int
+}
+
+// CoalescedFraction returns the fraction of dynamic memory instructions
+// that are coalesced (1.0 when the kernel has no memory accesses).
+func (c CoalescingSummary) CoalescedFraction() float64 {
+	if c.TotalWeight == 0 {
+		return 1
+	}
+	return c.CoalescedWeight / c.TotalWeight
+}
+
+// GPUCoalescing resolves every site under bindings and aggregates.
+func (r *Result) GPUCoalescing(b symbolic.Bindings, g WarpGeom) (CoalescingSummary, error) {
+	sum := CoalescingSummary{Sites: map[Class]int{}}
+	var txWeighted float64
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		wa, err := s.ResolveGPU(b, g)
+		if err != nil {
+			return CoalescingSummary{}, err
+		}
+		w := s.Access.Weight
+		sum.TotalWeight += w
+		sum.Sites[wa.Class]++
+		txWeighted += w * float64(wa.Transactions)
+		switch wa.Class {
+		case Uniform, Coalesced:
+			sum.CoalescedWeight += w
+		default:
+			sum.UncoalescedWeight += w
+		}
+	}
+	if sum.TotalWeight > 0 {
+		sum.AvgTransactions = txWeighted / sum.TotalWeight
+	}
+	return sum, nil
+}
+
+// Vectorizable reports whether the CPU fallback's innermost sequential
+// loop is profitably vectorizable: every access inside a sequential loop
+// must have a uniform inner stride of 0 or 1 elements (contiguous lanes or
+// loop-invariant operands). Kernels whose bodies have no sequential loop
+// vectorize along the parallel dimension instead, which requires the
+// thread stride to be 0 or 1.
+func (r *Result) Vectorizable(b symbolic.Bindings) bool {
+	anyInner := false
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		if !s.HasInner {
+			continue
+		}
+		anyInner = true
+		if !s.InnerAffine {
+			return false
+		}
+		st, err := s.InnerStride.Eval(b)
+		if err != nil {
+			return false
+		}
+		if st != 0 && st != 1 {
+			return false
+		}
+	}
+	if anyInner {
+		return true
+	}
+	// No sequential loops: vectorize across the parallel dimension.
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		if !s.ThreadAffine {
+			return false
+		}
+		st, err := s.ThreadStride.Eval(b)
+		if err != nil {
+			return false
+		}
+		if st != 0 && st != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// FalseSharingRisk estimates the fraction of store sites whose
+// inter-thread distance under chunked static scheduling lands within one
+// cache line, causing coherence ping-pong between CPU threads. chunkIters
+// is the static chunk size in iterations of the outer parallel loop.
+func (r *Result) FalseSharingRisk(b symbolic.Bindings, chunkIters int64, lineBytes int64) float64 {
+	var stores, risky float64
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		if s.Access.Kind != ir.AccStore {
+			continue
+		}
+		stores += s.Access.Weight
+		if !s.OuterAffine {
+			continue
+		}
+		st, err := s.OuterStride.Eval(b)
+		if err != nil {
+			continue
+		}
+		dist := st * chunkIters * s.Access.Elem.Size()
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist > 0 && dist < lineBytes {
+			risky += s.Access.Weight
+		}
+	}
+	if stores == 0 {
+		return 0
+	}
+	return risky / stores
+}

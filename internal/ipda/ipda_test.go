@@ -1,0 +1,339 @@
+package ipda
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// paperKernel is the running example from the paper:
+//
+//	#pragma omp teams distribute parallel for
+//	for (int a = 0; a < max; a++) { A[max * a] = ... }
+func paperKernel() *ir.Kernel {
+	max := ir.V("max")
+	return &ir.Kernel{
+		Name:   "paper-example",
+		Params: []string{"max"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, max.Mul(max))},
+		Body: []ir.Stmt{
+			ir.ParFor("a", ir.N(0), max,
+				ir.Store(ir.R("A", max.Mul(ir.V("a"))), ir.F(1)),
+			),
+		},
+	}
+}
+
+func TestPaperExampleStride(t *testing.T) {
+	k := paperKernel()
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 1 {
+		t.Fatalf("sites = %d", len(res.Sites))
+	}
+	s := res.Sites[0]
+	// IPD_thread(A[max*a]) = [max]
+	if !s.ThreadAffine {
+		t.Fatal("stride should be uniform")
+	}
+	if !s.ThreadStride.Equal(symbolic.Sym("max")) {
+		t.Fatalf("stride = %s, want max", s.ThreadStride)
+	}
+	// Case 2 of the paper: the symbolic stride resolves at runtime.
+	// max=1 -> contiguous (coalesced); max=1000 -> uncoalesced.
+	wa, err := s.ResolveGPU(symbolic.Bindings{"max": 1}, DefaultWarpGeom())
+	if err != nil || wa.Class != Coalesced {
+		t.Fatalf("max=1: %v %v", wa, err)
+	}
+	wa, err = s.ResolveGPU(symbolic.Bindings{"max": 1000}, DefaultWarpGeom())
+	if err != nil || wa.Class != Uncoalesced {
+		t.Fatalf("max=1000: %v %v", wa, err)
+	}
+	if wa.Transactions != 32 {
+		t.Fatalf("uncoalesced transactions = %d", wa.Transactions)
+	}
+}
+
+// gemm builds the standard collapsed-2D GEMM region.
+func gemm() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "gemm",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n),
+			ir.In("B", ir.F64, n, n),
+			ir.Arr("C", ir.F64, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.ParFor("j", ir.N(0), n,
+					ir.Set("acc", ir.F(0)),
+					ir.For("k", ir.N(0), n,
+						ir.AccumS("acc", ir.FMul(
+							ir.Ld("A", ir.V("i"), ir.V("k")),
+							ir.Ld("B", ir.V("k"), ir.V("j"))))),
+					ir.Accum(ir.R("C", ir.V("i"), ir.V("j")), ir.S("acc")),
+				),
+			),
+		},
+	}
+}
+
+func TestGemmStrides(t *testing.T) {
+	res, err := Analyze(gemm(), ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThreadVar != "j" || res.OuterVar != "i" {
+		t.Fatalf("vars = %q/%q", res.ThreadVar, res.OuterVar)
+	}
+	byRef := map[string]Site{}
+	for _, s := range res.Sites {
+		byRef[s.Access.Ref.String()+"/"+s.Access.Kind.String()] = s
+	}
+	// A[i][k]: invariant in j -> uniform (stride 0 across threads).
+	a := byRef["A[i][k]/load"]
+	if !a.ThreadAffine || !a.ThreadStride.IsZero() {
+		t.Fatalf("A stride = %s", a.ThreadStride)
+	}
+	// B[k][j]: stride 1 across threads -> coalesced.
+	b := byRef["B[k][j]/load"]
+	if !b.ThreadAffine || !b.ThreadStride.Equal(symbolic.Const(1)) {
+		t.Fatalf("B stride = %s", b.ThreadStride)
+	}
+	// B's inner (k) stride is n: the k-loop walks a column -> not
+	// lane-contiguous.
+	if !b.InnerAffine || !b.InnerStride.Equal(symbolic.Sym("n")) {
+		t.Fatalf("B inner stride = %s", b.InnerStride)
+	}
+	// A's inner stride is 1 (row walk).
+	if !a.InnerStride.Equal(symbolic.Const(1)) {
+		t.Fatalf("A inner stride = %s", a.InnerStride)
+	}
+	// C[i][j] store: outer stride n (distinct rows per thread chunk).
+	c := byRef["C[i][j]/store"]
+	if !c.OuterAffine || !c.OuterStride.Equal(symbolic.Sym("n")) {
+		t.Fatalf("C outer stride = %s", c.OuterStride)
+	}
+
+	sum, err := res.GPUCoalescing(symbolic.Bindings{"n": 1024}, DefaultWarpGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All GEMM accesses are uniform or coalesced.
+	if sum.CoalescedFraction() != 1.0 {
+		t.Fatalf("coalesced fraction = %v", sum.CoalescedFraction())
+	}
+	if sum.Sites[Uniform] != 1 || sum.Sites[Coalesced] != 3 {
+		t.Fatalf("classes = %v", sum.Sites)
+	}
+}
+
+// columnKernel stores down a column: uncoalesced on GPU, non-vectorizable
+// inner loop on CPU.
+func columnKernel() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "column",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.For("j", ir.N(0), n,
+					ir.Store(ir.R("A", ir.V("j"), ir.V("i")), ir.F(2)),
+				),
+			),
+		},
+	}
+}
+
+func TestColumnAccess(t *testing.T) {
+	res, err := Analyze(columnKernel(), ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sites[0]
+	// Threads advance along i; A[j][i] has thread stride 1 => coalesced
+	// on the GPU (this is why transposed layouts flip between devices).
+	if !s.ThreadStride.Equal(symbolic.Const(1)) {
+		t.Fatalf("thread stride = %s", s.ThreadStride)
+	}
+	// Inner loop (j) walks column-wise with stride n: not vectorizable.
+	if !s.InnerStride.Equal(symbolic.Sym("n")) {
+		t.Fatalf("inner stride = %s", s.InnerStride)
+	}
+	if res.Vectorizable(symbolic.Bindings{"n": 512}) {
+		t.Fatal("column walk should not be vectorizable")
+	}
+}
+
+func TestRowKernelVectorizable(t *testing.T) {
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "row",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.For("j", ir.N(0), n,
+					ir.Store(ir.R("A", ir.V("i"), ir.V("j")), ir.F(2)))),
+		},
+	}
+	res, err := Analyze(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Vectorizable(symbolic.Bindings{"n": 512}) {
+		t.Fatal("row walk should be vectorizable")
+	}
+	// Row-major store with threads on rows: thread stride n -> uncoalesced
+	// for large n.
+	wa, err := res.Sites[0].ResolveGPU(symbolic.Bindings{"n": 512}, DefaultWarpGeom())
+	if err != nil || wa.Class != Uncoalesced {
+		t.Fatalf("row store on GPU: %v %v", wa, err)
+	}
+}
+
+func TestNonAffineSubscript(t *testing.T) {
+	n := ir.V("n")
+	i := ir.V("i")
+	k := &ir.Kernel{
+		Name:   "quad",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n.Mul(n))},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.Store(ir.R("A", i.Mul(i)), ir.F(1))),
+		},
+	}
+	res, err := Analyze(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sites[0]
+	if s.ThreadAffine {
+		t.Fatal("quadratic subscript should be non-affine")
+	}
+	wa, err := s.ResolveGPU(symbolic.Bindings{"n": 100}, DefaultWarpGeom())
+	if err != nil || wa.Class != NonUniform {
+		t.Fatalf("class = %v, %v", wa.Class, err)
+	}
+}
+
+func TestClassifyStride(t *testing.T) {
+	g := DefaultWarpGeom()
+	cases := []struct {
+		bytes int64
+		class Class
+		tx    int
+	}{
+		{0, Uniform, 1},
+		{8, Coalesced, 2},  // f64 contiguous: 32*8/128 = 2 transactions
+		{-8, Coalesced, 2}, // negative contiguous is still coalesced
+		{16, Strided, 4},   // every other element
+		{64, Strided, 16},  //
+		{128, Uncoalesced, 32},
+		{4096, Uncoalesced, 32},
+	}
+	for _, c := range cases {
+		wa := ClassifyStride(c.bytes, 8, g)
+		if wa.Class != c.class || wa.Transactions != c.tx {
+			t.Errorf("stride %d: got %v/%d, want %v/%d",
+				c.bytes, wa.Class, wa.Transactions, c.class, c.tx)
+		}
+	}
+	// f32 contiguous: 32*4/128 = 1 transaction.
+	if wa := ClassifyStride(4, 4, g); wa.Class != Coalesced || wa.Transactions != 1 {
+		t.Errorf("f32 contiguous: %v", wa)
+	}
+}
+
+func TestFalseSharingRisk(t *testing.T) {
+	// Adjacent threads store adjacent elements: with chunk 1 the
+	// inter-thread distance is 8B < 64B line -> false sharing.
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "fs",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n, ir.Store(ir.R("A", ir.V("i")), ir.F(1))),
+		},
+	}
+	res, err := Analyze(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := symbolic.Bindings{"n": 1 << 20}
+	if r := res.FalseSharingRisk(b, 1, 64); r != 1.0 {
+		t.Fatalf("chunk 1 risk = %v, want 1", r)
+	}
+	if r := res.FalseSharingRisk(b, 1024, 64); r != 0.0 {
+		t.Fatalf("chunk 1024 risk = %v, want 0", r)
+	}
+}
+
+func TestCoalescingSummaryWeights(t *testing.T) {
+	res, err := Analyze(gemm(), ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := res.GPUCoalescing(symbolic.Bindings{"n": 256}, DefaultWarpGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static analysis: the k-loop trip count is unknown, so A and B loads
+	// weigh the paper's default 128 each; C load+store weigh 1 each.
+	if math.Abs(sum.TotalWeight-(128+128+1+1)) > 1e-9 {
+		t.Fatalf("static total weight = %v", sum.TotalWeight)
+	}
+	// Hybrid analysis: with runtime bindings the trip count is exact.
+	resBound, err := Analyze(gemm(), ir.CountOptions{
+		DefaultTrip: 128, BranchProb: 0.5, Bindings: symbolic.Bindings{"n": 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumBound, err := resBound.GPUCoalescing(symbolic.Bindings{"n": 256}, DefaultWarpGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sumBound.TotalWeight-(256+256+1+1)) > 1e-9 {
+		t.Fatalf("bound total weight = %v", sumBound.TotalWeight)
+	}
+	if sum.AvgTransactions <= 0 {
+		t.Fatal("avg transactions not computed")
+	}
+}
+
+func TestAnalyzeRejectsSerialKernel(t *testing.T) {
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "serial",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n)},
+		Body:   []ir.Stmt{ir.For("i", ir.N(0), n, ir.Store(ir.R("A", ir.V("i")), ir.F(0)))},
+	}
+	if _, err := Analyze(k, ir.DefaultCountOptions()); err == nil {
+		t.Fatal("expected error for kernel without parallel loop")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		Uniform: "uniform", Coalesced: "coalesced", Strided: "strided",
+		Uncoalesced: "uncoalesced", NonUniform: "non-uniform",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package ipda
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// randAffineKernel builds a random 2D-parallel kernel with a random affine
+// subscript c0 + ci*i + cj*j (+ optional n-scaled terms) into a 1D array.
+func randAffineKernel(r *rand.Rand) (*ir.Kernel, symbolic.Expr) {
+	n := ir.V("n")
+	// subscript = a*i + b*j + c + (d*n)*i? Build from small coefficients,
+	// optionally multiplying one term by the symbolic parameter n.
+	i, j := ir.V("i"), ir.V("j")
+	sub := symbolic.Const(int64(r.Intn(4)))
+	ci := int64(r.Intn(3))
+	cj := int64(r.Intn(3))
+	if r.Intn(2) == 0 {
+		sub = sub.Add(i.MulConst(ci))
+	} else {
+		sub = sub.Add(i.Mul(n).MulConst(ci)) // row-style term
+	}
+	sub = sub.Add(j.MulConst(cj))
+	k := &ir.Kernel{
+		Name:   "rand-affine",
+		Params: []string{"n"},
+		// Generous bound; the interpreter is never run on this kernel.
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n.Mul(n).MulConst(8).AddConst(64))},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.ParFor("j", ir.N(0), n,
+					ir.Store(ir.R("A", sub), ir.F(1)))),
+		},
+	}
+	return k, sub
+}
+
+// TestPropThreadStrideMatchesBruteForce verifies, for random affine
+// subscripts, that the symbolic inter-thread stride equals the concrete
+// difference sub(j+1) - sub(j) for random bindings — the defining property
+// of the analysis.
+func TestPropThreadStrideMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 300; trial++ {
+		k, sub := randAffineKernel(r)
+		res, err := Analyze(k, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Sites[0]
+		if !s.ThreadAffine {
+			t.Fatalf("affine subscript classified non-affine: %s", sub)
+		}
+		for probe := 0; probe < 10; probe++ {
+			b := symbolic.Bindings{
+				"n": int64(2 + r.Intn(100)),
+			}
+			iv := int64(r.Intn(50))
+			jv := int64(r.Intn(50))
+			b1 := symbolic.Bindings{"n": b["n"], "i": iv, "j": jv}
+			b2 := symbolic.Bindings{"n": b["n"], "i": iv, "j": jv + 1}
+			want := sub.MustEval(b2) - sub.MustEval(b1)
+			got, err := s.ThreadStride.Eval(b)
+			if err != nil {
+				// Stride may reference i or j only if non-uniform, which
+				// ThreadAffine excludes.
+				t.Fatalf("stride eval: %v (stride %s)", err, s.ThreadStride)
+			}
+			if got != want {
+				t.Fatalf("stride mismatch for %s: symbolic %d, brute force %d (n=%d)",
+					sub, got, want, b["n"])
+			}
+		}
+	}
+}
+
+// TestPropOuterStrideMatchesBruteForce does the same along the outer
+// parallel dimension (CPU thread axis).
+func TestPropOuterStrideMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7777))
+	for trial := 0; trial < 300; trial++ {
+		k, sub := randAffineKernel(r)
+		res, err := Analyze(k, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Sites[0]
+		if !s.OuterAffine {
+			continue
+		}
+		nv := int64(2 + r.Intn(100))
+		iv, jv := int64(r.Intn(50)), int64(r.Intn(50))
+		b1 := symbolic.Bindings{"n": nv, "i": iv, "j": jv}
+		b2 := symbolic.Bindings{"n": nv, "i": iv + 1, "j": jv}
+		want := sub.MustEval(b2) - sub.MustEval(b1)
+		got := s.OuterStride.MustEval(symbolic.Bindings{"n": nv})
+		if got != want {
+			t.Fatalf("outer stride mismatch for %s: %d vs %d", sub, got, want)
+		}
+	}
+}
+
+// TestPropClassificationConsistent: for any concrete stride, the
+// classification must agree with first principles about transaction
+// counts.
+func TestPropClassificationConsistent(t *testing.T) {
+	g := DefaultWarpGeom()
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 2000; trial++ {
+		stride := int64(r.Intn(4096) - 2048)
+		elem := []int64{4, 8}[r.Intn(2)]
+		wa := ClassifyStride(stride*elem, elem, g)
+		// Transactions bounded by [1, warpSize].
+		if wa.Transactions < 1 || wa.Transactions > g.WarpSize {
+			t.Fatalf("tx out of range: %+v (stride %d)", wa, stride)
+		}
+		// Brute-force transaction count for an aligned warp access.
+		lines := map[int64]bool{}
+		for lane := int64(0); lane < int64(g.WarpSize); lane++ {
+			lines[(lane*stride*elem)/g.TransactionBytes] = true
+		}
+		brute := len(lines)
+		switch wa.Class {
+		case Uniform:
+			if stride != 0 {
+				t.Fatalf("uniform with stride %d", stride)
+			}
+		case Coalesced:
+			if brute > wa.Transactions {
+				t.Fatalf("coalesced underestimates: brute %d vs %d (stride %d elem %d)",
+					brute, wa.Transactions, stride, elem)
+			}
+		case Uncoalesced:
+			// One transaction per lane is the correct pessimistic count
+			// for |stride| >= one transaction.
+			if abs(stride*elem) < g.TransactionBytes {
+				t.Fatalf("uncoalesced with small stride %d", stride*elem)
+			}
+		case Strided:
+			// The model's estimate must be within 1 of brute force for
+			// aligned strides (alignment can merge one boundary line).
+			if d := wa.Transactions - brute; d < -1 || d > 1 {
+				t.Fatalf("strided tx %d vs brute %d (stride %d elem %d)",
+					wa.Transactions, brute, stride, elem)
+			}
+		}
+	}
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestPropAnalysisDeterministic: repeated analysis of the same kernel
+// yields identical stride expressions.
+func TestPropAnalysisDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		k, _ := randAffineKernel(r)
+		a, err := Analyze(k, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Analyze(k, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Sites) != len(b.Sites) {
+			t.Fatal("site count differs")
+		}
+		for i := range a.Sites {
+			if fmt.Sprint(a.Sites[i].ThreadStride) != fmt.Sprint(b.Sites[i].ThreadStride) {
+				t.Fatal("stride expressions differ across runs")
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package ir
+
+import "github.com/hybridsel/hybridsel/internal/symbolic"
+
+// This file provides terse constructors used by kernel encodings
+// (internal/polybench) and tests. They make IR construction read close to
+// the original C loops.
+
+// V returns the symbolic variable name (a loop variable or parameter).
+func V(name string) symbolic.Expr { return symbolic.Sym(name) }
+
+// N returns the integer literal n as a symbolic expression.
+func N(v int64) symbolic.Expr { return symbolic.Const(v) }
+
+// R builds an array reference.
+func R(array string, idx ...symbolic.Expr) Ref {
+	return Ref{Array: array, Index: idx}
+}
+
+// Ld builds a load expression from an array reference.
+func Ld(array string, idx ...symbolic.Expr) Expr {
+	return Load{Ref: R(array, idx...)}
+}
+
+// F returns a floating-point literal expression.
+func F(v float64) Expr { return ConstF(v) }
+
+// S reads a local scalar or float parameter.
+func S(name string) Expr { return Scalar(name) }
+
+// FAdd returns l + r.
+func FAdd(l, r Expr) Expr { return Bin{Op: Add, L: l, R: r} }
+
+// FSub returns l - r.
+func FSub(l, r Expr) Expr { return Bin{Op: Sub, L: l, R: r} }
+
+// FMul returns l * r.
+func FMul(l, r Expr) Expr { return Bin{Op: Mul, L: l, R: r} }
+
+// FDiv returns l / r.
+func FDiv(l, r Expr) Expr { return Bin{Op: Div, L: l, R: r} }
+
+// FNeg returns -x.
+func FNeg(x Expr) Expr { return Un{Op: Neg, X: x} }
+
+// FSqrt returns sqrt(x).
+func FSqrt(x Expr) Expr { return Un{Op: Sqrt, X: x} }
+
+// FAbs returns |x|.
+func FAbs(x Expr) Expr { return Un{Op: Abs, X: x} }
+
+// FExp returns exp(x).
+func FExp(x Expr) Expr { return Un{Op: Exp, X: x} }
+
+// FIdx converts an integer index expression to a float value.
+func FIdx(e symbolic.Expr) Expr { return IndexVal{E: e} }
+
+// Store builds "ref = rhs".
+func Store(ref Ref, rhs Expr) Stmt { return &Assign{LHS: ref, RHS: rhs} }
+
+// Accum builds "ref += rhs".
+func Accum(ref Ref, rhs Expr) Stmt { return &Assign{LHS: ref, Accum: true, RHS: rhs} }
+
+// Set builds "name = rhs" for a local scalar.
+func Set(name string, rhs Expr) Stmt { return &ScalarAssign{Name: name, RHS: rhs} }
+
+// AccumS builds "name += rhs" for a local scalar.
+func AccumS(name string, rhs Expr) Stmt {
+	return &ScalarAssign{Name: name, Accum: true, RHS: rhs}
+}
+
+// For builds a sequential unit-step loop over [lo, hi).
+func For(v string, lo, hi symbolic.Expr, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lower: lo, Upper: hi, Step: 1, Body: body}
+}
+
+// ParFor builds a parallel (work-shared) unit-step loop over [lo, hi).
+func ParFor(v string, lo, hi symbolic.Expr, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lower: lo, Upper: hi, Step: 1, Parallel: true, Body: body}
+}
+
+// When builds an if-then statement.
+func When(c Cond, then ...Stmt) *If { return &If{Cond: c, Then: then} }
+
+// WhenElse builds an if-then-else statement.
+func WhenElse(c Cond, then, els []Stmt) *If {
+	return &If{Cond: c, Then: then, Else: els}
+}
+
+// Cmp builds a comparison condition.
+func Cmp(op CmpOp, l, r Expr) Cond { return Cond{Op: op, L: l, R: r} }
+
+// Arr declares an array that is both kernel input and output.
+func Arr(name string, elem ElemType, dims ...symbolic.Expr) *Array {
+	return &Array{Name: name, Elem: elem, Dims: dims, In: true, Out: true}
+}
+
+// In declares an input-only array (copied to the device, not back).
+func In(name string, elem ElemType, dims ...symbolic.Expr) *Array {
+	return &Array{Name: name, Elem: elem, Dims: dims, In: true}
+}
+
+// Out declares an output-only array (copied back from the device only).
+func Out(name string, elem ElemType, dims ...symbolic.Expr) *Array {
+	return &Array{Name: name, Elem: elem, Dims: dims, Out: true}
+}

@@ -1,0 +1,235 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Data holds the flattened row-major backing storage of each kernel array.
+type Data map[string][]float64
+
+// Env supplies everything needed to execute a kernel on concrete inputs.
+type Env struct {
+	Params symbolic.Bindings  // values for integer parameters
+	Floats map[string]float64 // values for float parameters
+	Data   Data
+}
+
+// AllocData allocates zeroed backing storage for every array of k under the
+// given parameter bindings.
+func AllocData(k *Kernel, params symbolic.Bindings) (Data, error) {
+	d := make(Data, len(k.Arrays))
+	for _, a := range k.Arrays {
+		n, err := a.Elems().Eval(params)
+		if err != nil {
+			return nil, fmt.Errorf("ir: sizing array %s: %w", a.Name, err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("ir: array %s has negative size %d", a.Name, n)
+		}
+		d[a.Name] = make([]float64, n)
+	}
+	return d, nil
+}
+
+// Execute runs the kernel sequentially with exact semantics. Parallel loops
+// execute in iteration order, which is observationally equivalent for the
+// data-race-free work-sharing loops the IR models. It is the reference
+// semantics against which native Go implementations are checked.
+func Execute(k *Kernel, env *Env) error {
+	ex := &interp{k: k, env: env, bind: symbolic.Bindings{}, scalars: map[string]float64{}}
+	for s, v := range env.Params {
+		ex.bind[s] = v
+	}
+	for s, v := range env.Floats {
+		ex.scalars[s] = v
+	}
+	return ex.stmts(k.Body)
+}
+
+type interp struct {
+	k       *Kernel
+	env     *Env
+	bind    symbolic.Bindings // params + live loop variables
+	scalars map[string]float64
+}
+
+func (ex *interp) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := ex.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *interp) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Loop:
+		lo, err := s.Lower.Eval(ex.bind)
+		if err != nil {
+			return err
+		}
+		hi, err := s.Upper.Eval(ex.bind)
+		if err != nil {
+			return err
+		}
+		for v := lo; v < hi; v += s.Step {
+			ex.bind[s.Var] = v
+			if err := ex.stmts(s.Body); err != nil {
+				delete(ex.bind, s.Var)
+				return err
+			}
+		}
+		delete(ex.bind, s.Var)
+		return nil
+	case *Assign:
+		val, err := ex.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		slot, err := ex.slot(s.LHS)
+		if err != nil {
+			return err
+		}
+		if s.Accum {
+			*slot += val
+		} else {
+			*slot = val
+		}
+		return nil
+	case *ScalarAssign:
+		val, err := ex.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if s.Accum {
+			ex.scalars[s.Name] += val
+		} else {
+			ex.scalars[s.Name] = val
+		}
+		return nil
+	case *If:
+		take, err := ex.cond(s.Cond)
+		if err != nil {
+			return err
+		}
+		if take {
+			return ex.stmts(s.Then)
+		}
+		return ex.stmts(s.Else)
+	default:
+		return fmt.Errorf("ir: interp: unknown statement %T", s)
+	}
+}
+
+func (ex *interp) slot(r Ref) (*float64, error) {
+	a := ex.k.Array(r.Array)
+	if a == nil {
+		return nil, fmt.Errorf("ir: interp: undeclared array %q", r.Array)
+	}
+	off, err := a.LinearIndex(r.Index).Eval(ex.bind)
+	if err != nil {
+		return nil, err
+	}
+	buf, ok := ex.env.Data[r.Array]
+	if !ok {
+		return nil, fmt.Errorf("ir: interp: no data bound for array %q", r.Array)
+	}
+	if off < 0 || off >= int64(len(buf)) {
+		return nil, fmt.Errorf("ir: interp: %s offset %d out of range [0,%d)",
+			r, off, len(buf))
+	}
+	return &buf[off], nil
+}
+
+func (ex *interp) cond(c Cond) (bool, error) {
+	l, err := ex.expr(c.L)
+	if err != nil {
+		return false, err
+	}
+	r, err := ex.expr(c.R)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case LT:
+		return l < r, nil
+	case LE:
+		return l <= r, nil
+	case GT:
+		return l > r, nil
+	case GE:
+		return l >= r, nil
+	case EQ:
+		return l == r, nil
+	case NE:
+		return l != r, nil
+	}
+	return false, fmt.Errorf("ir: interp: unknown comparison %d", c.Op)
+}
+
+func (ex *interp) expr(e Expr) (float64, error) {
+	switch e := e.(type) {
+	case ConstF:
+		return float64(e), nil
+	case Scalar:
+		v, ok := ex.scalars[string(e)]
+		if !ok {
+			return 0, fmt.Errorf("ir: interp: scalar %q read before assignment", string(e))
+		}
+		return v, nil
+	case Load:
+		slot, err := ex.slot(e.Ref)
+		if err != nil {
+			return 0, err
+		}
+		return *slot, nil
+	case IndexVal:
+		v, err := e.E.Eval(ex.bind)
+		if err != nil {
+			return 0, err
+		}
+		return float64(v), nil
+	case Bin:
+		l, err := ex.expr(e.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := ex.expr(e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case Add:
+			return l + r, nil
+		case Sub:
+			return l - r, nil
+		case Mul:
+			return l * r, nil
+		case Div:
+			return l / r, nil
+		}
+		return 0, fmt.Errorf("ir: interp: unknown binop %d", e.Op)
+	case Un:
+		x, err := ex.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case Neg:
+			return -x, nil
+		case Sqrt:
+			return math.Sqrt(x), nil
+		case Abs:
+			return math.Abs(x), nil
+		case Exp:
+			return math.Exp(x), nil
+		}
+		return 0, fmt.Errorf("ir: interp: unknown unop %d", e.Op)
+	default:
+		return 0, fmt.Errorf("ir: interp: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,341 @@
+package ir
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// gemmKernel builds C[i][j] = beta*C[i][j] + alpha * sum_k A[i][k]*B[k][j]
+// with the inner k-loop accumulating into a scalar, like the Polybench
+// OpenMP GEMM target region.
+func gemmKernel() *Kernel {
+	n := V("n")
+	k := &Kernel{
+		Name:        "gemm",
+		Params:      []string{"n"},
+		FloatParams: []string{"alpha", "beta"},
+		Arrays: []*Array{
+			In("A", F64, n, n),
+			In("B", F64, n, n),
+			Arr("C", F64, n, n),
+		},
+		Body: []Stmt{
+			ParFor("i", N(0), n,
+				ParFor("j", N(0), n,
+					Set("acc", F(0)),
+					For("k", N(0), n,
+						AccumS("acc", FMul(Ld("A", V("i"), V("k")), Ld("B", V("k"), V("j")))),
+					),
+					Store(R("C", V("i"), V("j")),
+						FAdd(FMul(S("beta"), Ld("C", V("i"), V("j"))),
+							FMul(S("alpha"), S("acc")))),
+				),
+			),
+		},
+	}
+	return k
+}
+
+func TestGemmValidates(t *testing.T) {
+	if err := gemmKernel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	n := V("n")
+	cases := []struct {
+		name string
+		k    *Kernel
+	}{
+		{"undeclared array", &Kernel{Name: "k", Params: []string{"n"},
+			Body: []Stmt{ParFor("i", N(0), n, Store(R("X", V("i")), F(1)))}}},
+		{"rank mismatch", &Kernel{Name: "k", Params: []string{"n"},
+			Arrays: []*Array{Arr("A", F64, n, n)},
+			Body:   []Stmt{ParFor("i", N(0), n, Store(R("A", V("i")), F(1)))}}},
+		{"out of scope subscript", &Kernel{Name: "k", Params: []string{"n"},
+			Arrays: []*Array{Arr("A", F64, n)},
+			Body:   []Stmt{ParFor("i", N(0), n, Store(R("A", V("z")), F(1)))}}},
+		{"scalar read before set", &Kernel{Name: "k", Params: []string{"n"},
+			Arrays: []*Array{Arr("A", F64, n)},
+			Body:   []Stmt{ParFor("i", N(0), n, Store(R("A", V("i")), S("acc")))}}},
+		{"accum before set", &Kernel{Name: "k", Params: []string{"n"},
+			Arrays: []*Array{Arr("A", F64, n)},
+			Body:   []Stmt{ParFor("i", N(0), n, AccumS("acc", F(1)))}}},
+		{"shadowed loop var", &Kernel{Name: "k", Params: []string{"n"},
+			Arrays: []*Array{Arr("A", F64, n)},
+			Body: []Stmt{ParFor("i", N(0), n,
+				For("i", N(0), n, Store(R("A", V("i")), F(1))))}}},
+		{"bad step", &Kernel{Name: "k", Params: []string{"n"},
+			Arrays: []*Array{Arr("A", F64, n)},
+			Body: []Stmt{&Loop{Var: "i", Lower: N(0), Upper: n, Step: 0,
+				Parallel: true, Body: []Stmt{Store(R("A", V("i")), F(1))}}}}},
+		{"duplicate array", &Kernel{Name: "k", Params: []string{"n"},
+			Arrays: []*Array{Arr("A", F64, n), Arr("A", F64, n)}}},
+		{"duplicate param", &Kernel{Name: "k", Params: []string{"n", "n"}}},
+	}
+	for _, c := range cases {
+		if err := c.k.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid kernel", c.name)
+		}
+	}
+}
+
+func TestGemmInterpMatchesNative(t *testing.T) {
+	k := gemmKernel()
+	const n = 17
+	alpha, beta := 1.5, 0.5
+	params := symbolic.Bindings{"n": n}
+	data, err := AllocData(k, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"A", "B", "C"} {
+		for i := range data[name] {
+			data[name][i] = rng.Float64()
+		}
+	}
+	// Native reference on a copy of C.
+	cRef := make([]float64, len(data["C"]))
+	copy(cRef, data["C"])
+	A, B := data["A"], data["B"]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for kk := 0; kk < n; kk++ {
+				acc += A[i*n+kk] * B[kk*n+j]
+			}
+			cRef[i*n+j] = beta*cRef[i*n+j] + alpha*acc
+		}
+	}
+	env := &Env{Params: params, Floats: map[string]float64{"alpha": alpha, "beta": beta}, Data: data}
+	if err := Execute(k, env); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cRef {
+		if math.Abs(cRef[i]-data["C"][i]) > 1e-9 {
+			t.Fatalf("C[%d] = %g, want %g", i, data["C"][i], cRef[i])
+		}
+	}
+}
+
+func TestInterpIfAndUnaryOps(t *testing.T) {
+	n := V("n")
+	k := &Kernel{
+		Name:   "clamp",
+		Params: []string{"n"},
+		Arrays: []*Array{Arr("A", F64, n)},
+		Body: []Stmt{
+			ParFor("i", N(0), n,
+				WhenElse(Cmp(LT, Ld("A", V("i")), F(0)),
+					[]Stmt{Store(R("A", V("i")), FSqrt(FAbs(Ld("A", V("i")))))},
+					[]Stmt{Store(R("A", V("i")), FNeg(Ld("A", V("i"))))},
+				),
+			),
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	params := symbolic.Bindings{"n": 4}
+	data := Data{"A": []float64{-4, 9, -16, 1}}
+	if err := Execute(k, &Env{Params: params, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -9, 4, -1}
+	for i, w := range want {
+		if math.Abs(data["A"][i]-w) > 1e-12 {
+			t.Fatalf("A[%d] = %g, want %g", i, data["A"][i], w)
+		}
+	}
+}
+
+func TestInterpBoundsError(t *testing.T) {
+	n := V("n")
+	k := &Kernel{
+		Name:   "oob",
+		Params: []string{"n"},
+		Arrays: []*Array{Arr("A", F64, n)},
+		Body: []Stmt{
+			ParFor("i", N(0), n.AddConst(1), Store(R("A", V("i")), F(1))),
+		},
+	}
+	data := Data{"A": make([]float64, 3)}
+	err := Execute(k, &Env{Params: symbolic.Bindings{"n": 3}, Data: data})
+	if err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestParallelLoopsAndIterSpace(t *testing.T) {
+	k := gemmKernel()
+	pl := k.ParallelLoops()
+	if len(pl) != 2 || pl[0].Var != "i" || pl[1].Var != "j" {
+		t.Fatalf("ParallelLoops = %v", pl)
+	}
+	iters, err := k.IterSpace().Eval(symbolic.Bindings{"n": 10})
+	if err != nil || iters != 100 {
+		t.Fatalf("IterSpace = %d, %v", iters, err)
+	}
+	if len(k.InnerBody()) != 3 {
+		t.Fatalf("InnerBody has %d stmts", len(k.InnerBody()))
+	}
+}
+
+func TestCountGemm(t *testing.T) {
+	k := gemmKernel()
+	// With bindings n=100 the inner k-loop is exact.
+	l := Count(k, CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+		Bindings: symbolic.Bindings{"n": 100}})
+	// Per (i,j) work item: 100 iterations of k-loop, each 1 FMul + 1 FAdd
+	// (accum) + 2 loads; tail: 1 load of C, 1 store, 2 muls, 1 add.
+	if l.Loads != 201 {
+		t.Errorf("Loads = %v, want 201", l.Loads)
+	}
+	if l.Stores != 1 {
+		t.Errorf("Stores = %v, want 1", l.Stores)
+	}
+	if l.FPMul != 102 {
+		t.Errorf("FPMul = %v, want 102", l.FPMul)
+	}
+	if l.FPAdd != 101 {
+		t.Errorf("FPAdd = %v, want 101", l.FPAdd)
+	}
+	// Loop overhead: 2 int ops per inner iteration.
+	if l.IntOps < 200 {
+		t.Errorf("IntOps = %v, want >= 200", l.IntOps)
+	}
+	if l.Branches != 100 {
+		t.Errorf("Branches = %v, want 100", l.Branches)
+	}
+
+	// Without bindings, the unknown trip count defaults to 128.
+	lDef := Count(k, DefaultCountOptions())
+	if lDef.FPMul != 130 { // 128 + 2
+		t.Errorf("default FPMul = %v, want 130", lDef.FPMul)
+	}
+}
+
+func TestCountBranchProbability(t *testing.T) {
+	n := V("n")
+	k := &Kernel{
+		Name:   "cond",
+		Params: []string{"n"},
+		Arrays: []*Array{Arr("A", F64, n)},
+		Body: []Stmt{
+			ParFor("i", N(0), n,
+				WhenElse(Cmp(GT, Ld("A", V("i")), F(0)),
+					[]Stmt{Store(R("A", V("i")), FMul(Ld("A", V("i")), F(2)))},
+					[]Stmt{Store(R("A", V("i")), F(0))},
+				),
+			),
+		},
+	}
+	l := Count(k, DefaultCountOptions())
+	// Cond load (1) + then-branch (2 loads·0.5 → wait: then has 1 load)
+	// loads: cond 1 + 0.5*1 = 1.5
+	if math.Abs(l.Loads-1.5) > 1e-12 {
+		t.Errorf("Loads = %v, want 1.5", l.Loads)
+	}
+	// stores: 0.5 + 0.5 = 1
+	if math.Abs(l.Stores-1.0) > 1e-12 {
+		t.Errorf("Stores = %v, want 1", l.Stores)
+	}
+	if l.Branches != 1 {
+		t.Errorf("Branches = %v, want 1", l.Branches)
+	}
+}
+
+func TestAccessesGemm(t *testing.T) {
+	k := gemmKernel()
+	acc := k.Accesses(CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+		Bindings: symbolic.Bindings{"n": 64}})
+	// Sites: A load, B load (in k-loop), C load (accum RHS), C store.
+	var loads, stores int
+	byArray := map[string]float64{}
+	for _, a := range acc {
+		if a.Kind == AccLoad {
+			loads++
+		} else {
+			stores++
+		}
+		byArray[a.Ref.Array] += a.Weight
+	}
+	if loads != 3 || stores != 1 {
+		t.Fatalf("loads=%d stores=%d, want 3/1", loads, stores)
+	}
+	if byArray["A"] != 64 || byArray["B"] != 64 || byArray["C"] != 2 {
+		t.Fatalf("weights = %v", byArray)
+	}
+	// Every access carries the full loop context (2 parallel + maybe k).
+	for _, a := range acc {
+		if len(a.Loops) < 2 {
+			t.Fatalf("access %s has %d enclosing loops", a.Ref, len(a.Loops))
+		}
+		if a.Loops[0].Var != "i" || a.Loops[1].Var != "j" {
+			t.Fatalf("access %s loop order wrong", a.Ref)
+		}
+	}
+}
+
+func TestArrayGeometry(t *testing.T) {
+	n, m := V("n"), V("m")
+	a := Arr("A", F64, n, m)
+	b := symbolic.Bindings{"n": 3, "m": 5}
+	if got := a.Elems().MustEval(b); got != 15 {
+		t.Fatalf("Elems = %d", got)
+	}
+	if got := a.Bytes().MustEval(b); got != 120 {
+		t.Fatalf("Bytes = %d", got)
+	}
+	// LinearIndex(i, j) = i*m + j
+	li := a.LinearIndex([]symbolic.Expr{V("i"), V("j")})
+	got := li.MustEval(symbolic.Bindings{"m": 5, "i": 2, "j": 3})
+	if got != 13 {
+		t.Fatalf("LinearIndex = %d, want 13", got)
+	}
+}
+
+func TestElemTypeSizes(t *testing.T) {
+	if F64.Size() != 8 || F32.Size() != 4 || I64.Size() != 8 || I32.Size() != 4 {
+		t.Fatal("wrong element sizes")
+	}
+	if F64.String() != "f64" {
+		t.Fatalf("String = %q", F64.String())
+	}
+}
+
+func TestTripEval(t *testing.T) {
+	l := For("i", N(0), V("n"))
+	if tr, err := l.TripEval(symbolic.Bindings{"n": 10}); err != nil || tr != 10 {
+		t.Fatalf("trip = %d, %v", tr, err)
+	}
+	if tr, _ := l.TripEval(symbolic.Bindings{"n": -5}); tr != 0 {
+		t.Fatalf("negative-range trip = %d, want 0", tr)
+	}
+	l2 := &Loop{Var: "i", Lower: N(0), Upper: N(10), Step: 3}
+	if tr, _ := l2.TripEval(nil); tr != 4 {
+		t.Fatalf("step-3 trip = %d, want 4", tr)
+	}
+	if tr, ok := l2.Trip().IsConst(); !ok || tr != 4 {
+		t.Fatalf("symbolic const trip = %d, %v", tr, ok)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := R("A", V("i"), V("j").AddConst(1))
+	if got := r.String(); got != "A[i][j + 1]" {
+		t.Fatalf("Ref.String = %q", got)
+	}
+}
+
+func TestOpStringers(t *testing.T) {
+	if Add.String() != "+" || Div.String() != "/" || LT.String() != "<" ||
+		GE.String() != ">=" || Sqrt.String() != "sqrt" || AccStore.String() != "store" {
+		t.Fatal("stringer mismatch")
+	}
+}

@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the kernel as OpenMP-style C pseudocode — the shape of
+// the source the region was notionally outlined from. It is used by the
+// command-line tools to show what a kernel computes.
+func (k *Kernel) Print() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// kernel %s", k.Name)
+	if len(k.Params) > 0 {
+		fmt.Fprintf(&sb, "  (params: %s)", strings.Join(k.Params, ", "))
+	}
+	sb.WriteString("\n")
+	for _, a := range k.Arrays {
+		dims := ""
+		for _, d := range a.Dims {
+			dims += "[" + d.String() + "]"
+		}
+		dir := ""
+		switch {
+		case a.In && a.Out:
+			dir = " // inout"
+		case a.In:
+			dir = " // in"
+		case a.Out:
+			dir = " // out"
+		}
+		fmt.Fprintf(&sb, "double %s%s;%s\n", a.Name, dims, dir)
+	}
+	p := printer{sb: &sb}
+	par := k.ParallelLoops()
+	if len(par) > 0 {
+		pragma := "#pragma omp target teams distribute parallel for"
+		if len(par) > 1 {
+			pragma += fmt.Sprintf(" collapse(%d)", len(par))
+		}
+		sb.WriteString(pragma + "\n")
+	}
+	p.stmts(k.Body, 0)
+	return sb.String()
+}
+
+type printer struct {
+	sb *strings.Builder
+}
+
+func (p *printer) indent(depth int) {
+	p.sb.WriteString(strings.Repeat("    ", depth))
+}
+
+func (p *printer) stmts(ss []Stmt, depth int) {
+	for _, s := range ss {
+		p.stmt(s, depth)
+	}
+}
+
+func (p *printer) stmt(s Stmt, depth int) {
+	switch s := s.(type) {
+	case *Loop:
+		p.indent(depth)
+		step := "++"
+		if s.Step != 1 {
+			step = fmt.Sprintf(" += %d", s.Step)
+		}
+		fmt.Fprintf(p.sb, "for (int %s = %s; %s < %s; %s%s) {\n",
+			s.Var, s.Lower, s.Var, s.Upper, s.Var, step)
+		p.stmts(s.Body, depth+1)
+		p.indent(depth)
+		p.sb.WriteString("}\n")
+	case *Assign:
+		p.indent(depth)
+		op := "="
+		if s.Accum {
+			op = "+="
+		}
+		fmt.Fprintf(p.sb, "%s %s %s;\n", s.LHS, op, ExprString(s.RHS))
+	case *ScalarAssign:
+		p.indent(depth)
+		op := "="
+		if s.Accum {
+			op = "+="
+		}
+		fmt.Fprintf(p.sb, "%s %s %s;\n", s.Name, op, ExprString(s.RHS))
+	case *If:
+		p.indent(depth)
+		fmt.Fprintf(p.sb, "if (%s %s %s) {\n",
+			ExprString(s.Cond.L), s.Cond.Op, ExprString(s.Cond.R))
+		p.stmts(s.Then, depth+1)
+		if len(s.Else) > 0 {
+			p.indent(depth)
+			p.sb.WriteString("} else {\n")
+			p.stmts(s.Else, depth+1)
+		}
+		p.indent(depth)
+		p.sb.WriteString("}\n")
+	}
+}
+
+// ExprString renders a value expression as C-like source.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case ConstF:
+		return fmt.Sprintf("%g", float64(e))
+	case Scalar:
+		return string(e)
+	case Load:
+		return e.Ref.String()
+	case IndexVal:
+		return fmt.Sprintf("(double)(%s)", e.E)
+	case Bin:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+	case Un:
+		switch e.Op {
+		case Neg:
+			return fmt.Sprintf("(-%s)", ExprString(e.X))
+		default:
+			return fmt.Sprintf("%s(%s)", e.Op, ExprString(e.X))
+		}
+	}
+	return fmt.Sprintf("?%T", e)
+}

@@ -1,0 +1,77 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintGemm(t *testing.T) {
+	out := gemmKernel().Print()
+	for _, want := range []string{
+		"// kernel gemm",
+		"(params: n)",
+		"double A[n][n]; // in",
+		"double C[n][n]; // inout",
+		"#pragma omp target teams distribute parallel for collapse(2)",
+		"for (int i = 0; i < n; i++) {",
+		"for (int k = 0; k < n; k++) {",
+		"acc += (A[i][k] * B[k][j]);",
+		"C[i][j] = ((beta * C[i][j]) + (alpha * acc));",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Braces balance.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatalf("unbalanced braces:\n%s", out)
+	}
+}
+
+func TestPrintConditionalAndOps(t *testing.T) {
+	n := V("n")
+	k := &Kernel{
+		Name:   "cond",
+		Params: []string{"n"},
+		Arrays: []*Array{Out("A", F64, n)},
+		Body: []Stmt{
+			ParFor("i", N(0), n,
+				WhenElse(Cmp(LE, FIdx(V("i")), F(0.5)),
+					[]Stmt{Store(R("A", V("i")), FSqrt(FAbs(F(-2))))},
+					[]Stmt{Accum(R("A", V("i")), FNeg(FExp(F(1))))},
+				)),
+		},
+	}
+	out := k.Print()
+	for _, want := range []string{
+		"if ((double)(i) <= 0.5) {",
+		"} else {",
+		"A[i] = sqrt(abs(-2));",
+		"A[i] += (-exp(1));",
+		"// out",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintNonUnitStepAndSinglePragma(t *testing.T) {
+	n := V("n")
+	k := &Kernel{
+		Name:   "strided",
+		Params: []string{"n"},
+		Arrays: []*Array{Arr("A", F64, n)},
+		Body: []Stmt{
+			&Loop{Var: "i", Lower: N(0), Upper: n, Step: 4, Parallel: true,
+				Body: []Stmt{Store(R("A", V("i")), F(1))}},
+		},
+	}
+	out := k.Print()
+	if !strings.Contains(out, "i += 4") {
+		t.Errorf("missing strided increment:\n%s", out)
+	}
+	if strings.Contains(out, "collapse") {
+		t.Errorf("single loop should not collapse:\n%s", out)
+	}
+}

@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Validate checks structural well-formedness of a kernel: unique
+// declarations, subscript ranks matching array ranks, all symbols in
+// bounds/subscripts in scope (parameters or enclosing loop variables),
+// positive steps, and scalars assigned before use. It returns the first
+// problem found.
+func (k *Kernel) Validate() error {
+	v := &validator{k: k, scope: map[string]bool{}, scalars: map[string]bool{}}
+	seen := map[string]bool{}
+	for _, p := range k.Params {
+		if seen[p] {
+			return fmt.Errorf("ir: kernel %s: duplicate param %q", k.Name, p)
+		}
+		seen[p] = true
+		v.scope[p] = true
+	}
+	for _, p := range k.FloatParams {
+		if v.scalars[p] {
+			return fmt.Errorf("ir: kernel %s: duplicate float param %q", k.Name, p)
+		}
+		v.scalars[p] = true
+	}
+	arrs := map[string]bool{}
+	for _, a := range k.Arrays {
+		if arrs[a.Name] {
+			return fmt.Errorf("ir: kernel %s: duplicate array %q", k.Name, a.Name)
+		}
+		arrs[a.Name] = true
+		if len(a.Dims) == 0 {
+			return fmt.Errorf("ir: kernel %s: array %q has no dimensions", k.Name, a.Name)
+		}
+		for _, d := range a.Dims {
+			if err := v.symsInScope(d, "dimension of "+a.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return v.stmts(k.Body)
+}
+
+type validator struct {
+	k       *Kernel
+	scope   map[string]bool // integer symbols in scope (params + loop vars)
+	scalars map[string]bool // float scalars assigned so far
+}
+
+func (v *validator) symsInScope(e interface{ FreeSyms() []string }, where string) error {
+	for _, s := range e.FreeSyms() {
+		if !v.scope[s] {
+			return fmt.Errorf("ir: kernel %s: symbol %q out of scope in %s",
+				v.k.Name, s, where)
+		}
+	}
+	return nil
+}
+
+func (v *validator) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := v.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Loop:
+		if s.Step <= 0 {
+			return fmt.Errorf("ir: kernel %s: loop %q has non-positive step %d",
+				v.k.Name, s.Var, s.Step)
+		}
+		if v.scope[s.Var] {
+			return fmt.Errorf("ir: kernel %s: loop variable %q shadows an in-scope symbol",
+				v.k.Name, s.Var)
+		}
+		if err := v.symsInScope(s.Lower, "lower bound of "+s.Var); err != nil {
+			return err
+		}
+		if err := v.symsInScope(s.Upper, "upper bound of "+s.Var); err != nil {
+			return err
+		}
+		v.scope[s.Var] = true
+		err := v.stmts(s.Body)
+		delete(v.scope, s.Var)
+		return err
+	case *Assign:
+		if err := v.ref(s.LHS); err != nil {
+			return err
+		}
+		return v.expr(s.RHS)
+	case *ScalarAssign:
+		if s.Accum && !v.scalars[s.Name] {
+			return fmt.Errorf("ir: kernel %s: scalar %q accumulated before assignment",
+				v.k.Name, s.Name)
+		}
+		if err := v.expr(s.RHS); err != nil {
+			return err
+		}
+		v.scalars[s.Name] = true
+		return nil
+	case *If:
+		if err := v.expr(s.Cond.L); err != nil {
+			return err
+		}
+		if err := v.expr(s.Cond.R); err != nil {
+			return err
+		}
+		if err := v.stmts(s.Then); err != nil {
+			return err
+		}
+		return v.stmts(s.Else)
+	default:
+		return fmt.Errorf("ir: kernel %s: unknown statement %T", v.k.Name, s)
+	}
+}
+
+func (v *validator) ref(r Ref) error {
+	a := v.k.Array(r.Array)
+	if a == nil {
+		return fmt.Errorf("ir: kernel %s: reference to undeclared array %q",
+			v.k.Name, r.Array)
+	}
+	if len(r.Index) != a.Rank() {
+		return fmt.Errorf("ir: kernel %s: %s has rank %d but is indexed with %d subscripts",
+			v.k.Name, r.Array, a.Rank(), len(r.Index))
+	}
+	for _, e := range r.Index {
+		if err := v.symsInScope(e, "subscript of "+r.Array); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) expr(e Expr) error {
+	switch e := e.(type) {
+	case ConstF:
+		return nil
+	case Scalar:
+		if !v.scalars[string(e)] {
+			return fmt.Errorf("ir: kernel %s: scalar %q read before assignment",
+				v.k.Name, string(e))
+		}
+		return nil
+	case Load:
+		return v.ref(e.Ref)
+	case IndexVal:
+		return v.symsInScope(e.E, "index-value expression")
+	case Bin:
+		if err := v.expr(e.L); err != nil {
+			return err
+		}
+		return v.expr(e.R)
+	case Un:
+		return v.expr(e.X)
+	default:
+		return fmt.Errorf("ir: kernel %s: unknown expression %T", v.k.Name, e)
+	}
+}

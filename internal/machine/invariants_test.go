@@ -1,0 +1,83 @@
+package machine
+
+import "testing"
+
+// TestGPUConfigInvariants guards the device tables against transcription
+// errors: every accelerator generation must satisfy the structural
+// constraints the models and simulators rely on.
+func TestGPUConfigInvariants(t *testing.T) {
+	for _, g := range []*GPU{TeslaK80(), TeslaP100(), TeslaV100()} {
+		if g.SMs <= 0 || g.CoresPerSM <= 0 || g.WarpSize != 32 {
+			t.Errorf("%s: bad geometry %d SMs x %d cores, warp %d",
+				g.Name, g.SMs, g.CoresPerSM, g.WarpSize)
+		}
+		if g.ClockGHz <= g.GraphicsClockGHz-1e-9 {
+			t.Errorf("%s: boost clock %.3f below base %.3f",
+				g.Name, g.ClockGHz, g.GraphicsClockGHz)
+		}
+		if !(g.L1HitLatency < g.L2HitLatency && g.L2HitLatency < g.MemLatency) {
+			t.Errorf("%s: latency ladder out of order (%d/%d/%d)",
+				g.Name, g.L1HitLatency, g.L2HitLatency, g.MemLatency)
+		}
+		if g.DepartureDelayCoal <= 0 || g.DepartureDelayUncoal < g.DepartureDelayCoal {
+			t.Errorf("%s: departure delays %v/%v",
+				g.Name, g.DepartureDelayCoal, g.DepartureDelayUncoal)
+		}
+		if g.MaxWarpsPerSM*g.WarpSize != g.MaxThreadsPerSM {
+			t.Errorf("%s: occupancy limits inconsistent (%d warps, %d threads)",
+				g.Name, g.MaxWarpsPerSM, g.MaxThreadsPerSM)
+		}
+		if g.MaxGridBlocks != g.SMs*g.MaxBlocksPerSM {
+			t.Errorf("%s: grid cap %d != one occupancy wave %d",
+				g.Name, g.MaxGridBlocks, g.SMs*g.MaxBlocksPerSM)
+		}
+		if g.L1.LineBytes != 128 || g.L2.LineBytes != 128 {
+			t.Errorf("%s: non-standard line sizes", g.Name)
+		}
+		if g.L1.Sets() < 1 || g.L2.Sets() < 1 {
+			t.Errorf("%s: degenerate cache geometry", g.Name)
+		}
+		if g.DefaultBlockSize%g.WarpSize != 0 {
+			t.Errorf("%s: block size %d not warp-aligned", g.Name, g.DefaultBlockSize)
+		}
+	}
+}
+
+// TestCPUConfigInvariants does the same for the host tables.
+func TestCPUConfigInvariants(t *testing.T) {
+	for _, c := range []*CPU{POWER8(), POWER9()} {
+		if c.Cores <= 0 || c.SMTWays <= 0 || c.DispatchWidth <= 0 {
+			t.Errorf("%s: bad core geometry", c.Name)
+		}
+		if !(c.L1.SizeBytes < c.L2.SizeBytes && c.L2.SizeBytes < c.L3.SizeBytes) {
+			t.Errorf("%s: cache sizes out of order", c.Name)
+		}
+		if !(c.L1.LatencyCycle < c.L2.LatencyCycle &&
+			c.L2.LatencyCycle < c.L3.LatencyCycle &&
+			c.L3.LatencyCycle < c.MemLatency) {
+			t.Errorf("%s: latency ladder out of order", c.Name)
+		}
+		if c.VecEfficiency <= 0 || c.VecEfficiency > 1 {
+			t.Errorf("%s: VecEfficiency %v out of (0,1]", c.Name, c.VecEfficiency)
+		}
+		if c.SMTYield <= 0 || c.SMTYield >= 1 {
+			t.Errorf("%s: SMTYield %v out of (0,1)", c.Name, c.SMTYield)
+		}
+		if c.PageBytes <= 0 || c.TLBEntries <= 0 {
+			t.Errorf("%s: bad TLB geometry", c.Name)
+		}
+		if c.MemBandwidthGBs <= 0 {
+			t.Errorf("%s: no DRAM bandwidth", c.Name)
+		}
+		// Overheads must grow monotonically with team size.
+		var prev float64
+		for _, th := range []int{1, 4, 20, 160} {
+			f, s, j := c.OverheadCycles(th)
+			total := f + s + j
+			if total <= prev {
+				t.Errorf("%s: overheads not monotone at %d threads", c.Name, th)
+			}
+			prev = total
+		}
+	}
+}

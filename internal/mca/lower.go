@@ -1,0 +1,320 @@
+// Package mca implements a static machine-code throughput analyzer in the
+// mould of the LLVM Machine Code Analyzer (llvm-mca).
+//
+// Like llvm-mca, the analyzer replays an instruction sequence against a
+// processor's scheduling model — dispatch width, functional-unit counts,
+// result latencies, reciprocal throughputs — and reports the cycles needed
+// to retire a number of iterations of the sequence, without modelling the
+// cache hierarchy (the same known limitation the paper notes). The result
+// feeds the Liao OpenMP cost model as Machine_cycles_per_iter: the cycles
+// one thread spends on the work of a single parallel-loop iteration.
+//
+// The input is not textual assembly but the kernel IR: Lower translates a
+// work-item body into basic blocks of machine operations with explicit
+// register data dependencies (including loop-carried dependencies through
+// scalar accumulators, which create the long dependency chains llvm-mca is
+// designed to expose).
+package mca
+
+import (
+	"fmt"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+)
+
+// Operand is one input of a machine op: either a virtual register defined
+// earlier in the same block, or a named scalar carried across block
+// iterations (a loop-carried dependency).
+type Operand struct {
+	VReg    int    // valid when Carried == ""
+	Carried string // non-empty: read the named carried scalar
+}
+
+// MOp is one machine operation.
+type MOp struct {
+	Class machine.OpClass
+	Uses  []Operand
+	// Def is the virtual register written (-1 for stores/branches).
+	Def int
+	// DefScalar, when non-empty, also publishes the result as the named
+	// carried scalar (accumulators).
+	DefScalar string
+}
+
+// Block is a straight-line run of machine ops executed Trips times per
+// work item. Loop bodies become blocks whose Trips is the (possibly
+// heuristic) trip count product; conditional arms become blocks with
+// fractional Trips under the branch-probability heuristic.
+type Block struct {
+	Label string
+	Ops   []MOp
+	NReg  int
+	Trips float64
+}
+
+// Program is the lowered form of one work item of a kernel.
+type Program struct {
+	Kernel string
+	Blocks []Block
+}
+
+// TotalOps returns the expected dynamic op count per work item.
+func (p *Program) TotalOps() float64 {
+	var n float64
+	for _, b := range p.Blocks {
+		n += float64(len(b.Ops)) * b.Trips
+	}
+	return n
+}
+
+// Lower translates the per-work-item body of k into machine blocks using
+// the same heuristics as the instruction-loadout analysis (opt.DefaultTrip
+// for unknown trip counts, opt.BranchProb for conditionals).
+func Lower(k *ir.Kernel, opt ir.CountOptions) (*Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	lw := &lowerer{k: k, opt: opt, prog: &Program{Kernel: k.Name}}
+	lw.open("body", 1)
+	lw.stmts(k.InnerBody())
+	lw.close()
+	return lw.prog, nil
+}
+
+type lowerer struct {
+	k    *ir.Kernel
+	opt  ir.CountOptions
+	prog *Program
+
+	cur     *Block
+	scalars map[string]Operand // name -> defining operand in current block
+	stack   []savedBlock
+}
+
+type savedBlock struct {
+	blk     *Block
+	scalars map[string]Operand
+}
+
+// open starts a new block with the given trips multiplier, saving the
+// current one.
+func (lw *lowerer) open(label string, trips float64) {
+	if lw.cur != nil {
+		lw.stack = append(lw.stack, savedBlock{lw.cur, lw.scalars})
+	}
+	lw.cur = &Block{Label: label, Trips: trips}
+	lw.scalars = map[string]Operand{}
+}
+
+// close finalizes the current block into the program and restores the
+// enclosing one.
+func (lw *lowerer) close() {
+	if len(lw.cur.Ops) > 0 {
+		lw.prog.Blocks = append(lw.prog.Blocks, *lw.cur)
+	}
+	if n := len(lw.stack); n > 0 {
+		lw.cur = lw.stack[n-1].blk
+		lw.scalars = lw.stack[n-1].scalars
+		lw.stack = lw.stack[:n-1]
+	} else {
+		lw.cur = nil
+		lw.scalars = nil
+	}
+}
+
+// emit appends op to the current block. A Def of -2 requests a fresh
+// virtual register; -1 means the op defines nothing (stores, branches).
+func (lw *lowerer) emit(op MOp) Operand {
+	if op.Def == -2 {
+		op.Def = lw.cur.NReg
+		lw.cur.NReg++
+	}
+	lw.cur.Ops = append(lw.cur.Ops, op)
+	return Operand{VReg: op.Def}
+}
+
+func (lw *lowerer) trip(l *ir.Loop) float64 {
+	if lw.opt.Bindings != nil {
+		if t, err := l.TripEval(lw.opt.Bindings); err == nil {
+			return float64(t)
+		}
+	}
+	if t, ok := l.Trip().IsConst(); ok {
+		return float64(t)
+	}
+	return float64(lw.opt.DefaultTrip)
+}
+
+func (lw *lowerer) stmts(ss []ir.Stmt) {
+	for _, s := range ss {
+		lw.stmt(s)
+	}
+}
+
+func (lw *lowerer) stmt(s ir.Stmt) {
+	switch s := s.(type) {
+	case *ir.Loop:
+		trips := lw.trip(s) * lw.cur.Trips
+		lw.open("loop."+s.Var, trips)
+		lw.stmts(s.Body)
+		// Loop control: induction increment, bound compare, back edge.
+		iv := lw.emit(MOp{Class: machine.OpIntALU, Def: -2})
+		cc := lw.emit(MOp{Class: machine.OpIntALU, Uses: []Operand{iv}, Def: -2})
+		lw.emit(MOp{Class: machine.OpBranch, Uses: []Operand{cc}, Def: -1})
+		lw.close()
+	case *ir.Assign:
+		val := lw.expr(s.RHS)
+		addr := lw.address(s.LHS)
+		if s.Accum {
+			old := lw.emit(MOp{Class: machine.OpLoad, Uses: []Operand{addr}, Def: -2})
+			val = lw.emit(MOp{Class: machine.OpFAdd, Uses: []Operand{old, val}, Def: -2})
+		}
+		lw.emit(MOp{Class: machine.OpStore, Uses: []Operand{addr, val}, Def: -1})
+	case *ir.ScalarAssign:
+		// Detect the multiply-accumulate idiom and lower it as a fused
+		// multiply-add, as the XL/LLVM backends would.
+		if s.Accum {
+			prev := lw.scalarOperand(s.Name)
+			if mul, ok := s.RHS.(ir.Bin); ok && mul.Op == ir.Mul {
+				a := lw.expr(mul.L)
+				b := lw.expr(mul.R)
+				d := lw.emit(MOp{Class: machine.OpFMA, Uses: []Operand{a, b, prev},
+					Def: -2, DefScalar: s.Name})
+				lw.scalars[s.Name] = d
+				return
+			}
+			v := lw.expr(s.RHS)
+			d := lw.emit(MOp{Class: machine.OpFAdd, Uses: []Operand{prev, v},
+				Def: -2, DefScalar: s.Name})
+			lw.scalars[s.Name] = d
+			return
+		}
+		v := lw.expr(s.RHS)
+		// Re-publish under the scalar name (register move is free; we
+		// just alias the operand).
+		lw.scalars[s.Name] = v
+		if len(lw.cur.Ops) > 0 && lw.cur.Ops[len(lw.cur.Ops)-1].Def == v.VReg &&
+			v.Carried == "" {
+			lw.cur.Ops[len(lw.cur.Ops)-1].DefScalar = s.Name
+		}
+	case *ir.If:
+		l := lw.expr(s.Cond.L)
+		r := lw.expr(s.Cond.R)
+		cc := lw.emit(MOp{Class: machine.OpFAdd, Uses: []Operand{l, r}, Def: -2})
+		lw.emit(MOp{Class: machine.OpBranch, Uses: []Operand{cc}, Def: -1})
+		p := lw.opt.BranchProb
+		if len(s.Then) > 0 {
+			lw.open("if.then", lw.cur.Trips*p)
+			lw.stmts(s.Then)
+			lw.close()
+		}
+		if len(s.Else) > 0 {
+			lw.open("if.else", lw.cur.Trips*(1-p))
+			lw.stmts(s.Else)
+			lw.close()
+		}
+	}
+}
+
+// scalarOperand resolves a scalar name to its defining operand in the
+// current block, or to a carried (cross-iteration / live-in) operand.
+func (lw *lowerer) scalarOperand(name string) Operand {
+	if op, ok := lw.scalars[name]; ok {
+		return op
+	}
+	return Operand{Carried: name}
+}
+
+// address lowers the subscript arithmetic of a reference and returns the
+// operand holding the effective address.
+func (lw *lowerer) address(r ir.Ref) Operand {
+	arr := lw.k.Array(r.Array)
+	lin := arr.LinearIndex(r.Index)
+	adds, muls := lin.OpCount()
+	var last Operand
+	first := true
+	for i := 0; i < muls; i++ {
+		op := MOp{Class: machine.OpIntMul, Def: -2}
+		if !first {
+			op.Uses = []Operand{last}
+		}
+		last = lw.emit(op)
+		first = false
+	}
+	for i := 0; i < adds; i++ {
+		op := MOp{Class: machine.OpIntALU, Def: -2}
+		if !first {
+			op.Uses = []Operand{last}
+		}
+		last = lw.emit(op)
+		first = false
+	}
+	if first {
+		// Constant or single-variable subscript: one ALU op computes the
+		// scaled address.
+		last = lw.emit(MOp{Class: machine.OpIntALU, Def: -2})
+	}
+	return last
+}
+
+func (lw *lowerer) expr(e ir.Expr) Operand {
+	switch e := e.(type) {
+	case ir.ConstF:
+		// Materialized constants live in registers; model as free.
+		return Operand{VReg: -1}
+	case ir.Scalar:
+		return lw.scalarOperand(string(e))
+	case ir.Load:
+		addr := lw.address(e.Ref)
+		return lw.emit(MOp{Class: machine.OpLoad, Uses: []Operand{addr}, Def: -2})
+	case ir.IndexVal:
+		adds, muls := e.E.OpCount()
+		var last Operand
+		first := true
+		for i := 0; i < adds+muls; i++ {
+			cls := machine.OpIntALU
+			if i < muls {
+				cls = machine.OpIntMul
+			}
+			op := MOp{Class: cls, Def: -2}
+			if !first {
+				op.Uses = []Operand{last}
+			}
+			last = lw.emit(op)
+			first = false
+		}
+		cvt := MOp{Class: machine.OpCvt, Def: -2}
+		if !first {
+			cvt.Uses = []Operand{last}
+		}
+		return lw.emit(cvt)
+	case ir.Bin:
+		l := lw.expr(e.L)
+		r := lw.expr(e.R)
+		var cls machine.OpClass
+		switch e.Op {
+		case ir.Add, ir.Sub:
+			cls = machine.OpFAdd
+		case ir.Mul:
+			cls = machine.OpFMul
+		case ir.Div:
+			cls = machine.OpFDiv
+		}
+		return lw.emit(MOp{Class: cls, Uses: []Operand{l, r}, Def: -2})
+	case ir.Un:
+		x := lw.expr(e.X)
+		var cls machine.OpClass
+		switch e.Op {
+		case ir.Neg, ir.Abs:
+			cls = machine.OpFAdd
+		case ir.Sqrt:
+			cls = machine.OpFSqrt
+		case ir.Exp:
+			cls = machine.OpFSqrt // libm call: model with the iterative unit
+		}
+		return lw.emit(MOp{Class: cls, Uses: []Operand{x}, Def: -2})
+	default:
+		panic(fmt.Sprintf("mca: unknown expression %T", e))
+	}
+}

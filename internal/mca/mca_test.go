@@ -1,0 +1,301 @@
+package mca
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// streamKernel: A[i] = B[i] + C[i] — independent ops, throughput-bound.
+func streamKernel() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "stream",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("B", ir.F64, n), ir.In("C", ir.F64, n), ir.Out("A", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.Store(ir.R("A", ir.V("i")),
+					ir.FAdd(ir.Ld("B", ir.V("i")), ir.Ld("C", ir.V("i"))))),
+		},
+	}
+}
+
+// chainKernel: acc = sqrt(acc + A[i]) in an inner loop — a serial
+// dependency chain that defeats superscalar throughput.
+func chainKernel() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "chain",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n), ir.Arr("Out", ir.F64, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.Set("acc", ir.F(0)),
+				ir.For("k", ir.N(0), n,
+					ir.Set("acc", ir.FSqrt(ir.FAdd(ir.S("acc"), ir.Ld("A", ir.V("k")))))),
+				ir.Store(ir.R("Out", ir.V("i")), ir.S("acc"))),
+		},
+	}
+}
+
+func TestLowerStream(t *testing.T) {
+	p, err := Lower(streamKernel(), ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(p.Blocks))
+	}
+	b := p.Blocks[0]
+	if b.Trips != 1 {
+		t.Fatalf("trips = %v", b.Trips)
+	}
+	var loads, stores, fadds int
+	for _, op := range b.Ops {
+		switch op.Class {
+		case machine.OpLoad:
+			loads++
+		case machine.OpStore:
+			stores++
+		case machine.OpFAdd:
+			fadds++
+		}
+	}
+	if loads != 2 || stores != 1 || fadds != 1 {
+		t.Fatalf("loads=%d stores=%d fadds=%d", loads, stores, fadds)
+	}
+}
+
+func TestLowerFMAFusion(t *testing.T) {
+	// acc += A[k]*B[k] must lower to a single FMA, not FMul+FAdd.
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "dot",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.In("A", ir.F64, n), ir.In("B", ir.F64, n),
+			ir.Out("Out", ir.F64, ir.N(1))},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), ir.N(1),
+				ir.Set("acc", ir.F(0)),
+				ir.For("k", ir.N(0), n,
+					ir.AccumS("acc", ir.FMul(ir.Ld("A", ir.V("k")), ir.Ld("B", ir.V("k"))))),
+				ir.Store(ir.R("Out", ir.N(0)), ir.S("acc"))),
+		},
+	}
+	p, err := Lower(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fma, fmul, fadd int
+	var fmaCarried bool
+	for _, b := range p.Blocks {
+		for _, op := range b.Ops {
+			switch op.Class {
+			case machine.OpFMA:
+				fma++
+				for _, u := range op.Uses {
+					if u.Carried == "acc" {
+						fmaCarried = true
+					}
+				}
+				if op.DefScalar != "acc" {
+					t.Error("FMA must publish the carried accumulator")
+				}
+			case machine.OpFMul:
+				fmul++
+			case machine.OpFAdd:
+				fadd++
+			}
+		}
+	}
+	if fma != 1 || fmul != 0 {
+		t.Fatalf("fma=%d fmul=%d fadd=%d", fma, fmul, fadd)
+	}
+	if !fmaCarried {
+		t.Fatal("FMA should read the loop-carried accumulator")
+	}
+}
+
+func TestLowerNestedLoopTrips(t *testing.T) {
+	p, err := Lower(chainKernel(), ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner loop block with default 128 trips must exist.
+	var found bool
+	for _, b := range p.Blocks {
+		if b.Label == "loop.k" && b.Trips == 128 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no loop.k block with 128 trips: %+v", p.Blocks)
+	}
+	// With bindings the trip count resolves exactly.
+	p2, err := Lower(chainKernel(), ir.CountOptions{DefaultTrip: 128,
+		BranchProb: 0.5, Bindings: symbolic.Bindings{"n": 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p2.Blocks {
+		if b.Label == "loop.k" && b.Trips != 500 {
+			t.Fatalf("bound trips = %v", b.Trips)
+		}
+	}
+}
+
+func TestAnalyzeChainSlowerThanStream(t *testing.T) {
+	cpu := machine.POWER9()
+	opt := ir.DefaultCountOptions()
+	ps, _ := Lower(streamKernel(), opt)
+	pc, _ := Lower(chainKernel(), opt)
+	rs := Analyze(ps, cpu)
+	rc := Analyze(pc, cpu)
+	if rs.CyclesPerWorkItem <= 0 || rc.CyclesPerWorkItem <= 0 {
+		t.Fatal("non-positive cycle estimates")
+	}
+	// The chain kernel's inner loop is serialized on the FP/DIV units:
+	// its cycles-per-op must be much worse than the stream kernel's.
+	cpoS := rs.CyclesPerWorkItem / rs.TotalOps
+	cpoC := rc.CyclesPerWorkItem / rc.TotalOps
+	if cpoC < cpoS*3 {
+		t.Fatalf("chain cpo %.2f vs stream cpo %.2f: dependency chain not penalized",
+			cpoC, cpoS)
+	}
+}
+
+func TestAnalyzeSuperscalarThroughput(t *testing.T) {
+	// The stream kernel has no dependency chains: a 6-wide POWER9 core
+	// should sustain IPC well above 1.
+	cpu := machine.POWER9()
+	p, _ := Lower(streamKernel(), ir.DefaultCountOptions())
+	r := Analyze(p, cpu)
+	if r.IPC() < 1.0 {
+		t.Fatalf("stream IPC = %.2f, expected superscalar throughput", r.IPC())
+	}
+	if r.IPC() > float64(cpu.DispatchWidth) {
+		t.Fatalf("IPC %.2f exceeds dispatch width %d", r.IPC(), cpu.DispatchWidth)
+	}
+}
+
+func TestCriticalChain(t *testing.T) {
+	cpu := machine.POWER9()
+	p, _ := Lower(chainKernel(), ir.DefaultCountOptions())
+	r := Analyze(p, cpu)
+	var chain float64
+	for _, b := range r.Blocks {
+		if b.Label == "loop.k" {
+			chain = b.CritChain
+		}
+	}
+	// One iteration: load(4) + fadd(6) + fsqrt(40) at minimum.
+	if chain < 40 {
+		t.Fatalf("critical chain = %.0f, want >= 40", chain)
+	}
+	// Steady-state cycles/iter of the loop must be at least the carried
+	// part of the chain (fadd+fsqrt = 46).
+	for _, b := range r.Blocks {
+		if b.Label == "loop.k" && b.CyclesPerIter < 40 {
+			t.Fatalf("cycles/iter %.1f below carried chain", b.CyclesPerIter)
+		}
+	}
+}
+
+func TestResourcePressure(t *testing.T) {
+	cpu := machine.POWER9()
+	p, _ := Lower(streamKernel(), ir.DefaultCountOptions())
+	r := Analyze(p, cpu)
+	pr := r.Blocks[0].Pressure
+	for k, v := range pr {
+		if v < 0 || v > 1 {
+			t.Fatalf("pressure[%s] = %v out of range", k, v)
+		}
+	}
+	// Stream is load/store heavy: LSU pressure should dominate BR.
+	if pr[machine.UnitLSU] <= pr[machine.UnitBR] {
+		t.Fatalf("LSU %.2f <= BR %.2f", pr[machine.UnitLSU], pr[machine.UnitBR])
+	}
+}
+
+func TestPOWER8SlowerFP(t *testing.T) {
+	// Same program, older core (7-cycle FP): chain kernel must be slower.
+	opt := ir.DefaultCountOptions()
+	p, _ := Lower(chainKernel(), opt)
+	c9 := Analyze(p, machine.POWER9()).CyclesPerWorkItem
+	c8 := Analyze(p, machine.POWER8()).CyclesPerWorkItem
+	if c8 <= c9 {
+		t.Fatalf("POWER8 %.0f <= POWER9 %.0f", c8, c9)
+	}
+}
+
+func TestEstimateCyclesPerIter(t *testing.T) {
+	c, err := EstimateCyclesPerIter(streamKernel(), machine.POWER9(),
+		ir.DefaultCountOptions())
+	if err != nil || c <= 0 {
+		t.Fatalf("cycles = %v, err = %v", c, err)
+	}
+	// Invalid kernel propagates the validation error.
+	bad := &ir.Kernel{Name: "bad", Body: []ir.Stmt{
+		ir.ParFor("i", ir.N(0), ir.V("n")),
+	}}
+	if _, err := EstimateCyclesPerIter(bad, machine.POWER9(),
+		ir.DefaultCountOptions()); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	p, _ := Lower(chainKernel(), ir.DefaultCountOptions())
+	r := Analyze(p, machine.POWER9())
+	s := r.Format()
+	for _, want := range []string{"Machine Code Analysis", "chain", "POWER9",
+		"resource pressure", "loop.k", "IPC"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBranchLoweringWeights(t *testing.T) {
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "branchy",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.WhenElse(ir.Cmp(ir.GT, ir.Ld("A", ir.V("i")), ir.F(0)),
+					[]ir.Stmt{ir.Store(ir.R("A", ir.V("i")), ir.F(1))},
+					[]ir.Stmt{ir.Store(ir.R("A", ir.V("i")), ir.F(2))})),
+		},
+	}
+	p, err := Lower(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var thenTrips, elseTrips float64
+	for _, b := range p.Blocks {
+		switch b.Label {
+		case "if.then":
+			thenTrips = b.Trips
+		case "if.else":
+			elseTrips = b.Trips
+		}
+	}
+	if thenTrips != 0.5 || elseTrips != 0.5 {
+		t.Fatalf("then=%v else=%v, want 0.5 each", thenTrips, elseTrips)
+	}
+}
+
+func TestProgramTotalOps(t *testing.T) {
+	p, _ := Lower(streamKernel(), ir.DefaultCountOptions())
+	if p.TotalOps() != float64(len(p.Blocks[0].Ops)) {
+		t.Fatalf("TotalOps = %v", p.TotalOps())
+	}
+}

@@ -1,0 +1,46 @@
+package mca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+)
+
+// EstimateCyclesPerIter lowers one work item of the kernel and returns the
+// scheduler-model estimate of cycles to execute it — the
+// Machine_cycles_per_iter input of the Liao OpenMP cost model.
+func EstimateCyclesPerIter(k *ir.Kernel, cpu *machine.CPU, opt ir.CountOptions) (float64, error) {
+	p, err := Lower(k, opt)
+	if err != nil {
+		return 0, err
+	}
+	return Analyze(p, cpu).CyclesPerWorkItem, nil
+}
+
+// Format renders the report in an llvm-mca-inspired textual layout:
+// per-block throughput, IPC, critical dependency chain, and a resource
+// pressure view.
+func (r *Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Machine Code Analysis — kernel %s on %s\n", r.Kernel, r.CPU)
+	fmt.Fprintf(&sb, "Cycles per work item: %.1f   dynamic ops: %.0f   IPC: %.2f\n",
+		r.CyclesPerWorkItem, r.TotalOps, r.IPC())
+	for _, b := range r.Blocks {
+		fmt.Fprintf(&sb, "\nBlock %-12s trips %-10.1f ops %-4d cycles/iter %-8.2f IPC %-6.2f chain %.0f\n",
+			b.Label, b.Trips, b.Ops, b.CyclesPerIter, b.IPC, b.CritChain)
+		kinds := make([]machine.UnitKind, 0, len(b.Pressure))
+		for k := range b.Pressure {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		sb.WriteString("  resource pressure:")
+		for _, k := range kinds {
+			fmt.Fprintf(&sb, "  %s %5.1f%%", k, b.Pressure[k]*100)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

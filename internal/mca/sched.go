@@ -1,0 +1,185 @@
+package mca
+
+import (
+	"math"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+)
+
+// BlockStats is the steady-state analysis of one block.
+type BlockStats struct {
+	Label string
+	Trips float64
+	// CyclesPerIter is the steady-state cycles to retire one iteration of
+	// the block.
+	CyclesPerIter float64
+	// IPC is ops per cycle at steady state.
+	IPC float64
+	// Pressure maps each functional unit kind to its utilization in
+	// [0,1] (busy pipe-cycles over total pipe-cycles), llvm-mca's
+	// "resource pressure" view.
+	Pressure map[machine.UnitKind]float64
+	// CritChain is the longest register dependency chain latency through
+	// one block iteration, in cycles.
+	CritChain float64
+	Ops       int
+}
+
+// Report is the full analysis of a lowered program on a CPU model.
+type Report struct {
+	CPU    string
+	Kernel string
+	Blocks []BlockStats
+	// CyclesPerWorkItem is sum over blocks of CyclesPerIter*Trips — the
+	// Machine_cycles_per_iter input of the Liao cost model.
+	CyclesPerWorkItem float64
+	// TotalOps is the expected dynamic op count per work item.
+	TotalOps float64
+}
+
+// IPC returns the overall ops-per-cycle of the work item.
+func (r *Report) IPC() float64 {
+	if r.CyclesPerWorkItem == 0 {
+		return 0
+	}
+	return r.TotalOps / r.CyclesPerWorkItem
+}
+
+// simIterations is the number of block iterations replayed to reach and
+// measure steady state, llvm-mca's default spirit (it replays 100).
+const simIterations = 64
+
+// Analyze replays the program against the CPU's scheduling model and
+// returns the throughput report.
+func Analyze(p *Program, cpu *machine.CPU) *Report {
+	rep := &Report{CPU: cpu.Name, Kernel: p.Kernel, TotalOps: p.TotalOps()}
+	for _, b := range p.Blocks {
+		st := analyzeBlock(&b, cpu)
+		rep.Blocks = append(rep.Blocks, st)
+		rep.CyclesPerWorkItem += st.CyclesPerIter * b.Trips
+	}
+	return rep
+}
+
+// analyzeBlock simulates simIterations of the block: in-order dispatch at
+// the core's width into an out-of-order backend with per-unit pipe
+// reservation and full register dependency tracking (including carried
+// scalars across iterations).
+func analyzeBlock(b *Block, cpu *machine.CPU) BlockStats {
+	st := BlockStats{Label: b.Label, Trips: b.Trips, Ops: len(b.Ops),
+		Pressure: map[machine.UnitKind]float64{}}
+	if len(b.Ops) == 0 {
+		return st
+	}
+
+	// Per-unit cumulative busy cycles. The unit constraint is enforced as
+	// a throughput bound — an op cannot start before the unit has had
+	// enough pipe-cycles to absorb all prior work — which lets younger
+	// independent ops issue around older stalled ones, as an
+	// out-of-order backend does.
+	busy := map[machine.UnitKind]float64{}
+
+	carried := map[string]float64{} // scalar name -> ready time
+	width := float64(cpu.DispatchWidth)
+
+	var dispatched float64 // total ops dispatched so far
+	var prevDispatch float64
+	var lastFinish float64
+	var finishAtHalf float64
+	half := simIterations / 2
+
+	ready := make([]float64, b.NReg)
+	for it := 0; it < simIterations; it++ {
+		for i := range ready {
+			ready[i] = 0
+		}
+		// Intra-iteration registers start unready only if defined later;
+		// defs overwrite below in program order.
+		for _, op := range b.Ops {
+			desc := cpu.Ops[op.Class]
+			// In-order dispatch: width ops per cycle, monotone.
+			dispatch := math.Max(prevDispatch, dispatched/width)
+			prevDispatch = dispatch
+			dispatched++
+
+			src := dispatch
+			for _, u := range op.Uses {
+				if u.Carried != "" {
+					if t, ok := carried[u.Carried]; ok {
+						src = math.Max(src, t)
+					}
+					continue
+				}
+				if u.VReg >= 0 && u.VReg < len(ready) {
+					src = math.Max(src, ready[u.VReg])
+				}
+			}
+			// Unit throughput bound.
+			pipes := float64(cpu.Units[desc.Unit])
+			start := math.Max(src, busy[desc.Unit]/pipes)
+			busy[desc.Unit] += float64(desc.Recip)
+			done := start + float64(desc.Latency)
+			if op.Def >= 0 && op.Def < len(ready) {
+				ready[op.Def] = done
+			}
+			if op.DefScalar != "" {
+				carried[op.DefScalar] = done
+			}
+			if done > lastFinish {
+				lastFinish = done
+			}
+		}
+		if it == half-1 {
+			finishAtHalf = lastFinish
+		}
+	}
+	st.CyclesPerIter = (lastFinish - finishAtHalf) / float64(simIterations-half)
+	if st.CyclesPerIter <= 0 {
+		st.CyclesPerIter = lastFinish / simIterations
+	}
+	if st.CyclesPerIter > 0 {
+		st.IPC = float64(len(b.Ops)) / st.CyclesPerIter
+	}
+	// Resource pressure over the measured window.
+	totalCycles := lastFinish
+	if totalCycles > 0 {
+		for k, n := range cpu.Units {
+			st.Pressure[k] = busy[k] / (totalCycles * float64(n))
+			if st.Pressure[k] > 1 {
+				st.Pressure[k] = 1
+			}
+		}
+	}
+	st.CritChain = critChain(b, cpu)
+	return st
+}
+
+// critChain computes the longest latency path through one iteration of the
+// block (registers only; carried scalars contribute their definition's
+// chain).
+func critChain(b *Block, cpu *machine.CPU) float64 {
+	regChain := make([]float64, b.NReg)
+	carried := map[string]float64{}
+	var longest float64
+	for _, op := range b.Ops {
+		var in float64
+		for _, u := range op.Uses {
+			if u.Carried != "" {
+				in = math.Max(in, carried[u.Carried])
+				continue
+			}
+			if u.VReg >= 0 && u.VReg < len(regChain) {
+				in = math.Max(in, regChain[u.VReg])
+			}
+		}
+		out := in + float64(cpu.Ops[op.Class].Latency)
+		if op.Def >= 0 && op.Def < len(regChain) {
+			regChain[op.Def] = out
+		}
+		if op.DefScalar != "" {
+			carried[op.DefScalar] = out
+		}
+		longest = math.Max(longest, out)
+	}
+	return longest
+}

@@ -1,0 +1,297 @@
+// Package memsim provides the memory-hierarchy building blocks of the
+// ground-truth simulators: set-associative LRU caches and a TLB, driven by
+// concrete byte addresses.
+//
+// The analytical models deliberately lack a memory-hierarchy model (the
+// paper lists this as their primary limitation); the simulators use these
+// components so that predicted-vs-actual discrepancies arise from the same
+// source they do on real hardware.
+package memsim
+
+import (
+	"fmt"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+)
+
+// Cache is a set-associative write-allocate cache with LRU replacement.
+type Cache struct {
+	geom  machine.CacheGeom
+	sets  [][]cacheLine
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+type cacheLine struct {
+	tag   int64
+	used  uint64
+	valid bool
+}
+
+// NewCache builds a cache with the given geometry. It panics on geometry
+// that cannot form at least one set.
+func NewCache(g machine.CacheGeom) *Cache {
+	sets := g.Sets()
+	if sets < 1 || g.LineBytes <= 0 || g.Assoc <= 0 {
+		panic(fmt.Sprintf("memsim: bad cache geometry %+v", g))
+	}
+	c := &Cache{geom: g, sets: make([][]cacheLine, sets)}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, g.Assoc)
+	}
+	return c
+}
+
+// Geom returns the cache geometry.
+func (c *Cache) Geom() machine.CacheGeom { return c.geom }
+
+// Access touches the line containing addr and reports whether it hit.
+// On a miss the line is installed (evicting the LRU way).
+func (c *Cache) Access(addr int64) bool {
+	c.clock++
+	line := addr / c.geom.LineBytes
+	set := c.sets[line%int64(len(c.sets))]
+	tag := line / int64(len(c.sets))
+	lru := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = c.clock
+			c.Hits++
+			return true
+		}
+		if set[i].used < set[lru].used || !set[i].valid && set[lru].valid {
+			lru = i
+		}
+	}
+	set[lru] = cacheLine{tag: tag, used: c.clock, valid: true}
+	c.Misses++
+	return false
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(t)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = cacheLine{}
+		}
+	}
+	c.clock, c.Hits, c.Misses = 0, 0, 0
+}
+
+// TLB is a fully-associative LRU translation buffer.
+type TLB struct {
+	entries   int
+	pageBytes int64
+	pages     map[int64]uint64 // page -> last use
+	clock     uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewTLB builds a TLB with the given entry count and page size.
+func NewTLB(entries int, pageBytes int64) *TLB {
+	if entries <= 0 || pageBytes <= 0 {
+		panic(fmt.Sprintf("memsim: bad TLB geometry entries=%d page=%d", entries, pageBytes))
+	}
+	return &TLB{entries: entries, pageBytes: pageBytes,
+		pages: make(map[int64]uint64, entries+1)}
+}
+
+// Access touches the page containing addr and reports whether it hit.
+func (t *TLB) Access(addr int64) bool {
+	t.clock++
+	page := addr / t.pageBytes
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.clock
+		t.Hits++
+		return true
+	}
+	t.Misses++
+	if len(t.pages) >= t.entries {
+		var victim int64
+		var oldest uint64 = ^uint64(0)
+		for p, u := range t.pages {
+			if u < oldest {
+				oldest, victim = u, p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.clock
+	return false
+}
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() {
+	t.pages = make(map[int64]uint64, t.entries+1)
+	t.clock, t.Hits, t.Misses = 0, 0, 0
+}
+
+// Hierarchy chains L1 → L2 → L3 → DRAM with a TLB consulted in parallel,
+// returning per-access latencies in cycles. When Prefetch is true a
+// stride-stream prefetcher (in the style of the POWER load-stream
+// prefetcher) hides the latency of established constant-stride streams:
+// their lines still cost DRAM traffic but are charged PrefetchLat cycles.
+type Hierarchy struct {
+	L1, L2, L3 *Cache // L3 may be nil (GPU-style two-level hierarchies)
+	TLB        *TLB   // may be nil
+
+	L1Lat, L2Lat, L3Lat, MemLat int
+	TLBPenalty                  int
+
+	Prefetch    bool
+	PrefetchLat int // charged for prefetched lines (≈ L2 hit)
+
+	// DRAMBytes accumulates traffic that reached DRAM.
+	DRAMBytes  int64
+	Accesses   uint64
+	TotalLat   uint64
+	Prefetched uint64
+
+	streams [8]stream
+	clock   uint64
+}
+
+// stream is one tracked prefetch stream.
+type stream struct {
+	lastLine   int64
+	stride     int64
+	confidence int
+	used       uint64
+}
+
+// Access walks addr through the hierarchy and returns its latency.
+func (h *Hierarchy) Access(addr int64) int {
+	h.Accesses++
+	lat := 0
+	if h.TLB != nil && !h.TLB.Access(addr) {
+		lat += h.TLBPenalty
+	}
+	switch {
+	case h.L1.Access(addr):
+		lat += h.L1Lat
+	case h.L2.Access(addr):
+		lat += h.L2Lat
+	case h.L3 != nil && h.L3.Access(addr):
+		lat += h.L3Lat
+	default:
+		line := h.L1.Geom().LineBytes
+		h.DRAMBytes += line
+		if h.Prefetch && h.streamHit(addr/line) {
+			lat += h.PrefetchLat
+			h.Prefetched++
+		} else {
+			lat += h.MemLat
+		}
+	}
+	h.TotalLat += uint64(lat)
+	return lat
+}
+
+// streamHit updates the prefetch stream table with the missed line and
+// reports whether the miss continued an established stream (and hence
+// would already have been prefetched).
+func (h *Hierarchy) streamHit(line int64) bool {
+	h.clock++
+	lru := 0
+	for i := range h.streams {
+		s := &h.streams[i]
+		if s.used < h.streams[lru].used {
+			lru = i
+		}
+		if s.confidence == 0 {
+			continue
+		}
+		d := line - s.lastLine
+		if d == s.stride && d != 0 {
+			s.lastLine = line
+			s.used = h.clock
+			s.confidence++
+			// Two confirmations establish the stream.
+			return s.confidence >= 3
+		}
+	}
+	// Try to pair with a previous single miss to form a new stream.
+	for i := range h.streams {
+		s := &h.streams[i]
+		if s.confidence == 1 {
+			d := line - s.lastLine
+			if d != 0 && d > -64 && d < 64 {
+				s.stride = d
+				s.lastLine = line
+				s.confidence = 2
+				s.used = h.clock
+				return false
+			}
+		}
+	}
+	h.streams[lru] = stream{lastLine: line, confidence: 1, used: h.clock}
+	return false
+}
+
+// MeanLatency returns the average access latency so far.
+func (h *Hierarchy) MeanLatency() float64 {
+	if h.Accesses == 0 {
+		return 0
+	}
+	return float64(h.TotalLat) / float64(h.Accesses)
+}
+
+// Reset clears all levels and statistics.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	if h.L3 != nil {
+		h.L3.Reset()
+	}
+	if h.TLB != nil {
+		h.TLB.Reset()
+	}
+	h.DRAMBytes, h.Accesses, h.TotalLat, h.Prefetched = 0, 0, 0, 0
+	h.streams = [8]stream{}
+	h.clock = 0
+}
+
+// NewCPUHierarchy assembles the three-level hierarchy of a host core,
+// with the stride-stream prefetcher enabled (POWER hosts prefetch
+// constant-stride streams very effectively).
+func NewCPUHierarchy(c *machine.CPU) *Hierarchy {
+	return &Hierarchy{
+		L1:          NewCache(c.L1),
+		L2:          NewCache(c.L2),
+		L3:          NewCache(c.L3),
+		TLB:         NewTLB(c.TLBEntries, c.PageBytes),
+		L1Lat:       c.L1.LatencyCycle,
+		L2Lat:       c.L2.LatencyCycle,
+		L3Lat:       c.L3.LatencyCycle,
+		MemLat:      c.MemLatency,
+		TLBPenalty:  c.TLBMissPenalty,
+		Prefetch:    true,
+		PrefetchLat: c.L2.LatencyCycle,
+	}
+}
+
+// NewGPUHierarchy assembles the two-level hierarchy of one SM (private L1,
+// a slice of the shared L2).
+func NewGPUHierarchy(g *machine.GPU) *Hierarchy {
+	return &Hierarchy{
+		L1:         NewCache(g.L1),
+		L2:         NewCache(g.L2),
+		L1Lat:      g.L1HitLatency,
+		L2Lat:      g.L2HitLatency,
+		MemLat:     g.MemLatency,
+		TLBPenalty: g.TLBMissPenalty,
+	}
+}

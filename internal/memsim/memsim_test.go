@@ -1,0 +1,218 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+)
+
+func smallGeom() machine.CacheGeom {
+	return machine.CacheGeom{SizeBytes: 1024, LineBytes: 64, Assoc: 2, LatencyCycle: 4}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(smallGeom())
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("repeat access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next line hit cold")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 KiB, 64B lines, 2-way: 8 sets. Addresses 0, 512, 1024 all map to
+	// set 0 (line % 8 == 0). Third distinct tag evicts the LRU (0).
+	c := NewCache(smallGeom())
+	c.Access(0)
+	c.Access(512)
+	c.Access(1024)
+	if c.Access(0) {
+		t.Fatal("LRU line should have been evicted")
+	}
+	// 512 was more recently used than 0 at eviction time, but inserting
+	// 0 just now evicted 512 (it became LRU).
+	if c.Access(1024) {
+		// 1024 must still be resident? After {512,1024}, miss on 0
+		// evicted 512 -> {1024, 0}; accessing 1024 hits.
+		t.Log("1024 resident as expected")
+	} else {
+		t.Fatal("1024 should have been resident")
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	c := NewCache(smallGeom()) // 1 KiB
+	// Stream 1 KiB twice: first pass cold misses, second pass all hits.
+	for pass := 0; pass < 2; pass++ {
+		for a := int64(0); a < 1024; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.Misses != 16 || c.Hits != 16 {
+		t.Fatalf("hits=%d misses=%d, want 16/16", c.Hits, c.Misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v", c.HitRate())
+	}
+}
+
+func TestCacheThrashing(t *testing.T) {
+	c := NewCache(smallGeom())
+	// Stream 64 KiB (64x capacity) twice: second pass must still miss.
+	for pass := 0; pass < 2; pass++ {
+		for a := int64(0); a < 64<<10; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.HitRate() > 0.01 {
+		t.Fatalf("thrashing stream hit rate = %v", c.HitRate())
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(smallGeom())
+	c.Access(0)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("stats survived reset")
+	}
+	if c.Access(0) {
+		t.Fatal("contents survived reset")
+	}
+}
+
+func TestPropCacheRepeatAlwaysHits(t *testing.T) {
+	// Property: an address accessed twice in immediate succession always
+	// hits the second time, for random access sequences.
+	r := rand.New(rand.NewSource(11))
+	c := NewCache(machine.CacheGeom{SizeBytes: 4096, LineBytes: 64, Assoc: 4})
+	for i := 0; i < 5000; i++ {
+		a := int64(r.Intn(1 << 20))
+		c.Access(a)
+		if !c.Access(a) {
+			t.Fatalf("immediate re-access of %d missed", a)
+		}
+	}
+}
+
+func TestPropCacheBoundedOccupancy(t *testing.T) {
+	// Property: hits+misses equals total accesses.
+	r := rand.New(rand.NewSource(5))
+	c := NewCache(smallGeom())
+	n := uint64(10000)
+	for i := uint64(0); i < n; i++ {
+		c.Access(int64(r.Intn(1 << 16)))
+	}
+	if c.Hits+c.Misses != n {
+		t.Fatalf("hits+misses = %d, want %d", c.Hits+c.Misses, n)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(2, 4096)
+	if tlb.Access(0) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tlb.Access(100) {
+		t.Fatal("same-page access missed")
+	}
+	tlb.Access(4096) // page 1
+	tlb.Access(8192) // page 2 evicts page 0 (LRU)
+	if tlb.Access(0) {
+		t.Fatal("evicted page hit")
+	}
+	tlb.Reset()
+	if tlb.Hits != 0 || tlb.Misses != 0 || tlb.Access(4096) {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	cpu := machine.POWER9()
+	h := NewCPUHierarchy(cpu)
+	// Cold access: TLB miss + DRAM.
+	lat := h.Access(0)
+	want := cpu.TLBMissPenalty + cpu.MemLatency
+	if lat != want {
+		t.Fatalf("cold latency = %d, want %d", lat, want)
+	}
+	// Hot access: TLB hit + L1 hit.
+	lat = h.Access(0)
+	if lat != cpu.L1.LatencyCycle {
+		t.Fatalf("hot latency = %d, want %d", lat, cpu.L1.LatencyCycle)
+	}
+	if h.Accesses != 2 || h.MeanLatency() != float64(want+cpu.L1.LatencyCycle)/2 {
+		t.Fatalf("accounting wrong: %d accesses mean %v", h.Accesses, h.MeanLatency())
+	}
+	if h.DRAMBytes != cpu.L1.LineBytes {
+		t.Fatalf("DRAMBytes = %d", h.DRAMBytes)
+	}
+	h.Reset()
+	if h.Accesses != 0 || h.DRAMBytes != 0 {
+		t.Fatal("hierarchy reset incomplete")
+	}
+}
+
+func TestGPUHierarchyTwoLevel(t *testing.T) {
+	g := machine.TeslaV100()
+	h := NewGPUHierarchy(g)
+	if h.L3 != nil || h.TLB != nil {
+		t.Fatal("GPU hierarchy should be two-level, no TLB model")
+	}
+	if lat := h.Access(0); lat != g.MemLatency {
+		t.Fatalf("cold GPU access = %d, want %d", lat, g.MemLatency)
+	}
+	if lat := h.Access(0); lat != g.L1HitLatency {
+		t.Fatalf("hot GPU access = %d, want %d", lat, g.L1HitLatency)
+	}
+}
+
+func TestHierarchyL2Capture(t *testing.T) {
+	// A working set larger than L1 but inside L2 should settle to L2
+	// hits on the second pass.
+	cpu := machine.POWER9() // L1 32K, L2 512K
+	h := NewCPUHierarchy(cpu)
+	size := int64(256 << 10)
+	for pass := 0; pass < 2; pass++ {
+		for a := int64(0); a < size; a += 128 {
+			h.Access(a)
+		}
+	}
+	// Second pass: mostly L2 hits -> L2 hit count well above zero, and
+	// DRAM traffic only from the first pass.
+	if h.L2.Hits == 0 {
+		t.Fatal("no L2 hits for L2-resident working set")
+	}
+	if h.DRAMBytes != size {
+		t.Fatalf("DRAMBytes = %d, want %d (one cold pass)", h.DRAMBytes, size)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCache(machine.CacheGeom{})
+}
+
+func TestBadTLBPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTLB(0, 0)
+}

@@ -1,0 +1,543 @@
+// Package offload implements the paper's compiler/runtime framework for
+// automatic target selection (Figure 2).
+//
+// Register plays the compiler role: it outlines a target region (an IR
+// kernel), generates both "code versions" (host and device execution
+// paths), runs the static analyses and stores their results in the
+// Program Attribute Database. Launch plays the OpenMP runtime role: on
+// reaching a target region it binds the runtime values, completes the CPU
+// and GPU analytical models, picks the target with the lower predicted
+// time — solving two equations, so decision time is negligible — and
+// dispatches execution to the chosen processor (the ground-truth
+// simulators standing in for the physical machines).
+//
+// Policies reproduce the paper's experimental configurations: the
+// compiler default of always offloading, the model-guided selector, the
+// host-only baseline, and an oracle that runs both targets and keeps the
+// faster one (the upper bound on any selector).
+package offload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/cpumodel"
+	"github.com/hybridsel/hybridsel/internal/gpumodel"
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/sim"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Target is an execution destination.
+type Target int
+
+// Targets.
+const (
+	TargetCPU Target = iota
+	TargetGPU
+	// TargetSplit executes a leading fraction of the iteration space on
+	// the host concurrently with the rest on the device.
+	TargetSplit
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case TargetGPU:
+		return "gpu"
+	case TargetSplit:
+		return "split"
+	}
+	return "cpu"
+}
+
+// Policy selects how Launch picks a target.
+type Policy int
+
+// Policies.
+const (
+	// ModelGuided evaluates both analytical models and picks the lower
+	// predicted time — the paper's contribution.
+	ModelGuided Policy = iota
+	// AlwaysGPU is the compiler's default prescriptive behaviour.
+	AlwaysGPU
+	// AlwaysCPU is the host fallback path.
+	AlwaysCPU
+	// Oracle executes both targets and keeps the faster (upper bound).
+	Oracle
+	// Split uses the models to divide the iteration space between host
+	// and device so both finish together (the cooperative CPU+GPU
+	// execution the paper's introduction motivates via Valero-Lara et
+	// al.), falling back to a single target when the models predict the
+	// split is not worthwhile.
+	Split
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case ModelGuided:
+		return "model-guided"
+	case AlwaysGPU:
+		return "always-gpu"
+	case AlwaysCPU:
+		return "always-cpu"
+	case Oracle:
+		return "oracle"
+	case Split:
+		return "split"
+	}
+	return fmt.Sprintf("Policy(%d)", p)
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	Platform machine.Platform
+	// Threads is the host OMP thread count (0 = all hardware threads).
+	Threads int
+	Policy  Policy
+
+	// GPUOptions default to the paper's configuration (IPDA coalescing,
+	// #OMP_Rep on, transfers included).
+	GPUOptions *gpumodel.Options
+	// Estimator defaults to the MCA-driven estimator.
+	Estimator cpumodel.CPIEstimator
+
+	// Simulation fidelity knobs (defaults applied by the simulators).
+	CPUSim sim.CPUConfig
+	GPUSim sim.GPUConfig
+}
+
+// Region is one registered target region with its two generated versions
+// and stored attributes.
+type Region struct {
+	Name     string
+	Kernel   *ir.Kernel
+	Attrs    *attrdb.RegionAttrs
+	Analysis *ipda.Result
+	// Profile holds optional measured behaviour (see ProfileRegion).
+	Profile *ProfileData
+}
+
+// Decision records one launch for the decision log.
+type Decision struct {
+	Region   string
+	Bindings symbolic.Bindings
+	Policy   Policy
+	Target   Target
+
+	PredCPUSeconds float64
+	PredGPUSeconds float64
+	// SplitFraction is the host share of the iteration space chosen by
+	// the Split policy (0 when not splitting).
+	SplitFraction float64
+	// ActualSeconds is the executed (simulated) time of the chosen
+	// target; for Oracle both actuals are filled.
+	ActualSeconds    float64
+	ActualCPUSeconds float64 // 0 if CPU was not executed
+	ActualGPUSeconds float64 // 0 if GPU was not executed
+	DecisionOverhead time.Duration
+}
+
+// Outcome is what Launch returns.
+type Outcome struct {
+	Decision
+}
+
+// Runtime is the offloading runtime. It is safe for concurrent Launch
+// and Execute calls once all regions are registered.
+type Runtime struct {
+	cfg     Config
+	db      *attrdb.DB
+	regions map[string]*Region
+
+	mu  sync.Mutex
+	log []Decision
+	// execCache memoizes ground-truth executions: experiments launch the
+	// same region repeatedly under different policies.
+	execCache map[string]float64
+}
+
+// NewRuntime builds a runtime for the platform.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.Threads <= 0 || cfg.Threads > cfg.Platform.CPU.Threads() {
+		cfg.Threads = cfg.Platform.CPU.Threads()
+	}
+	if cfg.GPUOptions == nil {
+		o := gpumodel.DefaultOptions()
+		cfg.GPUOptions = &o
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = cpumodel.MCAEstimator{}
+	}
+	return &Runtime{
+		cfg:       cfg,
+		db:        attrdb.New(),
+		regions:   map[string]*Region{},
+		execCache: map[string]float64{},
+	}
+}
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// DB exposes the Program Attribute Database (e.g. for serialization).
+func (rt *Runtime) DB() *attrdb.DB { return rt.db }
+
+// Register outlines a target region: validates the kernel, runs the
+// static analyses, and stores the attribute record.
+func (rt *Runtime) Register(k *ir.Kernel) (*Region, error) {
+	if _, ok := rt.regions[k.Name]; ok {
+		return nil, fmt.Errorf("offload: region %q already registered", k.Name)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	attrs, err := attrdb.Build(k, ir.DefaultCountOptions())
+	if err != nil {
+		return nil, err
+	}
+	an, err := ipda.Analyze(k, ir.DefaultCountOptions())
+	if err != nil {
+		return nil, err
+	}
+	r := &Region{Name: k.Name, Kernel: k, Attrs: attrs, Analysis: an}
+	rt.regions[k.Name] = r
+	rt.db.Put(attrs)
+	return r, nil
+}
+
+// Region returns a registered region by name.
+func (rt *Runtime) Region(name string) (*Region, error) {
+	if r, ok := rt.regions[name]; ok {
+		return r, nil
+	}
+	known := make([]string, 0, len(rt.regions))
+	for k := range rt.regions {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return nil, fmt.Errorf("offload: no region %q (have %v)", name, known)
+}
+
+// Predict evaluates both analytical models for a region under runtime
+// bindings, without executing anything.
+func (rt *Runtime) Predict(name string, b symbolic.Bindings) (cpuSec, gpuSec float64, err error) {
+	r, err := rt.Region(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Resolving the stored attributes validates that every runtime
+	// value the symbolic expressions need has been supplied.
+	if _, err := r.Attrs.Resolve(b, ipda.WarpGeom{
+		WarpSize:         rt.cfg.Platform.GPU.WarpSize,
+		TransactionBytes: rt.cfg.Platform.GPU.L2.LineBytes,
+	}); err != nil {
+		return 0, 0, err
+	}
+	// Hybrid counting: the runtime supplies loop trip counts (paper
+	// Section IV: "array sizes, loop trip counts, arbitrary variable
+	// values"), with parallel indices substituted at their midpoint so
+	// triangular inner loops resolve to their mean; loops that still do
+	// not resolve fall back to the 128-iteration assumption, and
+	// branches to 50% (or the measured rate after ProfileRegion).
+	staticOpt := ir.CountOptions{DefaultTrip: 128, BranchProb: r.branchProb(),
+		Bindings: ir.MidpointBindings(r.Kernel, b)}
+	cp, err := cpumodel.Predict(cpumodel.Input{
+		Kernel:    r.Kernel,
+		CPU:       rt.cfg.Platform.CPU,
+		Threads:   rt.cfg.Threads,
+		Bindings:  b,
+		CountOpt:  staticOpt,
+		IPDA:      r.Analysis,
+		Estimator: rt.cfg.Estimator,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	gp, err := gpumodel.Predict(gpumodel.Input{
+		Kernel:   r.Kernel,
+		GPU:      rt.cfg.Platform.GPU,
+		Link:     rt.cfg.Platform.Link,
+		Bindings: b,
+		CountOpt: staticOpt,
+		IPDA:     r.Analysis,
+		Options:  *rt.cfg.GPUOptions,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return cp.Seconds, gp.Seconds, nil
+}
+
+// execKey builds the memoization key for a ground-truth execution.
+func execKey(region string, t Target, b symbolic.Bindings) string {
+	params := make([]string, 0, len(b))
+	for k := range b {
+		params = append(params, k)
+	}
+	sort.Strings(params)
+	key := region + "/" + t.String()
+	for _, p := range params {
+		key += fmt.Sprintf("/%s=%d", p, b[p])
+	}
+	return key
+}
+
+// Execute runs the region on the given target (ground truth) and returns
+// the wall-clock seconds. Results are memoized per (region, target,
+// bindings).
+func (rt *Runtime) Execute(name string, t Target, b symbolic.Bindings) (float64, error) {
+	return rt.executeFraction(name, t, b, 1)
+}
+
+// executeFraction runs a leading (CPU) or trailing (GPU) fraction of the
+// region's iteration space.
+func (rt *Runtime) executeFraction(name string, t Target, b symbolic.Bindings,
+	frac float64) (float64, error) {
+	r, err := rt.Region(name)
+	if err != nil {
+		return 0, err
+	}
+	key := fmt.Sprintf("%s/f=%.4f", execKey(name, t, b), frac)
+	rt.mu.Lock()
+	if s, ok := rt.execCache[key]; ok {
+		rt.mu.Unlock()
+		return s, nil
+	}
+	rt.mu.Unlock()
+	var sec float64
+	switch t {
+	case TargetCPU:
+		cfg := rt.cfg.CPUSim
+		cfg.Threads = rt.cfg.Threads
+		cfg.Fraction = frac
+		res, err := sim.SimulateCPU(r.Kernel, rt.cfg.Platform.CPU, b, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sec = res.Seconds
+	case TargetGPU:
+		cfg := rt.cfg.GPUSim
+		cfg.IncludeTransfer = true
+		cfg.Fraction = frac
+		res, err := sim.SimulateGPU(r.Kernel, rt.cfg.Platform.GPU,
+			rt.cfg.Platform.Link, b, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sec = res.Seconds
+	default:
+		return 0, fmt.Errorf("offload: unknown target %d", t)
+	}
+	rt.mu.Lock()
+	rt.execCache[key] = sec
+	rt.mu.Unlock()
+	return sec, nil
+}
+
+// predictFraction evaluates the models for a host share f of the
+// iteration space (CPU runs f, GPU runs 1-f).
+func (rt *Runtime) predictFraction(r *Region, b symbolic.Bindings, f float64) (cpuSec, gpuSec float64, err error) {
+	staticOpt := ir.CountOptions{DefaultTrip: 128, BranchProb: r.branchProb(),
+		Bindings: ir.MidpointBindings(r.Kernel, b)}
+	cp, err := cpumodel.Predict(cpumodel.Input{
+		Kernel: r.Kernel, CPU: rt.cfg.Platform.CPU, Threads: rt.cfg.Threads,
+		Bindings: b, CountOpt: staticOpt, IPDA: r.Analysis,
+		Estimator: rt.cfg.Estimator, IterFraction: f,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	gp, err := gpumodel.Predict(gpumodel.Input{
+		Kernel: r.Kernel, GPU: rt.cfg.Platform.GPU, Link: rt.cfg.Platform.Link,
+		Bindings: b, CountOpt: staticOpt, IPDA: r.Analysis,
+		Options: *rt.cfg.GPUOptions, IterFraction: 1 - f,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return cp.Seconds, gp.Seconds, nil
+}
+
+// bestSplit finds the host share that balances the two models: the CPU
+// side's predicted time increases with f and the GPU side's decreases, so
+// the makespan max(cpu(f), gpu(1-f)) is minimized where they cross.
+func (rt *Runtime) bestSplit(r *Region, b symbolic.Bindings) (float64, error) {
+	lo, hi := 0.01, 0.99
+	cpuLo, gpuLo, err := rt.predictFraction(r, b, lo)
+	if err != nil {
+		return 0, err
+	}
+	cpuHi, gpuHi, err := rt.predictFraction(r, b, hi)
+	if err != nil {
+		return 0, err
+	}
+	// No crossing: one side dominates over the whole range.
+	if cpuLo >= gpuLo {
+		return 0, nil // CPU slower even with 1% of the work: all-GPU
+	}
+	if cpuHi <= gpuHi {
+		return 1, nil // CPU faster even with 99% of the work: all-CPU
+	}
+	_ = cpuHi
+	_ = gpuHi
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		c, g, err := rt.predictFraction(r, b, mid)
+		if err != nil {
+			return 0, err
+		}
+		if c < g {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Launch reaches the target region with the given runtime values,
+// selects a target per the policy, executes it, and logs the decision.
+func (rt *Runtime) Launch(name string, b symbolic.Bindings) (*Outcome, error) {
+	if _, err := rt.Region(name); err != nil {
+		return nil, err
+	}
+	d := Decision{Region: name, Bindings: b, Policy: rt.cfg.Policy}
+
+	start := time.Now()
+	cpuPred, gpuPred, err := rt.Predict(name, b)
+	if err != nil {
+		return nil, err
+	}
+	d.DecisionOverhead = time.Since(start)
+	d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
+
+	switch rt.cfg.Policy {
+	case ModelGuided:
+		d.Target = TargetCPU
+		if gpuPred < cpuPred {
+			d.Target = TargetGPU
+		}
+	case Split:
+		r, _ := rt.Region(name)
+		start := time.Now()
+		f, err := rt.bestSplit(r, b)
+		if err != nil {
+			return nil, err
+		}
+		// Only split when the predicted makespan beats the best single
+		// target by a meaningful margin; tiny predicted gains are inside
+		// the models' error bars and not worth the coordination.
+		const minGain = 0.10
+		useSplit := f > 0.03 && f < 0.97
+		if useSplit {
+			c, g, err := rt.predictFraction(r, b, f)
+			if err != nil {
+				return nil, err
+			}
+			makespan := maxf(c, g)
+			best := cpuPred
+			if gpuPred < best {
+				best = gpuPred
+			}
+			if makespan > best*(1-minGain) {
+				useSplit = false
+			}
+		}
+		d.DecisionOverhead += time.Since(start)
+		switch {
+		case !useSplit && gpuPred < cpuPred:
+			d.Target = TargetGPU
+		case !useSplit:
+			d.Target = TargetCPU
+		default:
+			d.Target = TargetSplit
+			d.SplitFraction = f
+			cpuSec, err := rt.executeFraction(name, TargetCPU, b, f)
+			if err != nil {
+				return nil, err
+			}
+			gpuSec, err := rt.executeFraction(name, TargetGPU, b, 1-f)
+			if err != nil {
+				return nil, err
+			}
+			d.ActualCPUSeconds, d.ActualGPUSeconds = cpuSec, gpuSec
+			// Both halves run concurrently; joining adds one barrier.
+			_, _, join := rt.cfg.Platform.CPU.OverheadCycles(rt.cfg.Threads)
+			d.ActualSeconds = maxf(cpuSec, gpuSec) +
+				join/(rt.cfg.Platform.CPU.FreqGHz*1e9)
+			rt.appendLog(d)
+			return &Outcome{Decision: d}, nil
+		}
+	case AlwaysGPU:
+		d.Target = TargetGPU
+	case AlwaysCPU:
+		d.Target = TargetCPU
+	case Oracle:
+		cpuSec, err := rt.Execute(name, TargetCPU, b)
+		if err != nil {
+			return nil, err
+		}
+		gpuSec, err := rt.Execute(name, TargetGPU, b)
+		if err != nil {
+			return nil, err
+		}
+		d.ActualCPUSeconds, d.ActualGPUSeconds = cpuSec, gpuSec
+		d.Target = TargetCPU
+		d.ActualSeconds = cpuSec
+		if gpuSec < cpuSec {
+			d.Target = TargetGPU
+			d.ActualSeconds = gpuSec
+		}
+		rt.appendLog(d)
+		return &Outcome{Decision: d}, nil
+	}
+
+	sec, err := rt.Execute(name, d.Target, b)
+	if err != nil {
+		return nil, err
+	}
+	d.ActualSeconds = sec
+	if d.Target == TargetCPU {
+		d.ActualCPUSeconds = sec
+	} else {
+		d.ActualGPUSeconds = sec
+	}
+	rt.appendLog(d)
+	return &Outcome{Decision: d}, nil
+}
+
+func (rt *Runtime) appendLog(d Decision) {
+	rt.mu.Lock()
+	rt.log = append(rt.log, d)
+	rt.mu.Unlock()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Decisions returns a snapshot of the launch log.
+func (rt *Runtime) Decisions() []Decision {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]Decision, len(rt.log))
+	copy(out, rt.log)
+	return out
+}
+
+// ResetLog clears the decision log (the execution cache is kept).
+func (rt *Runtime) ResetLog() {
+	rt.mu.Lock()
+	rt.log = nil
+	rt.mu.Unlock()
+}

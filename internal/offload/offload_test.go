@@ -1,0 +1,205 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/gpumodel"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+func newRT(t *testing.T, p Policy) *Runtime {
+	t.Helper()
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100(), Policy: p})
+	for _, name := range []string{"gemm", "mvt1", "2dconv"} {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Register(k.IR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rt
+}
+
+func TestRegisterAndRegion(t *testing.T) {
+	rt := newRT(t, ModelGuided)
+	r, err := rt.Region("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Attrs == nil || r.Analysis == nil {
+		t.Fatal("region missing analyses")
+	}
+	if _, err := rt.Region("nope"); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+	// Duplicate registration rejected.
+	k, _ := polybench.Get("gemm")
+	if _, err := rt.Register(k.IR); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	// The attribute database is populated.
+	if _, err := rt.DB().Get("gemm"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterRejectsInvalidKernel(t *testing.T) {
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100()})
+	bad := &ir.Kernel{Name: "bad", Params: []string{"n"},
+		Body: []ir.Stmt{ir.ParFor("i", ir.N(0), ir.V("n"),
+			ir.Store(ir.R("X", ir.V("i")), ir.F(1)))}}
+	if _, err := rt.Register(bad); err == nil {
+		t.Fatal("invalid kernel accepted")
+	}
+	serial := &ir.Kernel{Name: "serial", Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, ir.V("n"))},
+		Body: []ir.Stmt{ir.For("i", ir.N(0), ir.V("n"),
+			ir.Store(ir.R("A", ir.V("i")), ir.F(1)))}}
+	if _, err := rt.Register(serial); err == nil {
+		t.Fatal("serial kernel accepted")
+	}
+}
+
+func TestPoliciesExecuteChosenTarget(t *testing.T) {
+	b := symbolic.Bindings{"n": 256}
+	for _, p := range []Policy{AlwaysCPU, AlwaysGPU, ModelGuided, Oracle} {
+		rt := newRT(t, p)
+		out, err := rt.Launch("gemm", b)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if out.ActualSeconds <= 0 {
+			t.Fatalf("%v: actual = %v", p, out.ActualSeconds)
+		}
+		switch p {
+		case AlwaysCPU:
+			if out.Target != TargetCPU {
+				t.Fatalf("AlwaysCPU chose %v", out.Target)
+			}
+		case AlwaysGPU:
+			if out.Target != TargetGPU {
+				t.Fatalf("AlwaysGPU chose %v", out.Target)
+			}
+		case Oracle:
+			if out.ActualCPUSeconds <= 0 || out.ActualGPUSeconds <= 0 {
+				t.Fatal("oracle must execute both targets")
+			}
+			if out.ActualSeconds > out.ActualCPUSeconds ||
+				out.ActualSeconds > out.ActualGPUSeconds {
+				t.Fatal("oracle did not keep the faster target")
+			}
+		}
+		if len(rt.Decisions()) != 1 {
+			t.Fatalf("%v: log = %d entries", p, len(rt.Decisions()))
+		}
+	}
+}
+
+func TestModelGuidedTracksPredictions(t *testing.T) {
+	rt := newRT(t, ModelGuided)
+	out, err := rt.Launch("gemm", symbolic.Bindings{"n": 1100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PredCPUSeconds <= 0 || out.PredGPUSeconds <= 0 {
+		t.Fatalf("predictions = %v / %v", out.PredCPUSeconds, out.PredGPUSeconds)
+	}
+	wantGPU := out.PredGPUSeconds < out.PredCPUSeconds
+	if (out.Target == TargetGPU) != wantGPU {
+		t.Fatalf("target %v inconsistent with predictions %v/%v",
+			out.Target, out.PredCPUSeconds, out.PredGPUSeconds)
+	}
+}
+
+func TestDecisionOverheadNegligible(t *testing.T) {
+	// The paper's argument against ML inference: evaluating the
+	// analytical models is just solving equations. Ensure a decision
+	// costs well under a millisecond even in this unoptimized prototype.
+	rt := newRT(t, ModelGuided)
+	out, err := rt.Launch("2dconv", symbolic.Bindings{"n": 1100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DecisionOverhead > 10*time.Millisecond {
+		t.Fatalf("decision took %v", out.DecisionOverhead)
+	}
+}
+
+func TestExecuteMemoization(t *testing.T) {
+	rt := newRT(t, Oracle)
+	b := symbolic.Bindings{"n": 256}
+	s1, err := rt.Execute("mvt1", TargetCPU, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rt.Execute("mvt1", TargetCPU, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("memoized execution differs: %v vs %v", s1, s2)
+	}
+	// Different bindings are distinct cache entries.
+	s3, err := rt.Execute("mvt1", TargetCPU, symbolic.Bindings{"n": 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Fatal("different bindings should not share a cache entry")
+	}
+}
+
+func TestLaunchErrors(t *testing.T) {
+	rt := newRT(t, ModelGuided)
+	if _, err := rt.Launch("nope", symbolic.Bindings{"n": 10}); err == nil {
+		t.Fatal("unknown region launched")
+	}
+	if _, err := rt.Launch("gemm", nil); err == nil {
+		t.Fatal("launch without runtime values accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100(), Threads: 99999})
+	cfg := rt.Config()
+	if cfg.Threads != 160 {
+		t.Fatalf("threads clamped to %d", cfg.Threads)
+	}
+	if cfg.GPUOptions == nil || cfg.GPUOptions.Coalescing != gpumodel.UseIPDA {
+		t.Fatal("GPU options not defaulted to the paper configuration")
+	}
+	if cfg.Estimator == nil {
+		t.Fatal("estimator not defaulted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TargetCPU.String() != "cpu" || TargetGPU.String() != "gpu" {
+		t.Fatal("target stringers")
+	}
+	for p, want := range map[Policy]string{
+		ModelGuided: "model-guided", AlwaysGPU: "always-gpu",
+		AlwaysCPU: "always-cpu", Oracle: "oracle",
+	} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestResetLog(t *testing.T) {
+	rt := newRT(t, AlwaysCPU)
+	if _, err := rt.Launch("mvt1", symbolic.Bindings{"n": 128}); err != nil {
+		t.Fatal(err)
+	}
+	rt.ResetLog()
+	if len(rt.Decisions()) != 0 {
+		t.Fatal("log not cleared")
+	}
+}

@@ -1,0 +1,841 @@
+package polybench
+
+import (
+	"math"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// FloatParamValue is the value bound to every scalar float parameter
+// (alpha, beta) across references, the interpreter environment, and the
+// simulators' synthetic execution. Polybench uses constant scalars; a
+// single shared value keeps all execution paths comparable.
+const FloatParamValue = 1.5
+
+// Local constructor aliases to keep kernel bodies readable.
+var (
+	v  = ir.V
+	c  = ir.N
+	ld = ir.Ld
+	r  = ir.R
+)
+
+func f(x float64) ir.Expr { return ir.F(x) }
+
+// ---------------------------------------------------------------- GEMM --
+
+// gemmK: C = alpha*A*B + beta*C.
+func gemmK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:        "gemm",
+		Params:      []string{"n"},
+		FloatParams: []string{"alpha", "beta"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("B", ir.F64, n, n), ir.Arr("C", ir.F64, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.ParFor("j", c(0), n,
+					ir.Set("acc", f(0)),
+					ir.For("k", c(0), n,
+						ir.AccumS("acc", ir.FMul(ld("A", v("i"), v("k")), ld("B", v("k"), v("j"))))),
+					ir.Store(r("C", v("i"), v("j")),
+						ir.FAdd(ir.FMul(ir.S("beta"), ld("C", v("i"), v("j"))),
+							ir.FMul(ir.S("alpha"), ir.S("acc")))))),
+		},
+	}
+	return &Kernel{
+		Bench: "gemm", Name: "gemm", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, B, C := d["A"], d["B"], d["C"]
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					acc := 0.0
+					for kk := int64(0); kk < n; kk++ {
+						acc += A[i*n+kk] * B[kk*n+j]
+					}
+					C[i*n+j] = FloatParamValue*C[i*n+j] + FloatParamValue*acc
+				}
+			}
+		},
+	}
+}
+
+// ----------------------------------------------------------------- MVT --
+
+// mvt1K: x1[i] += A[i][j] * y1[j] (row walk).
+func mvt1K() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "mvt1",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("y1", ir.F64, n), ir.Arr("x1", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.Set("acc", f(0)),
+				ir.For("j", c(0), n,
+					ir.AccumS("acc", ir.FMul(ld("A", v("i"), v("j")), ld("y1", v("j"))))),
+				ir.Accum(r("x1", v("i")), ir.S("acc"))),
+		},
+	}
+	return &Kernel{
+		Bench: "mvt", Name: "mvt1", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, y1, x1 := d["A"], d["y1"], d["x1"]
+			for i := int64(0); i < n; i++ {
+				acc := 0.0
+				for j := int64(0); j < n; j++ {
+					acc += A[i*n+j] * y1[j]
+				}
+				x1[i] += acc
+			}
+		},
+	}
+}
+
+// mvt2K: x2[i] += A[j][i] * y2[j] (column walk).
+func mvt2K() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "mvt2",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("y2", ir.F64, n), ir.Arr("x2", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.Set("acc", f(0)),
+				ir.For("j", c(0), n,
+					ir.AccumS("acc", ir.FMul(ld("A", v("j"), v("i")), ld("y2", v("j"))))),
+				ir.Accum(r("x2", v("i")), ir.S("acc"))),
+		},
+	}
+	return &Kernel{
+		Bench: "mvt", Name: "mvt2", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, y2, x2 := d["A"], d["y2"], d["x2"]
+			for i := int64(0); i < n; i++ {
+				acc := 0.0
+				for j := int64(0); j < n; j++ {
+					acc += A[j*n+i] * y2[j]
+				}
+				x2[i] += acc
+			}
+		},
+	}
+}
+
+// ------------------------------------------------------------- 2MM/3MM --
+
+// matmulKernel builds out = lhs×rhs (optionally scaling by alpha and
+// accumulating beta*out), the shared shape of the 2MM/3MM stages.
+func matmulKernel(name, lhs, rhs, out string, alpha, beta bool) *ir.Kernel {
+	n := v("n")
+	arrays := []*ir.Array{
+		ir.In(lhs, ir.F64, n, n), ir.In(rhs, ir.F64, n, n),
+	}
+	if beta {
+		arrays = append(arrays, ir.Arr(out, ir.F64, n, n))
+	} else {
+		arrays = append(arrays, ir.Out(out, ir.F64, n, n))
+	}
+	var fp []string
+	if alpha {
+		fp = append(fp, "alpha")
+	}
+	if beta {
+		fp = append(fp, "beta")
+	}
+	var result ir.Expr = ir.S("acc")
+	if alpha {
+		result = ir.FMul(ir.S("alpha"), result)
+	}
+	if beta {
+		result = ir.FAdd(ir.FMul(ir.S("beta"), ld(out, v("i"), v("j"))), result)
+	}
+	return &ir.Kernel{
+		Name:        name,
+		Params:      []string{"n"},
+		FloatParams: fp,
+		Arrays:      arrays,
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.ParFor("j", c(0), n,
+					ir.Set("acc", f(0)),
+					ir.For("k", c(0), n,
+						ir.AccumS("acc", ir.FMul(ld(lhs, v("i"), v("k")), ld(rhs, v("k"), v("j"))))),
+					ir.Store(r(out, v("i"), v("j")), result))),
+		},
+	}
+}
+
+func matmulRef(lhs, rhs, out string, alpha, beta bool) func(symbolic.Bindings, ir.Data) {
+	return func(b symbolic.Bindings, d ir.Data) {
+		n := b["n"]
+		L, R, O := d[lhs], d[rhs], d[out]
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < n; j++ {
+				acc := 0.0
+				for kk := int64(0); kk < n; kk++ {
+					acc += L[i*n+kk] * R[kk*n+j]
+				}
+				if alpha {
+					acc *= FloatParamValue
+				}
+				if beta {
+					acc += FloatParamValue * O[i*n+j]
+				}
+				O[i*n+j] = acc
+			}
+		}
+	}
+}
+
+// mm2K returns stage 1 (tmp = alpha*A*B) or 2 (D = tmp*C + beta*D) of 2MM.
+func mm2K(stage int) *Kernel {
+	if stage == 1 {
+		return &Kernel{Bench: "2mm", Name: "2mm1",
+			IR:       matmulKernel("2mm1", "A", "B", "tmp", true, false),
+			Bindings: square, Reference: matmulRef("A", "B", "tmp", true, false)}
+	}
+	return &Kernel{Bench: "2mm", Name: "2mm2",
+		IR:       matmulKernel("2mm2", "tmp", "C", "D", false, true),
+		Bindings: square, Reference: matmulRef("tmp", "C", "D", false, true)}
+}
+
+// mm3K returns stage k of 3MM: E=A*B, F=C*D, G=E*F.
+func mm3K(stage int) *Kernel {
+	switch stage {
+	case 1:
+		return &Kernel{Bench: "3mm", Name: "3mm1",
+			IR:       matmulKernel("3mm1", "A", "B", "E", false, false),
+			Bindings: square, Reference: matmulRef("A", "B", "E", false, false)}
+	case 2:
+		return &Kernel{Bench: "3mm", Name: "3mm2",
+			IR:       matmulKernel("3mm2", "C", "D", "F", false, false),
+			Bindings: square, Reference: matmulRef("C", "D", "F", false, false)}
+	default:
+		return &Kernel{Bench: "3mm", Name: "3mm3",
+			IR:       matmulKernel("3mm3", "E", "F", "G", false, false),
+			Bindings: square, Reference: matmulRef("E", "F", "G", false, false)}
+	}
+}
+
+// ---------------------------------------------------------------- ATAX --
+
+// atax1K: tmp[i] = A[i][:] · x (row walk).
+func atax1K() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "atax1",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("x", ir.F64, n), ir.Out("tmp", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.Set("acc", f(0)),
+				ir.For("j", c(0), n,
+					ir.AccumS("acc", ir.FMul(ld("A", v("i"), v("j")), ld("x", v("j"))))),
+				ir.Store(r("tmp", v("i")), ir.S("acc"))),
+		},
+	}
+	return &Kernel{
+		Bench: "atax", Name: "atax1", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, x, tmp := d["A"], d["x"], d["tmp"]
+			for i := int64(0); i < n; i++ {
+				acc := 0.0
+				for j := int64(0); j < n; j++ {
+					acc += A[i*n+j] * x[j]
+				}
+				tmp[i] = acc
+			}
+		},
+	}
+}
+
+// atax2K: y[j] = A[:][j] · tmp (column walk).
+func atax2K() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "atax2",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("tmp", ir.F64, n), ir.Out("y", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("j", c(0), n,
+				ir.Set("acc", f(0)),
+				ir.For("i", c(0), n,
+					ir.AccumS("acc", ir.FMul(ld("A", v("i"), v("j")), ld("tmp", v("i"))))),
+				ir.Store(r("y", v("j")), ir.S("acc"))),
+		},
+	}
+	return &Kernel{
+		Bench: "atax", Name: "atax2", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, tmp, y := d["A"], d["tmp"], d["y"]
+			for j := int64(0); j < n; j++ {
+				acc := 0.0
+				for i := int64(0); i < n; i++ {
+					acc += A[i*n+j] * tmp[i]
+				}
+				y[j] = acc
+			}
+		},
+	}
+}
+
+// ---------------------------------------------------------------- BICG --
+
+// bicg1K: s[j] = Σ_i r[i] * A[i][j] (column walk).
+func bicg1K() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "bicg1",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("rv", ir.F64, n), ir.Out("s", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("j", c(0), n,
+				ir.Set("acc", f(0)),
+				ir.For("i", c(0), n,
+					ir.AccumS("acc", ir.FMul(ld("rv", v("i")), ld("A", v("i"), v("j"))))),
+				ir.Store(r("s", v("j")), ir.S("acc"))),
+		},
+	}
+	return &Kernel{
+		Bench: "bicg", Name: "bicg1", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, rv, s := d["A"], d["rv"], d["s"]
+			for j := int64(0); j < n; j++ {
+				acc := 0.0
+				for i := int64(0); i < n; i++ {
+					acc += rv[i] * A[i*n+j]
+				}
+				s[j] = acc
+			}
+		},
+	}
+}
+
+// bicg2K: q[i] = Σ_j A[i][j] * p[j] (row walk).
+func bicg2K() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "bicg2",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("p", ir.F64, n), ir.Out("q", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.Set("acc", f(0)),
+				ir.For("j", c(0), n,
+					ir.AccumS("acc", ir.FMul(ld("A", v("i"), v("j")), ld("p", v("j"))))),
+				ir.Store(r("q", v("i")), ir.S("acc"))),
+		},
+	}
+	return &Kernel{
+		Bench: "bicg", Name: "bicg2", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, p, q := d["A"], d["p"], d["q"]
+			for i := int64(0); i < n; i++ {
+				acc := 0.0
+				for j := int64(0); j < n; j++ {
+					acc += A[i*n+j] * p[j]
+				}
+				q[i] = acc
+			}
+		},
+	}
+}
+
+// -------------------------------------------------------------- 2DCONV --
+
+// conv2dK: 3×3 stencil over the interior.
+func conv2dK() *Kernel {
+	n := v("n")
+	i, j := v("i"), v("j")
+	tap := func(w float64, di, dj int64) ir.Expr {
+		return ir.FMul(f(w), ld("A", i.AddConst(di), j.AddConst(dj)))
+	}
+	sum := tap(0.2, -1, -1)
+	for _, t := range []struct {
+		w      float64
+		di, dj int64
+	}{
+		{0.5, 0, -1}, {-0.8, 1, -1},
+		{-0.3, -1, 0}, {0.6, 0, 0}, {-0.9, 1, 0},
+		{0.4, -1, 1}, {0.7, 0, 1}, {0.10, 1, 1},
+	} {
+		sum = ir.FAdd(sum, tap(t.w, t.di, t.dj))
+	}
+	k := &ir.Kernel{
+		Name:   "2dconv",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.Out("B", ir.F64, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(1), n.AddConst(-1),
+				ir.ParFor("j", c(1), n.AddConst(-1),
+					ir.Store(r("B", i, j), sum))),
+		},
+	}
+	return &Kernel{
+		Bench: "2dconv", Name: "2dconv", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, B := d["A"], d["B"]
+			w := [3][3]float64{{0.2, -0.3, 0.4}, {0.5, 0.6, 0.7}, {-0.8, -0.9, 0.10}}
+			for i := int64(1); i < n-1; i++ {
+				for j := int64(1); j < n-1; j++ {
+					acc := 0.0
+					for di := int64(-1); di <= 1; di++ {
+						for dj := int64(-1); dj <= 1; dj++ {
+							acc += w[di+1][dj+1] * A[(i+di)*n+(j+dj)]
+						}
+					}
+					B[i*n+j] = acc
+				}
+			}
+		},
+	}
+}
+
+// -------------------------------------------------------------- 3DCONV --
+
+// conv3dTaps is the Polybench 3D convolution tap pattern: the full 3×3
+// corner pattern on the k-1 and k+1 planes plus a 3-point column on the
+// centre plane.
+var conv3dTaps = []struct {
+	w          float64
+	di, dj, dk int64
+}{
+	{0.2, -1, -1, -1}, {0.4, 1, -1, -1}, {0.5, -1, 0, -1}, {0.7, 1, 0, -1},
+	{-0.8, -1, 1, -1}, {0.10, 1, 1, -1},
+	{-0.3, 0, -1, 0}, {0.6, 0, 0, 0}, {-0.9, 0, 1, 0},
+	{0.2, -1, -1, 1}, {0.4, 1, -1, 1}, {0.5, -1, 0, 1}, {0.7, 1, 0, 1},
+	{-0.8, -1, 1, 1}, {0.10, 1, 1, 1},
+}
+
+// conv3dK: 3D stencil, parallel over (i,j), sequential k.
+func conv3dK() *Kernel {
+	n := v("n")
+	i, j, kk := v("i"), v("j"), v("k")
+	var sum ir.Expr
+	for t, tp := range conv3dTaps {
+		e := ir.FMul(f(tp.w), ld("A", i.AddConst(tp.di), j.AddConst(tp.dj), kk.AddConst(tp.dk)))
+		if t == 0 {
+			sum = e
+		} else {
+			sum = ir.FAdd(sum, e)
+		}
+	}
+	k := &ir.Kernel{
+		Name:   "3dconv",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n, n), ir.Out("B", ir.F64, n, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(1), n.AddConst(-1),
+				ir.ParFor("j", c(1), n.AddConst(-1),
+					ir.For("k", c(1), n.AddConst(-1),
+						ir.Store(r("B", i, j, kk), sum)))),
+		},
+	}
+	return &Kernel{
+		Bench: "3dconv", Name: "3dconv", IR: k, Bindings: cube,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, B := d["A"], d["B"]
+			at := func(i, j, k int64) float64 { return A[(i*n+j)*n+k] }
+			for i := int64(1); i < n-1; i++ {
+				for j := int64(1); j < n-1; j++ {
+					for k := int64(1); k < n-1; k++ {
+						acc := 0.0
+						for _, tp := range conv3dTaps {
+							acc += tp.w * at(i+tp.di, j+tp.dj, k+tp.dk)
+						}
+						B[(i*n+j)*n+k] = acc
+					}
+				}
+			}
+		},
+	}
+}
+
+// --------------------------------------------------------------- COVAR --
+
+// covarMeanK: mean[j] = Σ_i data[i][j] / n.
+func covarMeanK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "covar_mean",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("data", ir.F64, n, n), ir.Out("mean", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("j", c(0), n,
+				ir.Set("acc", f(0)),
+				ir.For("i", c(0), n,
+					ir.AccumS("acc", ld("data", v("i"), v("j")))),
+				ir.Store(r("mean", v("j")), ir.FDiv(ir.S("acc"), ir.FIdx(n)))),
+		},
+	}
+	return &Kernel{
+		Bench: "covar", Name: "covar_mean", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			data, mean := d["data"], d["mean"]
+			for j := int64(0); j < n; j++ {
+				acc := 0.0
+				for i := int64(0); i < n; i++ {
+					acc += data[i*n+j]
+				}
+				mean[j] = acc / float64(n)
+			}
+		},
+	}
+}
+
+// covarReduceK: data[i][j] -= mean[j].
+func covarReduceK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "covar_reduce",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.Arr("data", ir.F64, n, n), ir.In("mean", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.ParFor("j", c(0), n,
+					ir.Store(r("data", v("i"), v("j")),
+						ir.FSub(ld("data", v("i"), v("j")), ld("mean", v("j")))))),
+		},
+	}
+	return &Kernel{
+		Bench: "covar", Name: "covar_reduce", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			data, mean := d["data"], d["mean"]
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					data[i*n+j] -= mean[j]
+				}
+			}
+		},
+	}
+}
+
+// covarK: symmat[j1][j2] = Σ_i data[i][j1]*data[i][j2], triangular.
+func covarK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "covar",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("data", ir.F64, n, n), ir.Out("symmat", ir.F64, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("j1", c(0), n,
+				ir.For("j2", v("j1"), n,
+					ir.Set("acc", f(0)),
+					ir.For("i", c(0), n,
+						ir.AccumS("acc", ir.FMul(ld("data", v("i"), v("j1")), ld("data", v("i"), v("j2"))))),
+					ir.Store(r("symmat", v("j1"), v("j2")), ir.S("acc")),
+					ir.Store(r("symmat", v("j2"), v("j1")), ir.S("acc")))),
+		},
+	}
+	return &Kernel{
+		Bench: "covar", Name: "covar", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			data, symmat := d["data"], d["symmat"]
+			for j1 := int64(0); j1 < n; j1++ {
+				for j2 := j1; j2 < n; j2++ {
+					acc := 0.0
+					for i := int64(0); i < n; i++ {
+						acc += data[i*n+j1] * data[i*n+j2]
+					}
+					symmat[j1*n+j2] = acc
+					symmat[j2*n+j1] = acc
+				}
+			}
+		},
+	}
+}
+
+// ------------------------------------------------------------- GESUMMV --
+
+// gesummvK: y = alpha*A*x + beta*B*x.
+func gesummvK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:        "gesummv",
+		Params:      []string{"n"},
+		FloatParams: []string{"alpha", "beta"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("B", ir.F64, n, n),
+			ir.In("x", ir.F64, n), ir.Out("y", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.Set("ta", f(0)),
+				ir.Set("tb", f(0)),
+				ir.For("j", c(0), n,
+					ir.AccumS("ta", ir.FMul(ld("A", v("i"), v("j")), ld("x", v("j")))),
+					ir.AccumS("tb", ir.FMul(ld("B", v("i"), v("j")), ld("x", v("j"))))),
+				ir.Store(r("y", v("i")),
+					ir.FAdd(ir.FMul(ir.S("alpha"), ir.S("ta")),
+						ir.FMul(ir.S("beta"), ir.S("tb"))))),
+		},
+	}
+	return &Kernel{
+		Bench: "gesummv", Name: "gesummv", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, B, x, y := d["A"], d["B"], d["x"], d["y"]
+			for i := int64(0); i < n; i++ {
+				ta, tb := 0.0, 0.0
+				for j := int64(0); j < n; j++ {
+					ta += A[i*n+j] * x[j]
+					tb += B[i*n+j] * x[j]
+				}
+				y[i] = FloatParamValue*ta + FloatParamValue*tb
+			}
+		},
+	}
+}
+
+// ---------------------------------------------------------- SYRK/SYR2K --
+
+// syrkK: C = beta*C + alpha*A*Aᵀ.
+func syrkK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:        "syrk",
+		Params:      []string{"n"},
+		FloatParams: []string{"alpha", "beta"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.Arr("C", ir.F64, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.ParFor("j", c(0), n,
+					ir.Set("acc", f(0)),
+					ir.For("k", c(0), n,
+						ir.AccumS("acc", ir.FMul(ld("A", v("i"), v("k")), ld("A", v("j"), v("k"))))),
+					ir.Store(r("C", v("i"), v("j")),
+						ir.FAdd(ir.FMul(ir.S("beta"), ld("C", v("i"), v("j"))),
+							ir.FMul(ir.S("alpha"), ir.S("acc")))))),
+		},
+	}
+	return &Kernel{
+		Bench: "syrk", Name: "syrk", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, C := d["A"], d["C"]
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					acc := 0.0
+					for kk := int64(0); kk < n; kk++ {
+						acc += A[i*n+kk] * A[j*n+kk]
+					}
+					C[i*n+j] = FloatParamValue*C[i*n+j] + FloatParamValue*acc
+				}
+			}
+		},
+	}
+}
+
+// syr2kK: C = beta*C + alpha*A*Bᵀ + alpha*B*Aᵀ.
+func syr2kK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:        "syr2k",
+		Params:      []string{"n"},
+		FloatParams: []string{"alpha", "beta"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("B", ir.F64, n, n), ir.Arr("C", ir.F64, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.ParFor("j", c(0), n,
+					ir.Set("acc", f(0)),
+					ir.For("k", c(0), n,
+						ir.AccumS("acc", ir.FAdd(
+							ir.FMul(ld("A", v("i"), v("k")), ld("B", v("j"), v("k"))),
+							ir.FMul(ld("B", v("i"), v("k")), ld("A", v("j"), v("k")))))),
+					ir.Store(r("C", v("i"), v("j")),
+						ir.FAdd(ir.FMul(ir.S("beta"), ld("C", v("i"), v("j"))),
+							ir.FMul(ir.S("alpha"), ir.S("acc")))))),
+		},
+	}
+	return &Kernel{
+		Bench: "syr2k", Name: "syr2k", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			A, B, C := d["A"], d["B"], d["C"]
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					acc := 0.0
+					for kk := int64(0); kk < n; kk++ {
+						acc += A[i*n+kk]*B[j*n+kk] + B[i*n+kk]*A[j*n+kk]
+					}
+					C[i*n+j] = FloatParamValue*C[i*n+j] + FloatParamValue*acc
+				}
+			}
+		},
+	}
+}
+
+// ---------------------------------------------------------------- CORR --
+
+const corrEps = 0.005
+
+// corrMeanK: mean[j] = Σ_i data[i][j] / n.
+func corrMeanK() *Kernel {
+	base := covarMeanK()
+	k := *base.IR
+	k.Name = "corr_mean"
+	return &Kernel{Bench: "corr", Name: "corr_mean", IR: &k,
+		Bindings: square, Reference: base.Reference}
+}
+
+// corrStdK: stddev[j] = sqrt(Σ (data[i][j]-mean[j])²/n), clamped to 1 when
+// near zero — the data-dependent conditional the static analyses model
+// with the 50% heuristic.
+func corrStdK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "corr_std",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("data", ir.F64, n, n), ir.In("mean", ir.F64, n),
+			ir.Out("stddev", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("j", c(0), n,
+				ir.Set("acc", f(0)),
+				ir.For("i", c(0), n,
+					ir.Set("dv", ir.FSub(ld("data", v("i"), v("j")), ld("mean", v("j")))),
+					ir.AccumS("acc", ir.FMul(ir.S("dv"), ir.S("dv")))),
+				ir.Set("sd", ir.FSqrt(ir.FDiv(ir.S("acc"), ir.FIdx(n)))),
+				ir.WhenElse(ir.Cmp(ir.LE, ir.S("sd"), f(corrEps)),
+					[]ir.Stmt{ir.Store(r("stddev", v("j")), f(1.0))},
+					[]ir.Stmt{ir.Store(r("stddev", v("j")), ir.S("sd"))})),
+		},
+	}
+	return &Kernel{
+		Bench: "corr", Name: "corr_std", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			data, mean, stddev := d["data"], d["mean"], d["stddev"]
+			for j := int64(0); j < n; j++ {
+				acc := 0.0
+				for i := int64(0); i < n; i++ {
+					dv := data[i*n+j] - mean[j]
+					acc += dv * dv
+				}
+				sd := math.Sqrt(acc / float64(n))
+				if sd <= corrEps {
+					sd = 1.0
+				}
+				stddev[j] = sd
+			}
+		},
+	}
+}
+
+// corrReduceK: data[i][j] = (data[i][j]-mean[j]) / (sqrt(n)*stddev[j]).
+func corrReduceK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "corr_reduce",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.Arr("data", ir.F64, n, n), ir.In("mean", ir.F64, n),
+			ir.In("stddev", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", c(0), n,
+				ir.ParFor("j", c(0), n,
+					ir.Store(r("data", v("i"), v("j")),
+						ir.FDiv(
+							ir.FSub(ld("data", v("i"), v("j")), ld("mean", v("j"))),
+							ir.FMul(ir.FSqrt(ir.FIdx(n)), ld("stddev", v("j"))))))),
+		},
+	}
+	return &Kernel{
+		Bench: "corr", Name: "corr_reduce", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			data, mean, stddev := d["data"], d["mean"], d["stddev"]
+			sq := math.Sqrt(float64(n))
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					data[i*n+j] = (data[i*n+j] - mean[j]) / (sq * stddev[j])
+				}
+			}
+		},
+	}
+}
+
+// corrK: symmat[j1][j2] = data[:,j1] · data[:,j2] for j2 > j1, with unit
+// diagonal (triangular loop).
+func corrK() *Kernel {
+	n := v("n")
+	k := &ir.Kernel{
+		Name:   "corr",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("data", ir.F64, n, n), ir.Out("symmat", ir.F64, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("j1", c(0), n,
+				ir.Store(r("symmat", v("j1"), v("j1")), f(1.0)),
+				ir.For("j2", v("j1").AddConst(1), n,
+					ir.Set("acc", f(0)),
+					ir.For("i", c(0), n,
+						ir.AccumS("acc", ir.FMul(ld("data", v("i"), v("j1")), ld("data", v("i"), v("j2"))))),
+					ir.Store(r("symmat", v("j1"), v("j2")), ir.S("acc")),
+					ir.Store(r("symmat", v("j2"), v("j1")), ir.S("acc")))),
+		},
+	}
+	return &Kernel{
+		Bench: "corr", Name: "corr", IR: k, Bindings: square,
+		Reference: func(b symbolic.Bindings, d ir.Data) {
+			n := b["n"]
+			data, symmat := d["data"], d["symmat"]
+			for j1 := int64(0); j1 < n; j1++ {
+				symmat[j1*n+j1] = 1.0
+				for j2 := j1 + 1; j2 < n; j2++ {
+					acc := 0.0
+					for i := int64(0); i < n; i++ {
+						acc += data[i*n+j1] * data[i*n+j2]
+					}
+					symmat[j1*n+j2] = acc
+					symmat[j2*n+j1] = acc
+				}
+			}
+		},
+	}
+}

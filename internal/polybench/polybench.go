@@ -1,0 +1,131 @@
+// Package polybench encodes the OpenMP target-region kernels of the
+// Polybench/ACC benchmark suite used in the paper's evaluation: GEMM, MVT,
+// 3MM, 2MM, ATAX, BICG, 2DCONV, 3DCONV, COVAR, GESUMMV, SYR2K, SYRK and
+// CORR, decomposed into the per-target-region kernels their GPU versions
+// launch (e.g. CORR's four kernels; ATAX's two).
+//
+// Each kernel carries its IR encoding (consumed by the analyses, models
+// and simulators) and a native Go reference implementation against which
+// the IR interpretation is validated in the package tests.
+//
+// The two execution modes match the paper: "test" uses 1100×1100 inputs
+// and "benchmark" 9600×9600, except the 3D convolution whose cube is sized
+// 128³/256³ (the paper notes input sizes apply "in most programs").
+package polybench
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Mode selects the dataset size of a run.
+type Mode int
+
+// Execution modes (paper Section III).
+const (
+	Test Mode = iota
+	Benchmark
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Benchmark {
+		return "benchmark"
+	}
+	return "test"
+}
+
+// N returns the square-matrix dimension of the mode.
+func (m Mode) N() int64 {
+	if m == Benchmark {
+		return 9600
+	}
+	return 1100
+}
+
+// Kernel is one offloadable target region of a benchmark.
+type Kernel struct {
+	// Bench is the owning benchmark ("gemm", "corr", ...).
+	Bench string
+	// Name identifies the kernel ("gemm", "corr_std", "atax2", ...).
+	Name string
+	// IR is the target-region loop nest.
+	IR *ir.Kernel
+	// Bindings returns the runtime parameter values for a mode.
+	Bindings func(m Mode) symbolic.Bindings
+	// Reference executes the kernel natively on data laid out like the
+	// IR arrays (row-major flat slices keyed by array name). Used by
+	// tests to validate the IR encoding at small sizes.
+	Reference func(b symbolic.Bindings, data ir.Data)
+}
+
+// square returns the standard n-binding for a mode.
+func square(m Mode) symbolic.Bindings { return symbolic.Bindings{"n": m.N()} }
+
+// cube returns the 3DCONV binding for a mode.
+func cube(m Mode) symbolic.Bindings {
+	if m == Benchmark {
+		return symbolic.Bindings{"n": 256}
+	}
+	return symbolic.Bindings{"n": 128}
+}
+
+// Suite returns every kernel of the suite, ordered by benchmark then
+// kernel position.
+func Suite() []*Kernel {
+	return []*Kernel{
+		gemmK(),
+		mvt1K(), mvt2K(),
+		mm3K(1), mm3K(2), mm3K(3),
+		mm2K(1), mm2K(2),
+		atax1K(), atax2K(),
+		bicg1K(), bicg2K(),
+		conv2dK(),
+		conv3dK(),
+		covarMeanK(), covarReduceK(), covarK(),
+		gesummvK(),
+		syr2kK(),
+		syrkK(),
+		corrMeanK(), corrStdK(), corrReduceK(), corrK(),
+	}
+}
+
+// Benchmarks returns the kernels grouped by benchmark, in suite order.
+func Benchmarks() map[string][]*Kernel {
+	out := map[string][]*Kernel{}
+	for _, k := range Suite() {
+		out[k.Bench] = append(out[k.Bench], k)
+	}
+	return out
+}
+
+// BenchNames returns the benchmark names in canonical order.
+func BenchNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, k := range Suite() {
+		if !seen[k.Bench] {
+			seen[k.Bench] = true
+			names = append(names, k.Bench)
+		}
+	}
+	return names
+}
+
+// Get returns the kernel with the given name.
+func Get(name string) (*Kernel, error) {
+	for _, k := range Suite() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	var all []string
+	for _, k := range Suite() {
+		all = append(all, k.Name)
+	}
+	sort.Strings(all)
+	return nil, fmt.Errorf("polybench: no kernel %q (have %v)", name, all)
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// The walker pre-compiles the kernel into a slot-indexed mirror of the IR
+// so the hot execution path performs no map lookups or symbolic
+// manipulation.
+
+type cStmt interface{ isCStmt() }
+
+type cLoop struct {
+	slot   int
+	lo, hi symbolic.Compiled
+	step   int64
+	body   []cStmt
+}
+
+type cAssign struct {
+	addr  symbolic.Compiled // byte address expression (base folded in)
+	accum bool
+	rhs   cExpr
+}
+
+type cScalarAssign struct {
+	name  string
+	accum bool
+	rhs   cExpr
+}
+
+type cIf struct {
+	op        ir.CmpOp
+	l, r      cExpr
+	then, els []cStmt
+}
+
+func (*cLoop) isCStmt()         {}
+func (*cAssign) isCStmt()       {}
+func (*cScalarAssign) isCStmt() {}
+func (*cIf) isCStmt()           {}
+
+type cExpr interface{ isCExpr() }
+
+type cConst struct{ v float64 }
+type cScalar struct{ name string }
+type cLoad struct{ addr symbolic.Compiled }
+type cIdx struct {
+	e       symbolic.Compiled
+	intOps  int
+	hasWork bool
+}
+type cBin struct {
+	cls  machine.OpClass
+	op   ir.BinOp
+	l, r cExpr
+}
+type cUn struct {
+	cls machine.OpClass
+	op  ir.UnOp
+	x   cExpr
+}
+
+func (cConst) isCExpr()  {}
+func (cScalar) isCExpr() {}
+func (cLoad) isCExpr()   {}
+func (cIdx) isCExpr()    {}
+func (cBin) isCExpr()    {}
+func (cUn) isCExpr()     {}
+
+type compiler struct {
+	w   *Walker
+	lay *Layout
+}
+
+// addrExpr builds the byte-address polynomial of a reference:
+// base + elemSize * linearIndex.
+func (c *compiler) addrExpr(r ir.Ref) (symbolic.Compiled, error) {
+	arr := c.w.k.Array(r.Array)
+	if arr == nil {
+		return symbolic.Compiled{}, fmt.Errorf("sim: undeclared array %q", r.Array)
+	}
+	base, ok := c.lay.Bases[r.Array]
+	if !ok {
+		return symbolic.Compiled{}, fmt.Errorf("sim: no layout for array %q", r.Array)
+	}
+	e := arr.LinearIndex(r.Index).MulConst(arr.Elem.Size()).AddConst(base)
+	return symbolic.Compile(e, c.w.slots)
+}
+
+func (c *compiler) stmts(ss []ir.Stmt) ([]cStmt, error) {
+	out := make([]cStmt, 0, len(ss))
+	for _, s := range ss {
+		cs, err := c.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+func (c *compiler) stmt(s ir.Stmt) (cStmt, error) {
+	switch s := s.(type) {
+	case *ir.Loop:
+		lo, err := symbolic.Compile(s.Lower, c.w.slots)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := symbolic.Compile(s.Upper, c.w.slots)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.stmts(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &cLoop{slot: c.w.slots[s.Var], lo: lo, hi: hi, step: s.Step, body: body}, nil
+	case *ir.Assign:
+		addr, err := c.addrExpr(s.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := c.expr(s.RHS)
+		if err != nil {
+			return nil, err
+		}
+		return &cAssign{addr: addr, accum: s.Accum, rhs: rhs}, nil
+	case *ir.ScalarAssign:
+		rhs, err := c.expr(s.RHS)
+		if err != nil {
+			return nil, err
+		}
+		return &cScalarAssign{name: s.Name, accum: s.Accum, rhs: rhs}, nil
+	case *ir.If:
+		l, err := c.expr(s.Cond.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.expr(s.Cond.R)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.stmts(s.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.stmts(s.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &cIf{op: s.Cond.Op, l: l, r: r, then: then, els: els}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown statement %T", s)
+	}
+}
+
+func (c *compiler) expr(e ir.Expr) (cExpr, error) {
+	switch e := e.(type) {
+	case ir.ConstF:
+		return cConst{v: float64(e)}, nil
+	case ir.Scalar:
+		return cScalar{name: string(e)}, nil
+	case ir.Load:
+		addr, err := c.addrExpr(e.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return cLoad{addr: addr}, nil
+	case ir.IndexVal:
+		ce, err := symbolic.Compile(e.E, c.w.slots)
+		if err != nil {
+			return nil, err
+		}
+		adds, muls := e.E.OpCount()
+		return cIdx{e: ce, intOps: adds + muls + 1, hasWork: true}, nil
+	case ir.Bin:
+		l, err := c.expr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.expr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		var cls machine.OpClass
+		switch e.Op {
+		case ir.Add, ir.Sub:
+			cls = machine.OpFAdd
+		case ir.Mul:
+			cls = machine.OpFMul
+		case ir.Div:
+			cls = machine.OpFDiv
+		}
+		return cBin{cls: cls, op: e.Op, l: l, r: r}, nil
+	case ir.Un:
+		x, err := c.expr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		var cls machine.OpClass
+		switch e.Op {
+		case ir.Neg, ir.Abs:
+			cls = machine.OpFAdd
+		case ir.Sqrt, ir.Exp:
+			cls = machine.OpFSqrt
+		}
+		return cUn{cls: cls, op: e.Op, x: x}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown expression %T", e)
+	}
+}

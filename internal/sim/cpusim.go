@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/mca"
+	"github.com/hybridsel/hybridsel/internal/memsim"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// CPUConfig controls the CPU simulation fidelity/cost trade-off.
+type CPUConfig struct {
+	// Threads is the OpenMP thread count (0 = all hardware threads).
+	Threads int
+	// SampleItems caps the number of work items walked in detail
+	// (default 96, in runs of 8 consecutive items for locality).
+	SampleItems int64
+	// MaxLoopSample caps simulated iterations per sequential loop
+	// (default 192; costs are rescaled).
+	MaxLoopSample int64
+	// Fraction, when in (0,1), executes only the leading fraction of the
+	// iteration space (cooperative split execution).
+	Fraction float64
+	// DynamicChunk, when positive, simulates `schedule(dynamic, chunk)`:
+	// work balances across threads at the cost of one queue dispatch per
+	// chunk. Zero simulates the default static schedule, where the
+	// region waits for its most loaded thread.
+	DynamicChunk int64
+}
+
+func (c CPUConfig) withDefaults(cpu *machine.CPU) CPUConfig {
+	if c.Threads <= 0 || c.Threads > cpu.Threads() {
+		c.Threads = cpu.Threads()
+	}
+	if c.SampleItems <= 0 {
+		c.SampleItems = 96
+	}
+	if c.MaxLoopSample <= 0 {
+		c.MaxLoopSample = 192
+	}
+	return c
+}
+
+// CPUResult is the outcome of a simulated parallel-region execution.
+type CPUResult struct {
+	Seconds       float64
+	CyclesPerItem float64 // per work item on one thread, after SMT/SIMD effects
+	Threads       int
+	ChunkIters    int64
+
+	// Observed micro-behaviour (what the analytical model lacks).
+	MeanLoadLatency float64
+	BranchProb      float64
+	L1HitRate       float64
+	Vectorized      bool
+	DRAMBytes       float64 // extrapolated total DRAM traffic
+	BandwidthBound  bool
+	SMTContention   float64 // per-thread slowdown factor from sharing a core
+	Imbalance       float64 // static-schedule max/mean thread work (0 if balanced)
+}
+
+// cpuEngine accumulates walker events against a core-private hierarchy.
+type cpuEngine struct {
+	h *memsim.Hierarchy
+
+	ops        [machine.NumOpClasses]float64
+	loadLatSum float64
+	loads      float64
+	takenSum   float64
+	branchSum  float64
+	dramBytes  float64
+}
+
+func (e *cpuEngine) Op(class machine.OpClass, act int, scale float64) {
+	e.ops[class] += float64(act) * scale
+}
+
+func (e *cpuEngine) Mem(kind ir.AccessKind, addrs []int64, scale float64) {
+	for _, a := range addrs {
+		before := e.h.DRAMBytes
+		lat := e.h.Access(a)
+		e.dramBytes += float64(e.h.DRAMBytes-before) * scale
+		if kind == ir.AccLoad {
+			e.loadLatSum += float64(lat) * scale
+			e.loads += scale
+		}
+	}
+}
+
+func (e *cpuEngine) Branch(taken, act int, scale float64) {
+	e.takenSum += float64(taken) * scale
+	e.branchSum += float64(act) * scale
+}
+
+// SimulateCPU executes the kernel's parallel region on the simulated host
+// and returns its wall-clock estimate. It is the study's ground truth for
+// host execution: it observes real addresses (cache and TLB behaviour),
+// real trip counts, real branch outcomes, structural SIMD capability, SMT
+// resource contention and a DRAM bandwidth ceiling — all the effects the
+// analytical model abstracts away.
+func SimulateCPU(k *ir.Kernel, cpu *machine.CPU, b symbolic.Bindings, cfg CPUConfig) (CPUResult, error) {
+	cfg = cfg.withDefaults(cpu)
+	lay, err := NewLayout(k, b)
+	if err != nil {
+		return CPUResult{}, err
+	}
+	eng := &cpuEngine{h: memsim.NewCPUHierarchy(cpu)}
+	w, err := NewWalker(k, b, lay, eng, 1, cfg.MaxLoopSample)
+	if err != nil {
+		return CPUResult{}, err
+	}
+	items := w.Items()
+	if f := cfg.Fraction; f > 0 && f < 1 {
+		items = int64(float64(items)*f + 0.5)
+		if items < 1 {
+			items = 1
+		}
+	}
+
+	// Walk sampled work items in runs of 8 consecutive items, spread
+	// evenly over the iteration space.
+	sampled := cfg.SampleItems
+	if sampled > items {
+		sampled = items
+	}
+	const runLen = 8
+	runs := (sampled + runLen - 1) / runLen
+	var walked int64
+	var runOps []float64 // per-run ops per item, for imbalance analysis
+	for r := int64(0); r < runs; r++ {
+		base := r * (items / runs)
+		opsBefore := totalOps(eng)
+		var inRun int64
+		for j := int64(0); j < runLen && walked < sampled; j++ {
+			id := base + j
+			if id >= items {
+				break
+			}
+			if err := w.RunItems([]int64{id}, 1); err != nil {
+				return CPUResult{}, err
+			}
+			walked++
+			inRun++
+		}
+		if inRun > 0 {
+			runOps = append(runOps, (totalOps(eng)-opsBefore)/float64(inRun))
+		}
+	}
+	if walked == 0 {
+		return CPUResult{}, fmt.Errorf("sim: no work items to simulate")
+	}
+
+	// The runtime never forks more workers than there are iterations.
+	if int64(cfg.Threads) > items {
+		cfg.Threads = int(items)
+	}
+
+	res := CPUResult{Threads: cfg.Threads}
+	if eng.loads > 0 {
+		res.MeanLoadLatency = eng.loadLatSum / eng.loads
+	}
+	res.BranchProb = 0.5
+	if eng.branchSum > 0 {
+		res.BranchProb = eng.takenSum / eng.branchSum
+	}
+	res.L1HitRate = eng.h.L1.HitRate()
+
+	// Pipeline replay with the observed memory latency and branch
+	// behaviour, and exact trip counts.
+	simCPU := *cpu
+	if res.MeanLoadLatency > 0 {
+		simCPU.Ops[machine.OpLoad] = machine.OpDesc{
+			Unit:    cpu.Ops[machine.OpLoad].Unit,
+			Latency: int(math.Max(1, math.Round(res.MeanLoadLatency))),
+			Recip:   cpu.Ops[machine.OpLoad].Recip,
+		}
+	}
+	prog, err := mca.Lower(k, ir.CountOptions{
+		DefaultTrip: 128, BranchProb: res.BranchProb, Bindings: b})
+	if err != nil {
+		return CPUResult{}, err
+	}
+	rep := mca.Analyze(prog, &simCPU)
+	cyclesPerItem := rep.CyclesPerWorkItem
+	// The lowering falls back to heuristic trip counts for loops whose
+	// bounds involve outer loop variables (triangular nests); the walker
+	// measured the true dynamic op count, so rescale the pipeline
+	// estimate to the real amount of work.
+	measuredOps := totalOps(eng) / float64(walked)
+	if rep.TotalOps > 0 && measuredOps > 0 {
+		cyclesPerItem *= measuredOps / rep.TotalOps
+	}
+
+	// Structural SIMD: the compiler vectorizes when IPDA proves
+	// contiguity and the ISA generation supports the loop shape.
+	an, err := ipda.Analyze(k, ir.CountOptions{DefaultTrip: 128,
+		BranchProb: res.BranchProb, Bindings: b})
+	if err != nil {
+		return CPUResult{}, err
+	}
+	if an.Vectorizable(b) && vecCapable(k, cpu) {
+		cyclesPerItem /= float64(cpu.VectorLanesF64) * 0.95
+		res.Vectorized = true
+	}
+
+	// SMT contention: threads co-resident on a core compete for its
+	// bottleneck unit; a thread with pressure p saturates the shared
+	// pipe once tpc×p exceeds 1.
+	tpc := (cfg.Threads + cpu.Cores - 1) / cpu.Cores
+	contention := 1.0
+	if tpc > 1 {
+		maxPressure := 0.0
+		for _, bl := range rep.Blocks {
+			for _, p := range bl.Pressure {
+				if p > maxPressure {
+					maxPressure = p
+				}
+			}
+		}
+		contention = math.Max(1, float64(tpc)*maxPressure)
+	}
+	res.SMTContention = contention
+	cyclesPerItem *= contention
+	res.CyclesPerItem = cyclesPerItem
+
+	chunk := (items + int64(cfg.Threads) - 1) / int64(cfg.Threads)
+	res.ChunkIters = chunk
+	workCycles := cyclesPerItem * float64(chunk)
+
+	// Schedule effects. Static chunking makes the region wait for its
+	// most loaded thread: scale by the measured max/mean per-item work
+	// across the sampled regions of the iteration space (1 for
+	// rectangular kernels). Dynamic scheduling balances the queue but
+	// pays a dispatch per chunk.
+	if cfg.DynamicChunk > 0 {
+		chunks := (items + cfg.DynamicChunk - 1) / cfg.DynamicChunk
+		perThread := (chunks + int64(cfg.Threads) - 1) / int64(cfg.Threads)
+		workCycles += float64(perThread) * float64(cpu.OMP.ChunkDispatch)
+	} else if imb := imbalance(runOps); imb > 1 {
+		workCycles *= imb
+		res.Imbalance = imb
+	}
+
+	// False sharing: stores by neighbouring threads landing in one cache
+	// line ping-pong it between cores.
+	risk := an.FalseSharingRisk(b, chunk, cpu.L1.LineBytes)
+	if risk > 0 {
+		storesPerItem := eng.ops[machine.OpStore] / float64(walked)
+		workCycles += risk * storesPerItem * float64(chunk) *
+			2 * float64(cpu.L3.LatencyCycle)
+	}
+
+	freq := cpu.FreqGHz * 1e9
+	workSeconds := workCycles / freq
+
+	// DRAM bandwidth ceiling across all threads.
+	res.DRAMBytes = eng.dramBytes * float64(items) / float64(walked)
+	if minSec := res.DRAMBytes / (cpu.MemBandwidthGBs * 1e9); minSec > workSeconds {
+		workSeconds = minSec
+		res.BandwidthBound = true
+	}
+
+	fork, sched, join := cpu.OverheadCycles(cfg.Threads)
+	res.Seconds = (fork+sched+join)/freq + workSeconds
+	return res, nil
+}
+
+// totalOps sums all operation counters of the engine.
+func totalOps(e *cpuEngine) float64 {
+	var t float64
+	for _, n := range e.ops {
+		t += n
+	}
+	return t
+}
+
+// imbalance returns max/mean of the per-run work samples (1 when
+// uniform or with too few samples).
+func imbalance(runOps []float64) float64 {
+	if len(runOps) < 2 {
+		return 1
+	}
+	var sum, max float64
+	for _, v := range runOps {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / float64(len(runOps))
+	if mean <= 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// vecCapable reports whether the CPU generation's compiler/ISA vectorizes
+// the kernel's loop shape: reductions and div/sqrt bodies require the
+// later VSX generation.
+func vecCapable(k *ir.Kernel, cpu *machine.CPU) bool {
+	hasReduction, hasDivSqrt := loopShape(k.InnerBody(), false)
+	if hasReduction && !cpu.VecReductions {
+		return false
+	}
+	if hasDivSqrt && !cpu.VecDivSqrt {
+		return false
+	}
+	return true
+}
+
+// loopShape scans for accumulations inside sequential loops and for
+// div/sqrt operations anywhere in the body.
+func loopShape(ss []ir.Stmt, inSeqLoop bool) (reduction, divSqrt bool) {
+	var scanExpr func(e ir.Expr)
+	scanExpr = func(e ir.Expr) {
+		switch e := e.(type) {
+		case ir.Bin:
+			if e.Op == ir.Div {
+				divSqrt = true
+			}
+			scanExpr(e.L)
+			scanExpr(e.R)
+		case ir.Un:
+			if e.Op == ir.Sqrt || e.Op == ir.Exp {
+				divSqrt = true
+			}
+			scanExpr(e.X)
+		}
+	}
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *ir.Loop:
+			r, d := loopShape(s.Body, true)
+			reduction = reduction || r
+			divSqrt = divSqrt || d
+		case *ir.Assign:
+			if s.Accum && inSeqLoop {
+				reduction = true
+			}
+			scanExpr(s.RHS)
+		case *ir.ScalarAssign:
+			if s.Accum && inSeqLoop {
+				reduction = true
+			}
+			scanExpr(s.RHS)
+		case *ir.If:
+			scanExpr(s.Cond.L)
+			scanExpr(s.Cond.R)
+			r1, d1 := loopShape(s.Then, inSeqLoop)
+			r2, d2 := loopShape(s.Else, inSeqLoop)
+			reduction = reduction || r1 || r2
+			divSqrt = divSqrt || d1 || d2
+		}
+	}
+	return reduction, divSqrt
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// TestWalkerMatchesStaticCount cross-validates the two independent paths
+// that count a kernel's dynamic operations: the static instruction-loadout
+// analysis with exact bindings (ir.Count) and the walker's concrete
+// execution. For rectangular kernels (no triangular bounds, no data-
+// dependent branches) they must agree exactly on FP and memory operation
+// counts per work item.
+func TestWalkerMatchesStaticCount(t *testing.T) {
+	rectangular := []string{"gemm", "mvt1", "mvt2", "atax1", "atax2",
+		"bicg1", "bicg2", "gesummv", "syrk", "syr2k", "2mm1", "3mm1",
+		"covar_mean", "covar_reduce", "corr_reduce"}
+	n := int64(64)
+	for _, name := range rectangular {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := symbolic.Bindings{"n": n}
+		want := ir.Count(k.IR, ir.CountOptions{DefaultTrip: 128,
+			BranchProb: 0.5, Bindings: b})
+
+		lay, err := NewLayout(k.IR, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt := &opCounter{}
+		w, err := NewWalker(k.IR, b, lay, cnt, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Walk a handful of work items; rectangular kernels have
+		// identical per-item costs.
+		for _, id := range []int64{0, 1, w.Items() / 2, w.Items() - 1} {
+			if err := w.RunItems([]int64{id}, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const items = 4
+		checks := []struct {
+			label        string
+			walker, want float64
+		}{
+			{"loads", cnt.loads / items, want.Loads},
+			{"stores", cnt.stores / items, want.Stores},
+			{"fpadd", cnt.ops[machine.OpFAdd] / items, want.FPAdd},
+			{"fpmul", cnt.ops[machine.OpFMul] / items, want.FPMul},
+			{"fpdiv", cnt.ops[machine.OpFDiv] / items, want.FPDiv},
+			{"fpspecial", cnt.ops[machine.OpFSqrt] / items, want.FPSpecial},
+		}
+		for _, c := range checks {
+			if math.Abs(c.walker-c.want) > 1e-9 {
+				t.Errorf("%s: walker %s = %v, static count = %v",
+					name, c.label, c.walker, c.want)
+			}
+		}
+	}
+}
+
+// opCounter is a pure counting engine.
+type opCounter struct {
+	ops           [machine.NumOpClasses]float64
+	loads, stores float64
+}
+
+func (c *opCounter) Op(cl machine.OpClass, act int, scale float64) {
+	c.ops[cl] += float64(act) * scale
+}
+
+func (c *opCounter) Mem(kind ir.AccessKind, addrs []int64, scale float64) {
+	n := float64(len(addrs)) * scale
+	if kind == ir.AccLoad {
+		c.loads += n
+	} else {
+		c.stores += n
+	}
+}
+
+func (c *opCounter) Branch(taken, act int, scale float64) {}
+
+// TestTriangularWalkerVsAverage: for covar's triangular nest, the average
+// walker work over all items must match the analytic mean (half the
+// rectangular count), which the midpoint-bound static count approximates.
+func TestTriangularWalkerVsAverage(t *testing.T) {
+	k, err := polybench.Get("covar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(48)
+	b := symbolic.Bindings{"n": n}
+	lay, err := NewLayout(k.IR, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := &opCounter{}
+	w, err := NewWalker(k.IR, b, lay, cnt, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(0); id < n; id++ {
+		if err := w.RunItems([]int64{id}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per item j1: inner pair loop runs (n-j1) * n multiplies; total over
+	// all items = n^2(n+1)/2.
+	wantMuls := float64(n * n * (n + 1) / 2)
+	if math.Abs(cnt.ops[machine.OpFMul]-wantMuls) > 1e-9 {
+		t.Fatalf("triangular fmuls = %v, want %v", cnt.ops[machine.OpFMul], wantMuls)
+	}
+	// Midpoint-bound static count should land within 10% of the true
+	// per-item mean.
+	mid := ir.Count(k.IR, ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+		Bindings: ir.MidpointBindings(k.IR, b)})
+	meanMuls := wantMuls / float64(n)
+	if rel := math.Abs(mid.FPMul-meanMuls) / meanMuls; rel > 0.10 {
+		t.Fatalf("midpoint count %.1f vs true mean %.1f (rel %.2f)",
+			mid.FPMul, meanMuls, rel)
+	}
+}
+
+// TestFractionScalesWork: fractional simulation must scale toward shorter
+// times and preserve totals approximately.
+func TestFractionScalesWork(t *testing.T) {
+	k, _ := polybench.Get("2dconv")
+	b := symbolic.Bindings{"n": 1024}
+	full, err := SimulateCPU(k.IR, machine.POWER9(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := SimulateCPU(k.IR, machine.POWER9(), b,
+		CPUConfig{Threads: 20, Fraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Seconds >= full.Seconds {
+		t.Fatalf("half fraction %v >= full %v", half.Seconds, full.Seconds)
+	}
+	gfull, err := SimulateGPU(k.IR, machine.TeslaV100(), machine.NVLink2(), b,
+		GPUConfig{IncludeTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghalf, err := SimulateGPU(k.IR, machine.TeslaV100(), machine.NVLink2(), b,
+		GPUConfig{IncludeTransfer: true, Fraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ghalf.Seconds >= gfull.Seconds {
+		t.Fatalf("GPU half fraction %v >= full %v", ghalf.Seconds, gfull.Seconds)
+	}
+	if ghalf.TransferBytes >= gfull.TransferBytes {
+		t.Fatal("fractional transfer not scaled")
+	}
+}

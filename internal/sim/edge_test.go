@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+func TestWalkerZeroTripInnerLoop(t *testing.T) {
+	// Inner loop with an empty range for every lane must contribute
+	// nothing and not crash.
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "empty-inner",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.For("j", n, n, // empty range
+					ir.Store(ir.R("A", ir.V("i")), ir.F(1))),
+				ir.Store(ir.R("A", ir.V("i")), ir.F(2))),
+		},
+	}
+	b := symbolic.Bindings{"n": 16}
+	lay, err := NewLayout(k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := &opCounter{}
+	w, err := NewWalker(k, b, lay, cnt, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunItems([]int64{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.stores != 1 {
+		t.Fatalf("stores = %v, want 1 (empty loop contributes none)", cnt.stores)
+	}
+}
+
+func TestWalkerPartialWarp(t *testing.T) {
+	// A warp with fewer active lanes than the warp size (grid edge).
+	k, b := streamAndBindings(257)
+	lay, _ := NewLayout(k, b)
+	cnt := &opCounter{}
+	w, err := NewWalker(k, b, lay, cnt, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last warp covers items 256..256 only.
+	if err := w.RunItems([]int64{256}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.loads != 2 || cnt.stores != 1 {
+		t.Fatalf("partial warp loads=%v stores=%v", cnt.loads, cnt.stores)
+	}
+}
+
+func streamAndBindings(n int64) (*ir.Kernel, symbolic.Bindings) {
+	nn := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "s",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("B", ir.F64, nn), ir.In("C", ir.F64, nn), ir.Out("A", ir.F64, nn),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), nn,
+				ir.Store(ir.R("A", ir.V("i")),
+					ir.FAdd(ir.Ld("B", ir.V("i")), ir.Ld("C", ir.V("i"))))),
+		},
+	}
+	return k, symbolic.Bindings{"n": n}
+}
+
+func TestWalkerTooManyItemsRejected(t *testing.T) {
+	k, b := streamAndBindings(64)
+	lay, _ := NewLayout(k, b)
+	w, err := NewWalker(k, b, lay, &opCounter{}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunItems([]int64{0, 1, 2}, 1); err == nil {
+		t.Fatal("3 items on 2 lanes accepted")
+	}
+}
+
+func TestSimulateSingleItemSpace(t *testing.T) {
+	// Degenerate 1-iteration parallel loop: both simulators must cope.
+	k, b := streamAndBindings(1)
+	cr, err := SimulateCPU(k, machine.POWER9(), b, CPUConfig{Threads: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Seconds <= 0 {
+		t.Fatal("CPU sim returned non-positive time")
+	}
+	gr, err := SimulateGPU(k, machine.TeslaV100(), machine.NVLink2(), b,
+		GPUConfig{IncludeTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Seconds <= 0 || gr.Blocks != 1 {
+		t.Fatalf("GPU sim: %+v", gr)
+	}
+	// One item means overheads dominate: the CPU must win by orders of
+	// magnitude (launch + transfer swamp the GPU side).
+	if gr.Seconds < cr.Seconds {
+		t.Fatal("GPU should not win a 1-iteration loop")
+	}
+}
+
+func TestFractionClamping(t *testing.T) {
+	k, b := streamAndBindings(1 << 16)
+	// Fractions at/over the boundaries behave like full runs.
+	full, err := SimulateCPU(k, machine.POWER9(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0, 1, 1.5, -0.3} {
+		r, err := SimulateCPU(k, machine.POWER9(), b,
+			CPUConfig{Threads: 20, Fraction: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Seconds != full.Seconds {
+			t.Fatalf("fraction %v changed the result: %v vs %v",
+				f, r.Seconds, full.Seconds)
+		}
+	}
+	// A tiny fraction still simulates at least one item.
+	tiny, err := SimulateCPU(k, machine.POWER9(), b,
+		CPUConfig{Threads: 20, Fraction: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Seconds <= 0 {
+		t.Fatal("tiny fraction produced nothing")
+	}
+}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"math"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+)
+
+// executor runs compiled statements lane-parallel, evaluating synthetic
+// values for branch conditions and emitting cost events to the engine.
+type executor struct {
+	w *Walker
+
+	// Scratch buffers reused across calls.
+	addrBuf []int64
+	valBuf  [][]float64
+	bufIdx  int
+}
+
+func (ex *executor) stmts(ss []cStmt, mask []bool, scale float64) error {
+	for _, s := range ss {
+		if err := ex.stmt(s, mask, scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *executor) stmt(s cStmt, mask []bool, scale float64) error {
+	w := ex.w
+	switch s := s.(type) {
+	case *cLoop:
+		// Per-lane trip counts (bounds may depend on outer loop vars —
+		// triangular loops in CORR/COVAR).
+		var maxTrip int64
+		trips := make([]int64, w.lanes)
+		los := make([]int64, w.lanes)
+		for lane := range mask {
+			if !mask[lane] {
+				continue
+			}
+			lo := s.lo.Eval(w.vals[lane])
+			hi := s.hi.Eval(w.vals[lane])
+			los[lane] = lo
+			if hi > lo {
+				trips[lane] = (hi - lo + s.step - 1) / s.step
+				if trips[lane] > maxTrip {
+					maxTrip = trips[lane]
+				}
+			}
+		}
+		if maxTrip == 0 {
+			return nil
+		}
+		sampled := maxTrip
+		if w.sample > 0 && sampled > w.sample {
+			sampled = w.sample
+		}
+		loopScale := scale * float64(maxTrip) / float64(sampled)
+		sub := make([]bool, w.lanes)
+		for t := int64(0); t < sampled; t++ {
+			anyActive := 0
+			for lane := range mask {
+				// Scale each lane's trip count to the sampled range so
+				// triangular work distributions survive sampling.
+				lim := trips[lane]
+				if sampled < maxTrip {
+					lim = (trips[lane]*sampled + maxTrip - 1) / maxTrip
+				}
+				sub[lane] = mask[lane] && t < lim
+				if sub[lane] {
+					anyActive++
+					w.vals[lane][s.slot] = los[lane] + t*s.step
+				}
+			}
+			if anyActive == 0 {
+				continue
+			}
+			// Loop control: increment + compare + back edge.
+			w.eng.Op(machine.OpIntALU, anyActive, loopScale)
+			w.eng.Op(machine.OpIntALU, anyActive, loopScale)
+			w.eng.Op(machine.OpBranch, anyActive, loopScale)
+			if err := ex.stmts(s.body, sub, loopScale); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *cAssign:
+		vals, err := ex.expr(s.rhs, mask, scale)
+		if err != nil {
+			return err
+		}
+		addrs := ex.addrs(s.addr, mask)
+		ex.addressOps(mask, scale)
+		if s.accum {
+			w.eng.Mem(ir.AccLoad, addrs, scale)
+			w.eng.Op(machine.OpFAdd, len(addrs), scale)
+		}
+		w.eng.Mem(ir.AccStore, addrs, scale)
+		ex.release(vals)
+		return nil
+	case *cScalarAssign:
+		vals, err := ex.expr(s.rhs, mask, scale)
+		if err != nil {
+			return err
+		}
+		n := active(mask)
+		for lane := range mask {
+			if !mask[lane] {
+				continue
+			}
+			if s.accum {
+				w.scalars[lane][s.name] += vals[lane]
+			} else {
+				w.scalars[lane][s.name] = vals[lane]
+			}
+		}
+		if s.accum {
+			w.eng.Op(machine.OpFAdd, n, scale)
+		}
+		ex.release(vals)
+		return nil
+	case *cIf:
+		l, err := ex.expr(s.l, mask, scale)
+		if err != nil {
+			return err
+		}
+		r, err := ex.expr(s.r, mask, scale)
+		if err != nil {
+			return err
+		}
+		n := active(mask)
+		w.eng.Op(machine.OpFAdd, n, scale) // the comparison
+		thenMask := make([]bool, w.lanes)
+		elseMask := make([]bool, w.lanes)
+		taken := 0
+		for lane := range mask {
+			if !mask[lane] {
+				continue
+			}
+			t := cmp(s.op, l[lane], r[lane])
+			thenMask[lane] = t
+			elseMask[lane] = !t
+			if t {
+				taken++
+			}
+		}
+		w.eng.Branch(taken, n, scale)
+		ex.release(l)
+		ex.release(r)
+		if taken > 0 {
+			if err := ex.stmts(s.then, thenMask, scale); err != nil {
+				return err
+			}
+		}
+		if taken < n && len(s.els) > 0 {
+			if err := ex.stmts(s.els, elseMask, scale); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+func cmp(op ir.CmpOp, l, r float64) bool {
+	switch op {
+	case ir.LT:
+		return l < r
+	case ir.LE:
+		return l <= r
+	case ir.GT:
+		return l > r
+	case ir.GE:
+		return l >= r
+	case ir.EQ:
+		return l == r
+	case ir.NE:
+		return l != r
+	}
+	return false
+}
+
+// addrs evaluates the compiled address for active lanes.
+func (ex *executor) addrs(c interface{ Eval([]int64) int64 }, mask []bool) []int64 {
+	ex.addrBuf = ex.addrBuf[:0]
+	for lane := range mask {
+		if mask[lane] {
+			ex.addrBuf = append(ex.addrBuf, c.Eval(ex.w.vals[lane]))
+		}
+	}
+	return ex.addrBuf
+}
+
+// addressOps accounts the integer address arithmetic of one access (a
+// fixed two ops: scaled index + base add, matching the lowered form).
+func (ex *executor) addressOps(mask []bool, scale float64) {
+	n := active(mask)
+	ex.w.eng.Op(machine.OpIntMul, n, scale)
+	ex.w.eng.Op(machine.OpIntALU, n, scale)
+}
+
+// buffer management: expression evaluation returns per-lane value slices.
+func (ex *executor) get() []float64 {
+	if ex.bufIdx < len(ex.valBuf) {
+		b := ex.valBuf[ex.bufIdx]
+		ex.bufIdx++
+		return b
+	}
+	b := make([]float64, ex.w.lanes)
+	ex.valBuf = append(ex.valBuf, b)
+	ex.bufIdx++
+	return b
+}
+
+func (ex *executor) release(b []float64) {
+	if ex.bufIdx > 0 {
+		ex.bufIdx--
+	}
+	_ = b
+}
+
+func (ex *executor) expr(e cExpr, mask []bool, scale float64) ([]float64, error) {
+	w := ex.w
+	switch e := e.(type) {
+	case cConst:
+		out := ex.get()
+		for lane := range mask {
+			out[lane] = e.v
+		}
+		return out, nil
+	case cScalar:
+		out := ex.get()
+		for lane := range mask {
+			if mask[lane] {
+				out[lane] = w.scalars[lane][e.name]
+			}
+		}
+		return out, nil
+	case cLoad:
+		out := ex.get()
+		ex.addrBuf = ex.addrBuf[:0]
+		for lane := range mask {
+			if mask[lane] {
+				a := e.addr.Eval(w.vals[lane])
+				ex.addrBuf = append(ex.addrBuf, a)
+				out[lane] = synthVal(a)
+			}
+		}
+		ex.addressOps(mask, scale)
+		w.eng.Mem(ir.AccLoad, ex.addrBuf, scale)
+		return out, nil
+	case cIdx:
+		out := ex.get()
+		n := active(mask)
+		for lane := range mask {
+			if mask[lane] {
+				out[lane] = float64(e.e.Eval(w.vals[lane]))
+			}
+		}
+		for i := 0; i < e.intOps; i++ {
+			w.eng.Op(machine.OpIntALU, n, scale)
+		}
+		w.eng.Op(machine.OpCvt, n, scale)
+		return out, nil
+	case cBin:
+		l, err := ex.expr(e.l, mask, scale)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.expr(e.r, mask, scale)
+		if err != nil {
+			return nil, err
+		}
+		w.eng.Op(e.cls, active(mask), scale)
+		out := l // reuse left buffer as destination
+		for lane := range mask {
+			if !mask[lane] {
+				continue
+			}
+			switch e.op {
+			case ir.Add:
+				out[lane] = l[lane] + r[lane]
+			case ir.Sub:
+				out[lane] = l[lane] - r[lane]
+			case ir.Mul:
+				out[lane] = l[lane] * r[lane]
+			case ir.Div:
+				out[lane] = l[lane] / r[lane]
+			}
+		}
+		ex.release(r)
+		return out, nil
+	case cUn:
+		x, err := ex.expr(e.x, mask, scale)
+		if err != nil {
+			return nil, err
+		}
+		w.eng.Op(e.cls, active(mask), scale)
+		for lane := range mask {
+			if !mask[lane] {
+				continue
+			}
+			switch e.op {
+			case ir.Neg:
+				x[lane] = -x[lane]
+			case ir.Abs:
+				x[lane] = math.Abs(x[lane])
+			case ir.Sqrt:
+				x[lane] = math.Sqrt(math.Abs(x[lane]))
+			case ir.Exp:
+				x[lane] = math.Exp(x[lane])
+			}
+		}
+		return x, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/memsim"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// GPUConfig controls the GPU simulation fidelity/cost trade-off.
+type GPUConfig struct {
+	// SampleWarps caps the number of warps walked in detail (default 24).
+	SampleWarps int
+	// MaxLoopSample caps simulated iterations per sequential loop.
+	MaxLoopSample int64
+	// MaxRepSample caps the OpenMP thread-repetition iterations walked
+	// per warp (default 2; costs rescaled by the true #OMP_Rep).
+	MaxRepSample int64
+	// IncludeTransfer adds host<->device copies (the paper's protocol).
+	IncludeTransfer bool
+	// Fraction, when in (0,1), executes only the trailing fraction of
+	// the iteration space (cooperative split execution; transfer volume
+	// scales accordingly).
+	Fraction float64
+}
+
+func (c GPUConfig) withDefaults() GPUConfig {
+	if c.SampleWarps <= 0 {
+		c.SampleWarps = 24
+	}
+	if c.MaxLoopSample <= 0 {
+		c.MaxLoopSample = 192
+	}
+	if c.MaxRepSample <= 0 {
+		c.MaxRepSample = 2
+	}
+	return c
+}
+
+// GPUResult is the outcome of a simulated kernel offload.
+type GPUResult struct {
+	Seconds         float64
+	KernelSeconds   float64
+	TransferSeconds float64
+	TransferBytes   int64
+
+	Blocks     int64
+	OMPRep     float64
+	WarpsPerSM float64
+	Waves      float64
+
+	// Observed memory behaviour.
+	AvgTransactions float64 // per warp memory instruction
+	CoalescedFrac   float64 // fraction of warp accesses at minimal tx count
+	L2HitRate       float64
+	DRAMBytes       float64
+	BandwidthBound  bool
+}
+
+// schedulersPerSM is the number of warp schedulers per SM (4 on Kepler
+// through Volta).
+const schedulersPerSM = 4
+
+// gpuEngine accumulates warp-level events: SIMT issue cycles, memory
+// transactions from actual per-lane addresses, and cache behaviour.
+type gpuEngine struct {
+	g  *machine.GPU
+	l1 *memsim.Hierarchy // per-warp-sample L1 view over a shared L2
+
+	issueCycles float64
+	memLatency  float64
+	memInsts    float64
+	tx          float64
+	minTx       float64
+	dramBytes   float64
+
+	lineScratch []int64
+}
+
+func (e *gpuEngine) Op(class machine.OpClass, act int, scale float64) {
+	// SIMT: one issue per warp instruction regardless of active lanes.
+	c := e.g.IssueRate
+	switch class {
+	case machine.OpFDiv, machine.OpFSqrt:
+		// Iterative ops occupy the SFU pipeline far longer.
+		c += 8 * e.g.IssueRate
+	}
+	e.issueCycles += c * scale
+}
+
+func (e *gpuEngine) Mem(kind ir.AccessKind, addrs []int64, scale float64) {
+	if len(addrs) == 0 {
+		return
+	}
+	line := e.g.L2.LineBytes
+	e.lineScratch = e.lineScratch[:0]
+	for _, a := range addrs {
+		e.lineScratch = append(e.lineScratch, a/line)
+	}
+	sort.Slice(e.lineScratch, func(i, j int) bool {
+		return e.lineScratch[i] < e.lineScratch[j]
+	})
+	tx := 0
+	var latSum float64
+	prev := int64(-1)
+	for _, l := range e.lineScratch {
+		if l == prev {
+			continue
+		}
+		prev = l
+		tx++
+		before := e.l1.DRAMBytes
+		latSum += float64(e.l1.Access(l * line))
+		e.dramBytes += float64(e.l1.DRAMBytes-before) * scale
+	}
+	e.issueCycles += e.g.IssueRate * scale // the LD/ST issue itself
+	e.memLatency += latSum / float64(tx) * scale
+	e.memInsts += scale
+	e.tx += float64(tx) * scale
+	mt := (int64(len(addrs))*8 + line - 1) / line
+	if int64(tx) <= mt {
+		e.minTx += scale
+	}
+	_ = kind
+}
+
+func (e *gpuEngine) Branch(taken, act int, scale float64) {
+	// Divergence cost materializes through both sides being walked; the
+	// branch itself is one issue.
+	e.issueCycles += e.g.IssueRate * scale
+}
+
+// SimulateGPU executes the kernel as the GPU runtime would — grid
+// selection, OpenMP repetition striding, warp-lockstep execution with
+// actual-address coalescing, L1/L2 caches and a DRAM bandwidth ceiling —
+// and returns the ground-truth offload time.
+func SimulateGPU(k *ir.Kernel, g *machine.GPU, link machine.Link,
+	b symbolic.Bindings, cfg GPUConfig) (GPUResult, error) {
+	cfg = cfg.withDefaults()
+	lay, err := NewLayout(k, b)
+	if err != nil {
+		return GPUResult{}, err
+	}
+
+	// Shared L2 across all sampled warps; a fresh L1 view per warp.
+	l2 := memsim.NewCache(g.L2)
+
+	probe := func() *memsim.Hierarchy {
+		return &memsim.Hierarchy{
+			L1:     memsim.NewCache(g.L1),
+			L2:     l2,
+			L1Lat:  g.L1HitLatency,
+			L2Lat:  g.L2HitLatency,
+			MemLat: g.MemLatency,
+		}
+	}
+
+	eng := &gpuEngine{g: g, l1: probe()}
+	w, err := NewWalker(k, b, lay, eng, g.WarpSize, cfg.MaxLoopSample)
+	if err != nil {
+		return GPUResult{}, err
+	}
+	items := w.Items()
+	fullItems := items
+	itemBase := int64(0)
+	if f := cfg.Fraction; f > 0 && f < 1 {
+		items = int64(float64(items)*f + 0.5)
+		if items < 1 {
+			items = 1
+		}
+		itemBase = fullItems - items
+	}
+
+	tpb := int64(g.DefaultBlockSize)
+	blocks := (items + tpb - 1) / tpb
+	if blocks > int64(g.MaxGridBlocks) {
+		blocks = int64(g.MaxGridBlocks)
+	}
+	gridThreads := blocks * tpb
+	ompRep := math.Ceil(float64(items) / float64(gridThreads))
+
+	warpsPerBlock := tpb / int64(g.WarpSize)
+	totalWarps := blocks * warpsPerBlock
+
+	// Occupancy.
+	blocksPerSM := int64(g.MaxBlocksPerSM)
+	if mw := int64(g.MaxWarpsPerSM) / warpsPerBlock; mw < blocksPerSM {
+		blocksPerSM = mw
+	}
+	if mt := int64(g.MaxThreadsPerSM) / tpb; mt < blocksPerSM {
+		blocksPerSM = mt
+	}
+	activeSMs := int64(g.SMs)
+	if blocks < activeSMs {
+		activeSMs = blocks
+	}
+	resident := blocksPerSM
+	if perSM := (blocks + activeSMs - 1) / activeSMs; perSM < resident {
+		resident = perSM
+	}
+	nWarps := float64(resident) * float64(warpsPerBlock)
+	waves := math.Ceil(float64(blocks) / float64(resident*activeSMs))
+
+	// Sample warps evenly across the grid; walk a bounded number of the
+	// #OMP_Rep repetitions of each and rescale.
+	sampleWarps := int64(cfg.SampleWarps)
+	if sampleWarps > totalWarps {
+		sampleWarps = totalWarps
+	}
+	repsToWalk := int64(ompRep)
+	if repsToWalk > cfg.MaxRepSample {
+		repsToWalk = cfg.MaxRepSample
+	}
+	repScale := ompRep / float64(repsToWalk)
+
+	itemsBuf := make([]int64, 0, g.WarpSize)
+	var warpsWalked int64
+	for s := int64(0); s < sampleWarps; s++ {
+		warp := s * totalWarps / sampleWarps
+		baseThread := warp * int64(g.WarpSize)
+		eng.l1 = probe() // fresh L1 per sampled warp
+		walkedAny := false
+		for r := int64(0); r < repsToWalk; r++ {
+			itemsBuf = itemsBuf[:0]
+			for lane := int64(0); lane < int64(g.WarpSize); lane++ {
+				id := baseThread + lane + r*gridThreads
+				if id < items {
+					itemsBuf = append(itemsBuf, itemBase+id)
+				}
+			}
+			if len(itemsBuf) == 0 {
+				continue
+			}
+			if err := w.RunItems(itemsBuf, repScale); err != nil {
+				return GPUResult{}, err
+			}
+			walkedAny = true
+		}
+		if walkedAny {
+			warpsWalked++
+		}
+	}
+	if warpsWalked == 0 {
+		return GPUResult{}, fmt.Errorf("sim: no warps walked")
+	}
+
+	// Per-warp averages (already scaled to the full #OMP_Rep).
+	fw := float64(warpsWalked)
+	compPerWarp := eng.issueCycles / fw
+	memLatPerWarp := eng.memLatency / fw
+	txPerWarp := eng.tx / fw
+
+	res := GPUResult{
+		Blocks: blocks, OMPRep: ompRep, WarpsPerSM: nWarps, Waves: waves,
+	}
+	if eng.memInsts > 0 {
+		res.AvgTransactions = eng.tx / eng.memInsts
+		res.CoalescedFrac = eng.minTx / eng.memInsts
+	}
+	res.L2HitRate = l2.HitRate()
+
+	// SM-level overlap: N resident warps share the schedulers and the
+	// LD/ST path. Memory latency is hidden by both the other resident
+	// warps and each warp's own memory-level parallelism (independent
+	// loads in flight); what remains exposed is the latency sum divided
+	// by the total outstanding-request capacity.
+	const warpMLP = 4
+	issueTime := nWarps * compPerWarp / schedulersPerSM
+	memPipeTime := nWarps * txPerWarp * g.DepartureDelayCoal
+	exposedLat := memLatPerWarp / (nWarps * warpMLP)
+	singleWarp := compPerWarp + exposedLat
+	smTime := math.Max(math.Max(issueTime, memPipeTime), singleWarp)
+	kernelCycles := smTime * waves
+	kernelSec := kernelCycles / (g.ClockGHz * 1e9)
+
+	// Device-wide DRAM bandwidth ceiling.
+	res.DRAMBytes = eng.dramBytes * float64(totalWarps) / fw
+	if minSec := res.DRAMBytes / g.PeakBandwidthBytes(); minSec > kernelSec {
+		kernelSec = minSec
+		res.BandwidthBound = true
+	}
+	res.KernelSeconds = kernelSec + launchOverheadSec
+
+	res.Seconds = res.KernelSeconds
+	if cfg.IncludeTransfer {
+		var bytes int64
+		for _, a := range k.Arrays {
+			n, err := a.Bytes().Eval(b)
+			if err != nil {
+				return GPUResult{}, err
+			}
+			if a.In {
+				bytes += n
+			}
+			if a.Out {
+				bytes += n
+			}
+		}
+		if f := cfg.Fraction; f > 0 && f < 1 {
+			bytes = int64(float64(bytes) * f)
+		}
+		res.TransferBytes = bytes
+		res.TransferSeconds = link.TransferSeconds(bytes)
+		res.Seconds += res.TransferSeconds
+	}
+	return res, nil
+}
+
+// launchOverheadSec is the per-launch driver overhead (context creation
+// excluded, as in the paper's measurement protocol).
+const launchOverheadSec = 8e-6

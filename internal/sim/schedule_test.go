@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+func TestStaticImbalanceOnTriangularKernel(t *testing.T) {
+	// covar's triangular nest gives thread 0 roughly twice the mean work
+	// under static scheduling; the simulator must observe that.
+	k, _ := polybench.Get("covar")
+	b := symbolic.Bindings{"n": 512}
+	static, err := SimulateCPU(k.IR, machine.POWER9(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Imbalance < 1.3 {
+		t.Fatalf("triangular imbalance = %v, want > 1.3", static.Imbalance)
+	}
+	// Rectangular kernels are balanced.
+	g, _ := polybench.Get("gemm")
+	rect, err := SimulateCPU(g.IR, machine.POWER9(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rect.Imbalance > 1.05 {
+		t.Fatalf("rectangular imbalance = %v, want ~1", rect.Imbalance)
+	}
+}
+
+func TestDynamicScheduleBalancesTriangle(t *testing.T) {
+	// schedule(dynamic) removes the straggler on a triangular nest and
+	// should beat static despite dispatch overhead.
+	k, _ := polybench.Get("covar")
+	b := symbolic.Bindings{"n": 512}
+	static, err := SimulateCPU(k.IR, machine.POWER9(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := SimulateCPU(k.IR, machine.POWER9(), b,
+		CPUConfig{Threads: 20, DynamicChunk: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.Seconds >= static.Seconds {
+		t.Fatalf("dynamic %.4gs not faster than static %.4gs on a triangle",
+			dynamic.Seconds, static.Seconds)
+	}
+	// On a rectangular kernel, dynamic only adds dispatch overhead.
+	g, _ := polybench.Get("2dconv")
+	b2 := symbolic.Bindings{"n": 1024}
+	rs, err := SimulateCPU(g.IR, machine.POWER9(), b2, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := SimulateCPU(g.IR, machine.POWER9(), b2,
+		CPUConfig{Threads: 20, DynamicChunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Seconds <= rs.Seconds {
+		t.Fatalf("chunk-1 dynamic %.4gs should cost more than static %.4gs "+
+			"on a uniform kernel", rd.Seconds, rs.Seconds)
+	}
+}

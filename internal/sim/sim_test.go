@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+func stream() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "stream",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("B", ir.F64, n), ir.In("C", ir.F64, n), ir.Out("A", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.Store(ir.R("A", ir.V("i")),
+					ir.FAdd(ir.Ld("B", ir.V("i")), ir.Ld("C", ir.V("i"))))),
+		},
+	}
+}
+
+func gemm() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:        "gemm",
+		Params:      []string{"n"},
+		FloatParams: []string{"alpha"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("B", ir.F64, n, n), ir.Arr("C", ir.F64, n, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.ParFor("j", ir.N(0), n,
+					ir.Set("acc", ir.F(0)),
+					ir.For("k", ir.N(0), n,
+						ir.AccumS("acc", ir.FMul(
+							ir.Ld("A", ir.V("i"), ir.V("k")),
+							ir.Ld("B", ir.V("k"), ir.V("j"))))),
+					ir.Store(ir.R("C", ir.V("i"), ir.V("j")),
+						ir.FMul(ir.S("alpha"), ir.S("acc"))))),
+		},
+	}
+}
+
+// columnStore: each thread walks a row (row-major): uncoalesced on GPU.
+func columnStore() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "rowwalk",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Out("A", ir.F64, n, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.For("j", ir.N(0), n,
+					ir.Store(ir.R("A", ir.V("i"), ir.V("j")), ir.F(1)))),
+		},
+	}
+}
+
+// countEngine records raw walker events for testing.
+type countEngine struct {
+	ops      [machine.NumOpClasses]float64
+	memAddrs [][]int64
+	taken    float64
+	total    float64
+}
+
+func (e *countEngine) Op(c machine.OpClass, act int, s float64) {
+	e.ops[c] += float64(act) * s
+}
+func (e *countEngine) Mem(k ir.AccessKind, addrs []int64, s float64) {
+	cp := make([]int64, len(addrs))
+	copy(cp, addrs)
+	e.memAddrs = append(e.memAddrs, cp)
+}
+func (e *countEngine) Branch(taken, act int, s float64) {
+	e.taken += float64(taken) * s
+	e.total += float64(act) * s
+}
+
+func TestLayout(t *testing.T) {
+	k := stream()
+	b := symbolic.Bindings{"n": 100}
+	lay, err := NewLayout(k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 f64 = 800 bytes, rounded to 896 (128-aligned).
+	if lay.Bases["B"] != 0 || lay.Bases["C"] != 896 || lay.Bases["A"] != 1792 {
+		t.Fatalf("bases = %v", lay.Bases)
+	}
+	if lay.Total != 2688 {
+		t.Fatalf("total = %d", lay.Total)
+	}
+	if _, err := NewLayout(k, nil); err == nil {
+		t.Fatal("unbound layout accepted")
+	}
+}
+
+func TestWalkerEventCounts(t *testing.T) {
+	k := stream()
+	b := symbolic.Bindings{"n": 64}
+	lay, _ := NewLayout(k, b)
+	eng := &countEngine{}
+	w, err := NewWalker(k, b, lay, eng, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Items() != 64 {
+		t.Fatalf("items = %d", w.Items())
+	}
+	if err := w.RunItems([]int64{3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One item: 2 loads + 1 store, 1 FAdd.
+	if len(eng.memAddrs) != 3 {
+		t.Fatalf("mem events = %d", len(eng.memAddrs))
+	}
+	if eng.ops[machine.OpFAdd] != 1 {
+		t.Fatalf("fadds = %v", eng.ops[machine.OpFAdd])
+	}
+	// n=64: each array is 512 bytes (already 128-aligned), so bases are
+	// B=0, C=512, A=1024; item 3 touches offset 24 in each.
+	if eng.memAddrs[0][0] != 24 || eng.memAddrs[1][0] != 536 || eng.memAddrs[2][0] != 1048 {
+		t.Fatalf("addrs = %v", eng.memAddrs)
+	}
+}
+
+func TestWalkerWarpLanes(t *testing.T) {
+	k := stream()
+	b := symbolic.Bindings{"n": 1024}
+	lay, _ := NewLayout(k, b)
+	eng := &countEngine{}
+	w, err := NewWalker(k, b, lay, eng, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]int64, 32)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	if err := w.RunItems(items, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Each mem event carries 32 consecutive addresses.
+	if len(eng.memAddrs) != 3 || len(eng.memAddrs[0]) != 32 {
+		t.Fatalf("mem events = %d x %d", len(eng.memAddrs), len(eng.memAddrs[0]))
+	}
+	if eng.memAddrs[0][1]-eng.memAddrs[0][0] != 8 {
+		t.Fatalf("lane stride = %d", eng.memAddrs[0][1]-eng.memAddrs[0][0])
+	}
+}
+
+func TestWalkerTripleLoopAndSampling(t *testing.T) {
+	k := gemm()
+	b := symbolic.Bindings{"n": 300}
+	lay, _ := NewLayout(k, b)
+
+	full := &countEngine{}
+	w, err := NewWalker(k, b, lay, full, 1, 0) // no sampling
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunItems([]int64{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 300 FMA-pairs: 300 fmuls, 300 fadds (accum), + final alpha*acc.
+	if full.ops[machine.OpFMul] != 301 || full.ops[machine.OpFAdd] != 300 {
+		t.Fatalf("fmul=%v fadd=%v", full.ops[machine.OpFMul], full.ops[machine.OpFAdd])
+	}
+
+	sampled := &countEngine{}
+	ws, _ := NewWalker(k, b, lay, sampled, 1, 64) // sample 64 of 300
+	if err := ws.RunItems([]int64{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Scaled op counts must match the full walk.
+	if math.Abs(sampled.ops[machine.OpFMul]-full.ops[machine.OpFMul]) > 2 {
+		t.Fatalf("sampled fmul = %v, full = %v",
+			sampled.ops[machine.OpFMul], full.ops[machine.OpFMul])
+	}
+}
+
+func TestWalkerBranchDivergence(t *testing.T) {
+	n := ir.V("n")
+	k := &ir.Kernel{
+		Name:   "branchy",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, n)},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.WhenElse(ir.Cmp(ir.GT, ir.Ld("A", ir.V("i")), ir.F(0.5)),
+					[]ir.Stmt{ir.Store(ir.R("A", ir.V("i")), ir.F(1))},
+					[]ir.Stmt{ir.Store(ir.R("A", ir.V("i")), ir.F(0))})),
+		},
+	}
+	b := symbolic.Bindings{"n": 1024}
+	lay, _ := NewLayout(k, b)
+	eng := &countEngine{}
+	w, err := NewWalker(k, b, lay, eng, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for warp := int64(0); warp < 32; warp++ {
+		items := make([]int64, 32)
+		for i := range items {
+			items[i] = warp*32 + int64(i)
+		}
+		if err := w.RunItems(items, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Synthetic values hash-split roughly 50/50.
+	rate := eng.taken / eng.total
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("branch take rate = %v, want ~0.5", rate)
+	}
+}
+
+func TestSimulateCPUStream(t *testing.T) {
+	r, err := SimulateCPU(stream(), machine.POWER9(),
+		symbolic.Bindings{"n": 1 << 20}, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seconds <= 0 || r.CyclesPerItem <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if !r.Vectorized {
+		t.Fatal("stream should vectorize on POWER9")
+	}
+	if r.MeanLoadLatency < float64(machine.POWER9().L1.LatencyCycle) {
+		t.Fatalf("mean load latency %v below L1 latency", r.MeanLoadLatency)
+	}
+	if r.DRAMBytes <= 0 {
+		t.Fatal("no DRAM traffic observed for a streaming kernel")
+	}
+}
+
+func TestSimulateCPUThreadScaling(t *testing.T) {
+	b := symbolic.Bindings{"n": 512}
+	r4, err := SimulateCPU(gemm(), machine.POWER9(), b, CPUConfig{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r20, err := SimulateCPU(gemm(), machine.POWER9(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r20.Seconds >= r4.Seconds {
+		t.Fatalf("20 threads (%v) not faster than 4 (%v)", r20.Seconds, r4.Seconds)
+	}
+}
+
+// rowDot: y[i] = sum_j A[i][j] * x[j] — a lane-contiguous reduction
+// (ATAX/MVT shape). Vectorizable in principle; only the VSX3 generation
+// vectorizes reductions.
+func rowDot() *ir.Kernel {
+	n := ir.V("n")
+	return &ir.Kernel{
+		Name:   "rowdot",
+		Params: []string{"n"},
+		Arrays: []*ir.Array{
+			ir.In("A", ir.F64, n, n), ir.In("x", ir.F64, n), ir.Out("y", ir.F64, n),
+		},
+		Body: []ir.Stmt{
+			ir.ParFor("i", ir.N(0), n,
+				ir.Set("acc", ir.F(0)),
+				ir.For("j", ir.N(0), n,
+					ir.AccumS("acc", ir.FMul(
+						ir.Ld("A", ir.V("i"), ir.V("j")), ir.Ld("x", ir.V("j"))))),
+				ir.Store(ir.R("y", ir.V("i")), ir.S("acc"))),
+		},
+	}
+}
+
+func TestSimulateCPUReductionCapability(t *testing.T) {
+	// rowDot has a contiguous reduction inner loop: POWER9 (VSX3)
+	// vectorizes it, POWER8 does not.
+	b := symbolic.Bindings{"n": 256}
+	p9, err := SimulateCPU(rowDot(), machine.POWER9(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := SimulateCPU(rowDot(), machine.POWER8(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p9.Vectorized {
+		t.Fatal("POWER9 should vectorize the rowDot reduction")
+	}
+	if p8.Vectorized {
+		t.Fatal("POWER8 should not vectorize the reduction")
+	}
+	if p8.CyclesPerItem <= p9.CyclesPerItem {
+		t.Fatalf("POWER8 %.1f <= POWER9 %.1f cycles/item",
+			p8.CyclesPerItem, p9.CyclesPerItem)
+	}
+}
+
+func TestSimulateCPUSMTContention(t *testing.T) {
+	// Cache-resident streaming (n=1024: 24 KB) is throughput-bound on
+	// the LSU pipes, so SMT8 threads contend; at one thread per core
+	// there is no contention. (Latency-bound kernels legitimately show
+	// contention 1: SMT exists to hide their stalls.)
+	b := symbolic.Bindings{"n": 1024}
+	r20, err := SimulateCPU(stream(), machine.POWER9(), b, CPUConfig{Threads: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r160, err := SimulateCPU(stream(), machine.POWER9(), b, CPUConfig{Threads: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r20.SMTContention != 1 {
+		t.Fatalf("no contention expected at 1 thread/core: %v", r20.SMTContention)
+	}
+	if r160.SMTContention <= 1.2 {
+		t.Fatalf("SMT8 contention = %v, want > 1.2", r160.SMTContention)
+	}
+}
+
+func TestSimulateGPUStreamCoalesced(t *testing.T) {
+	r, err := SimulateGPU(stream(), machine.TeslaV100(), machine.NVLink2(),
+		symbolic.Bindings{"n": 1 << 22}, GPUConfig{IncludeTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seconds <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// f64 warp access = 2 lines minimum.
+	if r.AvgTransactions < 1.9 || r.AvgTransactions > 2.1 {
+		t.Fatalf("avg transactions = %v, want ~2", r.AvgTransactions)
+	}
+	if r.CoalescedFrac < 0.99 {
+		t.Fatalf("coalesced frac = %v", r.CoalescedFrac)
+	}
+	// Streaming 96 MB on a 900 GB/s device: bandwidth-bound.
+	if !r.BandwidthBound {
+		t.Fatal("stream should be bandwidth-bound")
+	}
+	if r.TransferBytes != 3*(1<<22)*8 {
+		t.Fatalf("transfer bytes = %d", r.TransferBytes)
+	}
+}
+
+func TestSimulateGPUUncoalesced(t *testing.T) {
+	r, err := SimulateGPU(columnStore(), machine.TeslaV100(), machine.NVLink2(),
+		symbolic.Bindings{"n": 2048}, GPUConfig{IncludeTransfer: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row-walking threads: each lane stores 2048×8 bytes apart — every
+	// lane its own line.
+	if r.AvgTransactions < 30 {
+		t.Fatalf("avg transactions = %v, want ~32", r.AvgTransactions)
+	}
+	if r.CoalescedFrac > 0.01 {
+		t.Fatalf("coalesced frac = %v, want 0", r.CoalescedFrac)
+	}
+}
+
+func TestSimulateGPUGenerationGap(t *testing.T) {
+	b := symbolic.Bindings{"n": 1 << 22}
+	v, err := SimulateGPU(stream(), machine.TeslaV100(), machine.NVLink2(), b,
+		GPUConfig{IncludeTransfer: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := SimulateGPU(stream(), machine.TeslaK80(), machine.PCIe3(), b,
+		GPUConfig{IncludeTransfer: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := k.KernelSeconds / v.KernelSeconds
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Fatalf("K80/V100 = %.2f, want roughly the bandwidth ratio (~1.9)", ratio)
+	}
+}
+
+func TestSimulateGPUOMPRep(t *testing.T) {
+	// 16M items vs 2560×128 grid threads: OMP_Rep = 52.
+	r, err := SimulateGPU(stream(), machine.TeslaV100(), machine.NVLink2(),
+		symbolic.Bindings{"n": 1 << 24}, GPUConfig{IncludeTransfer: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Ceil(float64(1<<24) / float64(2560*128))
+	if r.OMPRep != want {
+		t.Fatalf("OMPRep = %v, want %v", r.OMPRep, want)
+	}
+	if r.Blocks != 2560 {
+		t.Fatalf("blocks = %d", r.Blocks)
+	}
+}
+
+func TestSimulateGPUTransferDominatesSmall(t *testing.T) {
+	// Tiny kernel over PCIe: transfer+launch dominate.
+	r, err := SimulateGPU(stream(), machine.TeslaV100(), machine.PCIe3(),
+		symbolic.Bindings{"n": 4096}, GPUConfig{IncludeTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TransferSeconds < r.KernelSeconds {
+		t.Fatalf("transfer %.2e < kernel %.2e for a tiny kernel",
+			r.TransferSeconds, r.KernelSeconds)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := SimulateCPU(stream(), machine.POWER9(), nil, CPUConfig{}); err == nil {
+		t.Error("unbound CPU sim accepted")
+	}
+	if _, err := SimulateGPU(stream(), machine.TeslaV100(), machine.NVLink2(),
+		nil, GPUConfig{}); err == nil {
+		t.Error("unbound GPU sim accepted")
+	}
+	serial := &ir.Kernel{Name: "serial", Params: []string{"n"},
+		Arrays: []*ir.Array{ir.Arr("A", ir.F64, ir.V("n"))},
+		Body: []ir.Stmt{ir.For("i", ir.N(0), ir.V("n"),
+			ir.Store(ir.R("A", ir.V("i")), ir.F(0)))}}
+	if _, err := SimulateCPU(serial, machine.POWER9(),
+		symbolic.Bindings{"n": 10}, CPUConfig{}); err == nil {
+		t.Error("serial kernel accepted")
+	}
+}
+
+func TestSynthValDeterministic(t *testing.T) {
+	if synthVal(1234) != synthVal(1234) {
+		t.Fatal("synthVal not deterministic")
+	}
+	if synthVal(0) == synthVal(8) {
+		t.Fatal("synthVal collision on adjacent elements")
+	}
+	for _, a := range []int64{0, 8, 16, 1 << 30} {
+		v := synthVal(a)
+		if v < 0 || v >= 1 {
+			t.Fatalf("synthVal(%d) = %v out of range", a, v)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package sim contains the ground-truth simulators that stand in for the
+// paper's physical testbeds (POWER8+K80 and POWER9+V100).
+//
+// Both simulators are driven by a lane-parallel IR walker that executes
+// kernels with concrete parameter bindings and synthetic (deterministic,
+// address-hashed) data values, producing exact addresses, exact trip
+// counts and exact branch outcomes — strictly more detail than the
+// analytical models see. Long inner loops are prefix-sampled and the
+// accounted costs rescaled, which keeps the full Polybench "benchmark"
+// dataset (9600×9600) tractable while preserving cache/coalescing
+// behaviour.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Engine receives the dynamic events of a walked kernel, pre-scaled by the
+// walker's loop-sampling factor.
+type Engine interface {
+	// Op reports `active` lanes executing one operation of the class.
+	Op(class machine.OpClass, active int, scale float64)
+	// Mem reports a lane-parallel memory access; addrs holds the byte
+	// addresses of the active lanes only.
+	Mem(kind ir.AccessKind, addrs []int64, scale float64)
+	// Branch reports a conditional with `taken` of `active` lanes taking it.
+	Branch(taken, active int, scale float64)
+}
+
+// Layout assigns each kernel array a base byte address (128-aligned,
+// arrays laid out back to back, as the OpenMP runtime's device allocator
+// would).
+type Layout struct {
+	Bases map[string]int64
+	Total int64
+}
+
+// NewLayout sizes every array under the bindings.
+func NewLayout(k *ir.Kernel, b symbolic.Bindings) (*Layout, error) {
+	l := &Layout{Bases: make(map[string]int64, len(k.Arrays))}
+	for _, a := range k.Arrays {
+		n, err := a.Bytes().Eval(b)
+		if err != nil {
+			return nil, fmt.Errorf("sim: sizing %s: %w", a.Name, err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("sim: array %s has negative size", a.Name)
+		}
+		l.Bases[a.Name] = l.Total
+		l.Total += (n + 127) &^ 127
+	}
+	return l, nil
+}
+
+// synthVal returns a deterministic pseudo-random value in (0,1) for the
+// element at addr — data for branch conditions without allocating arrays.
+func synthVal(addr int64) float64 {
+	x := uint64(addr) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Walker executes kernel work items lane-parallel against an Engine.
+type Walker struct {
+	k      *ir.Kernel
+	eng    Engine
+	lanes  int
+	sample int64 // max simulated iterations per sequential loop
+
+	slots    map[string]int
+	vals     [][]int64 // per lane slot values
+	scalars  []map[string]float64
+	parDims  []int64 // trip count of each parallel loop
+	parLows  []int64 // lower bound of each parallel loop
+	parSteps []int64
+	parSlots []int
+	body     []cStmt
+}
+
+// NewWalker compiles the kernel for execution with the given lane width.
+// maxLoopSample bounds the simulated iterations of each sequential loop
+// (costs are rescaled); 0 means no sampling.
+func NewWalker(k *ir.Kernel, b symbolic.Bindings, lay *Layout, eng Engine,
+	lanes int, maxLoopSample int64) (*Walker, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	par := k.ParallelLoops()
+	if len(par) == 0 {
+		return nil, fmt.Errorf("sim: kernel %s has no parallel loop", k.Name)
+	}
+	w := &Walker{k: k, eng: eng, lanes: lanes, sample: maxLoopSample,
+		slots: map[string]int{}}
+
+	// Slot layout: params first, then every loop variable.
+	for _, p := range k.Params {
+		w.slots[p] = len(w.slots)
+	}
+	var collect func(ss []ir.Stmt)
+	collect = func(ss []ir.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ir.Loop:
+				if _, ok := w.slots[s.Var]; !ok {
+					w.slots[s.Var] = len(w.slots)
+				}
+				collect(s.Body)
+			case *ir.If:
+				collect(s.Then)
+				collect(s.Else)
+			}
+		}
+	}
+	collect(k.Body)
+
+	w.vals = make([][]int64, lanes)
+	w.scalars = make([]map[string]float64, lanes)
+	for i := range w.vals {
+		w.vals[i] = make([]int64, len(w.slots))
+		for p, v := range b {
+			if s, ok := w.slots[p]; ok {
+				w.vals[i][s] = v
+			}
+		}
+		w.scalars[i] = map[string]float64{}
+	}
+	for _, fp := range k.FloatParams {
+		for i := range w.scalars {
+			// Float parameters get fixed representative values.
+			w.scalars[i][fp] = 1.5
+		}
+	}
+
+	for _, l := range par {
+		d, err := l.TripEval(b)
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("sim: parallel loop %s has empty range", l.Var)
+		}
+		lo, err := l.Lower.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		w.parDims = append(w.parDims, d)
+		w.parLows = append(w.parLows, lo)
+		w.parSteps = append(w.parSteps, l.Step)
+		w.parSlots = append(w.parSlots, w.slots[l.Var])
+	}
+
+	cc := &compiler{w: w, lay: lay}
+	body, err := cc.stmts(k.InnerBody())
+	if err != nil {
+		return nil, err
+	}
+	w.body = body
+	return w, nil
+}
+
+// Items returns the total number of work items (the collapsed parallel
+// iteration space).
+func (w *Walker) Items() int64 {
+	n := int64(1)
+	for _, d := range w.parDims {
+		n *= d
+	}
+	return n
+}
+
+// RunItems executes one lane-group of work items (len(items) <= lanes;
+// item ids index the collapsed iteration space) with the given base cost
+// scale.
+func (w *Walker) RunItems(items []int64, scale float64) error {
+	if len(items) > w.lanes {
+		return fmt.Errorf("sim: %d items exceed %d lanes", len(items), w.lanes)
+	}
+	mask := make([]bool, w.lanes)
+	for lane, id := range items {
+		mask[lane] = true
+		rest := id
+		for d := len(w.parDims) - 1; d >= 0; d-- {
+			w.vals[lane][w.parSlots[d]] = w.parLows[d] + (rest%w.parDims[d])*w.parSteps[d]
+			rest /= w.parDims[d]
+		}
+		for k := range w.scalars[lane] {
+			delete(w.scalars[lane], k)
+		}
+		for _, fp := range w.k.FloatParams {
+			w.scalars[lane][fp] = 1.5
+		}
+	}
+	ex := &executor{w: w}
+	return ex.stmts(w.body, mask, scale)
+}
+
+// active counts true lanes.
+func active(mask []bool) int {
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}

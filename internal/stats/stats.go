@@ -1,0 +1,254 @@
+// Package stats provides the aggregation and text-rendering helpers the
+// evaluation harness uses: geometric means (the paper's suite-level
+// metric), prediction-quality measures, aligned tables, and ASCII
+// renderings of the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of positive values; zero if the
+// input is empty or contains a non-positive value.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Correlation returns the Pearson correlation of two equal-length series
+// (0 when undefined).
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MAPE returns the mean absolute percentage error of predictions against
+// actuals (skipping zero actuals).
+func MAPE(actual, predicted []float64) float64 {
+	var sum float64
+	var n int
+	for i := range actual {
+		if i >= len(predicted) || actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(predicted[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AgreementRate returns the fraction of pairs where prediction and actual
+// agree on which side of 1.0 they fall — i.e. how often the model makes
+// the right offloading call.
+func AgreementRate(actual, predicted []float64) float64 {
+	if len(actual) == 0 || len(actual) != len(predicted) {
+		return 0
+	}
+	n := 0
+	for i := range actual {
+		if (actual[i] >= 1) == (predicted[i] >= 1) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(actual))
+}
+
+// Table renders aligned text tables.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		cells = cells[:len(t.headers)]
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			parts[i] = v
+		case float64:
+			parts[i] = fmt.Sprintf(format, v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(parts...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Scatter renders a log-log ASCII scatter of predicted (y) versus actual
+// (x) values with the y=x diagonal — the shape of the paper's Figures 6
+// and 7. Points are labelled a, b, c, ... in input order.
+func Scatter(actual, predicted []float64, width, height int) string {
+	if len(actual) == 0 || len(actual) != len(predicted) {
+		return "(no data)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range actual {
+		for _, v := range []float64{actual[i], predicted[i]} {
+			if v <= 0 {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if !(hi > lo) {
+		hi = lo * 10
+	}
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	span := lhi - llo
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	// Diagonal y = x.
+	for c := 0; c < width; c++ {
+		r := height - 1 - c*(height-1)/(width-1)
+		grid[r][c] = '.'
+	}
+	mark := func(x, y float64, ch byte) {
+		if x <= 0 || y <= 0 {
+			return
+		}
+		c := int((math.Log10(x) - llo) / span * float64(width-1))
+		r := height - 1 - int((math.Log10(y)-llo)/span*float64(height-1))
+		if c >= 0 && c < width && r >= 0 && r < height {
+			grid[r][c] = ch
+		}
+	}
+	for i := range actual {
+		mark(actual[i], predicted[i], byte('a'+i%26))
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "predicted (log) %.3g .. %.3g, diagonal = perfect prediction\n", lo, hi)
+	for _, row := range grid {
+		sb.WriteString("| " + string(row) + "\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width+1) + "> actual (log)\n")
+	return sb.String()
+}
+
+// Bars renders a horizontal bar chart (linear scale).
+func Bars(labels []string, values []float64, width int) string {
+	var maxv float64
+	maxl := 0
+	for i, l := range labels {
+		if len(l) > maxl {
+			maxl = len(l)
+		}
+		if i < len(values) && values[i] > maxv {
+			maxv = values[i]
+		}
+	}
+	if maxv == 0 {
+		maxv = 1
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i >= len(values) {
+			break
+		}
+		n := int(values[i] / maxv * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s | %s %.3g\n", maxl, l, strings.Repeat("#", n), values[i])
+	}
+	return sb.String()
+}

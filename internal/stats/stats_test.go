@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Fatalf("GeoMean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{10.2}); g != 10.2 {
+		t.Fatalf("GeoMean single = %v", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestMeanCorrelation(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	// Perfect positive and negative correlation.
+	x := []float64{1, 2, 3, 4}
+	if c := Correlation(x, []float64{2, 4, 6, 8}); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("corr = %v", c)
+	}
+	if c := Correlation(x, []float64{8, 6, 4, 2}); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("anticorr = %v", c)
+	}
+	if Correlation(x, []float64{1, 1, 1, 1}) != 0 {
+		t.Fatal("constant series correlation should be 0")
+	}
+	if Correlation(x, x[:2]) != 0 {
+		t.Fatal("length mismatch should give 0")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{10, 20}, []float64{11, 18})
+	want := (0.1 + 0.1) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MAPE = %v, want %v", got, want)
+	}
+	if MAPE([]float64{0}, []float64{5}) != 0 {
+		t.Fatal("zero actuals should be skipped")
+	}
+}
+
+func TestAgreementRate(t *testing.T) {
+	actual := []float64{2.0, 0.5, 1.5, 0.9}
+	pred := []float64{3.0, 0.4, 0.8, 1.2}
+	// Agree on 1st and 2nd; disagree on 3rd and 4th.
+	if r := AgreementRate(actual, pred); r != 0.5 {
+		t.Fatalf("agreement = %v", r)
+	}
+	if AgreementRate(nil, nil) != 0 {
+		t.Fatal("empty agreement")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("My Table", "kernel", "speedup")
+	tb.AddRow("gemm", "2.50")
+	tb.AddRowf("%.2f", "atax", 40.69)
+	tb.AddRow("overflow", "x", "dropped")
+	s := tb.String()
+	for _, want := range []string{"My Table", "kernel", "gemm", "40.69", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "dropped") {
+		t.Error("extra cell not dropped")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Title + header + rule + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	actual := []float64{0.5, 1, 2, 10, 40}
+	pred := []float64{0.6, 1.1, 1.5, 12, 30}
+	s := Scatter(actual, pred, 40, 12)
+	if !strings.Contains(s, "diagonal") {
+		t.Fatal("missing legend")
+	}
+	// Every point letter present.
+	for i := range actual {
+		if !strings.Contains(s, string(rune('a'+i))) {
+			t.Errorf("missing point %c:\n%s", 'a'+i, s)
+		}
+	}
+	if Scatter(nil, nil, 10, 5) != "(no data)\n" {
+		t.Fatal("empty scatter")
+	}
+	// Mismatched lengths degrade gracefully.
+	if Scatter([]float64{1}, []float64{1, 2}, 10, 5) != "(no data)\n" {
+		t.Fatal("mismatched scatter")
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := Bars([]string{"always-offload", "model-guided"}, []float64{10.2, 14.2}, 30)
+	if !strings.Contains(s, "always-offload") || !strings.Contains(s, "14.2") {
+		t.Fatalf("bars:\n%s", s)
+	}
+	// The larger value gets the full width.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if strings.Count(lines[1], "#") != 30 {
+		t.Fatalf("max bar width = %d", strings.Count(lines[1], "#"))
+	}
+	if strings.Count(lines[0], "#") >= strings.Count(lines[1], "#") {
+		t.Fatal("bar ordering wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package symbolic
+
+import "fmt"
+
+// Compiled is a polynomial specialized to a fixed variable-slot layout for
+// repeated evaluation without map lookups — the simulators evaluate
+// subscript expressions millions of times.
+type Compiled struct {
+	constant int64
+	terms    []cterm
+}
+
+type cterm struct {
+	coef  int64
+	slots []int
+}
+
+// Compile translates e into slot-indexed form. slots maps every free
+// variable of e to an index into the value vector passed to Eval.
+func Compile(e Expr, slots map[string]int) (Compiled, error) {
+	c := Compiled{constant: e.ConstPart()}
+	for key, t := range e.terms {
+		if key == "" {
+			continue
+		}
+		ct := cterm{coef: t.coef, slots: make([]int, len(t.vars))}
+		for i, v := range t.vars {
+			idx, ok := slots[v]
+			if !ok {
+				return Compiled{}, fmt.Errorf("symbolic: compile: no slot for %q in %s", v, e)
+			}
+			ct.slots[i] = idx
+		}
+		c.terms = append(c.terms, ct)
+	}
+	return c, nil
+}
+
+// MustCompile is Compile but panics on missing slots.
+func MustCompile(e Expr, slots map[string]int) Compiled {
+	c, err := Compile(e, slots)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eval evaluates against the slot value vector.
+func (c Compiled) Eval(vals []int64) int64 {
+	sum := c.constant
+	for _, t := range c.terms {
+		p := t.coef
+		for _, s := range t.slots {
+			p *= vals[s]
+		}
+		sum += p
+	}
+	return sum
+}

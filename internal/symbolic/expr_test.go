@@ -1,0 +1,289 @@
+package symbolic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstBasics(t *testing.T) {
+	if !Zero().IsZero() {
+		t.Fatal("Zero is not zero")
+	}
+	if v, ok := Const(7).IsConst(); !ok || v != 7 {
+		t.Fatalf("Const(7) = %d, %v", v, ok)
+	}
+	if v, ok := Const(0).IsConst(); !ok || v != 0 {
+		t.Fatalf("Const(0) = %d, %v", v, ok)
+	}
+	if !Const(0).IsZero() {
+		t.Fatal("Const(0) not zero")
+	}
+	if _, ok := Sym("x").IsConst(); ok {
+		t.Fatal("Sym is const")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	x, y := Sym("x"), Sym("y")
+	e := x.Add(y).Add(Const(3))
+	got, err := e.Eval(Bindings{"x": 10, "y": 20})
+	if err != nil || got != 33 {
+		t.Fatalf("eval = %d, %v", got, err)
+	}
+	if !e.Sub(e).IsZero() {
+		t.Fatal("e - e != 0")
+	}
+	if !x.Add(x).Equal(x.MulConst(2)) {
+		t.Fatal("x + x != 2x")
+	}
+}
+
+func TestMul(t *testing.T) {
+	x, y := Sym("x"), Sym("y")
+	// (x + 1)(x - 1) == x^2 - 1
+	lhs := x.AddConst(1).Mul(x.AddConst(-1))
+	rhs := x.Mul(x).AddConst(-1)
+	if !lhs.Equal(rhs) {
+		t.Fatalf("(x+1)(x-1) = %s, want %s", lhs, rhs)
+	}
+	// commutativity of monomial keys: x*y == y*x
+	if !x.Mul(y).Equal(y.Mul(x)) {
+		t.Fatal("xy != yx")
+	}
+	if !x.Mul(Zero()).IsZero() {
+		t.Fatal("x*0 != 0")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	x := Sym("x")
+	// (x^2 + 3x)[x := y+1] = y^2 + 5y + 4
+	e := x.Mul(x).Add(x.MulConst(3))
+	got := e.Subst("x", Sym("y").AddConst(1))
+	y := Sym("y")
+	want := y.Mul(y).Add(y.MulConst(5)).AddConst(4)
+	if !got.Equal(want) {
+		t.Fatalf("subst = %s, want %s", got, want)
+	}
+}
+
+func TestDiffAffine(t *testing.T) {
+	// The paper's running example: IPD over thread index a of A[max*a]
+	// is [max].
+	max, a := Sym("max"), Sym("a")
+	sub := max.Mul(a)
+	d := sub.Diff("a", 1)
+	if !d.Equal(max) {
+		t.Fatalf("diff(max*a, a) = %s, want max", d)
+	}
+	// Affine with constant stride: A[2*i + 7] over i has stride 2.
+	e := Sym("i").MulConst(2).AddConst(7)
+	if got := e.Diff("i", 1); !got.Equal(Const(2)) {
+		t.Fatalf("stride = %s", got)
+	}
+	// Step > 1 scales the stride.
+	if got := e.Diff("i", 4); !got.Equal(Const(8)) {
+		t.Fatalf("stride step 4 = %s", got)
+	}
+	// Variable absent: stride 0.
+	if got := e.Diff("j", 1); !got.IsZero() {
+		t.Fatalf("stride over absent var = %s", got)
+	}
+}
+
+func TestDiffQuadratic(t *testing.T) {
+	// diff(i^2) = 2i + 1: the first difference of a quadratic still
+	// depends on i — IPDA must classify this as non-uniform stride.
+	i := Sym("i")
+	d := i.Mul(i).Diff("i", 1)
+	want := i.MulConst(2).AddConst(1)
+	if !d.Equal(want) {
+		t.Fatalf("diff(i^2) = %s, want %s", d, want)
+	}
+	if !d.Uses("i") {
+		t.Fatal("difference of quadratic should still use i")
+	}
+}
+
+func TestEvalUnbound(t *testing.T) {
+	e := Sym("n").Mul(Sym("i"))
+	_, err := e.Eval(Bindings{"n": 5})
+	ue, ok := err.(*UnboundError)
+	if !ok {
+		t.Fatalf("err = %v, want UnboundError", err)
+	}
+	if ue.Sym != "i" {
+		t.Fatalf("unbound sym = %q", ue.Sym)
+	}
+}
+
+func TestFreeSymsAndDegrees(t *testing.T) {
+	n, i, j := Sym("n"), Sym("i"), Sym("j")
+	e := n.Mul(i).Add(j).AddConst(5)
+	if got := e.FreeSyms(); !reflect.DeepEqual(got, []string{"i", "j", "n"}) {
+		t.Fatalf("FreeSyms = %v", got)
+	}
+	if e.Degree() != 2 {
+		t.Fatalf("Degree = %d", e.Degree())
+	}
+	if e.DegreeIn("i") != 1 || e.DegreeIn("z") != 0 {
+		t.Fatal("DegreeIn wrong")
+	}
+	if !e.Uses("n") || e.Uses("z") {
+		t.Fatal("Uses wrong")
+	}
+	if e.Coeff("j") != 1 || e.Coeff("i") != 0 {
+		// coefficient of pure monomial "i" is 0: i only appears as n*i
+		t.Fatalf("Coeff wrong: j=%d i=%d", e.Coeff("j"), e.Coeff("i"))
+	}
+	if e.ConstPart() != 5 {
+		t.Fatalf("ConstPart = %d", e.ConstPart())
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Zero(), "0"},
+		{Const(-3), "-3"},
+		{Sym("x"), "x"},
+		{Sym("x").MulConst(-1), "-x"},
+		{Sym("n").Mul(Sym("a")), "a*n"},
+		{Linear(2, LinTerm{3, "x"}), "3*x + 2"},
+		{Sym("x").Mul(Sym("x")).Sub(Const(1)), "x*x - 1"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.e.terms, got, c.want)
+		}
+	}
+}
+
+func TestLinear(t *testing.T) {
+	e := Linear(10, LinTerm{2, "i"}, LinTerm{-3, "j"})
+	v, err := e.Eval(Bindings{"i": 4, "j": 1})
+	if err != nil || v != 15 {
+		t.Fatalf("eval = %d, %v", v, err)
+	}
+}
+
+// randExpr builds a random polynomial over {x, y, z} with small
+// coefficients, for property tests.
+func randExpr(r *rand.Rand) Expr {
+	vars := []string{"x", "y", "z"}
+	e := Const(int64(r.Intn(7)) - 3)
+	for k := 0; k < r.Intn(4); k++ {
+		t := Const(int64(r.Intn(9)) - 4)
+		for d := 0; d < 1+r.Intn(2); d++ {
+			t = t.Mul(Sym(vars[r.Intn(len(vars))]))
+		}
+		e = e.Add(t)
+	}
+	return e
+}
+
+type exprGen struct{ e Expr }
+
+func (exprGen) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(exprGen{randExpr(r)})
+}
+
+func bindingsFor(r *rand.Rand) Bindings {
+	return Bindings{
+		"x": int64(r.Intn(21) - 10),
+		"y": int64(r.Intn(21) - 10),
+		"z": int64(r.Intn(21) - 10),
+	}
+}
+
+func TestPropRingAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// Commutativity and associativity of Add and Mul, distributivity.
+	if err := quick.Check(func(a, b, c exprGen) bool {
+		return a.e.Add(b.e).Equal(b.e.Add(a.e)) &&
+			a.e.Mul(b.e).Equal(b.e.Mul(a.e)) &&
+			a.e.Add(b.e).Add(c.e).Equal(a.e.Add(b.e.Add(c.e))) &&
+			a.e.Mul(b.e).Mul(c.e).Equal(a.e.Mul(b.e.Mul(c.e))) &&
+			a.e.Mul(b.e.Add(c.e)).Equal(a.e.Mul(b.e).Add(a.e.Mul(c.e)))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEvalHomomorphism(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for n := 0; n < 500; n++ {
+		a, b := randExpr(r), randExpr(r)
+		bind := bindingsFor(r)
+		av, bv := a.MustEval(bind), b.MustEval(bind)
+		if got := a.Add(b).MustEval(bind); got != av+bv {
+			t.Fatalf("eval(a+b) = %d, want %d (a=%s b=%s)", got, av+bv, a, b)
+		}
+		if got := a.Mul(b).MustEval(bind); got != av*bv {
+			t.Fatalf("eval(a*b) = %d, want %d (a=%s b=%s)", got, av*bv, a, b)
+		}
+		if got := a.Neg().MustEval(bind); got != -av {
+			t.Fatalf("eval(-a) = %d, want %d", got, -av)
+		}
+	}
+}
+
+func TestPropDiffMatchesEval(t *testing.T) {
+	// diff(e, v, s) evaluated == e[v+s] - e[v] evaluated, for all e.
+	r := rand.New(rand.NewSource(7))
+	for n := 0; n < 500; n++ {
+		e := randExpr(r)
+		bind := bindingsFor(r)
+		step := int64(1 + r.Intn(4))
+		d := e.Diff("x", step).MustEval(bind)
+		shifted := Bindings{"x": bind["x"] + step, "y": bind["y"], "z": bind["z"]}
+		want := e.MustEval(shifted) - e.MustEval(bind)
+		if d != want {
+			t.Fatalf("diff mismatch: e=%s step=%d got=%d want=%d", e, step, d, want)
+		}
+	}
+}
+
+func TestPropSubstIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for n := 0; n < 300; n++ {
+		e := randExpr(r)
+		if !e.Subst("x", Sym("x")).Equal(e) {
+			t.Fatalf("subst identity failed for %s", e)
+		}
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	x := Sym("x")
+	orig := x.AddConst(3)
+	_ = orig.Add(Sym("y"))
+	_ = orig.Mul(orig)
+	_ = orig.Neg()
+	_ = orig.Subst("x", Const(0))
+	if orig.String() != "x + 3" {
+		t.Fatalf("expression mutated: %s", orig)
+	}
+}
+
+func TestStringOrdering(t *testing.T) {
+	// Higher-degree terms print first; deterministic output.
+	e := Const(1).Add(Sym("a")).Add(Sym("a").Mul(Sym("b")))
+	if got := e.String(); got != "a*b + a + 1" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func BenchmarkMulDense(b *testing.B) {
+	x, y := Sym("x"), Sym("y")
+	p := x.Add(y).AddConst(1)
+	q := x.Mul(x).Add(y.Mul(y)).AddConst(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Mul(q)
+	}
+}

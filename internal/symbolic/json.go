@@ -1,0 +1,47 @@
+package symbolic
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// jsonTerm is the wire form of one monomial.
+type jsonTerm struct {
+	C int64    `json:"c"`
+	V []string `json:"v,omitempty"`
+}
+
+// MarshalJSON encodes the polynomial as a sorted list of monomials, e.g.
+// 3*n*a + 2 -> [{"c":3,"v":["a","n"]},{"c":2}]. The encoding is what the
+// Program Attribute Database stores between compile time and run time.
+func (e Expr) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(e.terms))
+	for k := range e.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]jsonTerm, 0, len(keys))
+	for _, k := range keys {
+		t := e.terms[k]
+		out = append(out, jsonTerm{C: t.coef, V: t.vars})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the monomial-list form produced by MarshalJSON.
+func (e *Expr) UnmarshalJSON(data []byte) error {
+	var terms []jsonTerm
+	if err := json.Unmarshal(data, &terms); err != nil {
+		return err
+	}
+	out := Zero()
+	for _, t := range terms {
+		m := Const(t.C)
+		for _, v := range t.V {
+			m = m.Mul(Sym(v))
+		}
+		out = out.Add(m)
+	}
+	*e = out
+	return nil
+}

@@ -1,0 +1,103 @@
+package symbolic
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	cases := []Expr{
+		Zero(),
+		Const(42),
+		Sym("n"),
+		Sym("n").Mul(Sym("a")).MulConst(3).AddConst(2),
+		Sym("x").Mul(Sym("x")).Sub(Sym("y")),
+	}
+	for _, e := range cases {
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Expr
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("round trip: %s -> %s -> %s", e, data, back)
+		}
+	}
+}
+
+func TestJSONWireFormat(t *testing.T) {
+	e := Sym("a").Mul(Sym("n")).MulConst(3).AddConst(2)
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"c":2},{"c":3,"v":["a","n"]}]`
+	if string(data) != want {
+		t.Fatalf("wire form = %s, want %s", data, want)
+	}
+}
+
+func TestJSONPropRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		e := randExpr(r)
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Expr
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("round trip failed for %s", e)
+		}
+	}
+}
+
+func TestJSONUnmarshalError(t *testing.T) {
+	var e Expr
+	if err := json.Unmarshal([]byte(`{"bad":1}`), &e); err == nil {
+		t.Fatal("accepted malformed input")
+	}
+}
+
+func TestCompiledEval(t *testing.T) {
+	e := Sym("n").Mul(Sym("i")).Add(Sym("j")).AddConst(7)
+	slots := map[string]int{"n": 0, "i": 1, "j": 2}
+	c, err := Compile(e, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval([]int64{10, 3, 4}); got != 41 {
+		t.Fatalf("Eval = %d, want 41", got)
+	}
+	if _, err := Compile(Sym("z"), slots); err == nil {
+		t.Fatal("missing slot accepted")
+	}
+	// MustCompile panics on missing slot.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic")
+		}
+	}()
+	MustCompile(Sym("z"), slots)
+}
+
+func TestCompiledMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	slots := map[string]int{"x": 0, "y": 1, "z": 2}
+	for i := 0; i < 300; i++ {
+		e := randExpr(r)
+		c := MustCompile(e, slots)
+		vals := []int64{int64(r.Intn(19) - 9), int64(r.Intn(19) - 9), int64(r.Intn(19) - 9)}
+		want := e.MustEval(Bindings{"x": vals[0], "y": vals[1], "z": vals[2]})
+		if got := c.Eval(vals); got != want {
+			t.Fatalf("compiled %s = %d, want %d", e, got, want)
+		}
+	}
+}
