@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check test race bench vet build
+
+# The full verification gate: vet + build + tests (+race) + perf smoke.
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/offload/ ./internal/experiments/
+
+# Regenerate every paper artifact at full fidelity.
+bench:
+	$(GO) test -bench=. -benchmem .

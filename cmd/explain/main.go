@@ -1,13 +1,15 @@
 // Command explain prints the full white-box reasoning behind one target
 // selection: the kernel pseudocode, the IPDA access analysis, both model
-// breakdowns, and the resulting decision. This is the transparency
-// argument of the paper made concrete — every term of the decision is
-// inspectable, unlike an ML model's inference.
+// breakdowns, and the decision the offload runtime actually takes (with
+// its ground-truth validation launch and instrumentation). This is the
+// transparency argument of the paper made concrete — every term of the
+// decision is inspectable, unlike an ML model's inference.
 //
 // Usage:
 //
 //	explain -kernel 2dconv -n 9600
 //	explain -kernel gemm -n 1100 -threads 4 -platform p8k80
+//	explain -kernel gemm -launch=false   # models only, no simulation
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"github.com/hybridsel/hybridsel/internal/ipda"
 	"github.com/hybridsel/hybridsel/internal/ir"
 	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/polybench"
 	"github.com/hybridsel/hybridsel/internal/symbolic"
 )
@@ -29,6 +32,8 @@ func main() {
 	n := flag.Int64("n", 1100, "problem size")
 	threads := flag.Int("threads", 160, "host threads")
 	platform := flag.String("platform", "p9v100", "platform: p9v100|p8k80")
+	launch := flag.Bool("launch", true,
+		"dispatch the region through the runtime and simulate the chosen target")
 	flag.Parse()
 
 	var plat machine.Platform
@@ -47,15 +52,18 @@ func main() {
 	}
 	b := symbolic.Bindings{"n": *n}
 
-	fmt.Println("=== Target region ===")
-	fmt.Print(k.IR.Print())
-
-	opt := ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
-		Bindings: ir.MidpointBindings(k.IR, b)}
-	an, err := ipda.Analyze(k.IR, ir.DefaultCountOptions())
+	rt := offload.NewRuntime(offload.Config{Platform: plat, Threads: *threads})
+	region, err := rt.Register(k.IR)
 	if err != nil {
 		fatal(err)
 	}
+
+	fmt.Println("=== Target region ===")
+	fmt.Print(region.Kernel.Print())
+
+	opt := ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+		Bindings: ir.MidpointBindings(k.IR, b)}
+	an := region.Analysis
 	sum, err := an.GPUCoalescing(b, ipda.WarpGeom{
 		WarpSize: plat.GPU.WarpSize, TransactionBytes: plat.GPU.L2.LineBytes})
 	if err != nil {
@@ -100,12 +108,34 @@ func main() {
 	fmt.Println()
 	fmt.Print(gp.Format())
 
+	if !*launch {
+		target := "CPU (host fallback)"
+		if gp.Seconds < cp.Seconds {
+			target = "GPU (offload)"
+		}
+		fmt.Printf("\n=== Decision: %s ===\n", target)
+		fmt.Printf("predicted speedup of offloading: %.2fx\n", cp.Seconds/gp.Seconds)
+		return
+	}
+
+	// Dispatch through the runtime so the decision shown is the one the
+	// service takes, and validate it against the ground-truth simulator.
+	out, err := region.Launch(b)
+	if err != nil {
+		fatal(err)
+	}
 	target := "CPU (host fallback)"
-	if gp.Seconds < cp.Seconds {
+	if out.Target == offload.TargetGPU {
 		target = "GPU (offload)"
 	}
-	fmt.Printf("\n=== Decision: %s ===\n", target)
-	fmt.Printf("predicted speedup of offloading: %.2fx\n", cp.Seconds/gp.Seconds)
+	fmt.Printf("\n=== Decision: %s (policy %s) ===\n", target, out.Policy.Name())
+	fmt.Printf("predicted speedup of offloading: %.2fx\n",
+		out.PredCPUSeconds/out.PredGPUSeconds)
+	fmt.Printf("simulated %v execution: %.4gs  (decision overhead %v)\n",
+		out.Target, out.ActualSeconds, out.DecisionOverhead)
+
+	fmt.Println()
+	fmt.Print(rt.Metrics())
 }
 
 func fatal(err error) {

@@ -30,6 +30,8 @@ func main() {
 	threads := flag.Int("threads", 4,
 		"host thread count for the fig6/fig7 comparison")
 	parallel := flag.Int("parallel", 0, "simulation parallelism (0 = NumCPU)")
+	metrics := flag.Bool("metrics", false,
+		"print aggregated offload-runtime instrumentation after the runs")
 	flag.Parse()
 
 	r, err := experiments.NewRunner(experiments.Options{Parallelism: *parallel})
@@ -123,6 +125,9 @@ func main() {
 		return nil
 	})
 
+	if *metrics {
+		fmt.Println(r.Metrics())
+	}
 	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
 }
 

@@ -38,20 +38,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	var p offload.Policy
-	switch *policy {
-	case "model-guided":
-		p = offload.ModelGuided
-	case "always-gpu":
-		p = offload.AlwaysGPU
-	case "always-cpu":
-		p = offload.AlwaysCPU
-	case "oracle":
-		p = offload.Oracle
-	case "split":
-		p = offload.Split
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+	p, err := offload.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
 	}
 	var plat machine.Platform
 	switch *platform {
@@ -73,7 +62,7 @@ func main() {
 	}
 
 	fmt.Printf("Polybench OpenMP suite — %s mode, %s policy, %s, %d host threads\n\n",
-		m, p, plat.Name, *threads)
+		m, p.Name(), plat.Name, *threads)
 	t := stats.NewTable("", "kernel", "target", "executed",
 		"pred cpu", "pred gpu", "decision time")
 	var total float64
@@ -95,7 +84,8 @@ func main() {
 	fmt.Printf("suite executed (simulated) time: %s\n", fmtSec(total))
 	fmt.Printf("total selector overhead: %v (wall clock, %d launches)\n",
 		overhead.Round(time.Microsecond), len(polybench.Suite()))
-	fmt.Printf("driver wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("driver wall time: %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(rt.Metrics())
 }
 
 func fmtSec(s float64) string {

@@ -23,25 +23,31 @@ func main() {
 
 	// "Compile" the GEMM target region: the runtime outlines it, runs
 	// the static analyses (instruction loadout, IPDA strides) and stores
-	// them in the program attribute database.
+	// them in the program attribute database, returning a region handle.
 	gemm, err := polybench.Get("gemm")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := rt.Register(gemm.IR); err != nil {
+	region, err := rt.Register(gemm.IR)
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	// "Run" the program: on reaching the region the runtime binds the
-	// runtime values (n), completes both analytical models, and
-	// dispatches to the faster predicted target.
-	for _, n := range []int64{128, 1100, 4096} {
-		out, err := rt.Launch("gemm", map[string]int64{"n": n})
+	// runtime values (n), completes both analytical models (memoizing the
+	// decision per bindings), and dispatches to the faster predicted
+	// target.
+	for _, n := range []int64{128, 1100, 4096, 4096} {
+		out, err := region.Launch(map[string]int64{"n": n})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("n=%-5d -> %s   predicted cpu %.3gs gpu %.3gs   executed %.3gs   (decision %v)\n",
+		fmt.Printf("n=%-5d -> %s   predicted cpu %.3gs gpu %.3gs   executed %.3gs   (decision %v, cached %v)\n",
 			n, out.Target, out.PredCPUSeconds, out.PredGPUSeconds,
-			out.ActualSeconds, out.DecisionOverhead)
+			out.ActualSeconds, out.DecisionOverhead, out.CacheHit)
 	}
+
+	// Every stage is instrumented.
+	fmt.Println()
+	fmt.Print(rt.Metrics())
 }

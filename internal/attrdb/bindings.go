@@ -1,0 +1,48 @@
+package attrdb
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// BindingsKey returns a canonical, deterministic encoding of runtime
+// bindings — the same set of name/value pairs always yields the same key,
+// regardless of map iteration order. The offload runtime uses it to key
+// its decision and execution memoization caches per (region, bindings).
+//
+// The encoding is "name=value" pairs sorted by name and joined with
+// commas, e.g. "m=128,n=1100".
+func BindingsKey(b symbolic.Bindings) string {
+	if len(b) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(b))
+	n := 0
+	for k := range b {
+		names = append(names, k)
+		n += len(k) + 2
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, n+len(b)*8)
+	for i, k := range names {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, b[k], 10)
+	}
+	return string(buf)
+}
+
+// BindingsHash returns a 64-bit FNV-1a hash of the canonical encoding,
+// for callers that shard or index by bindings without keeping the full
+// key string.
+func BindingsHash(b symbolic.Bindings) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(BindingsKey(b)))
+	return h.Sum64()
+}

@@ -88,11 +88,11 @@ func (r *Runner) Ablate(m polybench.Mode, threads int, variants []Variant) ([]Ab
 	plat := machine.PlatformP9V100()
 	actual := make([]float64, len(r.kernels))
 	err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
-		cpuSec, err := r.CPUSeconds(k, m, plat.CPU, threads)
+		cpuSec, err := r.CPUSeconds(k, m, plat, threads)
 		if err != nil {
 			return err
 		}
-		gpuSec, err := r.GPUSeconds(k, m, plat.GPU, plat.Link)
+		gpuSec, err := r.GPUSeconds(k, m, plat)
 		if err != nil {
 			return err
 		}

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hybridsel/hybridsel/internal/cpumodel"
 	"github.com/hybridsel/hybridsel/internal/gpumodel"
 	"github.com/hybridsel/hybridsel/internal/ipda"
 	"github.com/hybridsel/hybridsel/internal/ir"
 	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/polybench"
 	"github.com/hybridsel/hybridsel/internal/sim"
 	"github.com/hybridsel/hybridsel/internal/stats"
@@ -36,7 +38,8 @@ import (
 
 // Options tune experiment fidelity and resources.
 type Options struct {
-	// Parallelism bounds concurrent kernel simulations (0 = NumCPU).
+	// Parallelism bounds the worker pool driving concurrent launches
+	// against the offload runtimes (0 = NumCPU).
 	Parallelism int
 	// CPUSim/GPUSim override simulator sampling (tests shrink them).
 	CPUSim sim.CPUConfig
@@ -45,13 +48,17 @@ type Options struct {
 	Kernels []string
 }
 
-// Runner executes experiments with memoized ground-truth simulations.
+// Runner executes experiments against shared offload runtimes — one per
+// (platform, host-thread-count) configuration — so every ground-truth
+// simulation and model evaluation is memoized in the runtime's concurrent
+// caches, and every study fans out over a worker pool of
+// kernel x dataset-mode x platform cells.
 type Runner struct {
 	opts    Options
 	kernels []*polybench.Kernel
 
-	mu    sync.Mutex
-	cache map[string]float64
+	mu  sync.Mutex
+	rts map[string]*offload.Runtime
 }
 
 // NewRunner builds a runner.
@@ -59,7 +66,7 @@ func NewRunner(opts Options) (*Runner, error) {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.NumCPU()
 	}
-	r := &Runner{opts: opts, cache: map[string]float64{}}
+	r := &Runner{opts: opts, rts: map[string]*offload.Runtime{}}
 	if opts.Kernels == nil {
 		r.kernels = polybench.Suite()
 	} else {
@@ -77,74 +84,116 @@ func NewRunner(opts Options) (*Runner, error) {
 // Kernels returns the kernels the runner operates on.
 func (r *Runner) Kernels() []*polybench.Kernel { return r.kernels }
 
-// cached memoizes f under key.
-func (r *Runner) cached(key string, f func() (float64, error)) (float64, error) {
-	r.mu.Lock()
-	if v, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return v, nil
+// runtime returns (building on first use) the shared offload runtime for
+// one platform and host thread count, with every kernel registered.
+// threads <= 0 selects the platform's full hardware thread count.
+func (r *Runner) runtime(plat machine.Platform, threads int) (*offload.Runtime, error) {
+	if threads <= 0 || threads > plat.CPU.Threads() {
+		threads = plat.CPU.Threads()
 	}
-	r.mu.Unlock()
-	v, err := f()
+	key := fmt.Sprintf("%s/%d", plat.Name, threads)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rt, ok := r.rts[key]; ok {
+		return rt, nil
+	}
+	rt := offload.NewRuntime(offload.Config{
+		Platform: plat,
+		Threads:  threads,
+		Policy:   offload.ModelGuided,
+		CPUSim:   r.opts.CPUSim,
+		GPUSim:   r.opts.GPUSim,
+	})
+	for _, k := range r.kernels {
+		if _, err := rt.Register(k.IR); err != nil {
+			return nil, err
+		}
+	}
+	r.rts[key] = rt
+	return rt, nil
+}
+
+// Metrics aggregates the instrumentation of every runtime the runner has
+// built (launch, dispatch, cache and model-latency accounting).
+func (r *Runner) Metrics() offload.Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var m offload.Metrics
+	for _, rt := range r.rts {
+		m = m.Merge(rt.Metrics())
+	}
+	return m
+}
+
+// CPUSeconds returns the ground-truth host execution time at the given
+// thread count, memoized in the runtime's execution cache.
+func (r *Runner) CPUSeconds(k *polybench.Kernel, m polybench.Mode,
+	plat machine.Platform, threads int) (float64, error) {
+	rt, err := r.runtime(plat, threads)
 	if err != nil {
 		return 0, err
 	}
-	r.mu.Lock()
-	r.cache[key] = v
-	r.mu.Unlock()
-	return v, nil
-}
-
-// CPUSeconds returns the ground-truth host execution time.
-func (r *Runner) CPUSeconds(k *polybench.Kernel, m polybench.Mode,
-	cpu *machine.CPU, threads int) (float64, error) {
-	key := fmt.Sprintf("cpu/%s/%s/%s/%d", k.Name, m, cpu.Name, threads)
-	return r.cached(key, func() (float64, error) {
-		cfg := r.opts.CPUSim
-		cfg.Threads = threads
-		res, err := sim.SimulateCPU(k.IR, cpu, k.Bindings(m), cfg)
-		if err != nil {
-			return 0, err
-		}
-		return res.Seconds, nil
-	})
+	return rt.Execute(k.Name, offload.TargetCPU, k.Bindings(m))
 }
 
 // GPUSeconds returns the ground-truth offload time (kernel + transfer).
+// Device executions are independent of the host thread count, so they are
+// shared through the platform's default runtime.
 func (r *Runner) GPUSeconds(k *polybench.Kernel, m polybench.Mode,
-	gpu *machine.GPU, link machine.Link) (float64, error) {
-	key := fmt.Sprintf("gpu/%s/%s/%s/%s", k.Name, m, gpu.Name, link.Name)
-	return r.cached(key, func() (float64, error) {
-		cfg := r.opts.GPUSim
-		cfg.IncludeTransfer = true
-		res, err := sim.SimulateGPU(k.IR, gpu, link, k.Bindings(m), cfg)
-		if err != nil {
-			return 0, err
-		}
-		return res.Seconds, nil
-	})
+	plat machine.Platform) (float64, error) {
+	rt, err := r.runtime(plat, 0)
+	if err != nil {
+		return 0, err
+	}
+	return rt.Execute(k.Name, offload.TargetGPU, k.Bindings(m))
 }
 
-// forEachKernel runs fn over the runner's kernels with bounded
-// parallelism, collecting the first error.
-func (r *Runner) forEachKernel(fn func(i int, k *polybench.Kernel) error) error {
-	sem := make(chan struct{}, r.opts.Parallelism)
-	errCh := make(chan error, len(r.kernels))
-	var wg sync.WaitGroup
-	for i, k := range r.kernels {
+// forEach runs fn over n work cells on a bounded worker pool, returning
+// the first error. Remaining cells are skipped once an error occurs.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	workers := r.opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, k *polybench.Kernel) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := fn(i, k); err != nil {
-				errCh <- fmt.Errorf("%s: %w", k.Name, err)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
 			}
-		}(i, k)
+		}()
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return firstEr
+}
+
+// forEachKernel fans fn out over the runner's kernels.
+func (r *Runner) forEachKernel(fn func(i int, k *polybench.Kernel) error) error {
+	return r.forEach(len(r.kernels), func(i int) error {
+		if err := fn(i, r.kernels[i]); err != nil {
+			return fmt.Errorf("%s: %w", r.kernels[i].Name, err)
+		}
+		return nil
+	})
 }
 
 // staticCountOpt is the paper's purely static counting configuration
@@ -209,34 +258,44 @@ type Table1Row struct {
 	P8CPUSec, K80GPUSec, P9CPUSec, V100GPUSec float64
 }
 
-// Table1 reproduces the cross-generation offloading study.
+// Table1 reproduces the cross-generation offloading study. The work fans
+// out over one cell per kernel x dataset-mode x platform; concurrent cells
+// write disjoint row fields, and speedups are derived afterwards.
 func (r *Runner) Table1() ([]Table1Row, error) {
-	p8k80 := machine.PlatformP8K80()
-	p9v100 := machine.PlatformP9V100()
-	rows := make([]Table1Row, 2*len(r.kernels))
-	err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
-		for mi, m := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
-			row := Table1Row{Kernel: k.Name, Mode: m}
-			var err error
-			if row.P8CPUSec, err = r.CPUSeconds(k, m, p8k80.CPU, p8k80.CPU.Threads()); err != nil {
-				return err
-			}
-			if row.K80GPUSec, err = r.GPUSeconds(k, m, p8k80.GPU, p8k80.Link); err != nil {
-				return err
-			}
-			if row.P9CPUSec, err = r.CPUSeconds(k, m, p9v100.CPU, p9v100.CPU.Threads()); err != nil {
-				return err
-			}
-			if row.V100GPUSec, err = r.GPUSeconds(k, m, p9v100.GPU, p9v100.Link); err != nil {
-				return err
-			}
-			row.K80Speedup = row.P8CPUSec / row.K80GPUSec
-			row.V100Speedup = row.P9CPUSec / row.V100GPUSec
-			rows[i*2+mi] = row
+	plats := []machine.Platform{machine.PlatformP8K80(), machine.PlatformP9V100()}
+	modes := []polybench.Mode{polybench.Test, polybench.Benchmark}
+	rows := make([]Table1Row, len(modes)*len(r.kernels))
+	err := r.forEach(len(rows)*len(plats), func(c int) error {
+		pi := c % len(plats)
+		ri := c / len(plats)
+		k := r.kernels[ri/len(modes)]
+		m := modes[ri%len(modes)]
+		plat := plats[pi]
+		cpuSec, err := r.CPUSeconds(k, m, plat, plat.CPU.Threads())
+		if err != nil {
+			return fmt.Errorf("%s/%s on %s: %w", k.Name, m, plat.Name, err)
+		}
+		gpuSec, err := r.GPUSeconds(k, m, plat)
+		if err != nil {
+			return fmt.Errorf("%s/%s on %s: %w", k.Name, m, plat.Name, err)
+		}
+		if pi == 0 {
+			rows[ri].P8CPUSec, rows[ri].K80GPUSec = cpuSec, gpuSec
+		} else {
+			rows[ri].P9CPUSec, rows[ri].V100GPUSec = cpuSec, gpuSec
 		}
 		return nil
 	})
-	return rows, err
+	if err != nil {
+		return nil, err
+	}
+	for ri := range rows {
+		rows[ri].Kernel = r.kernels[ri/len(modes)].Name
+		rows[ri].Mode = modes[ri%len(modes)]
+		rows[ri].K80Speedup = rows[ri].P8CPUSec / rows[ri].K80GPUSec
+		rows[ri].V100Speedup = rows[ri].P9CPUSec / rows[ri].V100GPUSec
+	}
+	return rows, nil
 }
 
 // ------------------------------------------------------- Figures 6 & 7 --
@@ -254,17 +313,21 @@ type PredRow struct {
 // POWER9+V100 platform.
 func (r *Runner) Figure(m polybench.Mode, threads int) ([]PredRow, error) {
 	plat := machine.PlatformP9V100()
+	rt, err := r.runtime(plat, threads)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]PredRow, len(r.kernels))
-	err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
-		cpuSec, err := r.CPUSeconds(k, m, plat.CPU, threads)
+	err = r.forEachKernel(func(i int, k *polybench.Kernel) error {
+		cpuSec, err := r.CPUSeconds(k, m, plat, threads)
 		if err != nil {
 			return err
 		}
-		gpuSec, err := r.GPUSeconds(k, m, plat.GPU, plat.Link)
+		gpuSec, err := r.GPUSeconds(k, m, plat)
 		if err != nil {
 			return err
 		}
-		predCPU, predGPU, err := Predict(k, m, plat, threads)
+		predCPU, predGPU, err := rt.Predict(k.Name, k.Bindings(m))
 		if err != nil {
 			return err
 		}
@@ -304,18 +367,21 @@ type Fig8Result struct {
 // platform with the full 160-thread host.
 func (r *Runner) Figure8(m polybench.Mode) (Fig8Result, error) {
 	plat := machine.PlatformP9V100()
-	threads := plat.CPU.Threads()
+	rt, err := r.runtime(plat, 0)
+	if err != nil {
+		return Fig8Result{Mode: m}, err
+	}
 	res := Fig8Result{Mode: m, Rows: make([]Fig8Row, len(r.kernels))}
-	err := r.forEachKernel(func(i int, k *polybench.Kernel) error {
-		cpuSec, err := r.CPUSeconds(k, m, plat.CPU, threads)
+	err = r.forEachKernel(func(i int, k *polybench.Kernel) error {
+		cpuSec, err := r.CPUSeconds(k, m, plat, 0)
 		if err != nil {
 			return err
 		}
-		gpuSec, err := r.GPUSeconds(k, m, plat.GPU, plat.Link)
+		gpuSec, err := r.GPUSeconds(k, m, plat)
 		if err != nil {
 			return err
 		}
-		predCPU, predGPU, err := Predict(k, m, plat, threads)
+		predCPU, predGPU, err := rt.Predict(k.Name, k.Bindings(m))
 		if err != nil {
 			return err
 		}

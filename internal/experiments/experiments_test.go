@@ -42,24 +42,28 @@ func TestRunnerKernelSelection(t *testing.T) {
 func TestCachingIsStable(t *testing.T) {
 	r, _ := NewRunner(fastOptions("gemm"))
 	k := r.Kernels()[0]
-	cpu := machine.POWER9()
-	a, err := r.CPUSeconds(k, polybench.Test, cpu, 20)
+	plat := machine.PlatformP9V100()
+	a, err := r.CPUSeconds(k, polybench.Test, plat, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.CPUSeconds(k, polybench.Test, cpu, 20)
+	b, err := r.CPUSeconds(k, polybench.Test, plat, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Fatalf("cache not stable: %v vs %v", a, b)
 	}
-	c, err := r.CPUSeconds(k, polybench.Test, cpu, 4)
+	c, err := r.CPUSeconds(k, polybench.Test, plat, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c == a {
 		t.Fatal("different thread counts must be distinct entries")
+	}
+	m := r.Metrics()
+	if m.ExecCacheHits == 0 || m.ExecCacheMisses == 0 {
+		t.Fatalf("exec cache accounting: %+v", m)
 	}
 }
 

@@ -1,0 +1,88 @@
+package offload
+
+import "container/list"
+
+// decisionEntry is one memoized model evaluation, keyed by the canonical
+// encoding of the launch bindings. The predictions are always present; the
+// decided target (and split fraction) is filled the first time a Launch
+// completes the policy decision for the key — Predict alone stores the
+// prediction half so a later Launch still skips the model evaluation.
+type decisionEntry struct {
+	key              string
+	predCPU, predGPU float64
+
+	// decided is set once a Launch has run the policy on this key.
+	decided bool
+	target  Target
+	// frac is the host share chosen by a split decision (0 otherwise).
+	frac float64
+}
+
+// decisionCache is a bounded LRU of decisionEntry, guarded by its owning
+// Region's lock. capacity <= 0 means the cache is disabled.
+type decisionCache struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *decisionEntry
+	index    map[string]*list.Element
+}
+
+func newDecisionCache(capacity int) *decisionCache {
+	c := &decisionCache{capacity: capacity}
+	if capacity > 0 {
+		c.order = list.New()
+		c.index = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// get returns the entry for key, promoting it to most-recently-used.
+func (c *decisionCache) get(key string) (*decisionEntry, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*decisionEntry), true
+}
+
+// put inserts (or refreshes) an entry, evicting the least-recently-used
+// one when over capacity. It reports how many entries were evicted.
+func (c *decisionCache) put(e *decisionEntry) int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	if el, ok := c.index[e.key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.index[e.key] = c.order.PushFront(e)
+	evicted := 0
+	for c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.index, back.Value.(*decisionEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// clear drops every entry (used when profiling changes the model inputs).
+func (c *decisionCache) clear() {
+	if c.capacity <= 0 {
+		return
+	}
+	c.order.Init()
+	clear(c.index)
+}
+
+// len reports the number of live entries.
+func (c *decisionCache) len() int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	return c.order.Len()
+}

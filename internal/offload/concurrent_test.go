@@ -1,0 +1,224 @@
+package offload
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/sim"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// stressConfig keeps simulation cheap so the stress tests exercise the
+// decision service, not the simulators. Run with -race.
+func stressConfig(p Policy) Config {
+	return Config{
+		Platform: machine.PlatformP9V100(),
+		Policy:   p,
+		CPUSim:   sim.CPUConfig{SampleItems: 8, MaxLoopSample: 32},
+		GPUSim:   sim.GPUConfig{SampleWarps: 2, MaxLoopSample: 32, MaxRepSample: 1},
+	}
+}
+
+// TestConcurrentLaunchStress drives N goroutines times M regions through
+// repeated launches over a small set of binding values and asserts the
+// decision log and cache accounting stay exactly consistent.
+func TestConcurrentLaunchStress(t *testing.T) {
+	rt := NewRuntime(stressConfig(ModelGuided))
+	names := []string{"gemm", "mvt1", "2dconv", "atax2", "gesummv", "syrk"}
+	regions := make([]*Region, len(names))
+	for i, name := range names {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regions[i], err = rt.Register(k.IR); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		workers           = 8
+		launchesPerWorker = 30
+	)
+	sizes := []int64{96, 128, 192} // 3 distinct binding sets per region
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < launchesPerWorker; i++ {
+				r := regions[(w+i)%len(regions)]
+				b := symbolic.Bindings{"n": sizes[(w*launchesPerWorker+i)%len(sizes)]}
+				out, err := r.Launch(b)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if out.ActualSeconds <= 0 {
+					errCh <- errNonPositive
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	const total = workers * launchesPerWorker
+	m := rt.Metrics()
+	log := rt.DecisionLog()
+
+	if m.Launches != total {
+		t.Fatalf("launches = %d, want %d", m.Launches, total)
+	}
+	if log.Len() != total {
+		t.Fatalf("log entries = %d, want %d", log.Len(), total)
+	}
+	if m.DecisionCacheHits+m.DecisionCacheMisses != total {
+		t.Fatalf("hits %d + misses %d != %d",
+			m.DecisionCacheHits, m.DecisionCacheMisses, total)
+	}
+	var dispatched uint64
+	for _, n := range m.Dispatch {
+		dispatched += n
+	}
+	if dispatched != total {
+		t.Fatalf("dispatch sum = %d, want %d", dispatched, total)
+	}
+	// At most (regions x sizes) distinct keys need a model evaluation;
+	// concurrent first launches of the same key may race to a handful of
+	// duplicate evaluations, but the steady state must be cache hits.
+	distinct := uint64(len(names) * len(sizes))
+	if m.DecisionCacheHits < total-3*distinct {
+		t.Fatalf("only %d cache hits over %d launches (%d distinct keys)",
+			m.DecisionCacheHits, total, distinct)
+	}
+	// Per-region log slices must cover every launch and agree with the
+	// cached predictions: for one (region, bindings) pair every decision
+	// is identical.
+	perRegion := 0
+	for _, name := range names {
+		ds := log.ByRegion(name)
+		perRegion += len(ds)
+		first := map[int64]Decision{}
+		for _, d := range ds {
+			n := d.Bindings["n"]
+			if f, ok := first[n]; !ok {
+				first[n] = d
+			} else if d.Target != f.Target ||
+				d.PredCPUSeconds != f.PredCPUSeconds ||
+				d.PredGPUSeconds != f.PredGPUSeconds ||
+				d.ActualSeconds != f.ActualSeconds {
+				t.Fatalf("%s n=%d: decisions diverged across launches", name, n)
+			}
+		}
+	}
+	if perRegion != total {
+		t.Fatalf("per-region logs cover %d launches, want %d", perRegion, total)
+	}
+}
+
+// TestConcurrentMixedOperations races launches, predictions, profiling,
+// metrics snapshots and log snapshots against each other (race-detector
+// fodder for every lock in the runtime).
+func TestConcurrentMixedOperations(t *testing.T) {
+	rt := NewRuntime(stressConfig(ModelGuided))
+	names := []string{"gemm", "mvt1", "2dconv"}
+	for _, name := range names {
+		k, _ := polybench.Get(name)
+		if _, err := rt.Register(k.IR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				name := names[(w+i)%len(names)]
+				b := symbolic.Bindings{"n": int64(64 + 32*(i%3))}
+				if _, err := rt.Launch(name, b); err != nil {
+					errCh <- err
+					return
+				}
+				if _, _, err := rt.Predict(name, b); err != nil {
+					errCh <- err
+					return
+				}
+				if i%4 == 0 {
+					if _, err := rt.ProfileRegion(name, b); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				_ = rt.Metrics()
+				_ = rt.DecisionLog()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.DecisionLog().Len(); got != 40 {
+		t.Fatalf("log = %d entries, want 40", got)
+	}
+}
+
+// TestConcurrentOraclePolicy stresses the dual-execution path, whose
+// launches fill both actuals from the shared execution cache.
+func TestConcurrentOraclePolicy(t *testing.T) {
+	rt := NewRuntime(stressConfig(Oracle))
+	k, _ := polybench.Get("mvt1")
+	region, err := rt.Register(k.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				out, err := region.Launch(symbolic.Bindings{"n": 128})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if out.ActualCPUSeconds <= 0 || out.ActualGPUSeconds <= 0 {
+					errCh <- errNonPositive
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Metrics()
+	if m.Launches != 40 || m.Dispatch[TargetCPU]+m.Dispatch[TargetGPU] != 40 {
+		t.Fatalf("oracle metrics: %+v", m)
+	}
+	// One binding set: at most a few racing first executions per target.
+	if m.ExecCacheHits < 70 {
+		t.Fatalf("exec cache hits = %d over 80 executions", m.ExecCacheHits)
+	}
+}
+
+var errNonPositive = errTest("non-positive simulated time")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

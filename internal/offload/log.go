@@ -1,0 +1,113 @@
+package offload
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// logShardCount spreads decision-log appends over independent mutexes so
+// parallel launches do not serialize on one lock; the global launch order
+// is reconstructed from per-entry sequence numbers at snapshot time.
+const logShardCount = 16
+
+// logChunkSize bounds each allocation of log storage. Chunking instead of
+// a single growing slice keeps appends O(1) without ever re-copying (or
+// re-zeroing) the accumulated history — on a hot launch path the doubling
+// copies of a plain append dominated the profile.
+const logChunkSize = 512
+
+type logShard struct {
+	mu     sync.Mutex
+	chunks [][]seqDecision
+}
+
+func (s *logShard) add(e seqDecision) {
+	s.mu.Lock()
+	n := len(s.chunks)
+	if n == 0 || len(s.chunks[n-1]) == logChunkSize {
+		s.chunks = append(s.chunks, make([]seqDecision, 0, logChunkSize))
+		n++
+	}
+	s.chunks[n-1] = append(s.chunks[n-1], e)
+	s.mu.Unlock()
+}
+
+type seqDecision struct {
+	seq uint64
+	d   Decision
+}
+
+// decisionLog is the runtime's sharded append-only launch log.
+type decisionLog struct {
+	seq    atomic.Uint64
+	shards [logShardCount]logShard
+}
+
+// append records one decision, returning its global sequence number.
+func (l *decisionLog) append(d Decision) uint64 {
+	seq := l.seq.Add(1) - 1
+	l.shards[seq%logShardCount].add(seqDecision{seq: seq, d: d})
+	return seq
+}
+
+// snapshot merges the shards into launch order.
+func (l *decisionLog) snapshot() *DecisionLog {
+	var all []seqDecision
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for _, c := range s.chunks {
+			all = append(all, c...)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	ds := make([]Decision, len(all))
+	for i, e := range all {
+		ds[i] = e.d
+	}
+	return &DecisionLog{decisions: ds}
+}
+
+// DecisionLog is an immutable snapshot of the launch log, ordered by
+// launch sequence. It replaces the former mutable Decisions()/ResetLog()
+// pair: each call to Runtime.DecisionLog captures the log as of that
+// moment and later launches never alter an existing snapshot.
+type DecisionLog struct {
+	decisions []Decision
+}
+
+// Len reports the number of logged launches.
+func (l *DecisionLog) Len() int { return len(l.decisions) }
+
+// At returns the i-th decision in launch order.
+func (l *DecisionLog) At(i int) Decision { return l.decisions[i] }
+
+// All returns the decisions in launch order. The returned slice is a
+// copy; mutating it does not affect the snapshot.
+func (l *DecisionLog) All() []Decision {
+	out := make([]Decision, len(l.decisions))
+	copy(out, l.decisions)
+	return out
+}
+
+// ByRegion returns the decisions for one region, in launch order.
+func (l *DecisionLog) ByRegion(name string) []Decision {
+	var out []Decision
+	for _, d := range l.decisions {
+		if d.Region == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// PerTarget counts logged launches by execution target.
+func (l *DecisionLog) PerTarget() map[Target]int {
+	out := map[Target]int{}
+	for _, d := range l.decisions {
+		out[d.Target]++
+	}
+	return out
+}

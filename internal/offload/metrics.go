@@ -1,0 +1,223 @@
+package offload
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds of the model-evaluation latency
+// histogram (the last bucket is unbounded). Model evaluation is "solving
+// two equations", so the interesting resolution is microseconds to
+// milliseconds.
+var latencyBuckets = [...]time.Duration{
+	10 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+}
+
+// latencyHist is a fixed-bucket concurrent histogram.
+type latencyHist struct {
+	buckets  [len(latencyBuckets) + 1]atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Uint64
+	maxNanos atomic.Uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if d <= latencyBuckets[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(uint64(d))
+	for {
+		old := h.maxNanos.Load()
+		if uint64(d) <= old || h.maxNanos.CompareAndSwap(old, uint64(d)) {
+			return
+		}
+	}
+}
+
+func (h *latencyHist) snapshot() LatencyStats {
+	s := LatencyStats{
+		Count:    h.count.Load(),
+		SumNanos: h.sumNanos.Load(),
+		Max:      time.Duration(h.maxNanos.Load()),
+		Buckets:  make([]LatencyBucket, len(latencyBuckets)+1),
+	}
+	for i := range s.Buckets {
+		var ub time.Duration
+		if i < len(latencyBuckets) {
+			ub = latencyBuckets[i]
+		}
+		s.Buckets[i] = LatencyBucket{UpperBound: ub, Count: h.buckets[i].Load()}
+	}
+	return s
+}
+
+// LatencyBucket is one histogram bin; UpperBound == 0 marks the unbounded
+// overflow bin.
+type LatencyBucket struct {
+	UpperBound time.Duration
+	Count      uint64
+}
+
+// LatencyStats is an immutable latency-histogram snapshot.
+type LatencyStats struct {
+	Count    uint64
+	SumNanos uint64
+	Max      time.Duration
+	Buckets  []LatencyBucket
+}
+
+// Mean returns the mean observed latency (0 when empty).
+func (s LatencyStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// merge accumulates another snapshot with the same bucket layout into a
+// new snapshot; neither input is modified.
+func (s LatencyStats) merge(o LatencyStats) LatencyStats {
+	s.Count += o.Count
+	s.SumNanos += o.SumNanos
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	buckets := append([]LatencyBucket(nil), s.Buckets...)
+	if len(buckets) == 0 {
+		buckets = append(buckets, o.Buckets...)
+	} else {
+		for i := range buckets {
+			if i < len(o.Buckets) {
+				buckets[i].Count += o.Buckets[i].Count
+			}
+		}
+	}
+	s.Buckets = buckets
+	return s
+}
+
+// counters is the runtime's live instrumentation, all lock-free.
+type counters struct {
+	launches    atomic.Uint64
+	predictions atomic.Uint64
+	dispatch    [3]atomic.Uint64 // indexed by Target
+
+	decisionHits      atomic.Uint64
+	decisionMisses    atomic.Uint64
+	decisionEvictions atomic.Uint64
+	execHits          atomic.Uint64
+	execMisses        atomic.Uint64
+
+	modelEval latencyHist
+}
+
+// Metrics is an immutable snapshot of the runtime's instrumentation.
+type Metrics struct {
+	// Regions is the number of registered target regions.
+	Regions int
+	// Launches counts Launch calls that reached the decision stage.
+	Launches uint64
+	// Predictions counts model-pair evaluations actually performed
+	// (cache misses and standalone Predict calls).
+	Predictions uint64
+	// Dispatch counts completed launches per execution target.
+	Dispatch map[Target]uint64
+
+	// Decision cache accounting. Hits + Misses == Launches for any
+	// runtime that only dispatches through Launch.
+	DecisionCacheHits      uint64
+	DecisionCacheMisses    uint64
+	DecisionCacheEvictions uint64
+	DecisionCacheSize      int
+
+	// Ground-truth execution memoization accounting.
+	ExecCacheHits   uint64
+	ExecCacheMisses uint64
+
+	// ModelEval is the latency distribution of full model evaluations
+	// (both analytical models for one launch or prediction).
+	ModelEval LatencyStats
+}
+
+// Merge combines two snapshots (e.g. across the per-platform runtimes of
+// an experiment sweep) into a new snapshot; neither input is modified.
+func (m Metrics) Merge(o Metrics) Metrics {
+	m.Regions += o.Regions
+	m.Launches += o.Launches
+	m.Predictions += o.Predictions
+	dispatch := make(map[Target]uint64, len(m.Dispatch))
+	for t, n := range m.Dispatch {
+		dispatch[t] = n
+	}
+	for t, n := range o.Dispatch {
+		dispatch[t] += n
+	}
+	m.Dispatch = dispatch
+	m.DecisionCacheHits += o.DecisionCacheHits
+	m.DecisionCacheMisses += o.DecisionCacheMisses
+	m.DecisionCacheEvictions += o.DecisionCacheEvictions
+	m.DecisionCacheSize += o.DecisionCacheSize
+	m.ExecCacheHits += o.ExecCacheHits
+	m.ExecCacheMisses += o.ExecCacheMisses
+	m.ModelEval = m.ModelEval.merge(o.ModelEval)
+	return m
+}
+
+// String renders the snapshot as an aligned report.
+func (m Metrics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "offload runtime metrics\n")
+	fmt.Fprintf(&sb, "  regions registered   %d\n", m.Regions)
+	fmt.Fprintf(&sb, "  launches             %d\n", m.Launches)
+	fmt.Fprintf(&sb, "  dispatched           cpu %d, gpu %d, split %d\n",
+		m.Dispatch[TargetCPU], m.Dispatch[TargetGPU], m.Dispatch[TargetSplit])
+	fmt.Fprintf(&sb, "  decision cache       %d hits, %d misses (%.1f%% hit rate), %d evictions, %d live\n",
+		m.DecisionCacheHits, m.DecisionCacheMisses,
+		rate(m.DecisionCacheHits, m.DecisionCacheMisses),
+		m.DecisionCacheEvictions, m.DecisionCacheSize)
+	fmt.Fprintf(&sb, "  execution cache      %d hits, %d misses (%.1f%% hit rate)\n",
+		m.ExecCacheHits, m.ExecCacheMisses, rate(m.ExecCacheHits, m.ExecCacheMisses))
+	fmt.Fprintf(&sb, "  model evaluations    %d (mean %v, max %v)\n",
+		m.Predictions, m.ModelEval.Mean().Round(time.Microsecond),
+		m.ModelEval.Max.Round(time.Microsecond))
+	if m.ModelEval.Count > 0 {
+		fmt.Fprintf(&sb, "  eval latency         ")
+		for i, b := range m.ModelEval.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			label := "+"
+			if b.UpperBound != 0 {
+				label = "<=" + b.UpperBound.String()
+			} else if i > 0 {
+				label = ">" + m.ModelEval.Buckets[i-1].UpperBound.String()
+			}
+			fmt.Fprintf(&sb, "%s:%d ", label, b.Count)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func rate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}

@@ -1,25 +1,44 @@
 // Package offload implements the paper's compiler/runtime framework for
-// automatic target selection (Figure 2).
+// automatic target selection (Figure 2) as a concurrent decision service.
 //
 // Register plays the compiler role: it outlines a target region (an IR
 // kernel), generates both "code versions" (host and device execution
 // paths), runs the static analyses and stores their results in the
-// Program Attribute Database. Launch plays the OpenMP runtime role: on
-// reaching a target region it binds the runtime values, completes the CPU
-// and GPU analytical models, picks the target with the lower predicted
-// time — solving two equations, so decision time is negligible — and
-// dispatches execution to the chosen processor (the ground-truth
-// simulators standing in for the physical machines).
+// Program Attribute Database. It returns a *Region handle whose Launch
+// plays the OpenMP runtime role: on reaching a target region it binds the
+// runtime values, completes the CPU and GPU analytical models, picks the
+// target with the lower predicted time — solving two equations, so
+// decision time is negligible — and dispatches execution to the chosen
+// processor (the ground-truth simulators standing in for the physical
+// machines).
 //
-// Policies reproduce the paper's experimental configurations: the
-// compiler default of always offloading, the model-guided selector, the
-// host-only baseline, and an oracle that runs both targets and keeps the
-// faster one (the upper bound on any selector).
+// The runtime is built for heavy concurrent traffic:
+//
+//   - The region registry sits behind a read/write lock and every region
+//     carries its own lock and caches, so launches on different regions
+//     never contend.
+//   - Model evaluations are memoized per (region, canonical bindings) in
+//     a bounded LRU decision cache: repeated launches with the same trip
+//     counts skip both analytical models entirely.
+//   - Ground-truth executions are memoized per (region, target,
+//     bindings, fraction), as experiments launch the same region
+//     repeatedly under different policies.
+//   - Every stage is instrumented with lock-free counters and a
+//     model-evaluation latency histogram, exported via Metrics().
+//   - The decision log is sharded; DecisionLog() returns an immutable,
+//     launch-ordered snapshot.
+//
+// Policies reproduce the paper's experimental configurations (see
+// policy.go): the compiler default of always offloading, the model-guided
+// selector, the host-only baseline, an oracle that runs both targets and
+// keeps the faster one (the upper bound on any selector), and a
+// cooperative CPU+GPU split.
 package offload
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -56,51 +75,22 @@ func (t Target) String() string {
 	return "cpu"
 }
 
-// Policy selects how Launch picks a target.
-type Policy int
-
-// Policies.
-const (
-	// ModelGuided evaluates both analytical models and picks the lower
-	// predicted time — the paper's contribution.
-	ModelGuided Policy = iota
-	// AlwaysGPU is the compiler's default prescriptive behaviour.
-	AlwaysGPU
-	// AlwaysCPU is the host fallback path.
-	AlwaysCPU
-	// Oracle executes both targets and keeps the faster (upper bound).
-	Oracle
-	// Split uses the models to divide the iteration space between host
-	// and device so both finish together (the cooperative CPU+GPU
-	// execution the paper's introduction motivates via Valero-Lara et
-	// al.), falling back to a single target when the models predict the
-	// split is not worthwhile.
-	Split
-)
-
-// String names the policy.
-func (p Policy) String() string {
-	switch p {
-	case ModelGuided:
-		return "model-guided"
-	case AlwaysGPU:
-		return "always-gpu"
-	case AlwaysCPU:
-		return "always-cpu"
-	case Oracle:
-		return "oracle"
-	case Split:
-		return "split"
-	}
-	return fmt.Sprintf("Policy(%d)", p)
-}
+// defaultDecisionCacheSize bounds each region's decision cache unless the
+// Config overrides it.
+const defaultDecisionCacheSize = 1024
 
 // Config parameterizes a Runtime.
 type Config struct {
 	Platform machine.Platform
 	// Threads is the host OMP thread count (0 = all hardware threads).
 	Threads int
-	Policy  Policy
+	// Policy selects the target per launch (nil = ModelGuided).
+	Policy Policy
+
+	// DecisionCacheSize bounds each region's memoized-decision LRU (the
+	// number of distinct binding sets cached per region). 0 selects the
+	// default (1024); a negative value disables decision caching.
+	DecisionCacheSize int
 
 	// GPUOptions default to the paper's configuration (IPDA coalescing,
 	// #OMP_Rep on, transfers included).
@@ -113,15 +103,24 @@ type Config struct {
 	GPUSim sim.GPUConfig
 }
 
-// Region is one registered target region with its two generated versions
-// and stored attributes.
+// Region is one registered target region with its two generated versions,
+// stored attributes, and per-region caches. Handles are created by
+// Runtime.Register; their Launch/Predict/Execute methods skip the
+// name-lookup of the equivalent Runtime methods.
 type Region struct {
 	Name     string
 	Kernel   *ir.Kernel
 	Attrs    *attrdb.RegionAttrs
 	Analysis *ipda.Result
-	// Profile holds optional measured behaviour (see ProfileRegion).
-	Profile *ProfileData
+
+	rt *Runtime
+
+	// mu guards the per-region mutable state below; launches on
+	// different regions take different locks and never contend.
+	mu        sync.Mutex
+	profile   *ProfileData
+	decisions *decisionCache
+	exec      map[string]float64
 }
 
 // Decision records one launch for the decision log.
@@ -134,8 +133,11 @@ type Decision struct {
 	PredCPUSeconds float64
 	PredGPUSeconds float64
 	// SplitFraction is the host share of the iteration space chosen by
-	// the Split policy (0 when not splitting).
+	// a split decision (0 when not splitting).
 	SplitFraction float64
+	// CacheHit reports that the decision was served from the memoized
+	// decision cache (no model evaluation).
+	CacheHit bool
 	// ActualSeconds is the executed (simulated) time of the chosen
 	// target; for Oracle both actuals are filled.
 	ActualSeconds    float64
@@ -149,24 +151,31 @@ type Outcome struct {
 	Decision
 }
 
-// Runtime is the offloading runtime. It is safe for concurrent Launch
-// and Execute calls once all regions are registered.
+// Runtime is the offloading runtime. Registration is typically performed
+// up front (the compiler role); Launch, Predict and Execute are safe for
+// arbitrary concurrent use, including concurrently with Register and
+// ProfileRegion.
 type Runtime struct {
-	cfg     Config
-	db      *attrdb.DB
-	regions map[string]*Region
+	cfg Config
 
-	mu  sync.Mutex
-	log []Decision
-	// execCache memoizes ground-truth executions: experiments launch the
-	// same region repeatedly under different policies.
-	execCache map[string]float64
+	regmu   sync.RWMutex
+	regions map[string]*Region
+	db      *attrdb.DB
+
+	met counters
+	log decisionLog
 }
 
 // NewRuntime builds a runtime for the platform.
 func NewRuntime(cfg Config) *Runtime {
 	if cfg.Threads <= 0 || cfg.Threads > cfg.Platform.CPU.Threads() {
 		cfg.Threads = cfg.Platform.CPU.Threads()
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = ModelGuided
+	}
+	if cfg.DecisionCacheSize == 0 {
+		cfg.DecisionCacheSize = defaultDecisionCacheSize
 	}
 	if cfg.GPUOptions == nil {
 		o := gpumodel.DefaultOptions()
@@ -176,10 +185,9 @@ func NewRuntime(cfg Config) *Runtime {
 		cfg.Estimator = cpumodel.MCAEstimator{}
 	}
 	return &Runtime{
-		cfg:       cfg,
-		db:        attrdb.New(),
-		regions:   map[string]*Region{},
-		execCache: map[string]float64{},
+		cfg:     cfg,
+		db:      attrdb.New(),
+		regions: map[string]*Region{},
 	}
 }
 
@@ -190,11 +198,9 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 func (rt *Runtime) DB() *attrdb.DB { return rt.db }
 
 // Register outlines a target region: validates the kernel, runs the
-// static analyses, and stores the attribute record.
+// static analyses, stores the attribute record, and returns the region
+// handle for lookup-free launches.
 func (rt *Runtime) Register(k *ir.Kernel) (*Region, error) {
-	if _, ok := rt.regions[k.Name]; ok {
-		return nil, fmt.Errorf("offload: region %q already registered", k.Name)
-	}
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -206,111 +212,295 @@ func (rt *Runtime) Register(k *ir.Kernel) (*Region, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Region{Name: k.Name, Kernel: k, Attrs: attrs, Analysis: an}
+	r := &Region{
+		Name:      k.Name,
+		Kernel:    k,
+		Attrs:     attrs,
+		Analysis:  an,
+		rt:        rt,
+		decisions: newDecisionCache(rt.cfg.DecisionCacheSize),
+		exec:      map[string]float64{},
+	}
+	rt.regmu.Lock()
+	defer rt.regmu.Unlock()
+	if _, ok := rt.regions[k.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateRegion, k.Name)
+	}
 	rt.regions[k.Name] = r
 	rt.db.Put(attrs)
 	return r, nil
 }
 
-// Region returns a registered region by name.
+// Region returns a registered region handle by name.
 func (rt *Runtime) Region(name string) (*Region, error) {
-	if r, ok := rt.regions[name]; ok {
+	rt.regmu.RLock()
+	r, ok := rt.regions[name]
+	if ok {
+		rt.regmu.RUnlock()
 		return r, nil
 	}
 	known := make([]string, 0, len(rt.regions))
 	for k := range rt.regions {
 		known = append(known, k)
 	}
+	rt.regmu.RUnlock()
 	sort.Strings(known)
-	return nil, fmt.Errorf("offload: no region %q (have %v)", name, known)
+	return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownRegion, name, known)
 }
 
-// Predict evaluates both analytical models for a region under runtime
-// bindings, without executing anything.
+// Regions returns the registered region names, sorted.
+func (rt *Runtime) Regions() []string {
+	rt.regmu.RLock()
+	names := make([]string, 0, len(rt.regions))
+	for k := range rt.regions {
+		names = append(names, k)
+	}
+	rt.regmu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Launch is the name-based wrapper around Region.Launch.
+func (rt *Runtime) Launch(name string, b symbolic.Bindings) (*Outcome, error) {
+	r, err := rt.Region(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Launch(b)
+}
+
+// Predict is the name-based wrapper around Region.Predict.
 func (rt *Runtime) Predict(name string, b symbolic.Bindings) (cpuSec, gpuSec float64, err error) {
 	r, err := rt.Region(name)
 	if err != nil {
 		return 0, 0, err
 	}
+	return r.Predict(b)
+}
+
+// Execute is the name-based wrapper around Region.Execute.
+func (rt *Runtime) Execute(name string, t Target, b symbolic.Bindings) (float64, error) {
+	r, err := rt.Region(name)
+	if err != nil {
+		return 0, err
+	}
+	return r.Execute(t, b)
+}
+
+// Metrics returns a point-in-time snapshot of the runtime's
+// instrumentation: launch and per-target dispatch counts, decision- and
+// execution-cache accounting, and the model-evaluation latency histogram.
+func (rt *Runtime) Metrics() Metrics {
+	m := Metrics{
+		Launches:               rt.met.launches.Load(),
+		Predictions:            rt.met.predictions.Load(),
+		DecisionCacheHits:      rt.met.decisionHits.Load(),
+		DecisionCacheMisses:    rt.met.decisionMisses.Load(),
+		DecisionCacheEvictions: rt.met.decisionEvictions.Load(),
+		ExecCacheHits:          rt.met.execHits.Load(),
+		ExecCacheMisses:        rt.met.execMisses.Load(),
+		ModelEval:              rt.met.modelEval.snapshot(),
+		Dispatch: map[Target]uint64{
+			TargetCPU:   rt.met.dispatch[TargetCPU].Load(),
+			TargetGPU:   rt.met.dispatch[TargetGPU].Load(),
+			TargetSplit: rt.met.dispatch[TargetSplit].Load(),
+		},
+	}
+	rt.regmu.RLock()
+	m.Regions = len(rt.regions)
+	for _, r := range rt.regions {
+		r.mu.Lock()
+		m.DecisionCacheSize += r.decisions.len()
+		r.mu.Unlock()
+	}
+	rt.regmu.RUnlock()
+	return m
+}
+
+// DecisionLog returns an immutable, launch-ordered snapshot of every
+// logged decision.
+func (rt *Runtime) DecisionLog() *DecisionLog { return rt.log.snapshot() }
+
+// Decisions returns the launch log as a slice.
+//
+// Deprecated: use DecisionLog, which returns an immutable snapshot with
+// query helpers.
+func (rt *Runtime) Decisions() []Decision { return rt.log.snapshot().All() }
+
+// ------------------------------------------------------ region methods --
+
+// Profile returns the region's recorded profiling observations (nil until
+// ProfileRegion has run).
+func (r *Region) Profile() *ProfileData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.profile
+}
+
+// branchProb returns the region's effective branch probability: measured
+// when a profile exists, the paper's 50% heuristic otherwise.
+func (r *Region) branchProb() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.profile != nil {
+		return r.profile.BranchProb
+	}
+	return 0.5
+}
+
+// setProfile installs profiling observations and invalidates the memoized
+// decisions, whose model inputs just changed.
+func (r *Region) setProfile(p *ProfileData) {
+	r.mu.Lock()
+	r.profile = p
+	r.decisions.clear()
+	r.mu.Unlock()
+}
+
+// countOpt is the hybrid counting configuration: the runtime supplies
+// loop trip counts (paper Section IV: "array sizes, loop trip counts,
+// arbitrary variable values"), with parallel indices substituted at their
+// midpoint so triangular inner loops resolve to their mean; loops that
+// still do not resolve fall back to the 128-iteration assumption, and
+// branches to 50% (or the measured rate after ProfileRegion).
+func (r *Region) countOpt(b symbolic.Bindings) ir.CountOptions {
+	return ir.CountOptions{DefaultTrip: 128, BranchProb: r.branchProb(),
+		Bindings: ir.MidpointBindings(r.Kernel, b)}
+}
+
+// evalModels runs both analytical models for the full iteration space,
+// recording the evaluation in the latency histogram.
+func (r *Region) evalModels(b symbolic.Bindings) (cpuSec, gpuSec float64, err error) {
+	rt := r.rt
+	start := time.Now()
 	// Resolving the stored attributes validates that every runtime
 	// value the symbolic expressions need has been supplied.
 	if _, err := r.Attrs.Resolve(b, ipda.WarpGeom{
 		WarpSize:         rt.cfg.Platform.GPU.WarpSize,
 		TransactionBytes: rt.cfg.Platform.GPU.L2.LineBytes,
 	}); err != nil {
-		return 0, 0, err
+		return 0, 0, wrapUnbound(err)
 	}
-	// Hybrid counting: the runtime supplies loop trip counts (paper
-	// Section IV: "array sizes, loop trip counts, arbitrary variable
-	// values"), with parallel indices substituted at their midpoint so
-	// triangular inner loops resolve to their mean; loops that still do
-	// not resolve fall back to the 128-iteration assumption, and
-	// branches to 50% (or the measured rate after ProfileRegion).
-	staticOpt := ir.CountOptions{DefaultTrip: 128, BranchProb: r.branchProb(),
-		Bindings: ir.MidpointBindings(r.Kernel, b)}
-	cp, err := cpumodel.Predict(cpumodel.Input{
-		Kernel:    r.Kernel,
-		CPU:       rt.cfg.Platform.CPU,
-		Threads:   rt.cfg.Threads,
-		Bindings:  b,
-		CountOpt:  staticOpt,
-		IPDA:      r.Analysis,
-		Estimator: rt.cfg.Estimator,
-	})
+	cpuSec, gpuSec, err = r.predictFraction(b, 1, 1)
 	if err != nil {
 		return 0, 0, err
+	}
+	rt.met.predictions.Add(1)
+	rt.met.modelEval.observe(time.Since(start))
+	return cpuSec, gpuSec, nil
+}
+
+// predictFraction evaluates the models with the host running cpuFrac of
+// the iteration space and the device gpuFrac (both 1 for a full
+// single-target prediction).
+func (r *Region) predictFraction(b symbolic.Bindings, cpuFrac, gpuFrac float64) (cpuSec, gpuSec float64, err error) {
+	rt := r.rt
+	opt := r.countOpt(b)
+	cp, err := cpumodel.Predict(cpumodel.Input{
+		Kernel:       r.Kernel,
+		CPU:          rt.cfg.Platform.CPU,
+		Threads:      rt.cfg.Threads,
+		Bindings:     b,
+		CountOpt:     opt,
+		IPDA:         r.Analysis,
+		Estimator:    rt.cfg.Estimator,
+		IterFraction: fracOrZero(cpuFrac),
+	})
+	if err != nil {
+		return 0, 0, wrapUnbound(err)
 	}
 	gp, err := gpumodel.Predict(gpumodel.Input{
-		Kernel:   r.Kernel,
-		GPU:      rt.cfg.Platform.GPU,
-		Link:     rt.cfg.Platform.Link,
-		Bindings: b,
-		CountOpt: staticOpt,
-		IPDA:     r.Analysis,
-		Options:  *rt.cfg.GPUOptions,
+		Kernel:       r.Kernel,
+		GPU:          rt.cfg.Platform.GPU,
+		Link:         rt.cfg.Platform.Link,
+		Bindings:     b,
+		CountOpt:     opt,
+		IPDA:         r.Analysis,
+		Options:      *rt.cfg.GPUOptions,
+		IterFraction: fracOrZero(gpuFrac),
 	})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, wrapUnbound(err)
 	}
 	return cp.Seconds, gp.Seconds, nil
 }
 
-// execKey builds the memoization key for a ground-truth execution.
-func execKey(region string, t Target, b symbolic.Bindings) string {
-	params := make([]string, 0, len(b))
-	for k := range b {
-		params = append(params, k)
+// fracOrZero maps a full-space fraction to the models' zero-value
+// convention (0 and 1 both mean "whole iteration space").
+func fracOrZero(f float64) float64 {
+	if f >= 1 {
+		return 0
 	}
-	sort.Strings(params)
-	key := region + "/" + t.String()
-	for _, p := range params {
-		key += fmt.Sprintf("/%s=%d", p, b[p])
+	return f
+}
+
+// Predict evaluates both analytical models for the region under runtime
+// bindings, without executing anything. Results are memoized in the
+// region's decision cache.
+func (r *Region) Predict(b symbolic.Bindings) (cpuSec, gpuSec float64, err error) {
+	key := attrdb.BindingsKey(b)
+	r.mu.Lock()
+	if ent, ok := r.decisions.get(key); ok {
+		r.mu.Unlock()
+		return ent.predCPU, ent.predGPU, nil
 	}
-	return key
+	r.mu.Unlock()
+	cpuSec, gpuSec, err = r.evalModels(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	r.storeEntry(&decisionEntry{key: key, predCPU: cpuSec, predGPU: gpuSec})
+	return cpuSec, gpuSec, nil
+}
+
+// storeEntry inserts a cache entry, preserving an already-decided entry
+// for the same key (Predict must not erase a Launch's decision).
+func (r *Region) storeEntry(e *decisionEntry) {
+	r.mu.Lock()
+	if old, ok := r.decisions.get(e.key); ok && old.decided && !e.decided {
+		r.mu.Unlock()
+		return
+	}
+	evicted := r.decisions.put(e)
+	r.mu.Unlock()
+	if evicted > 0 {
+		r.rt.met.decisionEvictions.Add(uint64(evicted))
+	}
+}
+
+// execKey builds the memoization key for a ground-truth execution from a
+// pre-canonicalized bindings key (avoiding a second canonicalization on
+// the hot launch path).
+func execKey(t Target, bkey string, frac float64) string {
+	buf := make([]byte, 0, len(bkey)+16)
+	buf = append(buf, t.String()...)
+	buf = append(buf, "/f="...)
+	buf = strconv.AppendFloat(buf, frac, 'f', 4, 64)
+	buf = append(buf, '/')
+	buf = append(buf, bkey...)
+	return string(buf)
 }
 
 // Execute runs the region on the given target (ground truth) and returns
-// the wall-clock seconds. Results are memoized per (region, target,
-// bindings).
-func (rt *Runtime) Execute(name string, t Target, b symbolic.Bindings) (float64, error) {
-	return rt.executeFraction(name, t, b, 1)
+// the wall-clock seconds. Results are memoized per (target, bindings).
+func (r *Region) Execute(t Target, b symbolic.Bindings) (float64, error) {
+	return r.execute(t, b, 1, attrdb.BindingsKey(b))
 }
 
-// executeFraction runs a leading (CPU) or trailing (GPU) fraction of the
-// region's iteration space.
-func (rt *Runtime) executeFraction(name string, t Target, b symbolic.Bindings,
-	frac float64) (float64, error) {
-	r, err := rt.Region(name)
-	if err != nil {
-		return 0, err
-	}
-	key := fmt.Sprintf("%s/f=%.4f", execKey(name, t, b), frac)
-	rt.mu.Lock()
-	if s, ok := rt.execCache[key]; ok {
-		rt.mu.Unlock()
+// execute runs a leading (CPU) or trailing (GPU) fraction of the region's
+// iteration space, memoized per (target, bindings, fraction). bkey is the
+// caller's canonicalized attrdb.BindingsKey for b.
+func (r *Region) execute(t Target, b symbolic.Bindings, frac float64, bkey string) (float64, error) {
+	rt := r.rt
+	key := execKey(t, bkey, frac)
+	r.mu.Lock()
+	if s, ok := r.exec[key]; ok {
+		r.mu.Unlock()
+		rt.met.execHits.Add(1)
 		return s, nil
 	}
-	rt.mu.Unlock()
+	r.mu.Unlock()
+	rt.met.execMisses.Add(1)
 	var sec float64
 	switch t {
 	case TargetCPU:
@@ -319,7 +509,7 @@ func (rt *Runtime) executeFraction(name string, t Target, b symbolic.Bindings,
 		cfg.Fraction = frac
 		res, err := sim.SimulateCPU(r.Kernel, rt.cfg.Platform.CPU, b, cfg)
 		if err != nil {
-			return 0, err
+			return 0, wrapUnbound(err)
 		}
 		sec = res.Seconds
 	case TargetGPU:
@@ -329,52 +519,28 @@ func (rt *Runtime) executeFraction(name string, t Target, b symbolic.Bindings,
 		res, err := sim.SimulateGPU(r.Kernel, rt.cfg.Platform.GPU,
 			rt.cfg.Platform.Link, b, cfg)
 		if err != nil {
-			return 0, err
+			return 0, wrapUnbound(err)
 		}
 		sec = res.Seconds
 	default:
 		return 0, fmt.Errorf("offload: unknown target %d", t)
 	}
-	rt.mu.Lock()
-	rt.execCache[key] = sec
-	rt.mu.Unlock()
+	r.mu.Lock()
+	r.exec[key] = sec
+	r.mu.Unlock()
 	return sec, nil
-}
-
-// predictFraction evaluates the models for a host share f of the
-// iteration space (CPU runs f, GPU runs 1-f).
-func (rt *Runtime) predictFraction(r *Region, b symbolic.Bindings, f float64) (cpuSec, gpuSec float64, err error) {
-	staticOpt := ir.CountOptions{DefaultTrip: 128, BranchProb: r.branchProb(),
-		Bindings: ir.MidpointBindings(r.Kernel, b)}
-	cp, err := cpumodel.Predict(cpumodel.Input{
-		Kernel: r.Kernel, CPU: rt.cfg.Platform.CPU, Threads: rt.cfg.Threads,
-		Bindings: b, CountOpt: staticOpt, IPDA: r.Analysis,
-		Estimator: rt.cfg.Estimator, IterFraction: f,
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	gp, err := gpumodel.Predict(gpumodel.Input{
-		Kernel: r.Kernel, GPU: rt.cfg.Platform.GPU, Link: rt.cfg.Platform.Link,
-		Bindings: b, CountOpt: staticOpt, IPDA: r.Analysis,
-		Options: *rt.cfg.GPUOptions, IterFraction: 1 - f,
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	return cp.Seconds, gp.Seconds, nil
 }
 
 // bestSplit finds the host share that balances the two models: the CPU
 // side's predicted time increases with f and the GPU side's decreases, so
 // the makespan max(cpu(f), gpu(1-f)) is minimized where they cross.
-func (rt *Runtime) bestSplit(r *Region, b symbolic.Bindings) (float64, error) {
+func (r *Region) bestSplit(b symbolic.Bindings) (float64, error) {
 	lo, hi := 0.01, 0.99
-	cpuLo, gpuLo, err := rt.predictFraction(r, b, lo)
+	cpuLo, gpuLo, err := r.predictFraction(b, lo, 1-lo)
 	if err != nil {
 		return 0, err
 	}
-	cpuHi, gpuHi, err := rt.predictFraction(r, b, hi)
+	cpuHi, gpuHi, err := r.predictFraction(b, hi, 1-hi)
 	if err != nil {
 		return 0, err
 	}
@@ -385,11 +551,9 @@ func (rt *Runtime) bestSplit(r *Region, b symbolic.Bindings) (float64, error) {
 	if cpuHi <= gpuHi {
 		return 1, nil // CPU faster even with 99% of the work: all-CPU
 	}
-	_ = cpuHi
-	_ = gpuHi
 	for i := 0; i < 40; i++ {
 		mid := (lo + hi) / 2
-		c, g, err := rt.predictFraction(r, b, mid)
+		c, g, err := r.predictFraction(b, mid, 1-mid)
 		if err != nil {
 			return 0, err
 		}
@@ -402,104 +566,128 @@ func (rt *Runtime) bestSplit(r *Region, b symbolic.Bindings) (float64, error) {
 	return (lo + hi) / 2, nil
 }
 
-// Launch reaches the target region with the given runtime values,
-// selects a target per the policy, executes it, and logs the decision.
-func (rt *Runtime) Launch(name string, b symbolic.Bindings) (*Outcome, error) {
-	if _, err := rt.Region(name); err != nil {
-		return nil, err
-	}
-	d := Decision{Region: name, Bindings: b, Policy: rt.cfg.Policy}
-
-	start := time.Now()
-	cpuPred, gpuPred, err := rt.Predict(name, b)
+// planSplit resolves a TargetSplit request into a final target and host
+// fraction: it balances the models and only keeps the split when the
+// predicted makespan beats the best single target by a meaningful margin
+// — tiny predicted gains are inside the models' error bars and not worth
+// the coordination.
+func (r *Region) planSplit(b symbolic.Bindings, cpuPred, gpuPred float64) (Target, float64, error) {
+	f, err := r.bestSplit(b)
 	if err != nil {
-		return nil, err
+		return 0, 0, err
+	}
+	const minGain = 0.10
+	useSplit := f > 0.03 && f < 0.97
+	if useSplit {
+		c, g, err := r.predictFraction(b, f, 1-f)
+		if err != nil {
+			return 0, 0, err
+		}
+		makespan := maxf(c, g)
+		best := cpuPred
+		if gpuPred < best {
+			best = gpuPred
+		}
+		if makespan > best*(1-minGain) {
+			useSplit = false
+		}
+	}
+	switch {
+	case useSplit:
+		return TargetSplit, f, nil
+	case gpuPred < cpuPred:
+		return TargetGPU, 0, nil
+	default:
+		return TargetCPU, 0, nil
+	}
+}
+
+// Launch reaches the target region with the given runtime values,
+// selects a target per the policy (memoizing the decision), executes it,
+// and logs the decision.
+func (r *Region) Launch(b symbolic.Bindings) (*Outcome, error) {
+	rt := r.rt
+	pol := rt.cfg.Policy
+	rt.met.launches.Add(1)
+	d := Decision{Region: r.Name, Bindings: b, Policy: pol}
+	start := time.Now()
+
+	key := attrdb.BindingsKey(b)
+	r.mu.Lock()
+	ent, ok := r.decisions.get(key)
+	if ok {
+		// Copy under the lock; entries are mutated in place on upgrade.
+		e := *ent
+		r.mu.Unlock()
+		d.PredCPUSeconds, d.PredGPUSeconds = e.predCPU, e.predGPU
+		if e.decided {
+			d.Target, d.SplitFraction, d.CacheHit = e.target, e.frac, true
+		}
+	} else {
+		r.mu.Unlock()
+	}
+
+	if d.CacheHit {
+		rt.met.decisionHits.Add(1)
+	} else {
+		rt.met.decisionMisses.Add(1)
+		if !ok {
+			cpuPred, gpuPred, err := r.evalModels(b)
+			if err != nil {
+				return nil, err
+			}
+			d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
+		}
+		d.Target = pol.Decide(r, d.PredCPUSeconds, d.PredGPUSeconds)
+		if d.Target == TargetSplit {
+			t, f, err := r.planSplit(b, d.PredCPUSeconds, d.PredGPUSeconds)
+			if err != nil {
+				return nil, err
+			}
+			d.Target, d.SplitFraction = t, f
+		}
+		r.storeEntry(&decisionEntry{key: key,
+			predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
+			decided: true, target: d.Target, frac: d.SplitFraction})
 	}
 	d.DecisionOverhead = time.Since(start)
-	d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
 
-	switch rt.cfg.Policy {
-	case ModelGuided:
-		d.Target = TargetCPU
-		if gpuPred < cpuPred {
-			d.Target = TargetGPU
-		}
-	case Split:
-		r, _ := rt.Region(name)
-		start := time.Now()
-		f, err := rt.bestSplit(r, b)
+	if _, both := pol.(runsBoth); both {
+		// Oracle semantics: run both code versions, keep the faster.
+		cpuSec, err := r.execute(TargetCPU, b, 1, key)
 		if err != nil {
 			return nil, err
 		}
-		// Only split when the predicted makespan beats the best single
-		// target by a meaningful margin; tiny predicted gains are inside
-		// the models' error bars and not worth the coordination.
-		const minGain = 0.10
-		useSplit := f > 0.03 && f < 0.97
-		if useSplit {
-			c, g, err := rt.predictFraction(r, b, f)
-			if err != nil {
-				return nil, err
-			}
-			makespan := maxf(c, g)
-			best := cpuPred
-			if gpuPred < best {
-				best = gpuPred
-			}
-			if makespan > best*(1-minGain) {
-				useSplit = false
-			}
-		}
-		d.DecisionOverhead += time.Since(start)
-		switch {
-		case !useSplit && gpuPred < cpuPred:
-			d.Target = TargetGPU
-		case !useSplit:
-			d.Target = TargetCPU
-		default:
-			d.Target = TargetSplit
-			d.SplitFraction = f
-			cpuSec, err := rt.executeFraction(name, TargetCPU, b, f)
-			if err != nil {
-				return nil, err
-			}
-			gpuSec, err := rt.executeFraction(name, TargetGPU, b, 1-f)
-			if err != nil {
-				return nil, err
-			}
-			d.ActualCPUSeconds, d.ActualGPUSeconds = cpuSec, gpuSec
-			// Both halves run concurrently; joining adds one barrier.
-			_, _, join := rt.cfg.Platform.CPU.OverheadCycles(rt.cfg.Threads)
-			d.ActualSeconds = maxf(cpuSec, gpuSec) +
-				join/(rt.cfg.Platform.CPU.FreqGHz*1e9)
-			rt.appendLog(d)
-			return &Outcome{Decision: d}, nil
-		}
-	case AlwaysGPU:
-		d.Target = TargetGPU
-	case AlwaysCPU:
-		d.Target = TargetCPU
-	case Oracle:
-		cpuSec, err := rt.Execute(name, TargetCPU, b)
-		if err != nil {
-			return nil, err
-		}
-		gpuSec, err := rt.Execute(name, TargetGPU, b)
+		gpuSec, err := r.execute(TargetGPU, b, 1, key)
 		if err != nil {
 			return nil, err
 		}
 		d.ActualCPUSeconds, d.ActualGPUSeconds = cpuSec, gpuSec
-		d.Target = TargetCPU
-		d.ActualSeconds = cpuSec
+		d.Target, d.ActualSeconds = TargetCPU, cpuSec
 		if gpuSec < cpuSec {
-			d.Target = TargetGPU
-			d.ActualSeconds = gpuSec
+			d.Target, d.ActualSeconds = TargetGPU, gpuSec
 		}
-		rt.appendLog(d)
-		return &Outcome{Decision: d}, nil
+		return r.finish(d)
 	}
 
-	sec, err := rt.Execute(name, d.Target, b)
+	if d.Target == TargetSplit {
+		cpuSec, err := r.execute(TargetCPU, b, d.SplitFraction, key)
+		if err != nil {
+			return nil, err
+		}
+		gpuSec, err := r.execute(TargetGPU, b, 1-d.SplitFraction, key)
+		if err != nil {
+			return nil, err
+		}
+		d.ActualCPUSeconds, d.ActualGPUSeconds = cpuSec, gpuSec
+		// Both halves run concurrently; joining adds one barrier.
+		_, _, join := rt.cfg.Platform.CPU.OverheadCycles(rt.cfg.Threads)
+		d.ActualSeconds = maxf(cpuSec, gpuSec) +
+			join/(rt.cfg.Platform.CPU.FreqGHz*1e9)
+		return r.finish(d)
+	}
+
+	sec, err := r.execute(d.Target, b, 1, key)
 	if err != nil {
 		return nil, err
 	}
@@ -509,14 +697,14 @@ func (rt *Runtime) Launch(name string, b symbolic.Bindings) (*Outcome, error) {
 	} else {
 		d.ActualGPUSeconds = sec
 	}
-	rt.appendLog(d)
-	return &Outcome{Decision: d}, nil
+	return r.finish(d)
 }
 
-func (rt *Runtime) appendLog(d Decision) {
-	rt.mu.Lock()
-	rt.log = append(rt.log, d)
-	rt.mu.Unlock()
+// finish counts the dispatch and appends the decision to the log.
+func (r *Region) finish(d Decision) (*Outcome, error) {
+	r.rt.met.dispatch[d.Target].Add(1)
+	r.rt.log.append(d)
+	return &Outcome{Decision: d}, nil
 }
 
 func maxf(a, b float64) float64 {
@@ -524,20 +712,4 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
-}
-
-// Decisions returns a snapshot of the launch log.
-func (rt *Runtime) Decisions() []Decision {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	out := make([]Decision, len(rt.log))
-	copy(out, rt.log)
-	return out
-}
-
-// ResetLog clears the decision log (the execution cache is kept).
-func (rt *Runtime) ResetLog() {
-	rt.mu.Lock()
-	rt.log = nil
-	rt.mu.Unlock()
 }

@@ -1,6 +1,9 @@
 package offload
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -187,19 +190,280 @@ func TestStringers(t *testing.T) {
 		ModelGuided: "model-guided", AlwaysGPU: "always-gpu",
 		AlwaysCPU: "always-cpu", Oracle: "oracle",
 	} {
-		if p.String() != want {
-			t.Fatalf("%d.String() = %q", p, p.String())
+		if p.Name() != want {
+			t.Fatalf("Name() = %q, want %q", p.Name(), want)
+		}
+		if got := fmt.Sprintf("%v", p); got != want {
+			t.Fatalf("%%v = %q, want %q", got, want)
 		}
 	}
 }
 
-func TestResetLog(t *testing.T) {
+func TestParsePolicy(t *testing.T) {
+	for _, want := range []Policy{ModelGuided, AlwaysCPU, AlwaysGPU, Oracle, Split} {
+		got, err := ParsePolicy(want.Name())
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", want.Name(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDecisionLogSnapshotIsImmutable(t *testing.T) {
 	rt := newRT(t, AlwaysCPU)
 	if _, err := rt.Launch("mvt1", symbolic.Bindings{"n": 128}); err != nil {
 		t.Fatal(err)
 	}
-	rt.ResetLog()
-	if len(rt.Decisions()) != 0 {
-		t.Fatal("log not cleared")
+	snap := rt.DecisionLog()
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot has %d entries", snap.Len())
+	}
+	if _, err := rt.Launch("mvt1", symbolic.Bindings{"n": 256}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 1 {
+		t.Fatal("old snapshot grew after a new launch")
+	}
+	full := rt.DecisionLog()
+	if full.Len() != 2 {
+		t.Fatalf("new snapshot has %d entries", full.Len())
+	}
+	// Launch order is preserved and query helpers agree.
+	if full.At(0).Bindings["n"] != 128 || full.At(1).Bindings["n"] != 256 {
+		t.Fatal("snapshot not in launch order")
+	}
+	if n := len(full.ByRegion("mvt1")); n != 2 {
+		t.Fatalf("ByRegion = %d", n)
+	}
+	if full.PerTarget()[TargetCPU] != 2 {
+		t.Fatalf("PerTarget = %v", full.PerTarget())
+	}
+	// Mutating the copy returned by All must not corrupt the snapshot.
+	all := full.All()
+	all[0].Region = "corrupted"
+	if full.At(0).Region != "mvt1" {
+		t.Fatal("All() aliases the snapshot")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	rt := newRT(t, ModelGuided)
+	_, err := rt.Launch("nope", symbolic.Bindings{"n": 10})
+	if !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("unknown region error = %v", err)
+	}
+	if _, err := rt.Region("nope"); !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("Region error = %v", err)
+	}
+	k, _ := polybench.Get("gemm")
+	if _, err := rt.Register(k.IR); !errors.Is(err, ErrDuplicateRegion) {
+		t.Fatalf("duplicate registration error = %v", err)
+	}
+	// Missing bindings surface as ErrUnboundSymbol from every entry point.
+	if _, err := rt.Launch("gemm", nil); !errors.Is(err, ErrUnboundSymbol) {
+		t.Fatalf("launch without bindings = %v", err)
+	}
+	if _, _, err := rt.Predict("gemm", symbolic.Bindings{"wrong": 4}); !errors.Is(err, ErrUnboundSymbol) {
+		t.Fatalf("predict with wrong bindings = %v", err)
+	}
+}
+
+func TestRegionHandleLaunch(t *testing.T) {
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100(), Policy: ModelGuided})
+	k, _ := polybench.Get("gemm")
+	region, err := rt.Register(k.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := symbolic.Bindings{"n": 256}
+	cpuSec, gpuSec, err := region.Predict(b)
+	if err != nil || cpuSec <= 0 || gpuSec <= 0 {
+		t.Fatalf("handle predict: %v %v %v", cpuSec, gpuSec, err)
+	}
+	out, err := region.Launch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PredCPUSeconds != cpuSec || out.PredGPUSeconds != gpuSec {
+		t.Fatal("handle launch disagrees with handle predict")
+	}
+	sec, err := region.Execute(out.Target, b)
+	if err != nil || sec != out.ActualSeconds {
+		t.Fatalf("handle execute = %v, %v (launch saw %v)", sec, err, out.ActualSeconds)
+	}
+	// The name-based wrappers resolve to the same handle.
+	viaName, err := rt.Region("gemm")
+	if err != nil || viaName != region {
+		t.Fatalf("Region lookup = %v, %v", viaName, err)
+	}
+	if got := rt.Regions(); len(got) != 1 || got[0] != "gemm" {
+		t.Fatalf("Regions() = %v", got)
+	}
+}
+
+func TestDecisionCacheHitsSkipModelEvaluation(t *testing.T) {
+	rt := newRT(t, ModelGuided)
+	b := symbolic.Bindings{"n": 256}
+	for i := 0; i < 5; i++ {
+		if _, err := rt.Launch("gemm", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := rt.Metrics()
+	if m.Launches != 5 {
+		t.Fatalf("launches = %d", m.Launches)
+	}
+	if m.DecisionCacheMisses != 1 || m.DecisionCacheHits != 4 {
+		t.Fatalf("cache hits/misses = %d/%d", m.DecisionCacheHits, m.DecisionCacheMisses)
+	}
+	if m.Predictions != 1 {
+		t.Fatalf("model evaluated %d times for identical bindings", m.Predictions)
+	}
+	log := rt.DecisionLog()
+	if log.At(0).CacheHit || !log.At(4).CacheHit {
+		t.Fatal("CacheHit flags wrong in decision log")
+	}
+	// Identical predictions and target from the cached path.
+	if log.At(0).Target != log.At(4).Target ||
+		log.At(0).PredCPUSeconds != log.At(4).PredCPUSeconds {
+		t.Fatal("cached decision differs from evaluated decision")
+	}
+	// Different bindings are distinct cache entries.
+	if _, err := rt.Launch("gemm", symbolic.Bindings{"n": 300}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Metrics().DecisionCacheMisses; got != 2 {
+		t.Fatalf("misses after new bindings = %d", got)
+	}
+}
+
+func TestDecisionCacheDisabled(t *testing.T) {
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100(),
+		Policy: ModelGuided, DecisionCacheSize: -1})
+	k, _ := polybench.Get("gemm")
+	if _, err := rt.Register(k.IR); err != nil {
+		t.Fatal(err)
+	}
+	b := symbolic.Bindings{"n": 256}
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Launch("gemm", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := rt.Metrics()
+	if m.DecisionCacheHits != 0 || m.DecisionCacheMisses != 3 {
+		t.Fatalf("disabled cache recorded %d hits / %d misses",
+			m.DecisionCacheHits, m.DecisionCacheMisses)
+	}
+	if m.Predictions != 3 {
+		t.Fatalf("predictions = %d, want one per launch", m.Predictions)
+	}
+}
+
+func TestDecisionCacheEviction(t *testing.T) {
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100(),
+		Policy: AlwaysCPU, DecisionCacheSize: 2})
+	k, _ := polybench.Get("mvt1")
+	region, err := rt.Register(k.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{64, 96, 128} {
+		if _, err := region.Launch(symbolic.Bindings{"n": n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := rt.Metrics()
+	if m.DecisionCacheEvictions != 1 {
+		t.Fatalf("evictions = %d", m.DecisionCacheEvictions)
+	}
+	if m.DecisionCacheSize != 2 {
+		t.Fatalf("live entries = %d", m.DecisionCacheSize)
+	}
+	// n=64 was evicted (LRU); relaunching it must miss and re-evaluate.
+	if _, err := region.Launch(symbolic.Bindings{"n": 64}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Metrics().DecisionCacheMisses; got != 4 {
+		t.Fatalf("misses = %d, want 4", got)
+	}
+	// n=128 is most recent and must still hit.
+	if _, err := region.Launch(symbolic.Bindings{"n": 128}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Metrics().DecisionCacheHits; got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+func TestMetricsConsistency(t *testing.T) {
+	rt := newRT(t, ModelGuided)
+	for _, n := range []int64{128, 128, 256} {
+		if _, err := rt.Launch("gemm", symbolic.Bindings{"n": n}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Launch("mvt1", symbolic.Bindings{"n": n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := rt.Metrics()
+	if m.Regions != 3 {
+		t.Fatalf("regions = %d", m.Regions)
+	}
+	if m.Launches != 6 {
+		t.Fatalf("launches = %d", m.Launches)
+	}
+	if m.DecisionCacheHits+m.DecisionCacheMisses != m.Launches {
+		t.Fatalf("hits %d + misses %d != launches %d",
+			m.DecisionCacheHits, m.DecisionCacheMisses, m.Launches)
+	}
+	var dispatched uint64
+	for _, n := range m.Dispatch {
+		dispatched += n
+	}
+	if dispatched != m.Launches {
+		t.Fatalf("dispatch sum %d != launches %d", dispatched, m.Launches)
+	}
+	if int(m.Launches) != rt.DecisionLog().Len() {
+		t.Fatal("decision log disagrees with launch counter")
+	}
+	if m.ModelEval.Count != m.Predictions || m.Predictions == 0 {
+		t.Fatalf("latency histogram count %d, predictions %d",
+			m.ModelEval.Count, m.Predictions)
+	}
+	if m.ModelEval.Mean() <= 0 || m.ModelEval.Max < m.ModelEval.Mean() {
+		t.Fatalf("latency summary mean %v max %v", m.ModelEval.Mean(), m.ModelEval.Max)
+	}
+	if s := m.String(); !strings.Contains(s, "decision cache") ||
+		!strings.Contains(s, "model evaluations") {
+		t.Fatalf("metrics rendering missing sections:\n%s", s)
+	}
+	// Merge doubles every counter.
+	sum := m.Merge(m)
+	if sum.Launches != 2*m.Launches || sum.Dispatch[TargetCPU] != 2*m.Dispatch[TargetCPU] ||
+		sum.ModelEval.Count != 2*m.ModelEval.Count {
+		t.Fatal("Merge did not accumulate")
+	}
+}
+
+func TestProfileInvalidatesDecisionCache(t *testing.T) {
+	rt := newRT(t, ModelGuided)
+	b := symbolic.Bindings{"n": 256}
+	if _, err := rt.Launch("2dconv", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.ProfileRegion("2dconv", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Launch("2dconv", b); err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Metrics()
+	// The post-profile launch must re-evaluate the models, not reuse the
+	// pre-profile decision.
+	if m.DecisionCacheMisses != 2 {
+		t.Fatalf("misses = %d, want 2 (profile must invalidate)", m.DecisionCacheMisses)
 	}
 }

@@ -1,0 +1,116 @@
+package offload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Policy selects how Launch picks a target. Implementations must be
+// stateless (or internally synchronized): a Runtime calls Decide from
+// concurrent Launch goroutines.
+//
+// Decide receives the region handle and both model predictions and names
+// the execution destination. Returning TargetSplit asks the runtime to
+// divide the iteration space between host and device using the analytical
+// models (it degrades to the better single target when the predicted
+// cooperative gain is inside the models' error bars).
+type Policy interface {
+	// Name identifies the policy in flags, logs and metrics.
+	Name() string
+	// Decide picks the execution target from the two model predictions.
+	Decide(r *Region, cpuSec, gpuSec float64) Target
+}
+
+// Provided policies, reproducing the paper's experimental configurations.
+var (
+	// ModelGuided evaluates both analytical models and picks the lower
+	// predicted time — the paper's contribution.
+	ModelGuided Policy = modelGuidedPolicy{}
+	// AlwaysGPU is the compiler's default prescriptive behaviour.
+	AlwaysGPU Policy = alwaysGPUPolicy{}
+	// AlwaysCPU is the host fallback path.
+	AlwaysCPU Policy = alwaysCPUPolicy{}
+	// Oracle executes both targets and keeps the faster (upper bound on
+	// any selector). Its Decide is advisory — the runtime special-cases
+	// the dual execution.
+	Oracle Policy = oraclePolicy{}
+	// Split uses the models to divide the iteration space between host
+	// and device so both finish together (the cooperative CPU+GPU
+	// execution the paper's introduction motivates via Valero-Lara et
+	// al.), falling back to a single target when the models predict the
+	// split is not worthwhile.
+	Split Policy = splitPolicy{}
+)
+
+type modelGuidedPolicy struct{}
+
+func (modelGuidedPolicy) Name() string   { return "model-guided" }
+func (p modelGuidedPolicy) String() string { return p.Name() }
+func (modelGuidedPolicy) Decide(_ *Region, cpuSec, gpuSec float64) Target {
+	if gpuSec < cpuSec {
+		return TargetGPU
+	}
+	return TargetCPU
+}
+
+type alwaysGPUPolicy struct{}
+
+func (alwaysGPUPolicy) Name() string                            { return "always-gpu" }
+func (p alwaysGPUPolicy) String() string                        { return p.Name() }
+func (alwaysGPUPolicy) Decide(*Region, float64, float64) Target { return TargetGPU }
+
+type alwaysCPUPolicy struct{}
+
+func (alwaysCPUPolicy) Name() string                            { return "always-cpu" }
+func (p alwaysCPUPolicy) String() string                        { return p.Name() }
+func (alwaysCPUPolicy) Decide(*Region, float64, float64) Target { return TargetCPU }
+
+// oraclePolicy marks the dual-execution upper bound. The runtime
+// recognizes it via the runsBothTargets marker and executes both code
+// versions, keeping the faster; Decide reports the model-predicted winner
+// so the policy remains usable as a plain selector.
+type oraclePolicy struct{}
+
+func (oraclePolicy) Name() string     { return "oracle" }
+func (p oraclePolicy) String() string { return p.Name() }
+func (oraclePolicy) Decide(r *Region, cpuSec, gpuSec float64) Target {
+	return ModelGuided.Decide(r, cpuSec, gpuSec)
+}
+func (oraclePolicy) runsBothTargets() {}
+
+// runsBoth is the optional marker interface a policy implements to request
+// oracle semantics: the runtime executes both targets and keeps the faster.
+type runsBoth interface{ runsBothTargets() }
+
+type splitPolicy struct{}
+
+func (splitPolicy) Name() string                            { return "split" }
+func (p splitPolicy) String() string                        { return p.Name() }
+func (splitPolicy) Decide(*Region, float64, float64) Target { return TargetSplit }
+
+// policies indexes the provided policies for flag parsing.
+var policies = map[string]Policy{
+	ModelGuided.Name(): ModelGuided,
+	AlwaysGPU.Name():   AlwaysGPU,
+	AlwaysCPU.Name():   AlwaysCPU,
+	Oracle.Name():      Oracle,
+	Split.Name():       Split,
+}
+
+// ParsePolicy resolves a provided policy by its flag name
+// ("model-guided", "always-gpu", "always-cpu", "oracle", "split").
+// It is the shim that keeps the cmd/ string flags working across the
+// enum-to-interface redesign.
+func ParsePolicy(name string) (Policy, error) {
+	if p, ok := policies[name]; ok {
+		return p, nil
+	}
+	known := make([]string, 0, len(policies))
+	for k := range policies {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return nil, fmt.Errorf("offload: unknown policy %q (have %s)",
+		name, strings.Join(known, "|"))
+}

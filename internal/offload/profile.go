@@ -36,24 +36,29 @@ func (e *profileEngine) Branch(taken, act int, scale float64) {
 	e.total += float64(act) * scale
 }
 
-// ProfileRegion samples a few work items of the region (with the given
-// runtime values) and records the observed branch behaviour. Subsequent
-// Predict and Launch calls for the region use the measured probability
-// instead of the static 50% assumption. Profiling must not be called
-// concurrently with Launch.
+// ProfileRegion is the name-based wrapper around Region.ProfileBranches.
 func (rt *Runtime) ProfileRegion(name string, b symbolic.Bindings) (*ProfileData, error) {
 	r, err := rt.Region(name)
 	if err != nil {
 		return nil, err
 	}
+	return r.ProfileBranches(b)
+}
+
+// ProfileBranches samples a few work items of the region (with the given
+// runtime values) and records the observed branch behaviour. Subsequent
+// Predict and Launch calls for the region use the measured probability
+// instead of the static 50% assumption, and the region's memoized
+// decisions are invalidated. Safe to call concurrently with Launch.
+func (r *Region) ProfileBranches(b symbolic.Bindings) (*ProfileData, error) {
 	lay, err := sim.NewLayout(r.Kernel, b)
 	if err != nil {
-		return nil, err
+		return nil, wrapUnbound(err)
 	}
 	eng := &profileEngine{}
 	w, err := sim.NewWalker(r.Kernel, b, lay, eng, 1, 64)
 	if err != nil {
-		return nil, err
+		return nil, wrapUnbound(err)
 	}
 	items := w.Items()
 	samples := int64(32)
@@ -61,7 +66,7 @@ func (rt *Runtime) ProfileRegion(name string, b symbolic.Bindings) (*ProfileData
 		samples = items
 	}
 	if samples == 0 {
-		return nil, fmt.Errorf("offload: region %s has no work items to profile", name)
+		return nil, fmt.Errorf("offload: region %s has no work items to profile", r.Name)
 	}
 	for s := int64(0); s < samples; s++ {
 		id := s * items / samples
@@ -73,15 +78,6 @@ func (rt *Runtime) ProfileRegion(name string, b symbolic.Bindings) (*ProfileData
 	if eng.total > 0 {
 		p.BranchProb = eng.taken / eng.total
 	}
-	r.Profile = p
+	r.setProfile(p)
 	return p, nil
-}
-
-// branchProb returns the region's effective branch probability: measured
-// when a profile exists, the paper's 50% heuristic otherwise.
-func (r *Region) branchProb() float64 {
-	if r.Profile != nil {
-		return r.Profile.BranchProb
-	}
-	return 0.5
 }

@@ -91,7 +91,7 @@ func TestSplitPredictionMonotonicity(t *testing.T) {
 	b := symbolic.Bindings{"n": 9600}
 	var prevCPU, prevGPU float64
 	for i, f := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		c, g, err := rt.predictFraction(r, b, f)
+		c, g, err := r.predictFraction(b, f, 1-f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func TestSplitPredictionMonotonicity(t *testing.T) {
 }
 
 func TestSplitStringers(t *testing.T) {
-	if TargetSplit.String() != "split" || Split.String() != "split" {
+	if TargetSplit.String() != "split" || Split.Name() != "split" {
 		t.Fatal("split stringers")
 	}
 }

@@ -1,0 +1,36 @@
+#!/bin/sh
+# check.sh — the repo's verification gate: static checks, the full test
+# suite (race detector on the concurrent packages), and a perf smoke test
+# asserting the decision cache keeps the hot launch path at least 5x
+# cheaper than re-evaluating the analytical models.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/offload/ ./internal/experiments/
+
+echo "== perf smoke: cached vs uncached launch =="
+out=$(go test -run='^$' -bench='BenchmarkLaunch(Cached|Uncached)$' -benchtime=0.2s .)
+echo "$out"
+echo "$out" | awk '
+	/BenchmarkLaunchCached/   { cached = $3 }
+	/BenchmarkLaunchUncached/ { uncached = $3 }
+	END {
+		if (cached == "" || uncached == "") {
+			print "perf smoke: benchmarks did not run"; exit 1
+		}
+		ratio = uncached / cached
+		printf "perf smoke: uncached/cached = %.1fx (need >= 5x)\n", ratio
+		if (ratio < 5) exit 1
+	}'
+
+echo "OK"
