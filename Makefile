@@ -16,7 +16,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/offload/ ./internal/experiments/
+	$(GO) test -race ./internal/offload/ ./internal/experiments/ \
+		./internal/server/ ./internal/trace/
 
 # Regenerate every paper artifact at full fidelity.
 bench:

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -138,7 +139,18 @@ func main() {
 	fmt.Print(rt.Metrics())
 }
 
+// fatal exits non-zero with a clean, actionable message; the runtime's
+// sentinel errors get targeted hints instead of a raw error chain.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "explain:", err)
+	switch {
+	case errors.Is(err, offload.ErrUnknownRegion):
+		fmt.Fprintf(os.Stderr, "explain: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hint: pass -kernel one of the registered Polybench kernels (see `go run ./cmd/ipda -list` or polybench.Suite()).\n")
+	case errors.Is(err, offload.ErrUnboundSymbol):
+		fmt.Fprintf(os.Stderr, "explain: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hint: the kernel's symbolic attributes need a runtime value this command did not bind; supply the problem size with -n.\n")
+	default:
+		fmt.Fprintln(os.Stderr, "explain:", err)
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,275 @@
+// Command hybridseld serves the offload runtime as a network decision
+// service: it registers a region set (the Polybench suite, or a subset),
+// optionally verifies it against a program-attribute-database snapshot,
+// and answers decision queries over HTTP/JSON with admission control,
+// Prometheus metrics, structured request logs, and graceful drain on
+// SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	hybridseld -addr :8080
+//	hybridseld -addr 127.0.0.1:8080 -policy model-guided -queue 512
+//	hybridseld -regions gemm,mvt1 -trace /tmp/decisions.jsonl
+//	hybridseld -attrdb-out snapshot.json -dry-run   # write the DB and exit
+//	hybridseld -attrdb snapshot.json                # verify DB against snapshot
+//
+// Then:
+//
+//	curl -s localhost:8080/v1/decide -d '{"region":"gemm","bindings":{"n":1100}}'
+//	curl -s localhost:8080/v1/regions
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/server"
+	"github.com/hybridsel/hybridsel/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	platform := flag.String("platform", "p9v100", "platform: p9v100|p8k80")
+	threads := flag.Int("threads", 160, "host thread count")
+	policy := flag.String("policy", "model-guided",
+		"policy: model-guided|always-gpu|always-cpu|oracle|split")
+	cacheSize := flag.Int("cache", 0,
+		"decision-cache entries per region (0 = default, <0 = disabled)")
+	regions := flag.String("regions", "",
+		"comma-separated kernel subset (default: full Polybench suite)")
+	queue := flag.Int("queue", 0,
+		"admission queue depth beyond the worker pool (0 = default)")
+	workers := flag.Int("workers", 0, "request concurrency (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
+	drain := flag.Duration("drain", 10*time.Second,
+		"grace period for in-flight requests on shutdown")
+	attrdbIn := flag.String("attrdb", "",
+		"attribute-database snapshot to verify the region set against")
+	attrdbOut := flag.String("attrdb-out", "",
+		"write the registered attribute database as a snapshot and continue")
+	traceOut := flag.String("trace", "",
+		"record every served decision as JSONL to this file")
+	logFormat := flag.String("log", "text", "log format: text|json")
+	logLevel := flag.String("log-level", "info",
+		"log level: debug|info|warn (debug includes per-request lines)")
+	dryRun := flag.Bool("dry-run", false,
+		"register, verify and write snapshots, then exit without serving")
+	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridseld:", err)
+		os.Exit(1)
+	}
+
+	pol, err := offload.ParsePolicy(*policy)
+	if err != nil {
+		fatal(logger, err)
+	}
+	var plat machine.Platform
+	switch *platform {
+	case "p9v100":
+		plat = machine.PlatformP9V100()
+	case "p8k80":
+		plat = machine.PlatformP8K80()
+	default:
+		fatal(logger, fmt.Errorf("unknown platform %q", *platform))
+	}
+
+	cfg := offload.Config{
+		Platform:          plat,
+		Threads:           *threads,
+		Policy:            pol,
+		DecisionCacheSize: *cacheSize,
+	}
+
+	// Decision trace recording, wired through the runtime observer so it
+	// captures served /v1/decide traffic exactly as an in-process harness
+	// would capture launches.
+	var tw *trace.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		cfg.Observer = tw.Observer()
+	}
+
+	rt := offload.NewRuntime(cfg)
+	names, err := registerRegions(rt, *regions)
+	if err != nil {
+		fatal(logger, err)
+	}
+	logger.Info("registered regions", "count", len(names), "policy", pol.Name(),
+		"platform", plat.Name, "threads", rt.Config().Threads)
+
+	if *attrdbIn != "" {
+		if err := verifySnapshot(rt, *attrdbIn); err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("attrdb snapshot verified", "path", *attrdbIn)
+	}
+	if *attrdbOut != "" {
+		if err := writeSnapshot(rt, *attrdbOut, plat.Name); err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("attrdb snapshot written", "path", *attrdbOut)
+	}
+	if *dryRun {
+		flushTrace(logger, tw)
+		return
+	}
+
+	srv, err := server.New(server.Config{
+		Runtime:        rt,
+		Concurrency:    *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	})
+	if err != nil {
+		fatal(logger, err)
+	}
+
+	// Serve until SIGTERM/SIGINT, then drain: stop admitting, let
+	// in-flight requests finish (bounded by -drain), flush the trace.
+	ctx, stop := signal.NotifyContext(context.Background(),
+		syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	served := make(chan error, 1)
+	go func() { served <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-served:
+		if err != nil {
+			fatal(logger, err)
+		}
+	case <-ctx.Done():
+		logger.Info("signal received, draining", "grace", drain.String())
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			logger.Error("drain incomplete", "err", err)
+			flushTrace(logger, tw)
+			os.Exit(1)
+		}
+		if err := <-served; err != nil {
+			fatal(logger, err)
+		}
+		m := rt.Metrics()
+		logger.Info("drained",
+			"launches", m.Launches, "decides", m.Decides,
+			"cache_hits", m.DecisionCacheHits, "cache_misses", m.DecisionCacheMisses)
+	}
+	flushTrace(logger, tw)
+}
+
+// registerRegions registers the requested kernel subset (or the whole
+// suite) and returns the registered names.
+func registerRegions(rt *offload.Runtime, subset string) ([]string, error) {
+	want := map[string]bool{}
+	if subset != "" {
+		for _, name := range strings.Split(subset, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := polybench.Get(name); err != nil {
+				return nil, err
+			}
+			want[name] = true
+		}
+		if len(want) == 0 {
+			return nil, errors.New("-regions selected no kernels")
+		}
+	}
+	var names []string
+	for _, k := range polybench.Suite() {
+		if len(want) > 0 && !want[k.Name] {
+			continue
+		}
+		if _, err := rt.Register(k.IR); err != nil {
+			return nil, err
+		}
+		names = append(names, k.Name)
+	}
+	return names, nil
+}
+
+// verifySnapshot checks the runtime's attribute database against a
+// snapshot produced by an earlier run (-attrdb-out).
+func verifySnapshot(rt *offload.Runtime, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := attrdb.ReadSnapshot(f)
+	if err != nil {
+		return err
+	}
+	return s.VerifyDB(rt.DB())
+}
+
+// writeSnapshot persists the runtime's attribute database.
+func writeSnapshot(rt *offload.Runtime, path, platform string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := attrdb.WriteSnapshot(f, attrdb.NewSnapshot(rt.DB(), platform, "hybridseld")); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func flushTrace(logger *slog.Logger, tw *trace.Writer) {
+	if tw == nil {
+		return
+	}
+	if err := tw.Flush(); err != nil {
+		logger.Error("trace flush", "err", err)
+		return
+	}
+	logger.Info("trace flushed", "decisions", tw.Len())
+}
+
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
+}

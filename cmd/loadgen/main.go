@@ -1,0 +1,404 @@
+// Command loadgen drives a hybridseld daemon with decision traffic and
+// reports throughput and latency percentiles. It can replay a recorded
+// launch trace (internal/trace JSONL) or synthesize Polybench-shaped
+// traffic: kernels drawn from the suite, binding sets drawn from a
+// zipf-like distribution over a few distinct problem sizes — mostly
+// repeats (exercising the daemon's cached decision path) with a tail of
+// colder sizes.
+//
+// Two load models:
+//
+//	-rate 0   closed loop: -concurrency workers issue requests
+//	          back-to-back, each waiting for its response.
+//	-rate N   open loop: N requests/second are dispatched on schedule
+//	          regardless of completions (up to -concurrency*1024 queued
+//	          client-side), exposing the daemon's shedding behaviour.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 5s -concurrency 16
+//	loadgen -addr http://127.0.0.1:8080 -rate 20000 -duration 10s
+//	loadgen -addr http://127.0.0.1:8080 -trace decisions.jsonl -batch 32
+//	loadgen -addr http://127.0.0.1:8080 -wait 5s -min-throughput 10000
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/server"
+	"github.com/hybridsel/hybridsel/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	concurrency := flag.Int("concurrency", 16, "workers (closed loop) / pool size (open loop)")
+	rate := flag.Int("rate", 0, "open-loop dispatch rate in req/s (0 = closed loop)")
+	batch := flag.Int("batch", 1, "decision requests per HTTP call")
+	execute := flag.Bool("execute", false, "request simulated execution, not just the decision")
+	traceIn := flag.String("trace", "", "replay this JSONL trace instead of synthesizing traffic")
+	kernels := flag.String("kernels", "", "comma-separated kernel subset for synthesis")
+	mode := flag.String("mode", "test", "dataset mode for synthesis: test|benchmark")
+	distinct := flag.Int("distinct", 4, "distinct binding sets per kernel")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	wait := flag.Duration("wait", 0, "poll /healthz this long for the daemon to come up")
+	minThroughput := flag.Float64("min-throughput", 0,
+		"exit non-zero if decisions/sec falls below this")
+	scrape := flag.Bool("scrape", true, "print daemon-side counters from /metrics after the run")
+	flag.Parse()
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		},
+	}
+
+	if *wait > 0 {
+		if err := waitHealthy(client, *addr, *wait); err != nil {
+			fatal(err)
+		}
+	}
+
+	reqs, err := buildWorkload(*traceIn, *kernels, *mode, *distinct, *execute, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loadgen: %s, %d workers, batch %d, %v against %s (%d distinct requests)\n",
+		loopName(*rate), *concurrency, *batch, *duration, *addr, len(reqs))
+
+	st := run(client, *addr, reqs, *concurrency, *rate, *batch, *duration)
+	st.report(os.Stdout)
+
+	if *scrape {
+		scrapeMetrics(client, *addr, os.Stdout)
+	}
+	if *minThroughput > 0 && st.decisionsPerSec() < *minThroughput {
+		fatal(fmt.Errorf("throughput %.0f decisions/s below required %.0f",
+			st.decisionsPerSec(), *minThroughput))
+	}
+	if st.errors.Load() > 0 {
+		fatal(fmt.Errorf("%d transport/server errors", st.errors.Load()))
+	}
+}
+
+func loopName(rate int) string {
+	if rate > 0 {
+		return fmt.Sprintf("open loop (%d req/s)", rate)
+	}
+	return "closed loop"
+}
+
+// ------------------------------------------------------------ workload --
+
+// buildWorkload produces the ring of decision requests the generator
+// cycles through.
+func buildWorkload(traceIn, kernels, mode string, distinct int, execute bool, seed int64) ([]server.DecideRequest, error) {
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		recs, err := trace.Read(bufio.NewReader(f))
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("trace %s is empty", traceIn)
+		}
+		reqs := make([]server.DecideRequest, len(recs))
+		for i, r := range recs {
+			reqs[i] = server.DecideRequest{Region: r.Region, Bindings: r.Bindings, Execute: execute}
+		}
+		return reqs, nil
+	}
+
+	var m polybench.Mode
+	switch mode {
+	case "test":
+		m = polybench.Test
+	case "benchmark":
+		m = polybench.Benchmark
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(kernels, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+
+	// Polybench-shaped synthesis: every suite kernel contributes its
+	// canonical mode bindings plus progressively smaller variants, with
+	// zipf-like weights (variant v appears distinct-v times) so most
+	// traffic repeats hot binding sets.
+	var reqs []server.DecideRequest
+	for _, k := range polybench.Suite() {
+		if len(want) > 0 && !want[k.Name] {
+			continue
+		}
+		base := k.Bindings(m)
+		for v := 0; v < distinct; v++ {
+			b := map[string]int64{}
+			for name, val := range base {
+				scaled := val >> v
+				if scaled < 8 {
+					scaled = 8
+				}
+				b[name] = scaled
+			}
+			for rep := 0; rep < distinct-v; rep++ {
+				reqs = append(reqs, server.DecideRequest{
+					Region: k.Name, Bindings: b, Execute: execute})
+			}
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("no kernels selected")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+	return reqs, nil
+}
+
+// ----------------------------------------------------------------- run --
+
+type stats struct {
+	ok        atomic.Uint64 // HTTP 200 calls
+	shed      atomic.Uint64 // HTTP 429 calls
+	errors    atomic.Uint64 // transport errors and unexpected statuses
+	decisions atomic.Uint64 // decision results inside 200 responses
+	itemErrs  atomic.Uint64 // per-item errors inside batch responses
+	dropped   atomic.Uint64 // open loop: dispatches the client queue refused
+
+	mu        sync.Mutex
+	latencies []int64 // ns per HTTP call
+	elapsed   time.Duration
+}
+
+func (st *stats) observe(d time.Duration) {
+	st.mu.Lock()
+	st.latencies = append(st.latencies, int64(d))
+	st.mu.Unlock()
+}
+
+func (st *stats) decisionsPerSec() float64 {
+	if st.elapsed <= 0 {
+		return 0
+	}
+	return float64(st.decisions.Load()) / st.elapsed.Seconds()
+}
+
+func run(client *http.Client, addr string, reqs []server.DecideRequest,
+	concurrency, rate, batch int, duration time.Duration) *stats {
+	st := &stats{}
+	deadline := time.Now().Add(duration)
+	var next atomic.Uint64
+
+	fire := func() {
+		i := int(next.Add(1)-1) % len(reqs)
+		body, n := encodeCall(reqs, i, batch)
+		start := time.Now()
+		resp, err := client.Post(addr+"/v1/decide", "application/json", bytes.NewReader(body))
+		if err != nil {
+			st.errors.Add(1)
+			return
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		st.observe(time.Since(start))
+		switch resp.StatusCode {
+		case http.StatusOK:
+			st.ok.Add(1)
+			st.decisions.Add(uint64(n - countItemErrors(raw, n, st)))
+		case http.StatusTooManyRequests:
+			st.shed.Add(1)
+		default:
+			st.errors.Add(1)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if rate <= 0 {
+		// Closed loop: workers back-to-back until the deadline.
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					fire()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		// Open loop: dispatch on schedule into a bounded client queue.
+		jobs := make(chan struct{}, concurrency*1024)
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range jobs {
+					fire()
+				}
+			}()
+		}
+		interval := time.Second / time.Duration(rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		for time.Now().Before(deadline) {
+			<-ticker.C
+			select {
+			case jobs <- struct{}{}:
+			default:
+				st.dropped.Add(1)
+			}
+		}
+		ticker.Stop()
+		close(jobs)
+		wg.Wait()
+	}
+	st.elapsed = time.Since(start)
+	return st
+}
+
+// encodeCall builds the request body starting at ring index i: the
+// single-object shape for batch 1, the {"requests": [...]} shape above.
+// It returns the body and the number of decisions requested.
+func encodeCall(reqs []server.DecideRequest, i, batch int) ([]byte, int) {
+	if batch <= 1 {
+		b, _ := json.Marshal(reqs[i])
+		return b, 1
+	}
+	window := make([]server.DecideRequest, batch)
+	for j := 0; j < batch; j++ {
+		window[j] = reqs[(i+j)%len(reqs)]
+	}
+	b, _ := json.Marshal(struct {
+		Requests []server.DecideRequest `json:"requests"`
+	}{window})
+	return b, batch
+}
+
+// countItemErrors inspects a 200 response for per-item batch errors.
+func countItemErrors(raw []byte, n int, st *stats) int {
+	if n <= 1 {
+		return 0
+	}
+	var br server.BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		return 0
+	}
+	errs := 0
+	for _, r := range br.Results {
+		if r.Error != "" {
+			errs++
+		}
+	}
+	st.itemErrs.Add(uint64(errs))
+	return errs
+}
+
+// -------------------------------------------------------------- report --
+
+func (st *stats) report(w io.Writer) {
+	st.mu.Lock()
+	lat := st.latencies
+	st.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		return time.Duration(lat[int(q*float64(len(lat)-1))])
+	}
+	fmt.Fprintf(w, "calls        %d ok, %d shed (429), %d errors",
+		st.ok.Load(), st.shed.Load(), st.errors.Load())
+	if d := st.dropped.Load(); d > 0 {
+		fmt.Fprintf(w, ", %d dropped client-side", d)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "decisions    %d (%.0f/s)", st.decisions.Load(), st.decisionsPerSec())
+	if e := st.itemErrs.Load(); e > 0 {
+		fmt.Fprintf(w, ", %d item errors", e)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "call latency p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+}
+
+// scrapeMetrics prints the daemon-side counters that matter for a load
+// run: decision volume, cache efficiency, shedding.
+func scrapeMetrics(client *http.Client, addr string, w io.Writer) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		fmt.Fprintf(w, "metrics scrape failed: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	fmt.Fprintln(w, "daemon:")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, prefix := range []string{
+			"hybridsel_decides_total",
+			"hybridsel_launches_total",
+			"hybridsel_model_evaluations_total",
+			"hybridsel_decision_cache_hits_total",
+			"hybridsel_decision_cache_misses_total",
+			"hybridseld_shed_total",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Fprintf(w, "  %s\n", line)
+			}
+		}
+	}
+}
+
+func waitHealthy(client *http.Client, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon not healthy after %v: %w", timeout, err)
+			}
+			return fmt.Errorf("daemon not healthy after %v", timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

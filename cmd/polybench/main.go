@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -99,7 +100,18 @@ func fmtSec(s float64) string {
 	}
 }
 
+// fatal exits non-zero with a clean, actionable message; the runtime's
+// sentinel errors get targeted hints instead of a raw error chain.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "polybench:", err)
+	switch {
+	case errors.Is(err, offload.ErrUnknownRegion):
+		fmt.Fprintf(os.Stderr, "polybench: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hint: the kernel is not registered with the runtime; the driver registers polybench.Suite(), so this usually means a stale or misspelled kernel name.\n")
+	case errors.Is(err, offload.ErrUnboundSymbol):
+		fmt.Fprintf(os.Stderr, "polybench: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hint: the dataset mode did not bind every symbolic parameter the kernel's attributes need; check the kernel's Bindings(mode) table.\n")
+	default:
+		fmt.Fprintln(os.Stderr, "polybench:", err)
+	}
 	os.Exit(1)
 }

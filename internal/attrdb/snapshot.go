@@ -1,0 +1,108 @@
+package attrdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SnapshotVersion is the current on-disk snapshot format version.
+// ReadSnapshot rejects snapshots written by a newer format.
+const SnapshotVersion = 1
+
+// Snapshot is a versioned, self-describing serialization envelope around
+// a DB — the artifact a decision-service daemon loads at startup. In the
+// paper the compiler embeds the attribute database in the binary; the
+// snapshot is the out-of-band equivalent, letting a server verify that
+// the region set it registered from source matches the database the
+// "compiler" (an earlier run) produced.
+type Snapshot struct {
+	Version int `json:"version"`
+	// Platform optionally names the machine model the attributes were
+	// built for (informational; attributes are platform-independent).
+	Platform string `json:"platform,omitempty"`
+	// CreatedBy optionally identifies the producing tool.
+	CreatedBy string                  `json:"createdBy,omitempty"`
+	Regions   map[string]*RegionAttrs `json:"regions"`
+}
+
+// NewSnapshot wraps a DB in a current-version envelope. The snapshot
+// aliases the DB's records; it does not copy them.
+func NewSnapshot(db *DB, platform, createdBy string) *Snapshot {
+	return &Snapshot{
+		Version:   SnapshotVersion,
+		Platform:  platform,
+		CreatedBy: createdBy,
+		Regions:   db.Regions,
+	}
+}
+
+// DB returns the snapshot's records as a queryable database.
+func (s *Snapshot) DB() *DB {
+	db := New()
+	for name, ra := range s.Regions {
+		db.Regions[name] = ra
+	}
+	return db
+}
+
+// WriteSnapshot serializes the snapshot as indented JSON.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteSnapshot,
+// rejecting unknown format versions and empty region sets.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("attrdb: snapshot: %w", err)
+	}
+	if s.Version <= 0 || s.Version > SnapshotVersion {
+		return nil, fmt.Errorf("attrdb: snapshot version %d not supported (max %d)",
+			s.Version, SnapshotVersion)
+	}
+	if len(s.Regions) == 0 {
+		return nil, fmt.Errorf("attrdb: snapshot has no regions")
+	}
+	return &s, nil
+}
+
+// VerifyDB checks that every region in the snapshot exists in db with an
+// identical attribute record, and that db holds no regions the snapshot
+// lacks — guarding a daemon against skew between the kernels it compiled
+// in and the database it was pointed at. Records are compared by their
+// canonical JSON encoding (the same encoding both sides persist).
+func (s *Snapshot) VerifyDB(db *DB) error {
+	var names []string
+	for name := range s.Regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got, ok := db.Regions[name]
+		if !ok {
+			return fmt.Errorf("attrdb: snapshot region %q not registered", name)
+		}
+		want, err := json.Marshal(s.Regions[name])
+		if err != nil {
+			return fmt.Errorf("attrdb: snapshot region %q: %w", name, err)
+		}
+		have, err := json.Marshal(got)
+		if err != nil {
+			return fmt.Errorf("attrdb: region %q: %w", name, err)
+		}
+		if string(want) != string(have) {
+			return fmt.Errorf("attrdb: region %q attributes differ from snapshot", name)
+		}
+	}
+	for name := range db.Regions {
+		if _, ok := s.Regions[name]; !ok {
+			return fmt.Errorf("attrdb: registered region %q missing from snapshot", name)
+		}
+	}
+	return nil
+}

@@ -217,6 +217,93 @@ func TestConcurrentOraclePolicy(t *testing.T) {
 	}
 }
 
+// TestConcurrentEvictionAccounting hammers tiny per-region decision
+// caches with far more distinct binding keys than they can hold, across
+// mixed regions, and asserts the hit/miss/eviction/live-entry ledger
+// stays exactly consistent under the race detector.
+func TestConcurrentEvictionAccounting(t *testing.T) {
+	const cap = 2
+	cfg := stressConfig(AlwaysCPU) // cheap dispatch: the cache is the subject
+	cfg.DecisionCacheSize = cap
+	rt := NewRuntime(cfg)
+	names := []string{"gemm", "mvt1", "2dconv"}
+	regions := make([]*Region, len(names))
+	for i, name := range names {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regions[i], err = rt.Register(k.IR); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		workers           = 8
+		launchesPerWorker = 40
+		distinctSizes     = 16 // >> cap, so steady-state churn
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < launchesPerWorker; i++ {
+				r := regions[(w+i)%len(regions)]
+				n := int64(64 + 8*((w*launchesPerWorker+i)%distinctSizes))
+				if _, err := r.Launch(symbolic.Bindings{"n": n}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	const total = workers * launchesPerWorker
+	m := rt.Metrics()
+	if m.Launches != total {
+		t.Fatalf("launches = %d, want %d", m.Launches, total)
+	}
+	// Ledger identity 1: every launch is exactly one hit or one miss.
+	if m.DecisionCacheHits+m.DecisionCacheMisses != total {
+		t.Fatalf("hits %d + misses %d != launches %d",
+			m.DecisionCacheHits, m.DecisionCacheMisses, total)
+	}
+	// Ledger identity 2: entries never exceed the configured bound, and
+	// with far more keys than capacity every cache must be full.
+	if want := len(names) * cap; m.DecisionCacheSize != want {
+		t.Fatalf("live entries = %d, want %d (= regions x cap)",
+			m.DecisionCacheSize, want)
+	}
+	// Ledger identity 3: inserts = misses (each miss stores one entry),
+	// and every insert beyond the live entries must either have evicted a
+	// victim or overwritten a racing duplicate of its own key (two workers
+	// missing the same key concurrently both insert; the loser's entry is
+	// replaced, not evicted). Duplicate overwrites need >= 2 workers in
+	// the same miss window, so they are bounded by a small slack.
+	slack := uint64(workers * len(names))
+	minEvict := m.DecisionCacheMisses - uint64(len(names)*cap) - slack
+	if m.DecisionCacheEvictions < minEvict {
+		t.Fatalf("evictions = %d, want >= misses-live-slack = %d",
+			m.DecisionCacheEvictions, minEvict)
+	}
+	if m.DecisionCacheEvictions > m.DecisionCacheMisses {
+		t.Fatalf("evictions %d > inserts %d",
+			m.DecisionCacheEvictions, m.DecisionCacheMisses)
+	}
+	// With 16 distinct keys against capacity 2 the workload must actually
+	// churn — this guards against the cache silently growing unbounded.
+	if m.DecisionCacheEvictions == 0 {
+		t.Fatal("no evictions despite 16 distinct keys per region at cap 2")
+	}
+}
+
 var errNonPositive = errTest("non-positive simulated time")
 
 type errTest string

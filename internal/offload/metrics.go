@@ -90,6 +90,66 @@ func (s LatencyStats) Mean() time.Duration {
 	return time.Duration(s.SumNanos / s.Count)
 }
 
+// Quantile estimates the q-th latency quantile (0 < q < 1) from the
+// histogram by locating the bucket holding the q-th observation and
+// interpolating linearly within it. The unbounded overflow bucket
+// interpolates toward the observed maximum. Fixed buckets bound the
+// error to one bucket width — plenty for "is the decision path still
+// microseconds" dashboards.
+func (s LatencyStats) Quantile(q float64) time.Duration {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	var lower time.Duration
+	for i, b := range s.Buckets {
+		upper := b.UpperBound
+		if upper == 0 && i > 0 {
+			upper = s.Max // overflow bucket: interpolate to the observed max
+			if upper < lower {
+				upper = lower
+			}
+		}
+		if b.Count > 0 && float64(cum+b.Count) >= rank {
+			frac := (rank - float64(cum)) / float64(b.Count)
+			est := lower + time.Duration(frac*float64(upper-lower))
+			if est > s.Max {
+				est = s.Max // wide top buckets must not estimate past reality
+			}
+			return est
+		}
+		cum += b.Count
+		lower = upper
+	}
+	return s.Max
+}
+
+// LatencyQuantiles is the standard percentile summary of a latency
+// histogram.
+type LatencyQuantiles struct {
+	P50, P95, P99 time.Duration
+}
+
+// Quantiles summarizes a histogram as p50/p95/p99.
+func (s LatencyStats) Quantiles() LatencyQuantiles {
+	return LatencyQuantiles{
+		P50: s.Quantile(0.50),
+		P95: s.Quantile(0.95),
+		P99: s.Quantile(0.99),
+	}
+}
+
+// String renders the summary, e.g. "p50 12µs p95 85µs p99 220µs".
+func (q LatencyQuantiles) String() string {
+	return fmt.Sprintf("p50 %v p95 %v p99 %v",
+		q.P50.Round(time.Microsecond), q.P95.Round(time.Microsecond),
+		q.P99.Round(time.Microsecond))
+}
+
 // merge accumulates another snapshot with the same bucket layout into a
 // new snapshot; neither input is modified.
 func (s LatencyStats) merge(o LatencyStats) LatencyStats {
@@ -115,6 +175,7 @@ func (s LatencyStats) merge(o LatencyStats) LatencyStats {
 // counters is the runtime's live instrumentation, all lock-free.
 type counters struct {
 	launches    atomic.Uint64
+	decides     atomic.Uint64
 	predictions atomic.Uint64
 	dispatch    [3]atomic.Uint64 // indexed by Target
 
@@ -133,6 +194,10 @@ type Metrics struct {
 	Regions int
 	// Launches counts Launch calls that reached the decision stage.
 	Launches uint64
+	// Decides counts decide-only calls (no dispatch) that reached the
+	// decision stage. DecisionCacheHits + DecisionCacheMisses ==
+	// Launches + Decides for a runtime driven only through Launch/Decide.
+	Decides uint64
 	// Predictions counts model-pair evaluations actually performed
 	// (cache misses and standalone Predict calls).
 	Predictions uint64
@@ -160,6 +225,7 @@ type Metrics struct {
 func (m Metrics) Merge(o Metrics) Metrics {
 	m.Regions += o.Regions
 	m.Launches += o.Launches
+	m.Decides += o.Decides
 	m.Predictions += o.Predictions
 	dispatch := make(map[Target]uint64, len(m.Dispatch))
 	for t, n := range m.Dispatch {
@@ -179,12 +245,19 @@ func (m Metrics) Merge(o Metrics) Metrics {
 	return m
 }
 
+// Quantiles summarizes the model-evaluation latency histogram as
+// p50/p95/p99.
+func (m Metrics) Quantiles() LatencyQuantiles { return m.ModelEval.Quantiles() }
+
 // String renders the snapshot as an aligned report.
 func (m Metrics) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "offload runtime metrics\n")
 	fmt.Fprintf(&sb, "  regions registered   %d\n", m.Regions)
 	fmt.Fprintf(&sb, "  launches             %d\n", m.Launches)
+	if m.Decides > 0 {
+		fmt.Fprintf(&sb, "  decide-only calls    %d\n", m.Decides)
+	}
 	fmt.Fprintf(&sb, "  dispatched           cpu %d, gpu %d, split %d\n",
 		m.Dispatch[TargetCPU], m.Dispatch[TargetGPU], m.Dispatch[TargetSplit])
 	fmt.Fprintf(&sb, "  decision cache       %d hits, %d misses (%.1f%% hit rate), %d evictions, %d live\n",
@@ -197,20 +270,7 @@ func (m Metrics) String() string {
 		m.Predictions, m.ModelEval.Mean().Round(time.Microsecond),
 		m.ModelEval.Max.Round(time.Microsecond))
 	if m.ModelEval.Count > 0 {
-		fmt.Fprintf(&sb, "  eval latency         ")
-		for i, b := range m.ModelEval.Buckets {
-			if b.Count == 0 {
-				continue
-			}
-			label := "+"
-			if b.UpperBound != 0 {
-				label = "<=" + b.UpperBound.String()
-			} else if i > 0 {
-				label = ">" + m.ModelEval.Buckets[i-1].UpperBound.String()
-			}
-			fmt.Fprintf(&sb, "%s:%d ", label, b.Count)
-		}
-		sb.WriteString("\n")
+		fmt.Fprintf(&sb, "  eval latency         %s\n", m.ModelEval.Quantiles())
 	}
 	return sb.String()
 }

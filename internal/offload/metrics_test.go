@@ -1,0 +1,127 @@
+package offload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParsePolicyRejections pins the failure mode of every malformed
+// policy string: nil policy, an error that names the offending input,
+// and a sorted roster of valid names to fix the typo from.
+func TestParsePolicyRejections(t *testing.T) {
+	cases := []string{
+		"",
+		"nope",
+		"Model-Guided", // case-sensitive on purpose: flag values are exact
+		" model-guided",
+		"model-guided ",
+		"always-gpu,always-cpu",
+		"oracle\n",
+	}
+	for _, in := range cases {
+		p, err := ParsePolicy(in)
+		if err == nil {
+			t.Fatalf("ParsePolicy(%q) accepted, want error", in)
+		}
+		if p != nil {
+			t.Fatalf("ParsePolicy(%q) returned non-nil policy with error", in)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown policy") {
+			t.Fatalf("ParsePolicy(%q) error %q lacks diagnosis", in, msg)
+		}
+		// The message must list the real roster so the user can recover.
+		for _, known := range []string{"model-guided", "always-gpu",
+			"always-cpu", "oracle", "split"} {
+			if !strings.Contains(msg, known) {
+				t.Fatalf("ParsePolicy(%q) error %q omits %q", in, msg, known)
+			}
+		}
+	}
+}
+
+// TestParsePolicyRoundTrip: every accepted name parses back to the
+// policy whose Name() produced it.
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, want := range []Policy{ModelGuided, AlwaysGPU, AlwaysCPU, Oracle} {
+		got, err := ParsePolicy(want.Name())
+		if err != nil || got == nil || got.Name() != want.Name() {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", want.Name(), got, err)
+		}
+	}
+}
+
+// TestLatencyQuantiles feeds a histogram with a known distribution and
+// checks the interpolated percentiles land in the right buckets.
+func TestLatencyQuantiles(t *testing.T) {
+	var h latencyHist
+	// 90 fast observations in (10µs, 50µs], 9 in (500µs, 1ms], one slow
+	// outlier in the overflow bucket.
+	for i := 0; i < 90; i++ {
+		h.observe(30 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.observe(800 * time.Microsecond)
+	}
+	h.observe(250 * time.Millisecond)
+
+	s := h.snapshot()
+	q := s.Quantiles()
+	if q.P50 <= 10*time.Microsecond || q.P50 > 50*time.Microsecond {
+		t.Fatalf("p50 = %v, want in (10µs, 50µs]", q.P50)
+	}
+	if q.P95 <= 500*time.Microsecond || q.P95 > time.Millisecond {
+		t.Fatalf("p95 = %v, want in (500µs, 1ms]", q.P95)
+	}
+	// p99 rank 99 is the last in-bounds observation; p100 is the outlier.
+	if q.P99 <= 500*time.Microsecond || q.P99 > time.Millisecond {
+		t.Fatalf("p99 = %v, want in (500µs, 1ms]", q.P99)
+	}
+	if got := s.Quantile(1.0); got != 250*time.Millisecond {
+		t.Fatalf("p100 = %v, want observed max 250ms", got)
+	}
+	// The overflow bucket interpolates toward the observed max, never past.
+	if got := s.Quantile(0.999); got > 250*time.Millisecond {
+		t.Fatalf("p99.9 = %v exceeds observed max", got)
+	}
+}
+
+// TestLatencyQuantileClampedToMax: with all mass in one wide bucket the
+// interpolated high percentiles must not estimate past the observed max.
+func TestLatencyQuantileClampedToMax(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 100; i++ {
+		h.observe(2 * time.Millisecond) // (1ms, 10ms] bucket, upper bound 10ms
+	}
+	s := h.snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := s.Quantile(q); got > s.Max {
+			t.Fatalf("q=%v = %v exceeds observed max %v", q, got, s.Max)
+		}
+	}
+}
+
+// TestLatencyQuantilesEdgeCases: empty histograms and degenerate q.
+func TestLatencyQuantilesEdgeCases(t *testing.T) {
+	var empty LatencyStats
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+	var h latencyHist
+	h.observe(20 * time.Microsecond)
+	s := h.snapshot()
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q=0 = %v, want 0", got)
+	}
+	if got := s.Quantile(2); got != s.Max {
+		t.Fatalf("q=2 = %v, want max %v", got, s.Max)
+	}
+	qs := s.Quantiles()
+	if qs.P50 == 0 || qs.P99 > 50*time.Microsecond {
+		t.Fatalf("single-sample quantiles out of bucket: %+v", qs)
+	}
+	if !strings.Contains(qs.String(), "p95") {
+		t.Fatalf("String() = %q", qs.String())
+	}
+}

@@ -92,6 +92,13 @@ type Config struct {
 	// default (1024); a negative value disables decision caching.
 	DecisionCacheSize int
 
+	// Observer, when non-nil, is invoked synchronously with every
+	// completed Decision — after Launch dispatches and after each
+	// decide-only call. It runs on the launching goroutine and must be
+	// safe for concurrent use and cheap (trace recorders buffer; anything
+	// slow belongs behind the observer's own queue).
+	Observer func(Decision)
+
 	// GPUOptions default to the paper's configuration (IPDA coalescing,
 	// #OMP_Rep on, transfers included).
 	GPUOptions *gpumodel.Options
@@ -269,6 +276,15 @@ func (rt *Runtime) Launch(name string, b symbolic.Bindings) (*Outcome, error) {
 	return r.Launch(b)
 }
 
+// Decide is the name-based wrapper around Region.Decide.
+func (rt *Runtime) Decide(name string, b symbolic.Bindings) (*Outcome, error) {
+	r, err := rt.Region(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Decide(b)
+}
+
 // Predict is the name-based wrapper around Region.Predict.
 func (rt *Runtime) Predict(name string, b symbolic.Bindings) (cpuSec, gpuSec float64, err error) {
 	r, err := rt.Region(name)
@@ -293,6 +309,7 @@ func (rt *Runtime) Execute(name string, t Target, b symbolic.Bindings) (float64,
 func (rt *Runtime) Metrics() Metrics {
 	m := Metrics{
 		Launches:               rt.met.launches.Load(),
+		Decides:                rt.met.decides.Load(),
 		Predictions:            rt.met.predictions.Load(),
 		DecisionCacheHits:      rt.met.decisionHits.Load(),
 		DecisionCacheMisses:    rt.met.decisionMisses.Load(),
@@ -602,17 +619,12 @@ func (r *Region) planSplit(b symbolic.Bindings, cpuPred, gpuPred float64) (Targe
 	}
 }
 
-// Launch reaches the target region with the given runtime values,
-// selects a target per the policy (memoizing the decision), executes it,
-// and logs the decision.
-func (r *Region) Launch(b symbolic.Bindings) (*Outcome, error) {
+// decide runs the selection stage shared by Launch and Decide: consult
+// the memoized decision cache, evaluate both analytical models on a miss,
+// run the policy (planning the split when asked), and memoize the result.
+// key is the caller's canonicalized attrdb.BindingsKey for b.
+func (r *Region) decide(b symbolic.Bindings, key string, d *Decision) error {
 	rt := r.rt
-	pol := rt.cfg.Policy
-	rt.met.launches.Add(1)
-	d := Decision{Region: r.Name, Bindings: b, Policy: pol}
-	start := time.Now()
-
-	key := attrdb.BindingsKey(b)
 	r.mu.Lock()
 	ent, ok := r.decisions.get(key)
 	if ok {
@@ -629,26 +641,64 @@ func (r *Region) Launch(b symbolic.Bindings) (*Outcome, error) {
 
 	if d.CacheHit {
 		rt.met.decisionHits.Add(1)
-	} else {
-		rt.met.decisionMisses.Add(1)
-		if !ok {
-			cpuPred, gpuPred, err := r.evalModels(b)
-			if err != nil {
-				return nil, err
-			}
-			d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
+		return nil
+	}
+	rt.met.decisionMisses.Add(1)
+	if !ok {
+		cpuPred, gpuPred, err := r.evalModels(b)
+		if err != nil {
+			return err
 		}
-		d.Target = pol.Decide(r, d.PredCPUSeconds, d.PredGPUSeconds)
-		if d.Target == TargetSplit {
-			t, f, err := r.planSplit(b, d.PredCPUSeconds, d.PredGPUSeconds)
-			if err != nil {
-				return nil, err
-			}
-			d.Target, d.SplitFraction = t, f
+		d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
+	}
+	d.Target = d.Policy.Decide(r, d.PredCPUSeconds, d.PredGPUSeconds)
+	if d.Target == TargetSplit {
+		t, f, err := r.planSplit(b, d.PredCPUSeconds, d.PredGPUSeconds)
+		if err != nil {
+			return err
 		}
-		r.storeEntry(&decisionEntry{key: key,
-			predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
-			decided: true, target: d.Target, frac: d.SplitFraction})
+		d.Target, d.SplitFraction = t, f
+	}
+	r.storeEntry(&decisionEntry{key: key,
+		predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
+		decided: true, target: d.Target, frac: d.SplitFraction})
+	return nil
+}
+
+// Decide runs the selection stage only — cache lookup, model evaluation
+// on a miss, policy decision — without dispatching any execution. It is
+// the serving path of a pure decision service: the caller owns the two
+// generated code versions and just needs to know which one to run.
+// Decisions are memoized in (and served from) the same cache as Launch,
+// so a Decide followed by a Launch with the same bindings costs one model
+// evaluation total. The observer hook fires; the launch log does not
+// record decide-only calls.
+func (r *Region) Decide(b symbolic.Bindings) (*Outcome, error) {
+	rt := r.rt
+	rt.met.decides.Add(1)
+	d := Decision{Region: r.Name, Bindings: b, Policy: rt.cfg.Policy}
+	start := time.Now()
+	if err := r.decide(b, attrdb.BindingsKey(b), &d); err != nil {
+		return nil, err
+	}
+	d.DecisionOverhead = time.Since(start)
+	rt.notify(d)
+	return &Outcome{Decision: d}, nil
+}
+
+// Launch reaches the target region with the given runtime values,
+// selects a target per the policy (memoizing the decision), executes it,
+// and logs the decision.
+func (r *Region) Launch(b symbolic.Bindings) (*Outcome, error) {
+	rt := r.rt
+	pol := rt.cfg.Policy
+	rt.met.launches.Add(1)
+	d := Decision{Region: r.Name, Bindings: b, Policy: pol}
+	start := time.Now()
+
+	key := attrdb.BindingsKey(b)
+	if err := r.decide(b, key, &d); err != nil {
+		return nil, err
 	}
 	d.DecisionOverhead = time.Since(start)
 
@@ -700,11 +750,20 @@ func (r *Region) Launch(b symbolic.Bindings) (*Outcome, error) {
 	return r.finish(d)
 }
 
-// finish counts the dispatch and appends the decision to the log.
+// finish counts the dispatch, appends the decision to the log, and fires
+// the observer hook.
 func (r *Region) finish(d Decision) (*Outcome, error) {
 	r.rt.met.dispatch[d.Target].Add(1)
 	r.rt.log.append(d)
+	r.rt.notify(d)
 	return &Outcome{Decision: d}, nil
+}
+
+// notify fires the configured observer hook, if any.
+func (rt *Runtime) notify(d Decision) {
+	if rt.cfg.Observer != nil {
+		rt.cfg.Observer(d)
+	}
 }
 
 func maxf(a, b float64) float64 {

@@ -45,7 +45,7 @@ var (
 
 type modelGuidedPolicy struct{}
 
-func (modelGuidedPolicy) Name() string   { return "model-guided" }
+func (modelGuidedPolicy) Name() string     { return "model-guided" }
 func (p modelGuidedPolicy) String() string { return p.Name() }
 func (modelGuidedPolicy) Decide(_ *Region, cpuSec, gpuSec float64) Target {
 	if gpuSec < cpuSec {

@@ -1,0 +1,83 @@
+package offload
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders a Metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4) under the hybridsel_ namespace, so a
+// decision-service daemon can serve it from a /metrics endpoint without
+// any client library. The model-evaluation latency histogram is emitted
+// as a standard cumulative histogram in seconds.
+func WritePrometheus(w io.Writer, m Metrics) error {
+	ew := &errWriter{w: w}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			name, help, name, name, v)
+	}
+
+	gauge("hybridsel_regions", "Registered target regions.", m.Regions)
+	counter("hybridsel_launches_total",
+		"Launch calls (decide + dispatch).", m.Launches)
+	counter("hybridsel_decides_total",
+		"Decide-only calls (no dispatch).", m.Decides)
+	counter("hybridsel_model_evaluations_total",
+		"Analytical model-pair evaluations performed.", m.Predictions)
+
+	fmt.Fprintf(ew, "# HELP hybridsel_dispatch_total Completed launches by execution target.\n")
+	fmt.Fprintf(ew, "# TYPE hybridsel_dispatch_total counter\n")
+	for _, t := range []Target{TargetCPU, TargetGPU, TargetSplit} {
+		fmt.Fprintf(ew, "hybridsel_dispatch_total{target=%q} %d\n", t, m.Dispatch[t])
+	}
+
+	counter("hybridsel_decision_cache_hits_total",
+		"Decisions served from the memoized decision cache.", m.DecisionCacheHits)
+	counter("hybridsel_decision_cache_misses_total",
+		"Decisions that required model evaluation.", m.DecisionCacheMisses)
+	counter("hybridsel_decision_cache_evictions_total",
+		"Entries evicted from the bounded decision caches.", m.DecisionCacheEvictions)
+	gauge("hybridsel_decision_cache_entries",
+		"Live entries across all per-region decision caches.", m.DecisionCacheSize)
+	counter("hybridsel_exec_cache_hits_total",
+		"Ground-truth executions served from the memoization cache.", m.ExecCacheHits)
+	counter("hybridsel_exec_cache_misses_total",
+		"Ground-truth executions actually simulated.", m.ExecCacheMisses)
+
+	fmt.Fprintf(ew, "# HELP hybridsel_model_eval_seconds Latency of full model evaluations (both analytical models).\n")
+	fmt.Fprintf(ew, "# TYPE hybridsel_model_eval_seconds histogram\n")
+	var cum uint64
+	for _, b := range m.ModelEval.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if b.UpperBound != 0 {
+			le = strconv.FormatFloat(b.UpperBound.Seconds(), 'g', -1, 64)
+		}
+		fmt.Fprintf(ew, "hybridsel_model_eval_seconds_bucket{le=%q} %d\n", le, cum)
+	}
+	fmt.Fprintf(ew, "hybridsel_model_eval_seconds_sum %s\n",
+		strconv.FormatFloat(float64(m.ModelEval.SumNanos)/1e9, 'g', -1, 64))
+	fmt.Fprintf(ew, "hybridsel_model_eval_seconds_count %d\n", m.ModelEval.Count)
+	return ew.err
+}
+
+// errWriter latches the first write error so the renderers above stay
+// free of per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}

@@ -1,0 +1,92 @@
+package offload
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheus checks the exposition output is well-formed text
+// format 0.0.4: every sample preceded by HELP/TYPE, histogram buckets
+// cumulative and capped by +Inf, and the counters matching the snapshot.
+func TestWritePrometheus(t *testing.T) {
+	var h latencyHist
+	h.observe(30 * time.Microsecond)
+	h.observe(30 * time.Microsecond)
+	h.observe(2 * time.Millisecond)
+	m := Metrics{
+		Regions:                3,
+		Launches:               10,
+		Decides:                4,
+		Predictions:            3,
+		Dispatch:               map[Target]uint64{TargetCPU: 4, TargetGPU: 6},
+		DecisionCacheHits:      11,
+		DecisionCacheMisses:    3,
+		DecisionCacheEvictions: 1,
+		DecisionCacheSize:      2,
+		ExecCacheHits:          5,
+		ExecCacheMisses:        5,
+		ModelEval:              h.snapshot(),
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"hybridsel_regions 3",
+		"hybridsel_launches_total 10",
+		"hybridsel_decides_total 4",
+		"hybridsel_model_evaluations_total 3",
+		`hybridsel_dispatch_total{target="cpu"} 4`,
+		`hybridsel_dispatch_total{target="gpu"} 6`,
+		"hybridsel_decision_cache_hits_total 11",
+		"hybridsel_decision_cache_evictions_total 1",
+		"hybridsel_model_eval_seconds_count 3",
+		`hybridsel_model_eval_seconds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets must be cumulative (monotone non-decreasing).
+	var last float64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "hybridsel_model_eval_seconds_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+	if last != 3 {
+		t.Fatalf("final cumulative bucket = %v, want 3", last)
+	}
+
+	// Every metric family gets HELP and TYPE headers before its samples.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			seen[strings.Fields(line)[2]] = true
+		case line == "" || strings.HasPrefix(line, "#"):
+		default:
+			name := line[:strings.IndexAny(line, "{ ")]
+			family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(
+				name, "_bucket"), "_sum"), "_count")
+			if !seen[family] && !seen[name] {
+				t.Fatalf("sample %q has no preceding HELP", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,477 @@
+// Package server exposes an offload runtime as a network decision
+// service: the paper's launch-time selector behind an HTTP/JSON API, with
+// the production concerns an in-process runtime never needed — admission
+// control with load shedding, per-request deadlines, batch coalescing
+// through the decision cache, Prometheus metrics, structured request
+// logs, and graceful drain.
+//
+// Endpoints:
+//
+//	POST /v1/decide   single or batched decision requests
+//	GET  /v1/regions  the registered region set and its parameters
+//	GET  /metrics     Prometheus text exposition (runtime + server)
+//	GET  /healthz     liveness/readiness (503 while draining)
+//
+// Backpressure model: a request first claims one of QueueDepth admission
+// tickets — none free means the service is saturated beyond its queue and
+// the request is shed immediately with 429 and Retry-After (shedding at
+// the door is what keeps the daemon deadlock-free: no request ever waits
+// on an unbounded line). An admitted request then waits for one of
+// Concurrency execution slots, bounded by its deadline; the wait is the
+// "queue", the slots are the "workers". Every admitted request runs under
+// a context deadline (RequestTimeout), so a stuck model evaluation cannot
+// pin a slot forever.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultQueueDepth     = 1024
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultMaxBatch       = 4096
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Runtime is the decision runtime to serve (required).
+	Runtime *offload.Runtime
+
+	// Concurrency bounds simultaneously executing requests (the worker
+	// pool). 0 selects GOMAXPROCS.
+	Concurrency int
+	// QueueDepth bounds admitted-but-waiting requests on top of
+	// Concurrency; beyond it requests are shed with 429. 0 selects
+	// DefaultQueueDepth; negative disables queueing (shed unless a
+	// worker slot is immediately free).
+	QueueDepth int
+	// RequestTimeout is the per-request context deadline. 0 selects
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxBatch caps the number of requests in one batched /v1/decide
+	// body. 0 selects DefaultMaxBatch.
+	MaxBatch int
+	// Logger receives structured request logs (nil = slog.Default).
+	Logger *slog.Logger
+}
+
+// Server is the HTTP decision service.
+type Server struct {
+	cfg     Config
+	rt      *offload.Runtime
+	log     *slog.Logger
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	tickets chan struct{} // admission: Concurrency + QueueDepth
+	slots   chan struct{} // execution: Concurrency
+
+	start    time.Time
+	draining atomic.Bool
+	reqSeq   atomic.Uint64
+	met      serverMetrics
+
+	// holdForTest, when set, runs while an execution slot is held —
+	// lets tests saturate the queue deterministically.
+	holdForTest func()
+}
+
+// New builds a server around a runtime. The runtime's regions may keep
+// being registered concurrently; the served set is looked up per request.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, errors.New("server: Config.Runtime is required")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = DefaultQueueDepth
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		cfg:     cfg,
+		rt:      cfg.Runtime,
+		log:     cfg.Logger,
+		mux:     http.NewServeMux(),
+		tickets: make(chan struct{}, cfg.Concurrency+cfg.QueueDepth),
+		slots:   make(chan struct{}, cfg.Concurrency),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/decide", s.admit(s.handleDecide))
+	s.mux.HandleFunc("GET /v1/regions", s.instrument(s.handleRegions))
+	s.mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.mux}
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown. The bound address
+// is logged, so ":0" is usable in scripts.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.log.Info("listening", "addr", l.Addr().String())
+	return s.Serve(l)
+}
+
+// Shutdown drains the server: health flips to 503 so load balancers stop
+// sending, no new request is admitted, and in-flight requests run to
+// completion (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ------------------------------------------------------------ admission --
+
+// admit wraps a handler with the full serving pipeline: request ID,
+// logging, drain check, admission ticket, execution slot, deadline.
+func (s *Server) admit(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return s.instrument(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Connection", "close")
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		select {
+		case s.tickets <- struct{}{}:
+			defer func() { <-s.tickets }()
+		default:
+			// Saturated beyond the queue: shed at the door.
+			s.met.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "admission queue full")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			// Queued past the deadline: the client has likely given up.
+			httpError(w, http.StatusServiceUnavailable, "queued past deadline")
+			return
+		}
+		if s.holdForTest != nil {
+			s.holdForTest()
+		}
+		h(w, r.WithContext(ctx))
+	})
+}
+
+// instrument wraps a handler with request IDs, in-flight accounting,
+// status capture, latency observation and a structured log line.
+func (s *Server) instrument(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%x-%06d", s.start.UnixNano()&0xffffff, s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(cw, r)
+		dur := time.Since(start)
+		s.met.observe(r.URL.Path, cw.code, dur)
+		// Per-request lines are Debug: at 10k+ decisions/sec an Info-level
+		// access log costs more than the decisions. slog skips the
+		// formatting entirely when the handler level is higher.
+		s.log.Debug("request",
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"status", cw.code, "bytes", cw.bytes,
+			"dur_us", dur.Microseconds())
+	}
+}
+
+// codeWriter captures the response status and size for logs and metrics.
+type codeWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *codeWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// ------------------------------------------------------------- decide --
+
+// DecideRequest is one decision query: which registered region, under
+// which runtime bindings. Execute additionally dispatches the chosen
+// target on the simulated platform and reports the executed time.
+type DecideRequest struct {
+	Region   string           `json:"region"`
+	Bindings map[string]int64 `json:"bindings"`
+	Execute  bool             `json:"execute,omitempty"`
+}
+
+// DecideResponse is the served decision. Error is set (and the other
+// fields zero) for per-item failures inside a batch.
+type DecideResponse struct {
+	Region         string  `json:"region"`
+	Target         string  `json:"target,omitempty"`
+	PredCPUSeconds float64 `json:"predCpuSeconds,omitempty"`
+	PredGPUSeconds float64 `json:"predGpuSeconds,omitempty"`
+	SplitFraction  float64 `json:"splitFraction,omitempty"`
+	CacheHit       bool    `json:"cacheHit,omitempty"`
+	ActualSeconds  float64 `json:"actualSeconds,omitempty"`
+	DecisionNanos  int64   `json:"decisionNanos,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// decideBody accepts both shapes: a single request object, or
+// {"requests": [...]} for a batch.
+type decideBody struct {
+	DecideRequest
+	Requests []DecideRequest `json:"requests"`
+}
+
+// BatchResponse is the body of a batched decide call. Coalesced counts
+// duplicate (region, bindings, execute) items served from one decision.
+type BatchResponse struct {
+	Results   []DecideResponse `json:"results"`
+	Coalesced int              `json:"coalesced"`
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var req decideBody
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse body: "+err.Error())
+		return
+	}
+
+	if req.Requests == nil {
+		resp := s.decideOne(r.Context(), req.DecideRequest)
+		if resp.Error != "" {
+			httpError(w, statusForMessage(resp), resp.Error)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	if len(req.Requests) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+	results, coalesced := s.decideBatch(r.Context(), req.Requests)
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Coalesced: coalesced})
+}
+
+// decideOne serves a single decision, mapping runtime errors into the
+// response's Error field.
+func (s *Server) decideOne(ctx context.Context, req DecideRequest) DecideResponse {
+	resp := DecideResponse{Region: req.Region}
+	if req.Region == "" {
+		resp.Error = "missing region"
+		return resp
+	}
+	if err := ctx.Err(); err != nil {
+		resp.Error = "deadline exceeded"
+		return resp
+	}
+	region, err := s.rt.Region(req.Region)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	b := symbolic.Bindings(req.Bindings)
+	var out *offload.Outcome
+	if req.Execute {
+		out, err = region.Launch(b)
+	} else {
+		out, err = region.Decide(b)
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Target = out.Target.String()
+	resp.PredCPUSeconds = out.PredCPUSeconds
+	resp.PredGPUSeconds = out.PredGPUSeconds
+	resp.SplitFraction = out.SplitFraction
+	resp.CacheHit = out.CacheHit
+	resp.ActualSeconds = out.ActualSeconds
+	resp.DecisionNanos = out.DecisionOverhead.Nanoseconds()
+	return resp
+}
+
+// decideBatch serves a batch, coalescing duplicate (region, bindings,
+// execute) items: each distinct key is decided once — and every decide
+// after the first for a key is itself a decision-cache hit, so a batch
+// of identical requests costs one model evaluation at most.
+func (s *Server) decideBatch(ctx context.Context, reqs []DecideRequest) ([]DecideResponse, int) {
+	type slot struct {
+		resp  DecideResponse
+		first int // index of the request that computed it
+	}
+	results := make([]DecideResponse, len(reqs))
+	byKey := map[string]*slot{}
+	coalesced := 0
+	for i, req := range reqs {
+		key := req.Region + "\x00" + attrdb.BindingsKey(symbolic.Bindings(req.Bindings))
+		if req.Execute {
+			key += "\x00x"
+		}
+		if sl, ok := byKey[key]; ok {
+			resp := sl.resp
+			// The duplicate was answered by the first item's decision.
+			resp.CacheHit = resp.Error == ""
+			results[i] = resp
+			coalesced++
+			continue
+		}
+		resp := s.decideOne(ctx, req)
+		byKey[key] = &slot{resp: resp, first: i}
+		results[i] = resp
+	}
+	return results, coalesced
+}
+
+// statusForMessage maps a failed single-decision response to an HTTP
+// status via the runtime's sentinel errors.
+func statusForMessage(resp DecideResponse) int {
+	switch {
+	case resp.Error == "missing region":
+		return http.StatusBadRequest
+	case resp.Error == "deadline exceeded":
+		return http.StatusServiceUnavailable
+	case errors.Is(sentinelOf(resp.Error), offload.ErrUnknownRegion):
+		return http.StatusNotFound
+	case errors.Is(sentinelOf(resp.Error), offload.ErrUnboundSymbol):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// sentinelOf recovers the runtime sentinel from a serialized error
+// message. decideOne flattens errors to strings so batches can carry
+// per-item failures; single responses need the status back.
+func sentinelOf(msg string) error {
+	for _, sentinel := range []error{offload.ErrUnknownRegion, offload.ErrUnboundSymbol} {
+		if len(msg) >= len(sentinel.Error()) && msg[:len(sentinel.Error())] == sentinel.Error() {
+			return sentinel
+		}
+	}
+	return errors.New(msg)
+}
+
+// ------------------------------------------------------------- regions --
+
+// RegionInfo is one entry of the /v1/regions listing.
+type RegionInfo struct {
+	Name   string   `json:"name"`
+	Params []string `json:"params"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	names := s.rt.Regions()
+	infos := make([]RegionInfo, 0, len(names))
+	for _, name := range names {
+		info := RegionInfo{Name: name}
+		if ra, err := s.rt.DB().Get(name); err == nil {
+			info.Params = ra.Params
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// ------------------------------------------------------------- metrics --
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := offload.WritePrometheus(w, s.rt.Metrics()); err != nil {
+		return
+	}
+	s.met.write(w, s)
+}
+
+// ------------------------------------------------------------- healthz --
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":        status,
+		"regions":       len(s.rt.Regions()),
+		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// ------------------------------------------------------------- helpers --
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg, "status": strconv.Itoa(code)})
+}

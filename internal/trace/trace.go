@@ -1,0 +1,245 @@
+// Package trace records and replays offload-runtime launch traffic.
+//
+// A trace is a JSONL stream of Records, one per decision, in decision
+// order. Recording plugs into any runtime through the offload
+// Config.Observer hook (Writer.Observer), so the same mechanism captures
+// in-process launches, a daemon's served decisions, or an experiment
+// sweep. Replay drives a recorded trace back through a runtime — the
+// reproducibility harness: because the analytical models, policies and
+// simulators are deterministic, replaying a trace through an identically
+// configured runtime must reproduce the decision sequence byte for byte
+// (Result.Check reports the first divergence otherwise). Records carry
+// only the deterministic fields of a decision; per-run instrumentation
+// (cache hits, decision overhead) is deliberately excluded so traces from
+// different runs of the same workload compare equal.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Record is one traced decision. Bindings maps serialize in sorted key
+// order (encoding/json), so equal decisions encode to equal bytes.
+type Record struct {
+	Seq            uint64           `json:"seq"`
+	Region         string           `json:"region"`
+	Bindings       map[string]int64 `json:"bindings"`
+	Policy         string           `json:"policy"`
+	Target         string           `json:"target"`
+	PredCPUSeconds float64          `json:"predCpuSeconds"`
+	PredGPUSeconds float64          `json:"predGpuSeconds"`
+	SplitFraction  float64          `json:"splitFraction,omitempty"`
+	// ActualSeconds is the executed (simulated) time; 0 for decide-only
+	// decisions, which dispatch nothing.
+	ActualSeconds float64 `json:"actualSeconds,omitempty"`
+}
+
+// FromDecision projects a Decision onto its deterministic trace fields.
+// The caller supplies the sequence number.
+func FromDecision(seq uint64, d offload.Decision) Record {
+	return Record{
+		Seq:            seq,
+		Region:         d.Region,
+		Bindings:       d.Bindings,
+		Policy:         d.Policy.Name(),
+		Target:         d.Target.String(),
+		PredCPUSeconds: d.PredCPUSeconds,
+		PredGPUSeconds: d.PredGPUSeconds,
+		SplitFraction:  d.SplitFraction,
+		ActualSeconds:  d.ActualSeconds,
+	}
+}
+
+// Writer appends records to a JSONL stream. It is safe for concurrent
+// use; sequence numbers are assigned in append order under the lock. The
+// first write error latches (Err) and silences subsequent appends, so
+// the Observer closure stays usable from launch hot paths.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	seq uint64
+	err error
+}
+
+// NewWriter wraps w in a trace writer. Call Flush before reading the
+// underlying stream.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Record appends one decision, assigning it the next sequence number.
+func (w *Writer) Record(d offload.Decision) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	line, err := json.Marshal(FromDecision(w.seq, d))
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.seq++
+	if _, err := w.bw.Write(append(line, '\n')); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Observer adapts the writer to the offload Config.Observer hook,
+// recording every decision the runtime completes.
+func (w *Writer) Observer() func(offload.Decision) {
+	return func(d offload.Decision) { _ = w.Record(d) }
+}
+
+// Len reports the number of records appended so far.
+func (w *Writer) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int(w.seq)
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Err returns the latched first error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Read parses a JSONL trace stream into records.
+func Read(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return recs, nil
+}
+
+// Divergence describes the first point where a replay stopped matching
+// its trace.
+type Divergence struct {
+	Seq   uint64
+	Field string
+	Want  string
+	Got   string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("seq %d: %s = %s, trace has %s", d.Seq, d.Field, d.Got, d.Want)
+}
+
+// Result summarizes a replay.
+type Result struct {
+	Total int
+	// Matched counts records whose replayed decision agreed on every
+	// deterministic field.
+	Matched int
+	// First is the first divergence (nil when Matched == Total).
+	First *Divergence
+}
+
+// Check returns an error describing the first divergence, or nil when
+// the replay reproduced the trace exactly.
+func (r *Result) Check() error {
+	if r.First == nil {
+		return nil
+	}
+	return fmt.Errorf("trace: replay diverged at %s (%d/%d matched)",
+		r.First, r.Matched, r.Total)
+}
+
+// Replay drives the records in order through rt and compares each
+// replayed decision against its record. When execute is true the replay
+// uses Launch (dispatching the chosen target, comparing executed times);
+// otherwise Decide (selection only, actual times compared only when the
+// trace has them and execution happened). Replay stops at the first
+// runtime error; divergences do not stop it.
+func Replay(rt *offload.Runtime, recs []Record, execute bool) (*Result, error) {
+	res := &Result{Total: len(recs)}
+	for i := range recs {
+		rec := &recs[i]
+		b := symbolic.Bindings(rec.Bindings)
+		var out *offload.Outcome
+		var err error
+		if execute {
+			out, err = rt.Launch(rec.Region, b)
+		} else {
+			out, err = rt.Decide(rec.Region, b)
+		}
+		if err != nil {
+			return res, fmt.Errorf("trace: seq %d (%s): %w", rec.Seq, rec.Region, err)
+		}
+		if d := compare(rec, &out.Decision, execute); d != nil {
+			if res.First == nil {
+				res.First = d
+			}
+			continue
+		}
+		res.Matched++
+	}
+	return res, nil
+}
+
+// compare checks a replayed decision against its record.
+func compare(rec *Record, d *offload.Decision, executed bool) *Divergence {
+	diverge := func(field, want, got string) *Divergence {
+		return &Divergence{Seq: rec.Seq, Field: field, Want: want, Got: got}
+	}
+	if got := d.Target.String(); got != rec.Target {
+		return diverge("target", rec.Target, got)
+	}
+	if got := d.Policy.Name(); got != rec.Policy {
+		return diverge("policy", rec.Policy, got)
+	}
+	if d.PredCPUSeconds != rec.PredCPUSeconds {
+		return diverge("predCpuSeconds",
+			fmt.Sprint(rec.PredCPUSeconds), fmt.Sprint(d.PredCPUSeconds))
+	}
+	if d.PredGPUSeconds != rec.PredGPUSeconds {
+		return diverge("predGpuSeconds",
+			fmt.Sprint(rec.PredGPUSeconds), fmt.Sprint(d.PredGPUSeconds))
+	}
+	if d.SplitFraction != rec.SplitFraction {
+		return diverge("splitFraction",
+			fmt.Sprint(rec.SplitFraction), fmt.Sprint(d.SplitFraction))
+	}
+	if executed && rec.ActualSeconds != 0 && d.ActualSeconds != rec.ActualSeconds {
+		return diverge("actualSeconds",
+			fmt.Sprint(rec.ActualSeconds), fmt.Sprint(d.ActualSeconds))
+	}
+	return nil
+}

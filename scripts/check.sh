@@ -16,7 +16,8 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/offload/ ./internal/experiments/
+go test -race ./internal/offload/ ./internal/experiments/ \
+	./internal/server/ ./internal/trace/
 
 echo "== perf smoke: cached vs uncached launch =="
 out=$(go test -run='^$' -bench='BenchmarkLaunch(Cached|Uncached)$' -benchtime=0.2s .)
@@ -32,5 +33,39 @@ echo "$out" | awk '
 		printf "perf smoke: uncached/cached = %.1fx (need >= 5x)\n", ratio
 		if (ratio < 5) exit 1
 	}'
+
+echo "== daemon smoke: serve, decide, scrape, drain =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/hybridseld" ./cmd/hybridseld
+go build -o "$tmp/loadgen" ./cmd/loadgen
+addr=127.0.0.1:18927
+"$tmp/hybridseld" -addr "$addr" -regions gemm,mvt1,2dconv \
+	-trace "$tmp/decisions.jsonl" 2>"$tmp/daemon.log" &
+daemon=$!
+# Exercise the full service path: wait for /healthz, push a short mixed
+# load, assert a conservative throughput floor (CI machines vary; the
+# acceptance bar of 10k/s is checked on dedicated hardware), and scrape
+# /metrics through loadgen.
+if ! "$tmp/loadgen" -addr "http://$addr" -wait 10s -duration 2s \
+	-concurrency 4 -kernels gemm,mvt1,2dconv -mode test \
+	-min-throughput 500 -scrape; then
+	echo "daemon smoke: loadgen failed; daemon log:"
+	cat "$tmp/daemon.log"
+	kill "$daemon" 2>/dev/null || true
+	exit 1
+fi
+# Graceful drain: SIGTERM must flush the trace and exit 0.
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+	echo "daemon smoke: daemon did not drain cleanly; log:"
+	cat "$tmp/daemon.log"
+	exit 1
+fi
+if ! [ -s "$tmp/decisions.jsonl" ]; then
+	echo "daemon smoke: no trace recorded"
+	exit 1
+fi
+echo "daemon smoke: ok ($(wc -l < "$tmp/decisions.jsonl") decisions traced)"
 
 echo "OK"
