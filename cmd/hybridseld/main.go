@@ -10,8 +10,15 @@
 //	hybridseld -addr :8080
 //	hybridseld -addr 127.0.0.1:8080 -policy model-guided -queue 512
 //	hybridseld -regions gemm,mvt1 -trace /tmp/decisions.jsonl
+//	hybridseld -audit-rate 0.1 -audit-workers 2     # shadow-audit 10% of keys
 //	hybridseld -attrdb-out snapshot.json -dry-run   # write the DB and exit
 //	hybridseld -attrdb snapshot.json                # verify DB against snapshot
+//
+// With -audit-rate > 0 the daemon shadow-audits a deterministic sample of
+// served decisions on background workers: both targets are measured, the
+// per-region accuracy accounting is exposed on GET /v1/audit and /metrics,
+// and an online calibrator feeds the measured error back into subsequent
+// decisions. A summary is logged on drain.
 //
 // Then:
 //
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/audit"
 	"github.com/hybridsel/hybridsel/internal/machine"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/polybench"
@@ -62,6 +70,10 @@ func main() {
 		"write the registered attribute database as a snapshot and continue")
 	traceOut := flag.String("trace", "",
 		"record every served decision as JSONL to this file")
+	auditRate := flag.Float64("audit-rate", 0,
+		"shadow-audit sampling rate over distinct decision keys (0 = off, 1 = all)")
+	auditWorkers := flag.Int("audit-workers", 1,
+		"background audit goroutines (0 = audit inline on the request path)")
 	logFormat := flag.String("log", "text", "log format: text|json")
 	logLevel := flag.String("log-level", "info",
 		"log level: debug|info|warn (debug includes per-request lines)")
@@ -110,10 +122,40 @@ func main() {
 		cfg.Observer = tw.Observer()
 	}
 
+	// The calibrator must exist before the runtime (it is a Config hook);
+	// the auditor needs the built runtime, so it is wired in below via
+	// SetObserver.
+	var cal *audit.Calibrator
+	if *auditRate > 0 {
+		cal = audit.NewCalibrator(0)
+		cfg.Calibrator = cal
+	}
+
 	rt := offload.NewRuntime(cfg)
 	names, err := registerRegions(rt, *regions)
 	if err != nil {
 		fatal(logger, err)
+	}
+
+	var auditor *audit.Auditor
+	if *auditRate > 0 {
+		acfg := audit.Config{
+			Runtime:    rt,
+			Rate:       *auditRate,
+			Workers:    *auditWorkers,
+			Calibrator: cal,
+		}
+		if tw != nil {
+			acfg.OnVerdict = audit.RecordObserver(tw)
+		}
+		auditor = audit.New(acfg)
+		var decisionObs func(offload.Decision)
+		if tw != nil {
+			decisionObs = tw.Observer()
+		}
+		rt.SetObserver(auditor.Observer(decisionObs))
+		logger.Info("shadow audit enabled",
+			"rate", *auditRate, "workers", *auditWorkers)
 	}
 	logger.Info("registered regions", "count", len(names), "policy", pol.Name(),
 		"platform", plat.Name, "threads", rt.Config().Threads)
@@ -131,7 +173,12 @@ func main() {
 		logger.Info("attrdb snapshot written", "path", *attrdbOut)
 	}
 	if *dryRun {
-		flushTrace(logger, tw)
+		if auditor != nil {
+			auditor.Close()
+		}
+		if err := flushTrace(logger, tw); err != nil {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -141,6 +188,7 @@ func main() {
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		Logger:         logger,
+		Auditor:        auditor,
 	})
 	if err != nil {
 		fatal(logger, err)
@@ -165,7 +213,8 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
 			logger.Error("drain incomplete", "err", err)
-			flushTrace(logger, tw)
+			closeAudit(logger, auditor)
+			_ = flushTrace(logger, tw)
 			os.Exit(1)
 		}
 		if err := <-served; err != nil {
@@ -176,7 +225,29 @@ func main() {
 			"launches", m.Launches, "decides", m.Decides,
 			"cache_hits", m.DecisionCacheHits, "cache_misses", m.DecisionCacheMisses)
 	}
-	flushTrace(logger, tw)
+	closeAudit(logger, auditor)
+	if err := flushTrace(logger, tw); err != nil {
+		os.Exit(1)
+	}
+}
+
+// closeAudit drains the audit queue and logs the final accuracy summary.
+func closeAudit(logger *slog.Logger, a *audit.Auditor) {
+	if a == nil {
+		return
+	}
+	a.Close()
+	rep := a.Report()
+	logger.Info("audit summary",
+		"rate", rep.Rate, "offered", rep.Offered, "audited", rep.Samples,
+		"dropped", rep.Dropped, "mispredicts", rep.Mispredicts,
+		"regret_seconds", rep.RegretSeconds)
+	for _, rr := range rep.Regions {
+		logger.Info("audit region",
+			"region", rr.Region, "samples", rr.Samples,
+			"mispredicts", rr.Mispredicts, "regret_seconds", rr.RegretSeconds,
+			"cpu_factor", rr.CPU.Factor, "gpu_factor", rr.GPU.Factor)
+	}
 }
 
 // registerRegions registers the requested kernel subset (or the whole
@@ -239,15 +310,19 @@ func writeSnapshot(rt *offload.Runtime, path, platform string) error {
 	return f.Close()
 }
 
-func flushTrace(logger *slog.Logger, tw *trace.Writer) {
+// flushTrace flushes the writer and surfaces its latched error, if any:
+// a trace that silently lost records must fail the run, not report
+// success with a truncated file.
+func flushTrace(logger *slog.Logger, tw *trace.Writer) error {
 	if tw == nil {
-		return
+		return nil
 	}
 	if err := tw.Flush(); err != nil {
 		logger.Error("trace flush", "err", err)
-		return
+		return err
 	}
-	logger.Info("trace flushed", "decisions", tw.Len())
+	logger.Info("trace flushed", "records", tw.Len())
+	return nil
 }
 
 func newLogger(format, level string) (*slog.Logger, error) {

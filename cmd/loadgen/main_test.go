@@ -1,0 +1,116 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/server"
+)
+
+// TestRunClassifiesResponses drives the generator against a stub daemon
+// that cycles 200 / 429 / 500: sheds and hard server errors must land in
+// separate counters, and only 200 responses count decisions.
+func TestRunClassifiesResponses(t *testing.T) {
+	var calls atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/decide" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		switch calls.Add(1) % 3 {
+		case 1:
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"region":"gemm","target":"gpu"}`))
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	reqs := []server.DecideRequest{{Region: "gemm", Bindings: map[string]int64{"n": 64}}}
+	st := run(ts.Client(), ts.URL, reqs, 1, 0, 1, 150*time.Millisecond)
+
+	total := calls.Load()
+	if total == 0 {
+		t.Fatal("stub saw no traffic")
+	}
+	if got := st.ok.Load() + st.shed.Load() + st.serverErr.Load(); got != total {
+		t.Fatalf("classified %d calls, stub served %d", got, total)
+	}
+	if st.ok.Load() == 0 || st.shed.Load() == 0 || st.serverErr.Load() == 0 {
+		t.Fatalf("missing a class: ok=%d shed=%d serverErr=%d",
+			st.ok.Load(), st.shed.Load(), st.serverErr.Load())
+	}
+	if st.transport.Load() != 0 {
+		t.Fatalf("transport errors against a live stub: %d", st.transport.Load())
+	}
+	if st.decisions.Load() != st.ok.Load() {
+		t.Fatalf("decisions %d != ok calls %d (batch 1)",
+			st.decisions.Load(), st.ok.Load())
+	}
+	if err := st.hardErr(); err == nil {
+		t.Fatal("5xx responses did not fail hardErr")
+	}
+}
+
+// TestTransportErrorsCounted points the generator at a closed port.
+func TestTransportErrorsCounted(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // nothing listens here any more
+
+	reqs := []server.DecideRequest{{Region: "gemm", Bindings: map[string]int64{"n": 64}}}
+	st := run(http.DefaultClient, url, reqs, 1, 0, 1, 50*time.Millisecond)
+	if st.transport.Load() == 0 {
+		t.Fatal("no transport errors against a dead endpoint")
+	}
+	if st.serverErr.Load() != 0 || st.shed.Load() != 0 {
+		t.Fatalf("dead endpoint misclassified: serverErr=%d shed=%d",
+			st.serverErr.Load(), st.shed.Load())
+	}
+	if err := st.hardErr(); err == nil {
+		t.Fatal("transport errors did not fail hardErr")
+	}
+}
+
+// TestGateScalesToAcceptedTraffic checks the -min-throughput floor is
+// judged against what the daemon admitted, not against shed load.
+func TestGateScalesToAcceptedTraffic(t *testing.T) {
+	st := &stats{elapsed: time.Second}
+	st.ok.Store(50)
+	st.shed.Store(50) // half the calls deliberately shed
+	st.decisions.Store(50)
+
+	// 50 decisions/s meets a floor of 100 scaled by the 50% accepted
+	// fraction...
+	if err := st.gateErr(100); err != nil {
+		t.Fatalf("scaled gate failed: %v", err)
+	}
+	// ...but not a floor of 200 (scaled to 100).
+	if err := st.gateErr(200); err == nil {
+		t.Fatal("gate passed below the scaled floor")
+	}
+	// Without sheds the floor applies unscaled.
+	st.shed.Store(0)
+	if err := st.gateErr(51); err == nil {
+		t.Fatal("gate passed below the unscaled floor")
+	}
+	if err := st.gateErr(50); err != nil {
+		t.Fatalf("gate failed at the floor: %v", err)
+	}
+	// Sheds alone are not hard errors.
+	st.shed.Store(10)
+	if err := st.hardErr(); err != nil {
+		t.Fatalf("sheds failed hardErr: %v", err)
+	}
+	// A run that connected to nothing has no accepted calls: the floor
+	// stays unscaled and fails loudly rather than vacuously passing.
+	empty := &stats{elapsed: time.Second}
+	if err := empty.gateErr(10); err == nil {
+		t.Fatal("empty run passed the gate")
+	}
+}

@@ -10,6 +10,7 @@
 //	offloadsim -exp fig6
 //	offloadsim -exp fig8 -threads 160
 //	offloadsim -exp ablations
+//	offloadsim -exp audit -rounds 3 -audit-rate 1
 package main
 
 import (
@@ -26,10 +27,13 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1|table2|table3|fig6|fig7|fig8|ablations|all")
+		"experiment: table1|table2|table3|fig6|fig7|fig8|ablations|audit|all")
 	threads := flag.Int("threads", 4,
-		"host thread count for the fig6/fig7 comparison")
+		"host thread count for the fig6/fig7 and audit comparisons")
 	parallel := flag.Int("parallel", 0, "simulation parallelism (0 = NumCPU)")
+	rounds := flag.Int("rounds", 3, "launches per kernel in the audit study")
+	auditRate := flag.Float64("audit-rate", 1,
+		"shadow-audit sampling rate for the audit study")
 	metrics := flag.Bool("metrics", false,
 		"print aggregated offload-runtime instrumentation after the runs")
 	flag.Parse()
@@ -101,6 +105,18 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.RenderFigure8(res))
+		}
+		return nil
+	})
+
+	run("audit", func() error {
+		for _, m := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+			res, err := r.AuditStudy(m, *threads, *rounds, *auditRate)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderAudit(res))
+			fmt.Println()
 		}
 		return nil
 	})

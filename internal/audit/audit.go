@@ -1,0 +1,389 @@
+// Package audit closes the loop between the runtime's predictions and
+// ground truth: a shadow auditor samples completed decisions, re-runs the
+// ground-truth simulators for *both* targets on the sampled points, and
+// keeps per-region accuracy accounting — mispredict counts, decision
+// regret (time lost to the wrong target), and signed log-error
+// distributions for the CPU and GPU analytical models.
+//
+// The paper measures actual-vs-predicted error offline (Figures 6/7) and
+// stops there; its headline weakness is prediction error concentrated in
+// cache-sensitive kernels. This package feeds that error back into the
+// selector: an online Calibrator maintains a per-region EWMA
+// multiplicative correction on each model's predicted time, which the
+// offload runtime consults through the offload.Config.Calibrator hook.
+// A region whose model is systematically biased flips to the right
+// target after a handful of audits instead of mispredicting forever.
+//
+// Serving-path guarantees:
+//
+//   - Sampling is deterministic: a decision is selected purely by the
+//     hash of its (region, BindingsKey) identity against the configured
+//     rate, so the same trace replayed at the same rate audits the same
+//     points — byte-identical verdict records under trace.Replay.
+//   - Audited keys are tracked in a bounded recently-audited set, so a
+//     hot key is not re-simulated on every launch.
+//   - With Workers > 0 the audits run on background goroutines behind a
+//     bounded queue; Offer never blocks — when the queue is full the
+//     sample is dropped and counted, never the request stalled.
+package audit
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/offload"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultQueueDepth = 256
+	DefaultRecent     = 4096
+)
+
+// Config parameterizes an Auditor.
+type Config struct {
+	// Runtime supplies the ground-truth executions (Region.Execute,
+	// memoized) and receives decision-cache invalidations after
+	// calibration updates. Required.
+	Runtime *offload.Runtime
+
+	// Rate is the sampling probability over distinct (region, bindings)
+	// keys: a key is audited iff hash(key) < Rate. <= 0 disables
+	// auditing entirely; >= 1 audits every distinct key.
+	Rate float64
+
+	// Workers is the number of background audit goroutines. 0 runs every
+	// audit inline on the offering goroutine — the deterministic mode
+	// used by replays, studies and tests; a serving daemon wants >= 1 so
+	// ground-truth simulation never runs on the request path.
+	Workers int
+
+	// QueueDepth bounds the async audit queue (Workers > 0). When the
+	// queue is full, further samples are dropped and counted — the audit
+	// loop must never apply backpressure to the serving path. 0 selects
+	// DefaultQueueDepth.
+	QueueDepth int
+
+	// Recent bounds the recently-audited key set: a key is not
+	// re-audited while it remains in the set, so hot keys are audited
+	// once per eviction cycle rather than once per launch. 0 selects
+	// DefaultRecent.
+	Recent int
+
+	// Calibrator, when non-nil, receives every verdict's signed
+	// log-errors and in turn supplies the runtime's prediction
+	// corrections. The auditor invalidates the region's memoized
+	// decisions whenever an update moves a correction factor materially,
+	// so stale cached targets are re-decided.
+	Calibrator *Calibrator
+
+	// OnVerdict, when non-nil, is invoked with every completed verdict
+	// (after accounting and calibration) — e.g. trace recording. Inline
+	// mode calls it on the offering goroutine; async mode from worker
+	// goroutines, so it must be safe for concurrent use.
+	OnVerdict func(Verdict)
+}
+
+// Verdict is the outcome of auditing one decision: both targets measured,
+// the chosen target judged against the measured-faster one.
+type Verdict struct {
+	Region   string
+	Bindings map[string]int64
+	// Chosen is the target the audited decision dispatched (or would
+	// have); Best the measured-faster target.
+	Chosen offload.Target
+	Best   offload.Target
+	// Predictions as the decision recorded them (raw model output).
+	PredCPUSeconds float64
+	PredGPUSeconds float64
+	// Ground-truth (simulated) times for both targets.
+	ActualCPUSeconds float64
+	ActualGPUSeconds float64
+	// Mispredict reports Chosen != Best; RegretSeconds is the time the
+	// wrong choice cost (actual chosen minus actual best, 0 when right).
+	Mispredict    bool
+	RegretSeconds float64
+	// LogErrCPU/GPU are the signed log-errors ln(actual/predicted) of
+	// each model on this point (positive = the model underestimated).
+	LogErrCPU float64
+	LogErrGPU float64
+}
+
+// Auditor samples completed decisions and audits them against ground
+// truth. Create with New; wire into a runtime with Observer (or call
+// Offer from an existing observer); stop with Close.
+type Auditor struct {
+	cfg Config
+
+	// sendMu guards queue sends against Close: Offer holds the read
+	// side, Close the write side while latching closed.
+	sendMu sync.RWMutex
+	closed bool
+	queue  chan offload.Decision
+	wg     sync.WaitGroup
+
+	dropped   atomic.Uint64
+	execErrs  atomic.Uint64
+	offered   atomic.Uint64
+	skippedNS atomic.Uint64 // offers skipped: not sampled or recently audited
+
+	mu          sync.Mutex
+	recent      *keyLRU
+	regions     map[string]*regionStats
+	samples     uint64
+	mispredicts uint64
+	regretSec   float64
+}
+
+// New builds an auditor and starts its workers (if any). cfg.Runtime is
+// required.
+func New(cfg Config) *Auditor {
+	if cfg.Runtime == nil {
+		panic("audit: Config.Runtime is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Recent <= 0 {
+		cfg.Recent = DefaultRecent
+	}
+	a := &Auditor{
+		cfg:     cfg,
+		recent:  newKeyLRU(cfg.Recent),
+		regions: map[string]*regionStats{},
+	}
+	if cfg.Workers > 0 {
+		a.queue = make(chan offload.Decision, cfg.QueueDepth)
+		for i := 0; i < cfg.Workers; i++ {
+			a.wg.Add(1)
+			go func() {
+				defer a.wg.Done()
+				for d := range a.queue {
+					a.audit(d)
+				}
+			}()
+		}
+	}
+	return a
+}
+
+// Observer adapts the auditor to the offload.Config.Observer hook,
+// chaining to next (may be nil) — so one runtime can both trace and audit
+// its decisions.
+func (a *Auditor) Observer(next func(offload.Decision)) func(offload.Decision) {
+	return func(d offload.Decision) {
+		if next != nil {
+			next(d)
+		}
+		a.Offer(d)
+	}
+}
+
+// Offer submits a completed decision for auditing. It never blocks: the
+// decision is hashed against the sampling rate, deduplicated against the
+// recently-audited set, and then either audited inline (Workers == 0) or
+// handed to the bounded queue — dropped, and counted, if the queue is
+// full or the auditor is closed.
+func (a *Auditor) Offer(d offload.Decision) {
+	// Only single-target decisions have a counterfactual to audit:
+	// oracle and split launches already execute both targets.
+	if d.Target != offload.TargetCPU && d.Target != offload.TargetGPU {
+		return
+	}
+	if d.Policy == offload.Oracle {
+		return
+	}
+	a.offered.Add(1)
+	key := d.Region + "\x00" + attrdb.BindingsKey(d.Bindings)
+	if !Sampled(key, a.cfg.Rate) {
+		a.skippedNS.Add(1)
+		return
+	}
+	a.mu.Lock()
+	fresh := a.recent.add(key)
+	a.mu.Unlock()
+	if !fresh {
+		a.skippedNS.Add(1)
+		return
+	}
+	if a.cfg.Workers <= 0 {
+		a.audit(d)
+		return
+	}
+	a.sendMu.RLock()
+	if a.closed {
+		a.sendMu.RUnlock()
+		a.drop(key)
+		return
+	}
+	select {
+	case a.queue <- d:
+		a.sendMu.RUnlock()
+	default:
+		a.sendMu.RUnlock()
+		a.drop(key)
+	}
+}
+
+// drop counts a discarded sample and forgets its key so a later offer of
+// the same point can be audited once there is queue room again.
+func (a *Auditor) drop(key string) {
+	a.dropped.Add(1)
+	a.mu.Lock()
+	a.recent.remove(key)
+	a.mu.Unlock()
+}
+
+// Sampled reports whether a (region, bindings) audit key falls inside the
+// sampling rate. The choice is a pure function of the key — no RNG, no
+// clock — so identical traffic is audited identically across runs and
+// replays.
+func Sampled(key string, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return float64(h.Sum64())/float64(math.MaxUint64) < rate
+}
+
+// audit measures both targets for the decision and folds the verdict into
+// the accounting, the calibrator, and the OnVerdict hook.
+func (a *Auditor) audit(d offload.Decision) {
+	rt := a.cfg.Runtime
+	actCPU, err := rt.Execute(d.Region, offload.TargetCPU, d.Bindings)
+	if err != nil {
+		a.execErrs.Add(1)
+		return
+	}
+	actGPU, err := rt.Execute(d.Region, offload.TargetGPU, d.Bindings)
+	if err != nil {
+		a.execErrs.Add(1)
+		return
+	}
+	v := Verdict{
+		Region:           d.Region,
+		Bindings:         d.Bindings,
+		Chosen:           d.Target,
+		Best:             offload.TargetCPU,
+		PredCPUSeconds:   d.PredCPUSeconds,
+		PredGPUSeconds:   d.PredGPUSeconds,
+		ActualCPUSeconds: actCPU,
+		ActualGPUSeconds: actGPU,
+		LogErrCPU:        signedLogErr(actCPU, d.PredCPUSeconds),
+		LogErrGPU:        signedLogErr(actGPU, d.PredGPUSeconds),
+	}
+	if actGPU < actCPU {
+		v.Best = offload.TargetGPU
+	}
+	v.Mispredict = v.Chosen != v.Best
+	if v.Mispredict {
+		chosen := actCPU
+		if v.Chosen == offload.TargetGPU {
+			chosen = actGPU
+		}
+		best := actCPU
+		if v.Best == offload.TargetGPU {
+			best = actGPU
+		}
+		v.RegretSeconds = chosen - best
+	}
+
+	a.mu.Lock()
+	rs := a.regions[v.Region]
+	if rs == nil {
+		rs = &regionStats{}
+		a.regions[v.Region] = rs
+	}
+	rs.observe(v)
+	a.samples++
+	if v.Mispredict {
+		a.mispredicts++
+	}
+	a.regretSec += v.RegretSeconds
+	a.mu.Unlock()
+
+	if a.cfg.Calibrator != nil {
+		if a.cfg.Calibrator.Observe(v.Region, v.LogErrCPU, v.LogErrGPU) {
+			// The correction moved materially: memoized decisions for
+			// the region were taken under stale factors.
+			_ = rt.InvalidateDecisions(v.Region)
+		}
+	}
+	if a.cfg.OnVerdict != nil {
+		a.cfg.OnVerdict(v)
+	}
+}
+
+// signedLogErr returns ln(actual/predicted), 0 when either side is
+// non-positive (a degenerate model output must not poison the EWMA).
+func signedLogErr(actual, predicted float64) float64 {
+	if actual <= 0 || predicted <= 0 {
+		return 0
+	}
+	return math.Log(actual / predicted)
+}
+
+// Close stops accepting samples, drains the queue, and waits for the
+// workers. Safe to call more than once; a closed auditor's Offer counts
+// drops instead of auditing.
+func (a *Auditor) Close() {
+	a.sendMu.Lock()
+	if a.closed {
+		a.sendMu.Unlock()
+		return
+	}
+	a.closed = true
+	if a.queue != nil {
+		close(a.queue)
+	}
+	a.sendMu.Unlock()
+	a.wg.Wait()
+}
+
+// keyLRU is a bounded set of recently-audited keys with LRU eviction,
+// guarded by the Auditor's lock.
+type keyLRU struct {
+	capacity int
+	order    []string // ring buffer of insertion order
+	head     int
+	index    map[string]struct{}
+}
+
+func newKeyLRU(capacity int) *keyLRU {
+	return &keyLRU{
+		capacity: capacity,
+		order:    make([]string, 0, capacity),
+		index:    make(map[string]struct{}, capacity),
+	}
+}
+
+// add inserts key, evicting the oldest entry when full. It reports
+// whether the key was absent (fresh = should be audited).
+func (l *keyLRU) add(key string) bool {
+	if _, ok := l.index[key]; ok {
+		return false
+	}
+	if len(l.order) < l.capacity {
+		l.order = append(l.order, key)
+	} else {
+		delete(l.index, l.order[l.head])
+		l.order[l.head] = key
+		l.head = (l.head + 1) % l.capacity
+	}
+	l.index[key] = struct{}{}
+	return true
+}
+
+// remove forgets a key (used when its queued audit was dropped). The ring
+// slot keeps the stale string until overwritten; add treats it as absent
+// once it leaves the index.
+func (l *keyLRU) remove(key string) {
+	delete(l.index, key)
+}

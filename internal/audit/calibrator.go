@@ -1,0 +1,113 @@
+package audit
+
+import (
+	"math"
+	"sync"
+
+	"github.com/hybridsel/hybridsel/internal/offload"
+)
+
+// DefaultAlpha is the EWMA smoothing weight of a new observation. 0.5
+// converges in a handful of audits — the point of the loop is that a
+// systematically biased kernel flips to the right target quickly — while
+// still damping one-off noise.
+const DefaultAlpha = 0.5
+
+// changeThreshold is the relative correction-factor movement below which
+// an update is not worth invalidating the region's memoized decisions.
+const changeThreshold = 0.01
+
+// Calibrator is the online half of the audit loop: a per-region EWMA of
+// each model's signed log-error, applied as a multiplicative correction
+// exp(ewma) to that model's predicted seconds. It implements
+// offload.Calibrator, so a runtime configured with one consults measured
+// feedback on every policy decision.
+//
+// The correction is maintained in log space: ln(actual/predicted) is
+// symmetric (a 2x over- and a 2x under-estimate weigh the same) and the
+// resulting factor is always positive.
+type Calibrator struct {
+	alpha float64
+
+	mu      sync.RWMutex
+	regions map[string]*calState
+}
+
+type calState struct {
+	n                uint64
+	ewmaCPU, ewmaGPU float64
+	// Cached exp(ewma) so Correct stays multiplication-only on the
+	// decision hot path.
+	facCPU, facGPU float64
+}
+
+var _ offload.Calibrator = (*Calibrator)(nil)
+
+// NewCalibrator builds a calibrator with the given EWMA weight; alpha
+// outside (0, 1] selects DefaultAlpha.
+func NewCalibrator(alpha float64) *Calibrator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	return &Calibrator{alpha: alpha, regions: map[string]*calState{}}
+}
+
+// Observe folds one audit's signed log-errors into the region's EWMA. The
+// first observation seeds the EWMA directly (there is no prior to damp
+// against). It reports whether either correction factor moved by more
+// than 1% — the signal that memoized decisions for the region are stale.
+func (c *Calibrator) Observe(region string, logErrCPU, logErrGPU float64) (changed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.regions[region]
+	if s == nil {
+		s = &calState{facCPU: 1, facGPU: 1}
+		c.regions[region] = s
+	}
+	oldCPU, oldGPU := s.facCPU, s.facGPU
+	if s.n == 0 {
+		s.ewmaCPU, s.ewmaGPU = logErrCPU, logErrGPU
+	} else {
+		s.ewmaCPU = (1-c.alpha)*s.ewmaCPU + c.alpha*logErrCPU
+		s.ewmaGPU = (1-c.alpha)*s.ewmaGPU + c.alpha*logErrGPU
+	}
+	s.n++
+	s.facCPU = math.Exp(s.ewmaCPU)
+	s.facGPU = math.Exp(s.ewmaGPU)
+	return relChange(oldCPU, s.facCPU) > changeThreshold ||
+		relChange(oldGPU, s.facGPU) > changeThreshold
+}
+
+func relChange(old, new float64) float64 {
+	if old <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(new-old) / old
+}
+
+// Correct implements offload.Calibrator: it scales each model's predicted
+// seconds by the region's current correction factor (identity for regions
+// never audited).
+func (c *Calibrator) Correct(region string, cpuSec, gpuSec float64) (float64, float64) {
+	c.mu.RLock()
+	s := c.regions[region]
+	if s == nil {
+		c.mu.RUnlock()
+		return cpuSec, gpuSec
+	}
+	fc, fg := s.facCPU, s.facGPU
+	c.mu.RUnlock()
+	return cpuSec * fc, gpuSec * fg
+}
+
+// Factors returns the region's current correction factors and how many
+// audits shaped them (1, 1, 0 for regions never audited).
+func (c *Calibrator) Factors(region string) (cpuFactor, gpuFactor float64, n uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.regions[region]
+	if s == nil {
+		return 1, 1, 0
+	}
+	return s.facCPU, s.facGPU, s.n
+}

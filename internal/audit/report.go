@@ -1,0 +1,204 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/hybridsel/hybridsel/internal/offload"
+)
+
+// regionStats accumulates one region's verdicts, guarded by the Auditor's
+// lock.
+type regionStats struct {
+	samples     uint64
+	mispredicts uint64
+	regretSec   float64
+	cpu, gpu    errAgg
+}
+
+func (rs *regionStats) observe(v Verdict) {
+	rs.samples++
+	if v.Mispredict {
+		rs.mispredicts++
+	}
+	rs.regretSec += v.RegretSeconds
+	rs.cpu.observe(v.LogErrCPU)
+	rs.gpu.observe(v.LogErrGPU)
+}
+
+// errAgg is a running signed log-error distribution.
+type errAgg struct {
+	n          uint64
+	sum, sumsq float64
+	min, max   float64
+}
+
+func (a *errAgg) observe(x float64) {
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n++
+	a.sum += x
+	a.sumsq += x * x
+}
+
+func (a *errAgg) summary() ModelError {
+	if a.n == 0 {
+		return ModelError{}
+	}
+	mean := a.sum / float64(a.n)
+	variance := a.sumsq/float64(a.n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return ModelError{
+		Mean: mean, Std: math.Sqrt(variance),
+		Min: a.min, Max: a.max,
+	}
+}
+
+// ModelError summarizes one analytical model's signed log-error
+// distribution ln(actual/predicted) over a region's audits (positive =
+// the model underestimates) plus the correction factor currently applied.
+type ModelError struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// Factor is the live multiplicative correction (1 = uncorrected).
+	Factor float64 `json:"factor"`
+}
+
+// RegionReport is one region's accuracy accounting.
+type RegionReport struct {
+	Region        string     `json:"region"`
+	Samples       uint64     `json:"samples"`
+	Mispredicts   uint64     `json:"mispredicts"`
+	RegretSeconds float64    `json:"regretSeconds"`
+	CPU           ModelError `json:"cpu"`
+	GPU           ModelError `json:"gpu"`
+}
+
+// Report is a point-in-time snapshot of the auditor's accounting.
+type Report struct {
+	// Rate is the configured sampling rate.
+	Rate float64 `json:"rate"`
+	// Offered counts decisions presented to the sampler; Skipped those
+	// that fell outside the rate or were recently audited.
+	Offered uint64 `json:"offered"`
+	Skipped uint64 `json:"skipped"`
+	// Samples counts completed audits; Dropped the sampled decisions
+	// discarded under queue pressure; ExecErrors failed ground-truth
+	// executions.
+	Samples    uint64 `json:"samples"`
+	Dropped    uint64 `json:"dropped"`
+	ExecErrors uint64 `json:"execErrors"`
+	// Mispredicts and RegretSeconds aggregate over all regions.
+	Mispredicts   uint64  `json:"mispredicts"`
+	RegretSeconds float64 `json:"regretSeconds"`
+	// Regions holds the per-region accounting, sorted by region name.
+	Regions []RegionReport `json:"regions"`
+}
+
+// Report snapshots the auditor's accounting. Async audits still in the
+// queue are not yet included; Close first for a final report.
+func (a *Auditor) Report() Report {
+	rep := Report{
+		Rate:       a.cfg.Rate,
+		Offered:    a.offered.Load(),
+		Skipped:    a.skippedNS.Load(),
+		Dropped:    a.dropped.Load(),
+		ExecErrors: a.execErrs.Load(),
+	}
+	a.mu.Lock()
+	rep.Samples = a.samples
+	rep.Mispredicts = a.mispredicts
+	rep.RegretSeconds = a.regretSec
+	rep.Regions = make([]RegionReport, 0, len(a.regions))
+	for name, rs := range a.regions {
+		rr := RegionReport{
+			Region:        name,
+			Samples:       rs.samples,
+			Mispredicts:   rs.mispredicts,
+			RegretSeconds: rs.regretSec,
+			CPU:           rs.cpu.summary(),
+			GPU:           rs.gpu.summary(),
+		}
+		rr.CPU.Factor, rr.GPU.Factor = 1, 1
+		if a.cfg.Calibrator != nil {
+			rr.CPU.Factor, rr.GPU.Factor, _ = a.cfg.Calibrator.Factors(name)
+		}
+		rep.Regions = append(rep.Regions, rr)
+	}
+	a.mu.Unlock()
+	sort.Slice(rep.Regions, func(i, j int) bool {
+		return rep.Regions[i].Region < rep.Regions[j].Region
+	})
+	return rep
+}
+
+// AddTo folds the report's aggregate accounting into a runtime metrics
+// snapshot, so one Metrics value carries the serving picture through
+// String and WritePrometheus.
+func (r Report) AddTo(m offload.Metrics) offload.Metrics {
+	m.AuditSamples += r.Samples
+	m.AuditMispredicts += r.Mispredicts
+	m.AuditDropped += r.Dropped
+	m.AuditRegretSeconds += r.RegretSeconds
+	return m
+}
+
+// Accuracy projects the per-region accounting onto the exposition rows
+// WriteAccuracyPrometheus renders.
+func (r Report) Accuracy() []offload.RegionAccuracy {
+	rows := make([]offload.RegionAccuracy, len(r.Regions))
+	for i, rr := range r.Regions {
+		rows[i] = offload.RegionAccuracy{
+			Region:        rr.Region,
+			Samples:       rr.Samples,
+			Mispredicts:   rr.Mispredicts,
+			RegretSeconds: rr.RegretSeconds,
+			CPUFactor:     rr.CPU.Factor,
+			GPUFactor:     rr.GPU.Factor,
+			MeanLogErrCPU: rr.CPU.Mean,
+			MeanLogErrGPU: rr.GPU.Mean,
+		}
+	}
+	return rows
+}
+
+// String renders the report as an aligned summary, worst regions (by
+// regret) first.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shadow-audit report (rate %.2f)\n", r.Rate)
+	fmt.Fprintf(&sb, "  offered %d, skipped %d, audited %d, dropped %d, exec errors %d\n",
+		r.Offered, r.Skipped, r.Samples, r.Dropped, r.ExecErrors)
+	if r.Samples > 0 {
+		fmt.Fprintf(&sb, "  mispredicts %d/%d (%.1f%%), regret %.6fs\n",
+			r.Mispredicts, r.Samples,
+			100*float64(r.Mispredicts)/float64(r.Samples), r.RegretSeconds)
+	}
+	worst := append([]RegionReport(nil), r.Regions...)
+	sort.Slice(worst, func(i, j int) bool {
+		if worst[i].RegretSeconds != worst[j].RegretSeconds {
+			return worst[i].RegretSeconds > worst[j].RegretSeconds
+		}
+		return worst[i].Region < worst[j].Region
+	})
+	for i, rr := range worst {
+		if i == 8 {
+			fmt.Fprintf(&sb, "  ... %d more regions\n", len(worst)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "  %-12s %3d audits, %3d wrong, regret %.6fs, factors cpu %.3f gpu %.3f\n",
+			rr.Region, rr.Samples, rr.Mispredicts, rr.RegretSeconds,
+			rr.CPU.Factor, rr.GPU.Factor)
+	}
+	return sb.String()
+}

@@ -1,0 +1,31 @@
+package audit
+
+import "github.com/hybridsel/hybridsel/internal/trace"
+
+// TraceRecord projects the verdict onto a trace record (KindAudit). The
+// writer assigns the sequence number on Append. All fields are
+// deterministic functions of the audited decision and the simulators, so
+// replaying the same traffic at the same sampling rate reproduces the
+// verdict stream byte for byte.
+func (v Verdict) TraceRecord() trace.Record {
+	return trace.Record{
+		Kind:             trace.KindAudit,
+		Region:           v.Region,
+		Bindings:         v.Bindings,
+		Target:           v.Chosen.String(),
+		BestTarget:       v.Best.String(),
+		PredCPUSeconds:   v.PredCPUSeconds,
+		PredGPUSeconds:   v.PredGPUSeconds,
+		ActualCPUSeconds: v.ActualCPUSeconds,
+		ActualGPUSeconds: v.ActualGPUSeconds,
+		Mispredict:       v.Mispredict,
+		RegretSeconds:    v.RegretSeconds,
+	}
+}
+
+// RecordObserver returns an OnVerdict hook that appends every verdict to
+// the trace writer (errors latch inside the writer, as with decision
+// records).
+func RecordObserver(w *trace.Writer) func(Verdict) {
+	return func(v Verdict) { _ = w.Append(v.TraceRecord()) }
+}

@@ -119,3 +119,36 @@ func RenderAblation(title string, rows []AblationRow) string {
 	}
 	return t.String()
 }
+
+// RenderAudit prints the shadow-audit calibration study: per-kernel
+// mispredict and regret deltas, and the closing geomean gap.
+func RenderAudit(res AuditResult) string {
+	t := stats.NewTable(
+		fmt.Sprintf("Shadow-audit calibration: %d rounds, %s mode, %d-thread host, rate %.2f",
+			res.Rounds, res.Mode, res.Threads, res.Rate),
+		"kernel", "wrong", "wrong(cal)", "regret(s)", "regret(cal)", "speedup", "speedup(cal)", "flip@")
+	for _, r := range res.Rows {
+		flip := "-"
+		if r.FlipRound > 0 {
+			flip = fmt.Sprintf("%d", r.FlipRound)
+		}
+		t.AddRow(r.Kernel,
+			fmt.Sprintf("%d/%d", r.Mispredicts, res.Rounds),
+			fmt.Sprintf("%d/%d", r.MispredictsCal, res.Rounds),
+			fmt.Sprintf("%.6f", r.RegretSeconds),
+			fmt.Sprintf("%.6f", r.RegretSecondsCal),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2fx", r.SpeedupCal),
+			flip)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString("\n")
+	sb.WriteString(stats.Bars(
+		[]string{"model-guided (geomean)", "with calibration (geomean)"},
+		[]float64{res.GeoUncal, res.GeoCal}, 40))
+	sb.WriteString(fmt.Sprintf("\ntotal regret: %.6fs uncalibrated, %.6fs calibrated\n",
+		res.RegretUncal, res.RegretCal))
+	sb.WriteString(res.Report.String())
+	return sb.String()
+}

@@ -1,0 +1,42 @@
+package offload
+
+// Calibrator corrects analytical-model predictions with measured
+// feedback. The decide path calls Correct with the raw predicted seconds
+// of both models just before the policy decision; the returned values
+// replace the predictions for selection purposes only (logs and traces
+// keep the raw model output). internal/audit provides the standard
+// implementation: a per-region EWMA multiplicative correction fed by
+// shadow audits.
+//
+// Implementations must be safe for concurrent use from many launching
+// goroutines, and cheap — Correct sits on the decision hot path.
+//
+// A calibration update changes the inputs of future decisions but not of
+// already-memoized ones; whoever mutates the calibrator should call
+// Runtime.InvalidateDecisions (or Region.InvalidateDecisions) for the
+// affected region so stale cached targets are re-decided.
+type Calibrator interface {
+	Correct(region string, cpuSec, gpuSec float64) (ccpuSec, cgpuSec float64)
+}
+
+// InvalidateDecisions drops the region's memoized decisions so the next
+// launch re-evaluates the models and re-runs the policy — required after
+// anything that changes decision inputs out of band (e.g. a calibration
+// update). The execution memoization is untouched: ground truth does not
+// change.
+func (r *Region) InvalidateDecisions() {
+	r.mu.Lock()
+	r.decisions.clear()
+	r.mu.Unlock()
+}
+
+// InvalidateDecisions is the name-based wrapper around
+// Region.InvalidateDecisions.
+func (rt *Runtime) InvalidateDecisions(name string) error {
+	r, err := rt.Region(name)
+	if err != nil {
+		return err
+	}
+	r.InvalidateDecisions()
+	return nil
+}

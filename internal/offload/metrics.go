@@ -150,8 +150,12 @@ func (q LatencyQuantiles) String() string {
 		q.P99.Round(time.Microsecond))
 }
 
-// merge accumulates another snapshot with the same bucket layout into a
-// new snapshot; neither input is modified.
+// merge accumulates another snapshot into a new snapshot; neither input
+// is modified. Snapshots usually share a bucket layout; when layouts
+// differ in length, surplus counts from the longer layout fold into the
+// unbounded overflow bucket so sum(Buckets) == Count always holds after a
+// merge (dropping them silently made Quantile misestimate and the bucket
+// sum disagree with Count).
 func (s LatencyStats) merge(o LatencyStats) LatencyStats {
 	s.Count += o.Count
 	s.SumNanos += o.SumNanos
@@ -162,10 +166,12 @@ func (s LatencyStats) merge(o LatencyStats) LatencyStats {
 	if len(buckets) == 0 {
 		buckets = append(buckets, o.Buckets...)
 	} else {
-		for i := range buckets {
-			if i < len(o.Buckets) {
-				buckets[i].Count += o.Buckets[i].Count
+		for i, b := range o.Buckets {
+			j := i
+			if j >= len(buckets) {
+				j = len(buckets) - 1 // fold the surplus into the overflow bin
 			}
+			buckets[j].Count += b.Count
 		}
 	}
 	s.Buckets = buckets
@@ -204,8 +210,11 @@ type Metrics struct {
 	// Dispatch counts completed launches per execution target.
 	Dispatch map[Target]uint64
 
-	// Decision cache accounting. Hits + Misses == Launches for any
-	// runtime that only dispatches through Launch.
+	// Decision cache accounting. Every Launch and every decide-only call
+	// resolves to exactly one hit or miss, so Hits + Misses ==
+	// Launches + Decides for a runtime driven only through Launch/Decide
+	// (standalone Predict calls consult the cache without touching these
+	// counters).
 	DecisionCacheHits      uint64
 	DecisionCacheMisses    uint64
 	DecisionCacheEvictions uint64
@@ -218,6 +227,22 @@ type Metrics struct {
 	// ModelEval is the latency distribution of full model evaluations
 	// (both analytical models for one launch or prediction).
 	ModelEval LatencyStats
+
+	// Shadow-audit accuracy accounting (see internal/audit). The runtime
+	// itself never fills these; audit.Report.AddTo folds an auditor's
+	// accounting into a snapshot so one Metrics value carries the whole
+	// serving picture through Merge/String/WritePrometheus.
+	//
+	// AuditSamples counts completed ground-truth audits of served
+	// decisions; AuditMispredicts those where the policy's chosen target
+	// was not the measured-faster one; AuditRegretSeconds the cumulative
+	// time lost to those wrong choices (actual chosen minus actual best);
+	// AuditDropped the sampled decisions discarded because the audit
+	// queue was full (backpressure protecting the serving path).
+	AuditSamples       uint64
+	AuditMispredicts   uint64
+	AuditDropped       uint64
+	AuditRegretSeconds float64
 }
 
 // Merge combines two snapshots (e.g. across the per-platform runtimes of
@@ -242,6 +267,10 @@ func (m Metrics) Merge(o Metrics) Metrics {
 	m.ExecCacheHits += o.ExecCacheHits
 	m.ExecCacheMisses += o.ExecCacheMisses
 	m.ModelEval = m.ModelEval.merge(o.ModelEval)
+	m.AuditSamples += o.AuditSamples
+	m.AuditMispredicts += o.AuditMispredicts
+	m.AuditDropped += o.AuditDropped
+	m.AuditRegretSeconds += o.AuditRegretSeconds
 	return m
 }
 
@@ -271,6 +300,12 @@ func (m Metrics) String() string {
 		m.ModelEval.Max.Round(time.Microsecond))
 	if m.ModelEval.Count > 0 {
 		fmt.Fprintf(&sb, "  eval latency         %s\n", m.ModelEval.Quantiles())
+	}
+	if m.AuditSamples > 0 || m.AuditDropped > 0 {
+		fmt.Fprintf(&sb, "  shadow audits        %d sampled, %d mispredicts (%.1f%%), %.6fs regret, %d dropped\n",
+			m.AuditSamples, m.AuditMispredicts,
+			rate(m.AuditMispredicts, m.AuditSamples-m.AuditMispredicts),
+			m.AuditRegretSeconds, m.AuditDropped)
 	}
 	return sb.String()
 }

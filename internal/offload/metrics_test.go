@@ -102,6 +102,55 @@ func TestLatencyQuantileClampedToMax(t *testing.T) {
 	}
 }
 
+// TestLatencyMergeMismatchedBuckets: merging snapshots whose bucket
+// layouts differ in length must fold the surplus counts into the overflow
+// bucket instead of silently dropping them — sum(Buckets) == Count has to
+// hold after every merge or Quantile misestimates.
+func TestLatencyMergeMismatchedBuckets(t *testing.T) {
+	bucketSum := func(s LatencyStats) uint64 {
+		var sum uint64
+		for _, b := range s.Buckets {
+			sum += b.Count
+		}
+		return sum
+	}
+	// A current-layout snapshot with observations spread over the bins.
+	var h latencyHist
+	for i := 0; i < 7; i++ {
+		h.observe(30 * time.Microsecond)
+	}
+	h.observe(250 * time.Millisecond)
+	s := h.snapshot()
+
+	// A foreign snapshot with a longer layout, as an older/newer build
+	// with extra bins would serialize: counts beyond s's layout must not
+	// vanish.
+	o := LatencyStats{SumNanos: uint64(5 * time.Second), Max: 2 * time.Second}
+	for i := 0; i < len(s.Buckets)+3; i++ {
+		o.Buckets = append(o.Buckets, LatencyBucket{Count: 1})
+		o.Count++
+	}
+
+	for _, m := range []LatencyStats{s.merge(o), o.merge(s)} {
+		if m.Count != s.Count+o.Count {
+			t.Fatalf("merged Count = %d, want %d", m.Count, s.Count+o.Count)
+		}
+		if got := bucketSum(m); got != m.Count {
+			t.Fatalf("sum(Buckets) = %d disagrees with Count = %d", got, m.Count)
+		}
+	}
+	// Same-layout and empty-side merges keep the invariant too.
+	for _, m := range []LatencyStats{s.merge(s), s.merge(LatencyStats{}), LatencyStats{}.merge(s)} {
+		if got := bucketSum(m); got != m.Count {
+			t.Fatalf("sum(Buckets) = %d disagrees with Count = %d", got, m.Count)
+		}
+	}
+	// Neither input may be mutated by the merge.
+	if got := bucketSum(s); got != s.Count {
+		t.Fatalf("merge mutated its receiver: sum %d, count %d", got, s.Count)
+	}
+}
+
 // TestLatencyQuantilesEdgeCases: empty histograms and degenerate q.
 func TestLatencyQuantilesEdgeCases(t *testing.T) {
 	var empty LatencyStats

@@ -40,6 +40,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
@@ -98,6 +99,15 @@ type Config struct {
 	// safe for concurrent use and cheap (trace recorders buffer; anything
 	// slow belongs behind the observer's own queue).
 	Observer func(Decision)
+
+	// Calibrator, when non-nil, adjusts the model predictions with
+	// measured feedback before every policy decision (the online half of
+	// the shadow-audit loop, see internal/audit). It must be safe for
+	// concurrent use and cheap: decide consults it on every cache miss.
+	// Decision.PredCPUSeconds/PredGPUSeconds always carry the raw model
+	// output so traces stay comparable across calibration states; the
+	// calibrated values only steer the policy.
+	Calibrator Calibrator
 
 	// GPUOptions default to the paper's configuration (IPDA coalescing,
 	// #OMP_Rep on, transfers included).
@@ -165,6 +175,12 @@ type Outcome struct {
 type Runtime struct {
 	cfg Config
 
+	// obs is the live observer hook, seeded from Config.Observer and
+	// replaceable via SetObserver (atomically, so wiring an observer that
+	// itself needs the constructed runtime — e.g. a shadow auditor — does
+	// not race with in-flight launches).
+	obs atomic.Pointer[func(Decision)]
+
 	regmu   sync.RWMutex
 	regions map[string]*Region
 	db      *attrdb.DB
@@ -191,11 +207,27 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.Estimator == nil {
 		cfg.Estimator = cpumodel.MCAEstimator{}
 	}
-	return &Runtime{
+	rt := &Runtime{
 		cfg:     cfg,
 		db:      attrdb.New(),
 		regions: map[string]*Region{},
 	}
+	if cfg.Observer != nil {
+		rt.obs.Store(&cfg.Observer)
+	}
+	return rt
+}
+
+// SetObserver replaces the decision observer hook. It exists for
+// observers that can only be built once the runtime exists (the shadow
+// auditor holds the runtime it audits); the swap is atomic with respect
+// to concurrent launches. A nil fn removes the hook.
+func (rt *Runtime) SetObserver(fn func(Decision)) {
+	if fn == nil {
+		rt.obs.Store(nil)
+		return
+	}
+	rt.obs.Store(&fn)
 }
 
 // Config returns the runtime's configuration.
@@ -651,9 +683,16 @@ func (r *Region) decide(b symbolic.Bindings, key string, d *Decision) error {
 		}
 		d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
 	}
-	d.Target = d.Policy.Decide(r, d.PredCPUSeconds, d.PredGPUSeconds)
+	// The policy sees the calibrated predictions (measured-feedback
+	// corrections, when configured); the decision record keeps the raw
+	// model output.
+	calCPU, calGPU := d.PredCPUSeconds, d.PredGPUSeconds
+	if rt.cfg.Calibrator != nil {
+		calCPU, calGPU = rt.cfg.Calibrator.Correct(r.Name, calCPU, calGPU)
+	}
+	d.Target = d.Policy.Decide(r, calCPU, calGPU)
 	if d.Target == TargetSplit {
-		t, f, err := r.planSplit(b, d.PredCPUSeconds, d.PredGPUSeconds)
+		t, f, err := r.planSplit(b, calCPU, calGPU)
 		if err != nil {
 			return err
 		}
@@ -761,8 +800,8 @@ func (r *Region) finish(d Decision) (*Outcome, error) {
 
 // notify fires the configured observer hook, if any.
 func (rt *Runtime) notify(d Decision) {
-	if rt.cfg.Observer != nil {
-		rt.cfg.Observer(d)
+	if fn := rt.obs.Load(); fn != nil {
+		(*fn)(d)
 	}
 }
 

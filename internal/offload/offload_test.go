@@ -467,3 +467,116 @@ func TestProfileInvalidatesDecisionCache(t *testing.T) {
 		t.Fatalf("misses = %d, want 2 (profile must invalidate)", m.DecisionCacheMisses)
 	}
 }
+
+// TestCacheInvariantMixedTraffic pins the documented decision-cache
+// invariant under mixed Launch/Decide traffic: every call that reaches
+// the decision stage resolves to exactly one cache hit or miss, so
+// Hits + Misses == Launches + Decides.
+func TestCacheInvariantMixedTraffic(t *testing.T) {
+	rt := newRT(t, ModelGuided)
+	hot := symbolic.Bindings{"n": 256}
+	cold := symbolic.Bindings{"n": 300}
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Launch("gemm", hot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Decide("gemm", hot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Decide("mvt1", cold); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Launch("mvt1", cold); err != nil {
+		t.Fatal(err)
+	}
+	// A standalone Predict consults the cache without counting: the
+	// invariant must survive it.
+	if _, _, err := rt.Predict("2dconv", hot); err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Metrics()
+	if m.Launches != 4 || m.Decides != 6 {
+		t.Fatalf("launches %d decides %d, want 4/6", m.Launches, m.Decides)
+	}
+	if got, want := m.DecisionCacheHits+m.DecisionCacheMisses, m.Launches+m.Decides; got != want {
+		t.Fatalf("hits+misses = %d, want launches+decides = %d", got, want)
+	}
+}
+
+// fixedCalibrator scales both predictions by constant factors — enough to
+// force the policy across the decision boundary in tests.
+type fixedCalibrator struct{ cpu, gpu float64 }
+
+func (c fixedCalibrator) Correct(_ string, cpuSec, gpuSec float64) (float64, float64) {
+	return cpuSec * c.cpu, gpuSec * c.gpu
+}
+
+// TestCalibratorSteersDecision: a calibration factor large enough to flip
+// the predicted ordering must flip the chosen target, while the logged
+// predictions stay the raw model output; InvalidateDecisions must force a
+// cached decision to be re-taken.
+func TestCalibratorSteersDecision(t *testing.T) {
+	b := symbolic.Bindings{"n": 1100}
+	base := newRT(t, ModelGuided)
+	out, err := base.Decide("gemm", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Penalize whichever target won by 1000x: the decision must flip.
+	cal := fixedCalibrator{cpu: 1, gpu: 1}
+	if out.Target == TargetGPU {
+		cal.gpu = 1000
+	} else {
+		cal.cpu = 1000
+	}
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100(),
+		Policy: ModelGuided, Calibrator: cal})
+	k, err := polybench.Get("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(k.IR); err != nil {
+		t.Fatal(err)
+	}
+	flipped, err := rt.Decide("gemm", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped.Target == out.Target {
+		t.Fatalf("calibration did not flip the target from %v", out.Target)
+	}
+	if flipped.PredCPUSeconds != out.PredCPUSeconds ||
+		flipped.PredGPUSeconds != out.PredGPUSeconds {
+		t.Fatal("calibration leaked into the recorded raw predictions")
+	}
+
+	// A cached decision survives calibrator hot-swaps by design until the
+	// region is invalidated.
+	again, err := rt.Decide("gemm", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.Target != flipped.Target {
+		t.Fatalf("expected cached flipped decision, got hit=%v target=%v",
+			again.CacheHit, again.Target)
+	}
+	if err := rt.InvalidateDecisions("gemm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.InvalidateDecisions("nope"); err == nil {
+		t.Fatal("invalidating an unknown region must error")
+	}
+	fresh, err := rt.Decide("gemm", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.CacheHit {
+		t.Fatal("InvalidateDecisions left the memoized decision in place")
+	}
+	m := rt.Metrics()
+	if m.DecisionCacheMisses != 2 {
+		t.Fatalf("misses = %d, want 2 (invalidate must force re-decision)", m.DecisionCacheMisses)
+	}
+}

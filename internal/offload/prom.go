@@ -49,6 +49,20 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 	counter("hybridsel_exec_cache_misses_total",
 		"Ground-truth executions actually simulated.", m.ExecCacheMisses)
 
+	// Shadow-audit accuracy series. Always emitted (zero without an
+	// auditor) so dashboards and the CI scrape can rely on their presence.
+	counter("hybridsel_audit_samples_total",
+		"Served decisions audited against ground truth.", m.AuditSamples)
+	counter("hybridsel_mispredict_total",
+		"Audited decisions whose chosen target was not the measured-faster one.",
+		m.AuditMispredicts)
+	counter("hybridsel_audit_dropped_total",
+		"Sampled decisions dropped because the audit queue was full.", m.AuditDropped)
+	fmt.Fprintf(ew, "# HELP hybridsel_audit_regret_seconds_total Cumulative time lost to mispredicted targets (actual chosen minus actual best).\n")
+	fmt.Fprintf(ew, "# TYPE hybridsel_audit_regret_seconds_total counter\n")
+	fmt.Fprintf(ew, "hybridsel_audit_regret_seconds_total %s\n",
+		strconv.FormatFloat(m.AuditRegretSeconds, 'g', -1, 64))
+
 	fmt.Fprintf(ew, "# HELP hybridsel_model_eval_seconds Latency of full model evaluations (both analytical models).\n")
 	fmt.Fprintf(ew, "# TYPE hybridsel_model_eval_seconds histogram\n")
 	var cum uint64
@@ -63,6 +77,58 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 	fmt.Fprintf(ew, "hybridsel_model_eval_seconds_sum %s\n",
 		strconv.FormatFloat(float64(m.ModelEval.SumNanos)/1e9, 'g', -1, 64))
 	fmt.Fprintf(ew, "hybridsel_model_eval_seconds_count %d\n", m.ModelEval.Count)
+	return ew.err
+}
+
+// RegionAccuracy is one region's shadow-audit accounting as exposed on
+// /metrics and /v1/audit: how often the selector was audited and wrong
+// there, the time those wrong choices cost, and the calibration factors
+// currently applied to each model's predictions (1 = uncorrected).
+// internal/audit produces these rows; they live here so the Prometheus
+// exposition stays a single package.
+type RegionAccuracy struct {
+	Region        string  `json:"region"`
+	Samples       uint64  `json:"samples"`
+	Mispredicts   uint64  `json:"mispredicts"`
+	RegretSeconds float64 `json:"regretSeconds"`
+	// CPUFactor/GPUFactor multiply the respective model's predicted
+	// seconds at decision time.
+	CPUFactor float64 `json:"cpuFactor"`
+	GPUFactor float64 `json:"gpuFactor"`
+	// MeanLogErrCPU/GPU are the mean signed log-errors ln(actual/pred)
+	// observed for each model (positive = the model underestimates).
+	MeanLogErrCPU float64 `json:"meanLogErrCpu"`
+	MeanLogErrGPU float64 `json:"meanLogErrGpu"`
+}
+
+// WriteAccuracyPrometheus renders per-region shadow-audit series after a
+// WritePrometheus exposition: audit sample/mispredict counters, regret,
+// and the correction factor applied to each model. Rows render in the
+// order given (callers sort by region for deterministic scrapes).
+func WriteAccuracyPrometheus(w io.Writer, rows []RegionAccuracy) error {
+	ew := &errWriter{w: w}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(ew, "# HELP hybridsel_audit_region_samples_total Audited decisions by region.\n")
+	fmt.Fprintf(ew, "# TYPE hybridsel_audit_region_samples_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(ew, "hybridsel_audit_region_samples_total{region=%q} %d\n", r.Region, r.Samples)
+	}
+	fmt.Fprintf(ew, "# HELP hybridsel_audit_region_mispredict_total Audited mispredictions by region.\n")
+	fmt.Fprintf(ew, "# TYPE hybridsel_audit_region_mispredict_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(ew, "hybridsel_audit_region_mispredict_total{region=%q} %d\n", r.Region, r.Mispredicts)
+	}
+	fmt.Fprintf(ew, "# HELP hybridsel_audit_region_regret_seconds_total Time lost to mispredicted targets by region.\n")
+	fmt.Fprintf(ew, "# TYPE hybridsel_audit_region_regret_seconds_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(ew, "hybridsel_audit_region_regret_seconds_total{region=%q} %s\n", r.Region, f(r.RegretSeconds))
+	}
+	fmt.Fprintf(ew, "# HELP hybridsel_correction_factor Multiplicative calibration applied to a model's predicted seconds (1 = uncorrected).\n")
+	fmt.Fprintf(ew, "# TYPE hybridsel_correction_factor gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(ew, "hybridsel_correction_factor{region=%q,model=\"cpu\"} %s\n", r.Region, f(r.CPUFactor))
+		fmt.Fprintf(ew, "hybridsel_correction_factor{region=%q,model=\"gpu\"} %s\n", r.Region, f(r.GPUFactor))
+	}
 	return ew.err
 }
 

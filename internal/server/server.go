@@ -9,7 +9,8 @@
 //
 //	POST /v1/decide   single or batched decision requests
 //	GET  /v1/regions  the registered region set and its parameters
-//	GET  /metrics     Prometheus text exposition (runtime + server)
+//	GET  /v1/audit    shadow-audit accuracy report (404 without an auditor)
+//	GET  /metrics     Prometheus text exposition (runtime + server + audit)
 //	GET  /healthz     liveness/readiness (503 while draining)
 //
 // Backpressure model: a request first claims one of QueueDepth admission
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/audit"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/symbolic"
 )
@@ -70,6 +72,12 @@ type Config struct {
 	MaxBatch int
 	// Logger receives structured request logs (nil = slog.Default).
 	Logger *slog.Logger
+
+	// Auditor, when non-nil, is the shadow auditor observing the served
+	// runtime. The server only reads from it: its accuracy accounting is
+	// exposed on GET /v1/audit and folded into /metrics. Lifecycle
+	// (wiring the observer, Close on drain) stays with the caller.
+	Auditor *audit.Auditor
 }
 
 // Server is the HTTP decision service.
@@ -128,6 +136,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /v1/decide", s.admit(s.handleDecide))
 	s.mux.HandleFunc("GET /v1/regions", s.instrument(s.handleRegions))
+	s.mux.HandleFunc("GET /v1/audit", s.instrument(s.handleAudit))
 	s.mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
 	return s, nil
@@ -440,12 +449,36 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// --------------------------------------------------------------- audit --
+
+// handleAudit serves the shadow auditor's accuracy report: per-region
+// mispredict counts, decision regret, signed log-error summaries and the
+// live correction factors. 404 when the daemon runs without an auditor.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Auditor == nil {
+		httpError(w, http.StatusNotFound, "auditing disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Auditor.Report())
+}
+
 // ------------------------------------------------------------- metrics --
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := offload.WritePrometheus(w, s.rt.Metrics()); err != nil {
+	m := s.rt.Metrics()
+	var rep audit.Report
+	if s.cfg.Auditor != nil {
+		rep = s.cfg.Auditor.Report()
+		m = rep.AddTo(m)
+	}
+	if err := offload.WritePrometheus(w, m); err != nil {
 		return
+	}
+	if s.cfg.Auditor != nil {
+		if err := offload.WriteAccuracyPrometheus(w, rep.Accuracy()); err != nil {
+			return
+		}
 	}
 	s.met.write(w, s)
 }

@@ -26,13 +26,23 @@ import (
 	"github.com/hybridsel/hybridsel/internal/symbolic"
 )
 
-// Record is one traced decision. Bindings maps serialize in sorted key
-// order (encoding/json), so equal decisions encode to equal bytes.
+// Record kinds. A record with an empty Kind is a decision (the original
+// trace format, kept unmarked for backward compatibility); KindAudit
+// marks a shadow-audit verdict appended by the audit loop.
+const (
+	KindDecision = ""
+	KindAudit    = "audit"
+)
+
+// Record is one traced event — a decision, or an audit verdict judging
+// one. Bindings maps serialize in sorted key order (encoding/json), so
+// equal records encode to equal bytes.
 type Record struct {
+	Kind           string           `json:"kind,omitempty"`
 	Seq            uint64           `json:"seq"`
 	Region         string           `json:"region"`
 	Bindings       map[string]int64 `json:"bindings"`
-	Policy         string           `json:"policy"`
+	Policy         string           `json:"policy,omitempty"`
 	Target         string           `json:"target"`
 	PredCPUSeconds float64          `json:"predCpuSeconds"`
 	PredGPUSeconds float64          `json:"predGpuSeconds"`
@@ -40,7 +50,19 @@ type Record struct {
 	// ActualSeconds is the executed (simulated) time; 0 for decide-only
 	// decisions, which dispatch nothing.
 	ActualSeconds float64 `json:"actualSeconds,omitempty"`
+
+	// Audit-verdict fields (Kind == KindAudit). Target above carries the
+	// audited decision's chosen target; BestTarget the measured-faster
+	// one; the actuals are the ground-truth times of both targets.
+	BestTarget       string  `json:"bestTarget,omitempty"`
+	ActualCPUSeconds float64 `json:"actualCpuSeconds,omitempty"`
+	ActualGPUSeconds float64 `json:"actualGpuSeconds,omitempty"`
+	Mispredict       bool    `json:"mispredict,omitempty"`
+	RegretSeconds    float64 `json:"regretSeconds,omitempty"`
 }
+
+// IsAudit reports whether the record is a shadow-audit verdict.
+func (r *Record) IsAudit() bool { return r.Kind == KindAudit }
 
 // FromDecision projects a Decision onto its deterministic trace fields.
 // The caller supplies the sequence number.
@@ -79,10 +101,24 @@ func NewWriter(w io.Writer) *Writer {
 func (w *Writer) Record(d offload.Decision) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.append(FromDecision(w.seq, d))
+}
+
+// Append appends a pre-built record (e.g. an audit verdict), assigning it
+// the next sequence number; rec.Seq is overwritten.
+func (w *Writer) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.Seq = w.seq
+	return w.append(rec)
+}
+
+// append serializes one record under the held lock.
+func (w *Writer) append(rec Record) error {
 	if w.err != nil {
 		return w.err
 	}
-	line, err := json.Marshal(FromDecision(w.seq, d))
+	line, err := json.Marshal(rec)
 	if err != nil {
 		w.err = err
 		return err
@@ -164,10 +200,13 @@ func (d *Divergence) String() string {
 
 // Result summarizes a replay.
 type Result struct {
+	// Total counts the decision records driven through the runtime.
 	Total int
 	// Matched counts records whose replayed decision agreed on every
 	// deterministic field.
 	Matched int
+	// Audits counts audit-verdict records skipped by the replay.
+	Audits int
 	// First is the first divergence (nil when Matched == Total).
 	First *Divergence
 }
@@ -186,12 +225,20 @@ func (r *Result) Check() error {
 // replayed decision against its record. When execute is true the replay
 // uses Launch (dispatching the chosen target, comparing executed times);
 // otherwise Decide (selection only, actual times compared only when the
-// trace has them and execution happened). Replay stops at the first
-// runtime error; divergences do not stop it.
+// trace has them and execution happened). Audit-verdict records are
+// skipped — they are outputs of the audit loop, not traffic; a replay
+// re-generates them through whatever auditor is observing rt (and the
+// deterministic sampler re-audits the same points). Replay stops at the
+// first runtime error; divergences do not stop it.
 func Replay(rt *offload.Runtime, recs []Record, execute bool) (*Result, error) {
-	res := &Result{Total: len(recs)}
+	res := &Result{}
 	for i := range recs {
 		rec := &recs[i]
+		if rec.IsAudit() {
+			res.Audits++
+			continue
+		}
+		res.Total++
 		b := symbolic.Bindings(rec.Bindings)
 		var out *offload.Outcome
 		var err error

@@ -17,7 +17,7 @@ go test ./...
 
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/offload/ ./internal/experiments/ \
-	./internal/server/ ./internal/trace/
+	./internal/server/ ./internal/trace/ ./internal/audit/
 
 echo "== perf smoke: cached vs uncached launch =="
 out=$(go test -run='^$' -bench='BenchmarkLaunch(Cached|Uncached)$' -benchtime=0.2s .)
@@ -41,7 +41,8 @@ go build -o "$tmp/hybridseld" ./cmd/hybridseld
 go build -o "$tmp/loadgen" ./cmd/loadgen
 addr=127.0.0.1:18927
 "$tmp/hybridseld" -addr "$addr" -regions gemm,mvt1,2dconv \
-	-trace "$tmp/decisions.jsonl" 2>"$tmp/daemon.log" &
+	-trace "$tmp/decisions.jsonl" \
+	-audit-rate 1 -audit-workers 2 2>"$tmp/daemon.log" &
 daemon=$!
 # Exercise the full service path: wait for /healthz, push a short mixed
 # load, assert a conservative throughput floor (CI machines vary; the
@@ -55,6 +56,32 @@ if ! "$tmp/loadgen" -addr "http://$addr" -wait 10s -duration 2s \
 	kill "$daemon" 2>/dev/null || true
 	exit 1
 fi
+# The shadow auditor must have sampled the served decisions: scrape the
+# accuracy gauges off /metrics (retrying briefly — audits run on
+# background workers and may land just after the load stops).
+audited=0
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+	audited=$(curl -s "http://$addr/metrics" \
+		| awk '/^hybridsel_audit_samples_total/ { print $2 }')
+	[ "${audited:-0}" -gt 0 ] && break
+	sleep 0.5
+done
+if ! [ "${audited:-0}" -gt 0 ]; then
+	echo "daemon smoke: no audit samples on /metrics; daemon log:"
+	cat "$tmp/daemon.log"
+	kill "$daemon" 2>/dev/null || true
+	exit 1
+fi
+metrics=$(curl -s "http://$addr/metrics")
+for series in hybridsel_mispredict_total \
+	hybridsel_audit_regret_seconds_total hybridsel_correction_factor; do
+	if ! printf '%s\n' "$metrics" | grep -q "^$series"; then
+		echo "daemon smoke: /metrics missing $series"
+		kill "$daemon" 2>/dev/null || true
+		exit 1
+	fi
+done
+echo "daemon smoke: $audited decisions shadow-audited"
 # Graceful drain: SIGTERM must flush the trace and exit 0.
 kill -TERM "$daemon"
 if ! wait "$daemon"; then
