@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench vet build
+.PHONY: check test race bench bench-paper vet build
 
 # The full verification gate: vet + build + tests (+race) + perf smoke.
 check:
@@ -19,6 +19,11 @@ race:
 	$(GO) test -race ./internal/offload/ ./internal/experiments/ \
 		./internal/server/ ./internal/trace/
 
-# Regenerate every paper artifact at full fidelity.
+# Run the decision hot-path micro-benchmarks and refresh the ledger
+# (BENCH_decide.json). BENCHTIME=3s make bench for steadier numbers.
 bench:
+	./scripts/bench.sh
+
+# Regenerate every paper artifact at full fidelity.
+bench-paper:
 	$(GO) test -bench=. -benchmem .

@@ -11,6 +11,7 @@
 //	hybridseld -addr 127.0.0.1:8080 -policy model-guided -queue 512
 //	hybridseld -regions gemm,mvt1 -trace /tmp/decisions.jsonl
 //	hybridseld -audit-rate 0.1 -audit-workers 2     # shadow-audit 10% of keys
+//	hybridseld -pprof-addr 127.0.0.1:6060           # profiling on its own listener
 //	hybridseld -attrdb-out snapshot.json -dry-run   # write the DB and exit
 //	hybridseld -attrdb snapshot.json                # verify DB against snapshot
 //
@@ -74,6 +75,8 @@ func main() {
 		"shadow-audit sampling rate over distinct decision keys (0 = off, 1 = all)")
 	auditWorkers := flag.Int("audit-workers", 1,
 		"background audit goroutines (0 = audit inline on the request path)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this separate listener (empty = off; keep it loopback)")
 	logFormat := flag.String("log", "text", "log format: text|json")
 	logLevel := flag.String("log-level", "info",
 		"log level: debug|info|warn (debug includes per-request lines)")
@@ -194,6 +197,17 @@ func main() {
 		fatal(logger, err)
 	}
 
+	// The profiling listener is separate from the service address so debug
+	// endpoints are never exposed on the decision port; its shutdown is
+	// drain-safe (an in-flight CPU profile finishes its window).
+	var pprofSrv *server.PprofServer
+	if *pprofAddr != "" {
+		pprofSrv, err = server.StartPprof(*pprofAddr, logger)
+		if err != nil {
+			fatal(logger, err)
+		}
+	}
+
 	// Serve until SIGTERM/SIGINT, then drain: stop admitting, let
 	// in-flight requests finish (bounded by -drain), flush the trace.
 	ctx, stop := signal.NotifyContext(context.Background(),
@@ -213,6 +227,7 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
 			logger.Error("drain incomplete", "err", err)
+			closePprof(logger, pprofSrv, dctx)
 			closeAudit(logger, auditor)
 			_ = flushTrace(logger, tw)
 			os.Exit(1)
@@ -225,9 +240,22 @@ func main() {
 			"launches", m.Launches, "decides", m.Decides,
 			"cache_hits", m.DecisionCacheHits, "cache_misses", m.DecisionCacheMisses)
 	}
+	closePprof(logger, pprofSrv, context.Background())
 	closeAudit(logger, auditor)
 	if err := flushTrace(logger, tw); err != nil {
 		os.Exit(1)
+	}
+}
+
+// closePprof drains the profiling listener (bounded by ctx).
+func closePprof(logger *slog.Logger, p *server.PprofServer, ctx context.Context) {
+	if p == nil {
+		return
+	}
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := p.Shutdown(dctx); err != nil {
+		logger.Error("pprof shutdown", "err", err)
 	}
 }
 

@@ -1,0 +1,134 @@
+package hybridsel
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// The decide benchmarks measure the decision hot path itself — no
+// simulated execution — in its four interesting states: compiled vs
+// interpreted model evaluation (uncached), and cache-hit lookups for
+// Predict and Decide. scripts/bench.sh runs them with -benchmem and
+// freezes the results into BENCH_decide.json; the check gate recomputes
+// the compiled-vs-interpreted ratios (machine-independent) and fails on
+// regression.
+//
+// decideKernels is a small cross-section of the suite: a dense matrix
+// kernel, a bandwidth-bound vector kernel and a stencil, so the headline
+// ratios do not hinge on one kernel's expression shapes.
+var decideKernels = []string{"gemm", "mvt1", "2dconv"}
+
+func decideRuntime(b *testing.B, cacheSize int, interpreted bool) []*offload.Region {
+	b.Helper()
+	rt := offload.NewRuntime(offload.Config{
+		Platform:              machine.PlatformP9V100(),
+		DecisionCacheSize:     cacheSize,
+		DisableCompiledModels: interpreted,
+	})
+	regions := make([]*offload.Region, len(decideKernels))
+	for i, name := range decideKernels {
+		k, err := polybench.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if regions[i], err = rt.Register(k.IR); err != nil {
+			b.Fatal(err)
+		}
+		if !interpreted && !regions[i].Compiled() {
+			b.Fatalf("%s did not compile", name)
+		}
+	}
+	return regions
+}
+
+func benchPredictUncached(b *testing.B, interpreted bool) {
+	regions := decideRuntime(b, -1, interpreted) // cache disabled: every call evaluates the models
+	bind := symbolic.Bindings{"n": 1100}
+	for _, r := range regions { // shake out one-time work
+		if _, _, err := r.Predict(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := regions[i%len(regions)].Predict(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictUncached is the headline number: one full model-pair
+// evaluation through the compiled per-region decision programs.
+func BenchmarkPredictUncached(b *testing.B) { benchPredictUncached(b, false) }
+
+// BenchmarkPredictUncachedInterpreted is the same workload through the
+// interpreted models (DisableCompiledModels) — the baseline the compiled
+// path is measured against.
+func BenchmarkPredictUncachedInterpreted(b *testing.B) { benchPredictUncached(b, true) }
+
+// BenchmarkPredictCached measures the memoized lookup: hash the slot
+// vector, confirm the key in place, return the stored predictions.
+func BenchmarkPredictCached(b *testing.B) {
+	regions := decideRuntime(b, 0, false)
+	bind := symbolic.Bindings{"n": 1100}
+	for _, r := range regions {
+		if _, _, err := r.Predict(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := regions[i%len(regions)].Predict(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecideCached measures the steady-state decision service:
+// cache hit, policy already applied, decision log append.
+func BenchmarkDecideCached(b *testing.B) {
+	regions := decideRuntime(b, 0, false)
+	bind := symbolic.Bindings{"n": 1100}
+	for _, r := range regions { // warm: first Decide runs the policy
+		if _, err := r.Decide(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regions[i%len(regions)].Decide(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecideCachedParallel drives the cached decide path from all
+// GOMAXPROCS goroutines across regions: the sharded decision cache
+// should scale instead of serializing on a region mutex.
+func BenchmarkDecideCachedParallel(b *testing.B) {
+	regions := decideRuntime(b, 0, false)
+	bind := symbolic.Bindings{"n": 1100}
+	for _, r := range regions {
+		if _, err := r.Decide(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := regions[i%len(regions)].Decide(bind); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -46,3 +46,17 @@ func BindingsHash(b symbolic.Bindings) uint64 {
 	h.Write([]byte(BindingsKey(b)))
 	return h.Sum64()
 }
+
+// KeyHash returns the 64-bit FNV-1a hash of an already-canonicalized
+// bindings key, without allocating. KeyHash(BindingsKey(b)) ==
+// BindingsHash(b) == KeyLayout.Hash of the matching slot values, so the
+// three key paths (map bindings, key strings, slot vectors) always agree
+// on cache placement.
+func KeyHash(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,180 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// compiledFixture builds everything the offload runtime would hand to
+// Compile for one kernel: slot layout, bound sets, augment, count
+// program and compiled IPDA.
+type compiledFixture struct {
+	slots    map[string]int
+	bound    map[string]bool
+	augBound map[string]bool
+	aug      *ir.Augment
+	count    *ir.CountProgram
+	an       *ipda.Result
+	ic       *ipda.CompiledResult
+	nslots   int
+}
+
+func buildFixture(t *testing.T, k *ir.Kernel) *compiledFixture {
+	t.Helper()
+	f := &compiledFixture{slots: map[string]int{}, bound: map[string]bool{}}
+	n := 0
+	for _, p := range k.Params {
+		f.slots[p] = n
+		f.bound[p] = true
+		n++
+	}
+	for _, l := range k.ParallelLoops() {
+		if _, ok := f.slots[l.Var]; !ok {
+			f.slots[l.Var] = n
+			n++
+		}
+	}
+	f.nslots = n
+	var err error
+	f.aug, f.augBound, err = ir.CompileAugment(k, f.slots, f.bound)
+	if err != nil {
+		t.Fatalf("%s: augment: %v", k.Name, err)
+	}
+	f.count, err = ir.CompileCount(k, f.slots, f.augBound)
+	if err != nil {
+		t.Fatalf("%s: count: %v", k.Name, err)
+	}
+	f.an, err = ipda.Analyze(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatalf("%s: ipda: %v", k.Name, err)
+	}
+	f.ic, err = ipda.CompileResult(f.an, f.slots, f.bound, f.augBound)
+	if err != nil {
+		t.Fatalf("%s: ipda compile: %v", k.Name, err)
+	}
+	return f
+}
+
+func (f *compiledFixture) vectors(b symbolic.Bindings) (vals, mid, scratch []int64) {
+	vals = make([]int64, f.nslots)
+	for name, v := range b {
+		if i, ok := f.slots[name]; ok {
+			vals[i] = v
+		}
+	}
+	mid = append([]int64(nil), vals...)
+	f.aug.Midpoint(mid)
+	return vals, mid, make([]int64, f.nslots)
+}
+
+// TestCompiledPredictMatchesInterpreted pins the tentpole contract: the
+// compiled CPU model must be bit-for-bit identical to the interpreted
+// Predict — full Prediction struct equality — for every Polybench
+// kernel, dataset mode, platform, and split fraction.
+func TestCompiledPredictMatchesInterpreted(t *testing.T) {
+	platforms := []machine.Platform{machine.PlatformP9V100(), machine.PlatformP8K80()}
+	fracs := []float64{0, 0.25, 0.62}
+	for _, pk := range polybench.Suite() {
+		k := pk.IR
+		f := buildFixture(t, k)
+		for _, plat := range platforms {
+			c, err := Compile(CompileInput{
+				Kernel: k, CPU: plat.CPU,
+				IPDA: f.ic, Count: f.count, Augment: f.aug,
+				Slots: f.slots, Bound: f.bound, AugBound: f.augBound,
+				DefaultTrip: 128,
+			})
+			if err != nil {
+				t.Fatalf("%s on %s: compile: %v", pk.Name, plat.Name, err)
+			}
+			for _, mode := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+				b := pk.Bindings(mode)
+				opt := ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+					Bindings: ir.MidpointBindings(k, b)}
+				vals, mid, scratch := f.vectors(b)
+				for _, frac := range fracs {
+					want, err := Predict(Input{
+						Kernel: k, CPU: plat.CPU, Bindings: b,
+						CountOpt: opt, IPDA: f.an, IterFraction: frac,
+					})
+					if err != nil {
+						t.Fatalf("%s on %s: %v", pk.Name, plat.Name, err)
+					}
+					got, err := c.Predict(vals, mid, scratch, 0.5, frac)
+					if err != nil {
+						t.Fatalf("%s on %s: compiled: %v", pk.Name, plat.Name, err)
+					}
+					if got != want {
+						t.Errorf("%s on %s (%s, frac=%g):\ncompiled    %+v\ninterpreted %+v",
+							pk.Name, plat.Name, mode, frac, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledPredictFixedCPI covers the FixedCPI estimator compilation.
+func TestCompiledPredictFixedCPI(t *testing.T) {
+	plat := machine.PlatformP9V100()
+	est := FixedCPI{CPI: 0.8}
+	for _, pk := range polybench.Suite()[:6] {
+		k := pk.IR
+		f := buildFixture(t, k)
+		c, err := Compile(CompileInput{
+			Kernel: k, CPU: plat.CPU, Estimator: est,
+			IPDA: f.ic, Count: f.count, Augment: f.aug,
+			Slots: f.slots, Bound: f.bound, AugBound: f.augBound,
+			DefaultTrip: 128,
+		})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", pk.Name, err)
+		}
+		b := pk.Bindings(polybench.Test)
+		opt := ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+			Bindings: ir.MidpointBindings(k, b)}
+		want, err := Predict(Input{
+			Kernel: k, CPU: plat.CPU, Bindings: b, CountOpt: opt,
+			IPDA: f.an, Estimator: est,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, mid, scratch := f.vectors(b)
+		got, err := c.Predict(vals, mid, scratch, 0.5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: compiled %+v != interpreted %+v", pk.Name, got, want)
+		}
+	}
+}
+
+// TestCompileRejectsUnknownEstimator keeps exotic estimators on the
+// interpreted path.
+func TestCompileRejectsUnknownEstimator(t *testing.T) {
+	pk := polybench.Suite()[0]
+	f := buildFixture(t, pk.IR)
+	plat := machine.PlatformP9V100()
+	_, err := Compile(CompileInput{
+		Kernel: pk.IR, CPU: plat.CPU, Estimator: fakeEstimator{},
+		IPDA: f.ic, Count: f.count, Augment: f.aug,
+		Slots: f.slots, Bound: f.bound, AugBound: f.augBound,
+	})
+	if err == nil {
+		t.Fatal("unknown estimator compiled; want error")
+	}
+}
+
+type fakeEstimator struct{}
+
+func (fakeEstimator) CyclesPerWorkItem(*ir.Kernel, *machine.CPU, ir.CountOptions) (float64, error) {
+	return 1, nil
+}
+func (fakeEstimator) Name() string { return "fake" }

@@ -1,0 +1,140 @@
+package gpumodel
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+type compiledFixture struct {
+	slots    map[string]int
+	bound    map[string]bool
+	augBound map[string]bool
+	aug      *ir.Augment
+	count    *ir.CountProgram
+	an       *ipda.Result
+	ic       *ipda.CompiledResult
+	nslots   int
+}
+
+func buildFixture(t *testing.T, k *ir.Kernel) *compiledFixture {
+	t.Helper()
+	f := &compiledFixture{slots: map[string]int{}, bound: map[string]bool{}}
+	n := 0
+	for _, p := range k.Params {
+		f.slots[p] = n
+		f.bound[p] = true
+		n++
+	}
+	for _, l := range k.ParallelLoops() {
+		if _, ok := f.slots[l.Var]; !ok {
+			f.slots[l.Var] = n
+			n++
+		}
+	}
+	f.nslots = n
+	var err error
+	f.aug, f.augBound, err = ir.CompileAugment(k, f.slots, f.bound)
+	if err != nil {
+		t.Fatalf("%s: augment: %v", k.Name, err)
+	}
+	f.count, err = ir.CompileCount(k, f.slots, f.augBound)
+	if err != nil {
+		t.Fatalf("%s: count: %v", k.Name, err)
+	}
+	f.an, err = ipda.Analyze(k, ir.DefaultCountOptions())
+	if err != nil {
+		t.Fatalf("%s: ipda: %v", k.Name, err)
+	}
+	f.ic, err = ipda.CompileResult(f.an, f.slots, f.bound, f.augBound)
+	if err != nil {
+		t.Fatalf("%s: ipda compile: %v", k.Name, err)
+	}
+	return f
+}
+
+func (f *compiledFixture) vectors(b symbolic.Bindings) (vals, mid []int64) {
+	vals = make([]int64, f.nslots)
+	for name, v := range b {
+		if i, ok := f.slots[name]; ok {
+			vals[i] = v
+		}
+	}
+	mid = append([]int64(nil), vals...)
+	f.aug.Midpoint(mid)
+	return vals, mid
+}
+
+// TestCompiledPredictMatchesInterpreted pins the tentpole contract on
+// the GPU side: full Prediction struct equality between the compiled
+// and interpreted models for every Polybench kernel, mode, platform,
+// option set, and split fraction.
+func TestCompiledPredictMatchesInterpreted(t *testing.T) {
+	platforms := []machine.Platform{machine.PlatformP9V100(), machine.PlatformP8K80()}
+	optSets := []Options{
+		DefaultOptions(),
+		{Coalescing: UseIPDA, OMPRep: true, IncludeTransfer: true, CacheAware: false},
+		{Coalescing: AssumeAllCoalesced, OMPRep: false, IncludeTransfer: false, CacheAware: true},
+		{Coalescing: AssumeAllUncoalesced, OMPRep: true, IncludeTransfer: true, CacheAware: true},
+	}
+	fracs := []float64{0, 0.25, 0.62}
+	for _, pk := range polybench.Suite() {
+		k := pk.IR
+		f := buildFixture(t, k)
+		for _, plat := range platforms {
+			for oi, opts := range optSets {
+				c, err := Compile(CompileInput{
+					Kernel: k, GPU: plat.GPU, Link: plat.Link, Options: opts,
+					IPDA: f.ic, Count: f.count,
+					Slots: f.slots, Bound: f.bound, DefaultTrip: 128,
+				})
+				if err != nil {
+					t.Fatalf("%s on %s opts[%d]: compile: %v", pk.Name, plat.Name, oi, err)
+				}
+				for _, mode := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+					b := pk.Bindings(mode)
+					opt := ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+						Bindings: ir.MidpointBindings(k, b)}
+					vals, mid := f.vectors(b)
+					for _, frac := range fracs {
+						want, err := Predict(Input{
+							Kernel: k, GPU: plat.GPU, Link: plat.Link,
+							Bindings: b, CountOpt: opt, IPDA: f.an,
+							Options: opts, IterFraction: frac,
+						})
+						if err != nil {
+							t.Fatalf("%s on %s opts[%d]: %v", pk.Name, plat.Name, oi, err)
+						}
+						got, err := c.Predict(vals, mid, 0.5, frac)
+						if err != nil {
+							t.Fatalf("%s on %s opts[%d]: compiled: %v", pk.Name, plat.Name, oi, err)
+						}
+						if got != want {
+							t.Errorf("%s on %s (%s, opts[%d], frac=%g):\ncompiled    %+v\ninterpreted %+v",
+								pk.Name, plat.Name, mode, oi, frac, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompileRequiresIPDAForCoalescing mirrors the interpreted error.
+func TestCompileRequiresIPDAForCoalescing(t *testing.T) {
+	pk := polybench.Suite()[0]
+	f := buildFixture(t, pk.IR)
+	plat := machine.PlatformP9V100()
+	_, err := Compile(CompileInput{
+		Kernel: pk.IR, GPU: plat.GPU, Link: plat.Link,
+		Options: DefaultOptions(), IPDA: nil, Count: f.count,
+		Slots: f.slots, Bound: f.bound,
+	})
+	if err == nil {
+		t.Fatal("compile succeeded without IPDA under UseIPDA coalescing")
+	}
+}

@@ -1,0 +1,386 @@
+package ir
+
+import (
+	"fmt"
+
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// This file compiles the per-launch dynamic parts of the static analyses
+// — trip counts, midpoint/fraction bindings, and the instruction-loadout
+// counter — into slot-vector programs fixed at Register time. The
+// compiled forms replay the interpreted computations operation-for-
+// operation (same fallbacks, same float accumulation order), so their
+// results are bit-for-bit identical to the map-based paths; the offload
+// runtime's cross-check test enforces that over the whole Polybench
+// suite.
+//
+// Resolvability is a static property here: whether a map-based Eval
+// succeeds depends only on which names are bound, and the compiled
+// programs fix the bound-name set up front (kernel parameters, plus the
+// parallel loop variables the midpoint/fraction augmentation can
+// resolve). Expressions outside that set are compiled to their
+// interpreted fallback behavior, not evaluated.
+
+// Resolvable reports whether every free symbol of e is in bound — i.e.
+// whether Expr.Eval would succeed under any bindings with exactly that
+// name set.
+func Resolvable(e symbolic.Expr, bound map[string]bool) bool {
+	for _, s := range e.FreeSyms() {
+		if !bound[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompiledTrip is a loop trip count specialized to a slot layout. It
+// replays the interpreted fallback chain exactly: TripEval under the
+// (augmented) bindings if the bounds resolve, else the constant trip if
+// the symbolic trip count is constant, else the caller's DefaultTrip.
+type CompiledTrip struct {
+	resolvable   bool
+	lower, upper symbolic.Compiled
+	step         int64
+	constVal     int64
+	constOK      bool
+}
+
+// CompileTrip specializes l's trip count. bound is the name set the
+// evaluation-time slot vector will have values for.
+func CompileTrip(l *Loop, slots map[string]int, bound map[string]bool) (CompiledTrip, error) {
+	t := CompiledTrip{step: l.Step}
+	t.constVal, t.constOK = l.Trip().IsConst()
+	if Resolvable(l.Lower, bound) && Resolvable(l.Upper, bound) {
+		lo, err := symbolic.Compile(l.Lower, slots)
+		if err != nil {
+			return CompiledTrip{}, err
+		}
+		hi, err := symbolic.Compile(l.Upper, slots)
+		if err != nil {
+			return CompiledTrip{}, err
+		}
+		t.resolvable, t.lower, t.upper = true, lo, hi
+	}
+	return t, nil
+}
+
+// eval replicates Loop.TripEval for a resolvable trip.
+func (t *CompiledTrip) eval(vals []int64) int64 {
+	lo := t.lower.Eval(vals)
+	hi := t.upper.Eval(vals)
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo + t.step - 1) / t.step
+}
+
+// Eval returns the exact trip count under vals, or ok=false when the
+// interpreted TripEval would have failed with an unbound symbol.
+func (t *CompiledTrip) Eval(vals []int64) (int64, bool) {
+	if !t.resolvable {
+		return 0, false
+	}
+	return t.eval(vals), true
+}
+
+// Count replicates the counter's trip heuristic: exact when resolvable,
+// else the constant symbolic trip, else defaultTrip.
+func (t *CompiledTrip) Count(vals []int64, defaultTrip int64) float64 {
+	if t.resolvable {
+		return float64(t.eval(vals))
+	}
+	if t.constOK {
+		return float64(t.constVal)
+	}
+	return float64(defaultTrip)
+}
+
+// Augment is the compiled form of MidpointBindings / FractionBindings:
+// it writes parallel-loop-variable values into an already-filled slot
+// vector, in parallel-loop order, evaluating each loop's bounds under
+// the vector as augmented so far (triangular parallel nests see the
+// outer variable's pinned value, exactly like the map-based builders).
+type Augment struct {
+	steps []augmentStep
+}
+
+type augmentStep struct {
+	slot         int
+	lower, upper symbolic.Compiled
+}
+
+// CompileAugment builds the augmentation program for k's parallel loops
+// against the given slot layout. bound is the set of names the raw
+// vector binds (the kernel parameters); the returned set additionally
+// contains every parallel variable the augmentation resolves — the name
+// set MidpointBindings would produce. Loops whose bounds do not resolve
+// are skipped, matching the interpreted builders.
+func CompileAugment(k *Kernel, slots map[string]int, bound map[string]bool) (*Augment, map[string]bool, error) {
+	out := make(map[string]bool, len(bound)+2)
+	for n := range bound {
+		out[n] = true
+	}
+	a := &Augment{}
+	for _, l := range k.ParallelLoops() {
+		if !Resolvable(l.Lower, out) || !Resolvable(l.Upper, out) {
+			continue
+		}
+		slot, ok := slots[l.Var]
+		if !ok {
+			return nil, nil, fmt.Errorf("ir: compile augment: no slot for parallel variable %q", l.Var)
+		}
+		lo, err := symbolic.Compile(l.Lower, slots)
+		if err != nil {
+			return nil, nil, err
+		}
+		hi, err := symbolic.Compile(l.Upper, slots)
+		if err != nil {
+			return nil, nil, err
+		}
+		a.steps = append(a.steps, augmentStep{slot: slot, lower: lo, upper: hi})
+		out[l.Var] = true
+	}
+	return a, out, nil
+}
+
+// Midpoint augments vals in place with midpoint parallel-variable values,
+// replicating MidpointBindings. vals must already hold the raw bindings.
+func (a *Augment) Midpoint(vals []int64) {
+	for i := range a.steps {
+		st := &a.steps[i]
+		lo := st.lower.Eval(vals)
+		hi := st.upper.Eval(vals)
+		vals[st.slot] = (lo + hi) / 2
+	}
+}
+
+// Fraction augments vals in place with parallel variables pinned at the
+// given fraction of their range, replicating FractionBindings.
+func (a *Augment) Fraction(vals []int64, frac float64) {
+	for i := range a.steps {
+		st := &a.steps[i]
+		lo := st.lower.Eval(vals)
+		hi := st.upper.Eval(vals)
+		v := lo + int64(float64(hi-lo)*frac)
+		if v >= hi {
+			v = hi - 1
+		}
+		if v < lo {
+			v = lo
+		}
+		vals[st.slot] = v
+	}
+}
+
+// Loadout field indices for compiled count nodes.
+const (
+	fFPAdd uint8 = iota
+	fFPMul
+	fFPDiv
+	fFPSpecial
+	fIntOps
+	fLoads
+	fStores
+	fBranches
+)
+
+func addField(out *Loadout, f uint8, v float64) {
+	switch f {
+	case fFPAdd:
+		out.FPAdd += v
+	case fFPMul:
+		out.FPMul += v
+	case fFPDiv:
+		out.FPDiv += v
+	case fFPSpecial:
+		out.FPSpecial += v
+	case fIntOps:
+		out.IntOps += v
+	case fLoads:
+		out.Loads += v
+	case fStores:
+		out.Stores += v
+	case fBranches:
+		out.Branches += v
+	}
+}
+
+// Count-program node kinds.
+const (
+	cnAccW  uint8 = iota // out[field] += w
+	cnAccWK              // out[field] += w * k
+	cnLoop               // loop control + body at weight w*trip
+	cnIf                 // then at w*p, else at w*(1-p)
+)
+
+type countNode struct {
+	kind  uint8
+	field uint8
+	k     float64
+	trip  CompiledTrip
+	body  []countNode // loop body / if-then
+	els   []countNode // if-else
+}
+
+// CountProgram is the compiled form of Count for one kernel: an ordered
+// replay of the counter's accumulations, parameterized on the slot
+// vector (trip counts), branch probability, and default trip. Because
+// float addition is not associative, the program preserves the exact
+// accumulation order of the interpreted counter; Eval output is
+// bit-for-bit identical to Count.
+type CountProgram struct {
+	nodes []countNode
+}
+
+// CompileCount compiles the per-work-item loadout counter for k. bound
+// must be the augmented name set returned by CompileAugment — the trips
+// are evaluated under midpoint/fraction-augmented vectors.
+func CompileCount(k *Kernel, slots map[string]int, bound map[string]bool) (*CountProgram, error) {
+	cc := &countCompiler{k: k, slots: slots, bound: bound}
+	nodes, err := cc.stmts(k.InnerBody())
+	if err != nil {
+		return nil, err
+	}
+	return &CountProgram{nodes: nodes}, nil
+}
+
+// Eval accumulates the loadout of one work item into out (which the
+// caller zeroes), replicating Count with CountOptions{DefaultTrip:
+// defaultTrip, BranchProb: branchProb, Bindings: <augmented vals>}.
+func (p *CountProgram) Eval(vals []int64, branchProb float64, defaultTrip int64) Loadout {
+	var out Loadout
+	evalCountNodes(p.nodes, vals, 1, branchProb, defaultTrip, &out)
+	return out
+}
+
+func evalCountNodes(nodes []countNode, vals []int64, w, p float64, defTrip int64, out *Loadout) {
+	for i := range nodes {
+		n := &nodes[i]
+		switch n.kind {
+		case cnAccW:
+			addField(out, n.field, w)
+		case cnAccWK:
+			addField(out, n.field, w*n.k)
+		case cnLoop:
+			t := n.trip.Count(vals, defTrip)
+			out.IntOps += w * t * 2
+			out.Branches += w * t
+			evalCountNodes(n.body, vals, w*t, p, defTrip, out)
+		case cnIf:
+			evalCountNodes(n.body, vals, w*p, p, defTrip, out)
+			evalCountNodes(n.els, vals, w*(1-p), p, defTrip, out)
+		}
+	}
+}
+
+type countCompiler struct {
+	k     *Kernel
+	slots map[string]int
+	bound map[string]bool
+}
+
+func (c *countCompiler) stmts(ss []Stmt) ([]countNode, error) {
+	var out []countNode
+	for _, s := range ss {
+		ns, err := c.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ns...)
+	}
+	return out, nil
+}
+
+func (c *countCompiler) stmt(s Stmt) ([]countNode, error) {
+	switch s := s.(type) {
+	case *Loop:
+		trip, err := CompileTrip(s, c.slots, c.bound)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.stmts(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		return []countNode{{kind: cnLoop, trip: trip, body: body}}, nil
+	case *Assign:
+		out := c.ref(s.LHS)
+		out = append(out, countNode{kind: cnAccW, field: fStores})
+		if s.Accum {
+			out = append(out,
+				countNode{kind: cnAccW, field: fLoads},
+				countNode{kind: cnAccW, field: fFPAdd})
+		}
+		return append(out, c.expr(s.RHS)...), nil
+	case *ScalarAssign:
+		var out []countNode
+		if s.Accum {
+			out = append(out, countNode{kind: cnAccW, field: fFPAdd})
+		}
+		return append(out, c.expr(s.RHS)...), nil
+	case *If:
+		out := []countNode{
+			{kind: cnAccW, field: fBranches},
+			{kind: cnAccW, field: fFPAdd}, // the comparison itself
+		}
+		out = append(out, c.expr(s.Cond.L)...)
+		out = append(out, c.expr(s.Cond.R)...)
+		then, err := c.stmts(s.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.stmts(s.Else)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, countNode{kind: cnIf, body: then, els: els}), nil
+	}
+	return nil, nil
+}
+
+func (c *countCompiler) ref(r Ref) []countNode {
+	a := c.k.Array(r.Array)
+	if a == nil {
+		return nil
+	}
+	adds, muls := a.LinearIndex(r.Index).OpCount()
+	return []countNode{{kind: cnAccWK, field: fIntOps, k: float64(adds + muls)}}
+}
+
+func (c *countCompiler) expr(e Expr) []countNode {
+	switch e := e.(type) {
+	case ConstF, Scalar:
+		return nil
+	case Load:
+		out := c.ref(e.Ref)
+		return append(out, countNode{kind: cnAccW, field: fLoads})
+	case IndexVal:
+		adds, muls := e.E.OpCount()
+		return []countNode{{kind: cnAccWK, field: fIntOps, k: float64(adds + muls + 1)}}
+	case Bin:
+		var f uint8
+		switch e.Op {
+		case Add, Sub:
+			f = fFPAdd
+		case Mul:
+			f = fFPMul
+		case Div:
+			f = fFPDiv
+		}
+		out := []countNode{{kind: cnAccW, field: f}}
+		out = append(out, c.expr(e.L)...)
+		return append(out, c.expr(e.R)...)
+	case Un:
+		var f uint8
+		switch e.Op {
+		case Neg, Abs:
+			f = fFPAdd
+		case Sqrt, Exp:
+			f = fFPSpecial
+		}
+		out := []countNode{{kind: cnAccW, field: f}}
+		return append(out, c.expr(e.X)...)
+	}
+	return nil
+}

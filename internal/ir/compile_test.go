@@ -1,0 +1,184 @@
+package ir
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// compileTestKernel builds a kernel exercising every counter shape:
+// triangular sequential loop (depends on the parallel variable), a
+// loop with an unresolvable symbolic trip (falls back to DefaultTrip),
+// a branch, accumulation, scalar ops, IndexVal and unary ops.
+func compileTestKernel() *Kernel {
+	n := V("n")
+	return &Kernel{
+		Name:   "compiletest",
+		Params: []string{"n"},
+		Arrays: []*Array{
+			Arr("A", F64, n, n),
+			In("x", F64, n),
+			Out("y", F64, n),
+		},
+		Body: []Stmt{
+			ParFor("i", N(0), n,
+				Set("acc", F(0)),
+				// Triangular: trips depend on the parallel variable i.
+				For("j", V("i"), n,
+					AccumS("acc", FMul(Ld("A", V("i"), V("j")), Ld("x", V("j")))),
+					// Unresolvable bound: symbolic trip over the sequential
+					// variable j is not constant and j is never bound.
+					For("k", N(0), V("j"),
+						When(Cmp(GT, Ld("x", V("k")), F(0)),
+							AccumS("acc", FSqrt(FAbs(Ld("x", V("k")))))),
+					),
+				),
+				Store(R("y", V("i")), FAdd(S("acc"), FIdx(n.Mul(V("i"))))),
+			),
+		},
+	}
+}
+
+// layoutFor builds the slot layout the offload runtime would: parameters
+// first (sorted), then parallel variables.
+func layoutFor(k *Kernel) (slots map[string]int, vals func(symbolic.Bindings) []int64, bound map[string]bool) {
+	slots = map[string]int{}
+	bound = map[string]bool{}
+	n := 0
+	for _, p := range k.Params {
+		slots[p] = n
+		bound[p] = true
+		n++
+	}
+	for _, l := range k.ParallelLoops() {
+		if _, ok := slots[l.Var]; !ok {
+			slots[l.Var] = n
+			n++
+		}
+	}
+	nslots := n
+	vals = func(b symbolic.Bindings) []int64 {
+		v := make([]int64, nslots)
+		for name, x := range b {
+			if i, ok := slots[name]; ok {
+				v[i] = x
+			}
+		}
+		return v
+	}
+	return slots, vals, bound
+}
+
+func TestAugmentMatchesMidpointAndFractionBindings(t *testing.T) {
+	k := compileTestKernel()
+	slots, mkVals, bound := layoutFor(k)
+	aug, bound2, err := CompileAugment(k, slots, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bound2["i"] {
+		t.Fatal("parallel variable i not resolved by augment")
+	}
+	for _, n := range []int64{1, 7, 1100} {
+		b := symbolic.Bindings{"n": n}
+		mid := MidpointBindings(k, b)
+		vals := mkVals(b)
+		aug.Midpoint(vals)
+		if got, want := vals[slots["i"]], mid["i"]; got != want {
+			t.Fatalf("n=%d: midpoint i = %d, want %d", n, got, want)
+		}
+		for _, frac := range []float64{0, 0.003125, 0.5, 0.996875, 1} {
+			fb := FractionBindings(k, b, frac)
+			fvals := mkVals(b)
+			aug.Fraction(fvals, frac)
+			if got, want := fvals[slots["i"]], fb["i"]; got != want {
+				t.Fatalf("n=%d frac=%g: i = %d, want %d", n, frac, got, want)
+			}
+		}
+	}
+}
+
+func TestCountProgramMatchesCount(t *testing.T) {
+	k := compileTestKernel()
+	slots, mkVals, bound := layoutFor(k)
+	aug, bound2, err := CompileAugment(k, slots, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileCount(k, slots, bound2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{1, 2, 13, 1100} {
+		for _, p := range []float64{0.5, 0.25, 1} {
+			b := symbolic.Bindings{"n": n}
+			opt := CountOptions{DefaultTrip: 128, BranchProb: p,
+				Bindings: MidpointBindings(k, b)}
+			want := Count(k, opt)
+			vals := mkVals(b)
+			aug.Midpoint(vals)
+			got := prog.Eval(vals, p, 128)
+			if got != want {
+				t.Fatalf("n=%d p=%g: compiled %+v != interpreted %+v", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestCompiledTripFallbacks(t *testing.T) {
+	k := compileTestKernel()
+	slots, mkVals, bound := layoutFor(k)
+	_, bound2, err := CompileAugment(k, slots, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq, inner *Loop
+	outer := k.ParallelLoops()[0]
+	for _, s := range outer.Body {
+		if l, ok := s.(*Loop); ok {
+			seq = l
+			for _, s2 := range l.Body {
+				if l2, ok := s2.(*Loop); ok {
+					inner = l2
+				}
+			}
+		}
+	}
+	if seq == nil || inner == nil {
+		t.Fatal("test kernel shape changed")
+	}
+
+	b := symbolic.Bindings{"n": 100}
+	vals := mkVals(b)
+	vals[slots["i"]] = 40 // as if augmented
+
+	ct, err := CompileTrip(seq, slots, bound2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := symbolic.Bindings{"n": 100, "i": 40}
+	wantTrip, err := seq.TripEval(aug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := ct.Eval(vals); !ok || got != wantTrip {
+		t.Fatalf("seq trip = %d,%v want %d,true", got, ok, wantTrip)
+	}
+	if got := ct.Count(vals, 128); got != float64(wantTrip) {
+		t.Fatalf("seq trip count = %g, want %d", got, wantTrip)
+	}
+
+	// inner loop's upper bound is j, which is never bound: the compiled
+	// trip must fall back exactly like the interpreted counter (symbolic
+	// trip "j" is not constant -> DefaultTrip).
+	ci, err := CompileTrip(inner, slots, bound2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ci.Eval(vals); ok {
+		t.Fatal("inner trip resolved but j is unbound")
+	}
+	if got := ci.Count(vals, 128); got != 128 {
+		t.Fatalf("inner trip fallback = %g, want 128", got)
+	}
+}

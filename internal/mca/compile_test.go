@@ -1,0 +1,64 @@
+package mca
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+)
+
+// TestCompiledCPIMatchesInterpreted pins the tentpole hoist: the
+// compiled cycles-per-work-item estimate must be bit-for-bit identical
+// to EstimateCyclesPerIter for every Polybench kernel, dataset mode and
+// platform CPU, under the same midpoint-augmented bindings the offload
+// runtime uses.
+func TestCompiledCPIMatchesInterpreted(t *testing.T) {
+	platforms := []machine.Platform{machine.PlatformP9V100(), machine.PlatformP8K80()}
+	for _, pk := range polybench.Suite() {
+		k := pk.IR
+		slots := map[string]int{}
+		bound := map[string]bool{}
+		n := 0
+		for _, p := range k.Params {
+			slots[p] = n
+			bound[p] = true
+			n++
+		}
+		for _, l := range k.ParallelLoops() {
+			if _, ok := slots[l.Var]; !ok {
+				slots[l.Var] = n
+				n++
+			}
+		}
+		aug, bound2, err := ir.CompileAugment(k, slots, bound)
+		if err != nil {
+			t.Fatalf("%s: %v", pk.Name, err)
+		}
+		for _, plat := range platforms {
+			c, err := CompileCPI(k, plat.CPU, slots, bound2)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", pk.Name, plat.Name, err)
+			}
+			for _, mode := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+				b := pk.Bindings(mode)
+				opt := ir.CountOptions{DefaultTrip: 128, BranchProb: 0.5,
+					Bindings: ir.MidpointBindings(k, b)}
+				want, err := EstimateCyclesPerIter(k, plat.CPU, opt)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", pk.Name, plat.Name, err)
+				}
+				vals := make([]int64, n)
+				for name, v := range b {
+					vals[slots[name]] = v
+				}
+				aug.Midpoint(vals)
+				got := c.CyclesPerWorkItem(vals, 0.5, 128)
+				if got != want {
+					t.Errorf("%s on %s (%s): compiled %v != interpreted %v",
+						pk.Name, plat.Name, mode, got, want)
+				}
+			}
+		}
+	}
+}

@@ -90,6 +90,42 @@ type lowerer struct {
 	cur     *Block
 	scalars map[string]Operand // name -> defining operand in current block
 	stack   []savedBlock
+
+	// rec, when non-nil, records for every emitted block the chain of
+	// trip factors (enclosing loops and branch arms) that produced its
+	// Trips value, so CompileCPI can re-derive Trips under new bindings
+	// without re-lowering. See compile.go.
+	rec *tripRecorder
+}
+
+// tripRecorder captures per-block factor paths during lowering.
+type tripRecorder struct {
+	path []tripFactor
+	out  [][]tripFactor // parallel to prog.Blocks
+}
+
+// Factor kinds of a block's Trips chain.
+const (
+	factorLoop uint8 = iota // multiply by the loop's trip count
+	factorThen              // multiply by BranchProb
+	factorElse              // multiply by 1-BranchProb
+)
+
+type tripFactor struct {
+	kind uint8
+	loop *ir.Loop // for factorLoop
+}
+
+func (lw *lowerer) pushFactor(kind uint8, l *ir.Loop) {
+	if lw.rec != nil {
+		lw.rec.path = append(lw.rec.path, tripFactor{kind: kind, loop: l})
+	}
+}
+
+func (lw *lowerer) popFactor() {
+	if lw.rec != nil {
+		lw.rec.path = lw.rec.path[:len(lw.rec.path)-1]
+	}
 }
 
 type savedBlock struct {
@@ -112,6 +148,11 @@ func (lw *lowerer) open(label string, trips float64) {
 func (lw *lowerer) close() {
 	if len(lw.cur.Ops) > 0 {
 		lw.prog.Blocks = append(lw.prog.Blocks, *lw.cur)
+		if lw.rec != nil {
+			path := make([]tripFactor, len(lw.rec.path))
+			copy(path, lw.rec.path)
+			lw.rec.out = append(lw.rec.out, path)
+		}
 	}
 	if n := len(lw.stack); n > 0 {
 		lw.cur = lw.stack[n-1].blk
@@ -156,6 +197,7 @@ func (lw *lowerer) stmt(s ir.Stmt) {
 	switch s := s.(type) {
 	case *ir.Loop:
 		trips := lw.trip(s) * lw.cur.Trips
+		lw.pushFactor(factorLoop, s)
 		lw.open("loop."+s.Var, trips)
 		lw.stmts(s.Body)
 		// Loop control: induction increment, bound compare, back edge.
@@ -163,6 +205,7 @@ func (lw *lowerer) stmt(s ir.Stmt) {
 		cc := lw.emit(MOp{Class: machine.OpIntALU, Uses: []Operand{iv}, Def: -2})
 		lw.emit(MOp{Class: machine.OpBranch, Uses: []Operand{cc}, Def: -1})
 		lw.close()
+		lw.popFactor()
 	case *ir.Assign:
 		val := lw.expr(s.RHS)
 		addr := lw.address(s.LHS)
@@ -205,14 +248,18 @@ func (lw *lowerer) stmt(s ir.Stmt) {
 		lw.emit(MOp{Class: machine.OpBranch, Uses: []Operand{cc}, Def: -1})
 		p := lw.opt.BranchProb
 		if len(s.Then) > 0 {
+			lw.pushFactor(factorThen, nil)
 			lw.open("if.then", lw.cur.Trips*p)
 			lw.stmts(s.Then)
 			lw.close()
+			lw.popFactor()
 		}
 		if len(s.Else) > 0 {
+			lw.pushFactor(factorElse, nil)
 			lw.open("if.else", lw.cur.Trips*(1-p))
 			lw.stmts(s.Else)
 			lw.close()
+			lw.popFactor()
 		}
 	}
 }

@@ -25,9 +25,7 @@ type Calibrator interface {
 // update). The execution memoization is untouched: ground truth does not
 // change.
 func (r *Region) InvalidateDecisions() {
-	r.mu.Lock()
 	r.decisions.clear()
-	r.mu.Unlock()
 }
 
 // InvalidateDecisions is the name-based wrapper around

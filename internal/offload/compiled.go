@@ -1,0 +1,214 @@
+package offload
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/cpumodel"
+	"github.com/hybridsel/hybridsel/internal/gpumodel"
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/ir"
+)
+
+// compiledModels is a region's decision program: both analytical models
+// specialized at Register time to the kernel, platform and configuration.
+// The expensive launch-invariant work — MCA pipeline simulation, stride
+// analysis compilation, expression walking, binding canonicalization
+// layout — happens once here; each subsequent Predict is slot-vector
+// polynomial evaluation producing bit-for-bit the interpreted models'
+// output (pinned by TestCompiledRuntimeMatchesInterpreted).
+//
+// The fast path engages only when a launch's binding names are exactly
+// the kernel parameters (KeyLayout.Fill); anything else — extra names,
+// missing names, regions whose expressions are not resolvable from the
+// parameters alone, exotic estimators — falls back to the interpreted
+// path, which also owns all error reporting. That split keeps the
+// compiled path free of error states by construction.
+type compiledModels struct {
+	layout *attrdb.KeyLayout
+	aug    *ir.Augment
+	cpu    *cpumodel.Compiled
+	gpu    *gpumodel.Compiled
+	nslots int
+	pool   sync.Pool // of *slotVecs
+}
+
+// slotVecs is the per-evaluation scratch state: the raw parameter vector,
+// its midpoint-augmented copy, and a scratch vector the CPU model's
+// edge probes overwrite. Pooled so the steady-state decision path
+// allocates only on a cache miss (the stored key string).
+type slotVecs struct {
+	vals, mid, scratch []int64
+}
+
+func (cm *compiledModels) getVecs() *slotVecs  { return cm.pool.Get().(*slotVecs) }
+func (cm *compiledModels) putVecs(sv *slotVecs) { cm.pool.Put(sv) }
+
+// compileRegion specializes both models for a region at Register time.
+// An error means the region stays on the interpreted path — which is
+// exactly the set of regions where the interpreted path's per-launch
+// validation (attrdb Resolve, model errors) can fire.
+func compileRegion(cfg *Config, k *ir.Kernel, attrs *attrdb.RegionAttrs, an *ipda.Result) (*compiledModels, error) {
+	layout, err := attrdb.NewKeyLayout(k.Params)
+	if err != nil {
+		return nil, err
+	}
+	// Slot layout: parameters in the layout's canonical (sorted) order,
+	// parallel loop variables appended for the augmented vectors. A
+	// parallel variable shadowing a parameter reuses its slot — the
+	// augmentation overwrites it exactly as MidpointBindings overwrites
+	// the map entry.
+	slots := map[string]int{}
+	bound := map[string]bool{}
+	for i, name := range layout.Names() {
+		slots[name] = i
+		bound[name] = true
+	}
+	n := layout.Len()
+	for _, l := range k.ParallelLoops() {
+		if _, ok := slots[l.Var]; !ok {
+			slots[l.Var] = n
+			n++
+		}
+	}
+	// The interpreted decide path validates bindings via Attrs.Resolve
+	// before evaluating the models; its possible errors are the iteration
+	// space (gated by both model compilers), the thread strides (gated by
+	// ipda.CompileResult) and the transfer-byte sum, gated here.
+	if !ir.Resolvable(attrs.TransferBytes, bound) {
+		return nil, fmt.Errorf("offload: compile %s: transfer bytes %s not resolvable from parameters",
+			k.Name, attrs.TransferBytes)
+	}
+	aug, augBound, err := ir.CompileAugment(k, slots, bound)
+	if err != nil {
+		return nil, err
+	}
+	count, err := ir.CompileCount(k, slots, augBound)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := ipda.CompileResult(an, slots, bound, augBound)
+	if err != nil {
+		return nil, err
+	}
+	cpuC, err := cpumodel.Compile(cpumodel.CompileInput{
+		Kernel:      k,
+		CPU:         cfg.Platform.CPU,
+		Threads:     cfg.Threads,
+		Estimator:   cfg.Estimator,
+		IPDA:        ic,
+		Count:       count,
+		Augment:     aug,
+		Slots:       slots,
+		Bound:       bound,
+		AugBound:    augBound,
+		DefaultTrip: 128,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gpuC, err := gpumodel.Compile(gpumodel.CompileInput{
+		Kernel:      k,
+		GPU:         cfg.Platform.GPU,
+		Link:        cfg.Platform.Link,
+		Options:     *cfg.GPUOptions,
+		IPDA:        ic,
+		Count:       count,
+		Slots:       slots,
+		Bound:       bound,
+		DefaultTrip: 128,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cm := &compiledModels{layout: layout, aug: aug, cpu: cpuC, gpu: gpuC, nslots: n}
+	cm.pool.New = func() any {
+		return &slotVecs{
+			vals:    make([]int64, n),
+			mid:     make([]int64, n),
+			scratch: make([]int64, n),
+		}
+	}
+	return cm, nil
+}
+
+// predictFraction is the compiled counterpart of Region.predictFraction:
+// sv.vals must hold the raw parameter vector and sv.mid its midpoint-
+// augmented copy.
+func (cm *compiledModels) predictFraction(sv *slotVecs, branchProb, cpuFrac, gpuFrac float64) (cpuSec, gpuSec float64, err error) {
+	cp, err := cm.cpu.Predict(sv.vals, sv.mid, sv.scratch, branchProb, fracOrZero(cpuFrac))
+	if err != nil {
+		return 0, 0, wrapUnbound(err)
+	}
+	gp, err := cm.gpu.Predict(sv.vals, sv.mid, branchProb, fracOrZero(gpuFrac))
+	if err != nil {
+		return 0, 0, wrapUnbound(err)
+	}
+	return cp.Seconds, gp.Seconds, nil
+}
+
+// bestSplit is the compiled counterpart of Region.bestSplit (same
+// bisection, same convergence).
+func (cm *compiledModels) bestSplit(sv *slotVecs, branchProb float64) (float64, error) {
+	lo, hi := 0.01, 0.99
+	cpuLo, gpuLo, err := cm.predictFraction(sv, branchProb, lo, 1-lo)
+	if err != nil {
+		return 0, err
+	}
+	cpuHi, gpuHi, err := cm.predictFraction(sv, branchProb, hi, 1-hi)
+	if err != nil {
+		return 0, err
+	}
+	if cpuLo >= gpuLo {
+		return 0, nil // CPU slower even with 1% of the work: all-GPU
+	}
+	if cpuHi <= gpuHi {
+		return 1, nil // CPU faster even with 99% of the work: all-CPU
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		c, g, err := cm.predictFraction(sv, branchProb, mid, 1-mid)
+		if err != nil {
+			return 0, err
+		}
+		if c < g {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// planSplit is the compiled counterpart of Region.planSplit.
+func (cm *compiledModels) planSplit(sv *slotVecs, branchProb, cpuPred, gpuPred float64) (Target, float64, error) {
+	f, err := cm.bestSplit(sv, branchProb)
+	if err != nil {
+		return 0, 0, err
+	}
+	const minGain = 0.10
+	useSplit := f > 0.03 && f < 0.97
+	if useSplit {
+		c, g, err := cm.predictFraction(sv, branchProb, f, 1-f)
+		if err != nil {
+			return 0, 0, err
+		}
+		makespan := maxf(c, g)
+		best := cpuPred
+		if gpuPred < best {
+			best = gpuPred
+		}
+		if makespan > best*(1-minGain) {
+			useSplit = false
+		}
+	}
+	switch {
+	case useSplit:
+		return TargetSplit, f, nil
+	case gpuPred < cpuPred:
+		return TargetGPU, 0, nil
+	default:
+		return TargetCPU, 0, nil
+	}
+}

@@ -1,0 +1,275 @@
+package offload
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// newSuitePair builds two runtimes over the full Polybench suite that
+// differ only in DisableCompiledModels: the first decides through the
+// Register-time compiled programs, the second through the interpreted
+// models. Every cross-check in this file compares the two bit-for-bit.
+func newSuitePair(t *testing.T, platform machine.Platform, p Policy) (compiled, interp *Runtime) {
+	t.Helper()
+	compiled = NewRuntime(Config{Platform: platform, Policy: p})
+	interp = NewRuntime(Config{Platform: platform, Policy: p, DisableCompiledModels: true})
+	for _, k := range polybench.Suite() {
+		if _, err := compiled.Register(k.IR); err != nil {
+			t.Fatalf("%s: register (compiled): %v", k.Name, err)
+		}
+		if _, err := interp.Register(k.IR); err != nil {
+			t.Fatalf("%s: register (interpreted): %v", k.Name, err)
+		}
+	}
+	return compiled, interp
+}
+
+// TestCompiledRuntimeMatchesInterpreted is the tentpole cross-check: for
+// every Polybench kernel, in both dataset modes, on both paper
+// platforms, the compiled decision path must produce bit-for-bit the
+// predictions and decisions of the interpreted path. Bit-for-bit means
+// float64 ==, not approximate: the compiled models replay the exact
+// operation order of the interpreted ones.
+func TestCompiledRuntimeMatchesInterpreted(t *testing.T) {
+	platforms := []struct {
+		name string
+		p    machine.Platform
+	}{
+		{"p9-v100", machine.PlatformP9V100()},
+		{"p8-k80", machine.PlatformP8K80()},
+	}
+	for _, plat := range platforms {
+		t.Run(plat.name, func(t *testing.T) {
+			crt, irt := newSuitePair(t, plat.p, ModelGuided)
+			for _, k := range polybench.Suite() {
+				cr, err := crt.Region(k.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !cr.Compiled() {
+					t.Fatalf("%s: not compiled on the default runtime", k.Name)
+				}
+				ir2, err := irt.Region(k.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ir2.Compiled() {
+					t.Fatalf("%s: compiled despite DisableCompiledModels", k.Name)
+				}
+				for _, mode := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+					b := k.Bindings(mode)
+					ccpu, cgpu, err := cr.Predict(b)
+					if err != nil {
+						t.Fatalf("%s/%v: compiled predict: %v", k.Name, mode, err)
+					}
+					icpu, igpu, err := ir2.Predict(b)
+					if err != nil {
+						t.Fatalf("%s/%v: interpreted predict: %v", k.Name, mode, err)
+					}
+					if ccpu != icpu || cgpu != igpu {
+						t.Errorf("%s/%v: predictions diverge: compiled %v/%v, interpreted %v/%v",
+							k.Name, mode, ccpu, cgpu, icpu, igpu)
+					}
+					cout, err := crt.Decide(k.Name, b)
+					if err != nil {
+						t.Fatalf("%s/%v: compiled decide: %v", k.Name, mode, err)
+					}
+					iout, err := irt.Decide(k.Name, b)
+					if err != nil {
+						t.Fatalf("%s/%v: interpreted decide: %v", k.Name, mode, err)
+					}
+					if cout.Target != iout.Target ||
+						cout.PredCPUSeconds != iout.PredCPUSeconds ||
+						cout.PredGPUSeconds != iout.PredGPUSeconds ||
+						cout.SplitFraction != iout.SplitFraction {
+						t.Errorf("%s/%v: decisions diverge: compiled %v (%v/%v, f=%v), interpreted %v (%v/%v, f=%v)",
+							k.Name, mode,
+							cout.Target, cout.PredCPUSeconds, cout.PredGPUSeconds, cout.SplitFraction,
+							iout.Target, iout.PredCPUSeconds, iout.PredGPUSeconds, iout.SplitFraction)
+					}
+				}
+			}
+			cm := crt.Metrics()
+			if cm.CompiledRegions != len(polybench.Suite()) {
+				t.Errorf("CompiledRegions = %d, want %d", cm.CompiledRegions, len(polybench.Suite()))
+			}
+			if cm.CompiledModelEvals == 0 || cm.CompiledModelEvals != cm.Predictions {
+				t.Errorf("CompiledModelEvals = %d, Predictions = %d: every eval should be compiled",
+					cm.CompiledModelEvals, cm.Predictions)
+			}
+			im := irt.Metrics()
+			if im.CompiledRegions != 0 || im.CompiledModelEvals != 0 {
+				t.Errorf("interpreted runtime reports compiled activity: %d regions, %d evals",
+					im.CompiledRegions, im.CompiledModelEvals)
+			}
+		})
+	}
+}
+
+// TestCompiledSplitMatchesInterpreted cross-checks the Split policy —
+// the deepest consumer of the compiled models (a 40-step bisection of
+// predictFraction) — on both platforms. The chosen split fraction is a
+// float64 produced by dozens of chained model evaluations, so equality
+// here is a much stronger parity statement than the single-evaluation
+// check above.
+func TestCompiledSplitMatchesInterpreted(t *testing.T) {
+	for _, plat := range []machine.Platform{machine.PlatformP9V100(), machine.PlatformP8K80()} {
+		crt, irt := newSuitePair(t, plat, Split)
+		for _, k := range polybench.Suite() {
+			b := k.Bindings(polybench.Test)
+			cout, err := crt.Decide(k.Name, b)
+			if err != nil {
+				t.Fatalf("%s: compiled decide: %v", k.Name, err)
+			}
+			iout, err := irt.Decide(k.Name, b)
+			if err != nil {
+				t.Fatalf("%s: interpreted decide: %v", k.Name, err)
+			}
+			if cout.Target != iout.Target || cout.SplitFraction != iout.SplitFraction {
+				t.Errorf("%s: split decisions diverge: compiled %v f=%v, interpreted %v f=%v",
+					k.Name, cout.Target, cout.SplitFraction, iout.Target, iout.SplitFraction)
+			}
+		}
+	}
+}
+
+// TestCompiledIterSpaceNoOverflow guards the compiled fast path's
+// unchecked arithmetic: for every suite kernel at the largest dataset
+// the iteration-space polynomial must evaluate well inside int64, which
+// the checked evaluator (symbolic.Compiled.EvalChecked) verifies while
+// also cross-checking the slot-vector result against the map-based
+// interpreter. The fast path may then use the unchecked Eval, whose
+// wraparound contract is documented at its definition.
+func TestCompiledIterSpaceNoOverflow(t *testing.T) {
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100()})
+	for _, k := range polybench.Suite() {
+		r, err := rt.Register(k.IR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.compiled == nil {
+			t.Fatalf("%s: not compiled", k.Name)
+		}
+		layout := r.compiled.layout
+		slots := map[string]int{}
+		for i, name := range layout.Names() {
+			slots[name] = i
+		}
+		cs, err := symbolic.Compile(r.Attrs.IterSpace, slots)
+		if err != nil {
+			t.Fatalf("%s: compile iter space: %v", k.Name, err)
+		}
+		b := k.Bindings(polybench.Benchmark)
+		vals := make([]int64, layout.Len())
+		if !layout.Fill(b, vals) {
+			t.Fatalf("%s: bindings do not match the parameter layout", k.Name)
+		}
+		got, err := cs.EvalChecked(vals)
+		if err != nil {
+			t.Fatalf("%s: iteration space overflows int64 at benchmark size: %v", k.Name, err)
+		}
+		want, err := r.Attrs.IterSpace.Eval(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: compiled iter space = %d, interpreted = %d", k.Name, got, want)
+		}
+	}
+}
+
+// countingEstimator is a CPIEstimator the compiler does not recognize:
+// regions configured with it must fall back to the interpreted path and
+// still work end to end.
+type countingEstimator struct{ calls *int }
+
+func (e countingEstimator) CyclesPerWorkItem(k *ir.Kernel, cpu *machine.CPU, opt ir.CountOptions) (float64, error) {
+	*e.calls++
+	return ir.Count(k, opt).Total() * 1.5, nil
+}
+
+func (countingEstimator) Name() string { return "counting" }
+
+// TestCompiledFallback pins the fallback contract: an estimator the
+// specializer cannot compile leaves the region on the interpreted path
+// (Compiled() false, CompiledRegions 0) without affecting registration,
+// prediction or launching.
+func TestCompiledFallback(t *testing.T) {
+	calls := 0
+	rt := NewRuntime(Config{
+		Platform:  machine.PlatformP9V100(),
+		Policy:    ModelGuided,
+		Estimator: countingEstimator{calls: &calls},
+	})
+	k, err := polybench.Get("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.Register(k.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Compiled() {
+		t.Fatal("unknown estimator was compiled")
+	}
+	out, err := rt.Launch("gemm", k.Bindings(polybench.Test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PredCPUSeconds <= 0 || out.PredGPUSeconds <= 0 {
+		t.Fatalf("fallback predictions = %v/%v", out.PredCPUSeconds, out.PredGPUSeconds)
+	}
+	if calls == 0 {
+		t.Fatal("custom estimator never consulted")
+	}
+	m := rt.Metrics()
+	if m.CompiledRegions != 0 || m.CompiledModelEvals != 0 {
+		t.Fatalf("fallback runtime reports compiled activity: %d regions, %d evals",
+			m.CompiledRegions, m.CompiledModelEvals)
+	}
+}
+
+// TestCompiledFallbackOnForeignBindings pins the per-launch gate: a
+// compiled region launched with bindings that are not exactly the kernel
+// parameters (here, one extra name) must take the interpreted path for
+// that launch — and agree with it, since the extra binding is unused.
+func TestCompiledFallbackOnForeignBindings(t *testing.T) {
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100()})
+	k, err := polybench.Get("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.Register(k.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Compiled() {
+		t.Fatal("gemm did not compile")
+	}
+	plain := k.Bindings(polybench.Test)
+	foreign := symbolic.Bindings{"unused": 7}
+	for name, v := range plain {
+		foreign[name] = v
+	}
+	fcpu, fgpu, err := r.Predict(foreign)
+	if err != nil {
+		t.Fatalf("foreign-bindings predict: %v", err)
+	}
+	if rt.Metrics().CompiledModelEvals != 0 {
+		t.Fatal("foreign bindings took the compiled path")
+	}
+	pcpu, pgpu, err := r.Predict(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics().CompiledModelEvals != 1 {
+		t.Fatal("exact bindings did not take the compiled path")
+	}
+	if fcpu != pcpu || fgpu != pgpu {
+		t.Fatalf("foreign vs exact predictions diverge: %v/%v vs %v/%v", fcpu, fgpu, pcpu, pgpu)
+	}
+}

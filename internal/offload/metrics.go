@@ -180,10 +180,11 @@ func (s LatencyStats) merge(o LatencyStats) LatencyStats {
 
 // counters is the runtime's live instrumentation, all lock-free.
 type counters struct {
-	launches    atomic.Uint64
-	decides     atomic.Uint64
-	predictions atomic.Uint64
-	dispatch    [3]atomic.Uint64 // indexed by Target
+	launches      atomic.Uint64
+	decides       atomic.Uint64
+	predictions   atomic.Uint64
+	compiledEvals atomic.Uint64
+	dispatch      [3]atomic.Uint64 // indexed by Target
 
 	decisionHits      atomic.Uint64
 	decisionMisses    atomic.Uint64
@@ -207,6 +208,13 @@ type Metrics struct {
 	// Predictions counts model-pair evaluations actually performed
 	// (cache misses and standalone Predict calls).
 	Predictions uint64
+	// CompiledModelEvals counts the subset of Predictions served by the
+	// compiled (Register-time specialized) models rather than the
+	// interpreted ones.
+	CompiledModelEvals uint64
+	// CompiledRegions is the number of registered regions whose decision
+	// path is compiled.
+	CompiledRegions int
 	// Dispatch counts completed launches per execution target.
 	Dispatch map[Target]uint64
 
@@ -252,6 +260,8 @@ func (m Metrics) Merge(o Metrics) Metrics {
 	m.Launches += o.Launches
 	m.Decides += o.Decides
 	m.Predictions += o.Predictions
+	m.CompiledModelEvals += o.CompiledModelEvals
+	m.CompiledRegions += o.CompiledRegions
 	dispatch := make(map[Target]uint64, len(m.Dispatch))
 	for t, n := range m.Dispatch {
 		dispatch[t] = n
@@ -298,6 +308,10 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&sb, "  model evaluations    %d (mean %v, max %v)\n",
 		m.Predictions, m.ModelEval.Mean().Round(time.Microsecond),
 		m.ModelEval.Max.Round(time.Microsecond))
+	if m.CompiledRegions > 0 || m.CompiledModelEvals > 0 {
+		fmt.Fprintf(&sb, "  compiled decisions   %d regions compiled, %d compiled evals\n",
+			m.CompiledRegions, m.CompiledModelEvals)
+	}
 	if m.ModelEval.Count > 0 {
 		fmt.Fprintf(&sb, "  eval latency         %s\n", m.ModelEval.Quantiles())
 	}

@@ -115,6 +115,12 @@ type Config struct {
 	// Estimator defaults to the MCA-driven estimator.
 	Estimator cpumodel.CPIEstimator
 
+	// DisableCompiledModels forces every region onto the interpreted
+	// model-evaluation path, skipping the Register-time specialization.
+	// The compiled path is bit-for-bit identical to the interpreted one,
+	// so this exists only as a benchmarking baseline and escape hatch.
+	DisableCompiledModels bool
+
 	// Simulation fidelity knobs (defaults applied by the simulators).
 	CPUSim sim.CPUConfig
 	GPUSim sim.GPUConfig
@@ -132,12 +138,20 @@ type Region struct {
 
 	rt *Runtime
 
-	// mu guards the per-region mutable state below; launches on
-	// different regions take different locks and never contend.
-	mu        sync.Mutex
-	profile   *ProfileData
+	// compiled holds the region's decision program, specialized at
+	// Register time (nil when compilation was disabled or the region's
+	// expressions are not resolvable from its parameters alone — such
+	// regions stay on the interpreted path).
+	compiled *compiledModels
+
+	// mu guards the per-region mutable state below (the decision cache
+	// carries its own sharded locks); launches on different regions take
+	// different locks and never contend.
+	mu      sync.Mutex
+	profile *ProfileData
+	exec    map[string]float64
+
 	decisions *decisionCache
-	exec      map[string]float64
 }
 
 // Decision records one launch for the decision log.
@@ -260,6 +274,14 @@ func (rt *Runtime) Register(k *ir.Kernel) (*Region, error) {
 		decisions: newDecisionCache(rt.cfg.DecisionCacheSize),
 		exec:      map[string]float64{},
 	}
+	if !rt.cfg.DisableCompiledModels {
+		// Specialize both models now (the compiler role): per-launch
+		// Predicts become slot-vector evaluations. Failure is not an
+		// error — the region simply stays on the interpreted path.
+		if cm, err := compileRegion(&rt.cfg, k, attrs, an); err == nil {
+			r.compiled = cm
+		}
+	}
 	rt.regmu.Lock()
 	defer rt.regmu.Unlock()
 	if _, ok := rt.regions[k.Name]; ok {
@@ -343,6 +365,7 @@ func (rt *Runtime) Metrics() Metrics {
 		Launches:               rt.met.launches.Load(),
 		Decides:                rt.met.decides.Load(),
 		Predictions:            rt.met.predictions.Load(),
+		CompiledModelEvals:     rt.met.compiledEvals.Load(),
 		DecisionCacheHits:      rt.met.decisionHits.Load(),
 		DecisionCacheMisses:    rt.met.decisionMisses.Load(),
 		DecisionCacheEvictions: rt.met.decisionEvictions.Load(),
@@ -358,9 +381,10 @@ func (rt *Runtime) Metrics() Metrics {
 	rt.regmu.RLock()
 	m.Regions = len(rt.regions)
 	for _, r := range rt.regions {
-		r.mu.Lock()
 		m.DecisionCacheSize += r.decisions.len()
-		r.mu.Unlock()
+		if r.compiled != nil {
+			m.CompiledRegions++
+		}
 	}
 	rt.regmu.RUnlock()
 	return m
@@ -377,6 +401,10 @@ func (rt *Runtime) DecisionLog() *DecisionLog { return rt.log.snapshot() }
 func (rt *Runtime) Decisions() []Decision { return rt.log.snapshot().All() }
 
 // ------------------------------------------------------ region methods --
+
+// Compiled reports whether the region's decision path runs the compiled
+// (Register-time specialized) models rather than the interpreted ones.
+func (r *Region) Compiled() bool { return r.compiled != nil }
 
 // Profile returns the region's recorded profiling observations (nil until
 // ProfileRegion has run).
@@ -487,32 +515,62 @@ func fracOrZero(f float64) float64 {
 // bindings, without executing anything. Results are memoized in the
 // region's decision cache.
 func (r *Region) Predict(b symbolic.Bindings) (cpuSec, gpuSec float64, err error) {
+	if cm := r.compiled; cm != nil {
+		sv := cm.getVecs()
+		defer cm.putVecs(sv)
+		if cm.layout.Fill(b, sv.vals) {
+			hash := cm.layout.Hash(sv.vals)
+			if ent, ok := r.decisions.getVec(hash, cm.layout, sv.vals); ok {
+				return ent.predCPU, ent.predGPU, nil
+			}
+			cpuSec, gpuSec, err = r.evalCompiled(cm, sv, r.branchProb())
+			if err != nil {
+				return 0, 0, err
+			}
+			r.storeEntry(decisionEntry{key: cm.layout.Key(sv.vals), hash: hash,
+				predCPU: cpuSec, predGPU: gpuSec})
+			return cpuSec, gpuSec, nil
+		}
+	}
 	key := attrdb.BindingsKey(b)
-	r.mu.Lock()
-	if ent, ok := r.decisions.get(key); ok {
-		r.mu.Unlock()
+	if ent, ok := r.decisions.get(attrdb.KeyHash(key), key); ok {
 		return ent.predCPU, ent.predGPU, nil
 	}
-	r.mu.Unlock()
 	cpuSec, gpuSec, err = r.evalModels(b)
 	if err != nil {
 		return 0, 0, err
 	}
-	r.storeEntry(&decisionEntry{key: key, predCPU: cpuSec, predGPU: gpuSec})
+	r.storeEntry(decisionEntry{key: key, hash: attrdb.KeyHash(key),
+		predCPU: cpuSec, predGPU: gpuSec})
 	return cpuSec, gpuSec, nil
 }
 
-// storeEntry inserts a cache entry, preserving an already-decided entry
-// for the same key (Predict must not erase a Launch's decision).
-func (r *Region) storeEntry(e *decisionEntry) {
-	r.mu.Lock()
-	if old, ok := r.decisions.get(e.key); ok && old.decided && !e.decided {
-		r.mu.Unlock()
-		return
+// evalCompiled runs both compiled models for the full iteration space
+// (sv.vals already filled; it fills sv.mid), with the same accounting as
+// evalModels. The interpreted path's Attrs.Resolve validation is
+// unnecessary here: compileRegion proved every expression resolvable
+// from the parameters, and Fill proved the parameters are exactly what
+// was bound.
+func (r *Region) evalCompiled(cm *compiledModels, sv *slotVecs, branchProb float64) (cpuSec, gpuSec float64, err error) {
+	rt := r.rt
+	start := time.Now()
+	copy(sv.mid, sv.vals)
+	cm.aug.Midpoint(sv.mid)
+	cpuSec, gpuSec, err = cm.predictFraction(sv, branchProb, 1, 1)
+	if err != nil {
+		return 0, 0, err
 	}
-	evicted := r.decisions.put(e)
-	r.mu.Unlock()
-	if evicted > 0 {
+	rt.met.predictions.Add(1)
+	rt.met.compiledEvals.Add(1)
+	rt.met.modelEval.observe(time.Since(start))
+	return cpuSec, gpuSec, nil
+}
+
+// storeEntry inserts a cache entry, counting evictions. The cache itself
+// preserves an already-decided entry against an undecided refresh of the
+// same key (Predict must not erase a Launch's decision).
+func (r *Region) storeEntry(e decisionEntry) {
+	if evicted := r.decisions.put(e); evicted > 0 {
 		r.rt.met.decisionEvictions.Add(uint64(evicted))
 	}
 }
@@ -654,32 +712,37 @@ func (r *Region) planSplit(b symbolic.Bindings, cpuPred, gpuPred float64) (Targe
 // decide runs the selection stage shared by Launch and Decide: consult
 // the memoized decision cache, evaluate both analytical models on a miss,
 // run the policy (planning the split when asked), and memoize the result.
-// key is the caller's canonicalized attrdb.BindingsKey for b.
-func (r *Region) decide(b symbolic.Bindings, key string, d *Decision) error {
+// It returns the canonical bindings key (from the cache entry on a hit,
+// so the steady-state hot path never re-canonicalizes the bindings).
+func (r *Region) decide(b symbolic.Bindings, d *Decision) (string, error) {
 	rt := r.rt
-	r.mu.Lock()
-	ent, ok := r.decisions.get(key)
-	if ok {
-		// Copy under the lock; entries are mutated in place on upgrade.
-		e := *ent
-		r.mu.Unlock()
-		d.PredCPUSeconds, d.PredGPUSeconds = e.predCPU, e.predGPU
-		if e.decided {
-			d.Target, d.SplitFraction, d.CacheHit = e.target, e.frac, true
+	if cm := r.compiled; cm != nil {
+		sv := cm.getVecs()
+		defer cm.putVecs(sv)
+		if cm.layout.Fill(b, sv.vals) {
+			return r.decideCompiled(cm, sv, d)
 		}
-	} else {
-		r.mu.Unlock()
+	}
+
+	key := attrdb.BindingsKey(b)
+	hash := attrdb.KeyHash(key)
+	ent, ok := r.decisions.get(hash, key)
+	if ok {
+		d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
+		if ent.decided {
+			d.Target, d.SplitFraction, d.CacheHit = ent.target, ent.frac, true
+		}
 	}
 
 	if d.CacheHit {
 		rt.met.decisionHits.Add(1)
-		return nil
+		return key, nil
 	}
 	rt.met.decisionMisses.Add(1)
 	if !ok {
 		cpuPred, gpuPred, err := r.evalModels(b)
 		if err != nil {
-			return err
+			return "", err
 		}
 		d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
 	}
@@ -694,14 +757,63 @@ func (r *Region) decide(b symbolic.Bindings, key string, d *Decision) error {
 	if d.Target == TargetSplit {
 		t, f, err := r.planSplit(b, calCPU, calGPU)
 		if err != nil {
-			return err
+			return "", err
 		}
 		d.Target, d.SplitFraction = t, f
 	}
-	r.storeEntry(&decisionEntry{key: key,
+	r.storeEntry(decisionEntry{key: key, hash: hash,
 		predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
 		decided: true, target: d.Target, frac: d.SplitFraction})
-	return nil
+	return key, nil
+}
+
+// decideCompiled is decide's fast path: sv.vals already holds the launch
+// parameters in slot order. On the steady-state hit it performs zero
+// allocations and zero map lookups — one hash, one sharded-LRU probe.
+func (r *Region) decideCompiled(cm *compiledModels, sv *slotVecs, d *Decision) (string, error) {
+	rt := r.rt
+	hash := cm.layout.Hash(sv.vals)
+	ent, ok := r.decisions.getVec(hash, cm.layout, sv.vals)
+	if ok {
+		d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
+		if ent.decided {
+			d.Target, d.SplitFraction, d.CacheHit = ent.target, ent.frac, true
+			rt.met.decisionHits.Add(1)
+			return ent.key, nil
+		}
+	}
+	rt.met.decisionMisses.Add(1)
+	branchProb := r.branchProb()
+	if !ok {
+		cpuPred, gpuPred, err := r.evalCompiled(cm, sv, branchProb)
+		if err != nil {
+			return "", err
+		}
+		d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
+	} else {
+		// Prediction-only entry (stored by Predict): the models are
+		// already evaluated, but the split planner below may still need
+		// the midpoint vector.
+		copy(sv.mid, sv.vals)
+		cm.aug.Midpoint(sv.mid)
+	}
+	calCPU, calGPU := d.PredCPUSeconds, d.PredGPUSeconds
+	if rt.cfg.Calibrator != nil {
+		calCPU, calGPU = rt.cfg.Calibrator.Correct(r.Name, calCPU, calGPU)
+	}
+	d.Target = d.Policy.Decide(r, calCPU, calGPU)
+	if d.Target == TargetSplit {
+		t, f, err := cm.planSplit(sv, branchProb, calCPU, calGPU)
+		if err != nil {
+			return "", err
+		}
+		d.Target, d.SplitFraction = t, f
+	}
+	key := cm.layout.Key(sv.vals)
+	r.storeEntry(decisionEntry{key: key, hash: hash,
+		predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
+		decided: true, target: d.Target, frac: d.SplitFraction})
+	return key, nil
 }
 
 // Decide runs the selection stage only — cache lookup, model evaluation
@@ -717,7 +829,7 @@ func (r *Region) Decide(b symbolic.Bindings) (*Outcome, error) {
 	rt.met.decides.Add(1)
 	d := Decision{Region: r.Name, Bindings: b, Policy: rt.cfg.Policy}
 	start := time.Now()
-	if err := r.decide(b, attrdb.BindingsKey(b), &d); err != nil {
+	if _, err := r.decide(b, &d); err != nil {
 		return nil, err
 	}
 	d.DecisionOverhead = time.Since(start)
@@ -735,8 +847,8 @@ func (r *Region) Launch(b symbolic.Bindings) (*Outcome, error) {
 	d := Decision{Region: r.Name, Bindings: b, Policy: pol}
 	start := time.Now()
 
-	key := attrdb.BindingsKey(b)
-	if err := r.decide(b, key, &d); err != nil {
+	key, err := r.decide(b, &d)
+	if err != nil {
 		return nil, err
 	}
 	d.DecisionOverhead = time.Since(start)

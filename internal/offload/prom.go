@@ -29,6 +29,11 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 		"Decide-only calls (no dispatch).", m.Decides)
 	counter("hybridsel_model_evaluations_total",
 		"Analytical model-pair evaluations performed.", m.Predictions)
+	counter("hybridsel_compiled_model_evaluations_total",
+		"Model-pair evaluations served by the compiled decision programs.",
+		m.CompiledModelEvals)
+	gauge("hybridsel_compiled_regions",
+		"Registered regions whose decision path is compiled.", m.CompiledRegions)
 
 	fmt.Fprintf(ew, "# HELP hybridsel_dispatch_total Completed launches by execution target.\n")
 	fmt.Fprintf(ew, "# TYPE hybridsel_dispatch_total counter\n")

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPprofServesOnSeparateListener(t *testing.T) {
+	p, err := StartPprof("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown(context.Background())
+
+	resp, err := http.Get("http://" + p.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "goroutine") {
+		t.Fatalf("index does not list profiles: %.200s", raw)
+	}
+	// A concrete profile endpoint, not just the index.
+	resp, err = http.Get("http://" + p.Addr() + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("goroutine profile status %d", resp.StatusCode)
+	}
+}
+
+// TestPprofDrainSafeShutdown pins the shutdown contract: an in-flight
+// profile collection (here a 1-second CPU profile) finishes its window
+// and returns a complete response; Shutdown waits for it rather than
+// cutting the connection, and afterwards the listener is gone.
+func TestPprofDrainSafeShutdown(t *testing.T) {
+	p, err := StartPprof("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := p.Addr()
+
+	type result struct {
+		status int
+		n      int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		inflight <- result{status: resp.StatusCode, n: len(raw)}
+	}()
+	// Give the profile request time to start collecting before draining.
+	time.Sleep(100 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Fatalf("shutdown returned after %v: did not wait for the in-flight profile", waited)
+	}
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight profile cut off: %v", r.err)
+	}
+	if r.status != http.StatusOK || r.n == 0 {
+		t.Fatalf("in-flight profile incomplete: status %d, %d bytes", r.status, r.n)
+	}
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

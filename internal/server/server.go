@@ -25,6 +25,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -35,6 +36,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -499,10 +501,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // ------------------------------------------------------------- helpers --
 
+// encodeBufs pools response-encoding buffers so the steady-state decide
+// path does not allocate a fresh buffer (and its growth doublings) per
+// response. Buffers that ballooned on a large response (a full region
+// listing, a big batch) are dropped rather than pinned in the pool.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledEncodeBuf = 64 << 10
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Can only happen for unmarshalable values — a programming error,
+		// but the client still deserves a well-formed reply.
+		encodeBufs.Put(buf)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	// Buffering the encode is what makes an exact Content-Length possible,
+	// which keeps keep-alive connections reusable without chunked framing.
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledEncodeBuf {
+		encodeBufs.Put(buf)
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

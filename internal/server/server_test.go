@@ -431,3 +431,40 @@ func waitHealthy(t *testing.T, base string, timeout time.Duration) {
 	}
 	t.Fatal("server never became healthy")
 }
+
+// TestResponsesCarryContentLength pins the pooled buffered-encode
+// contract: every JSON response declares an exact Content-Length (so
+// keep-alive connections avoid chunked framing) that matches the body
+// actually sent.
+func TestResponsesCarryContentLength(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postDecide(t, ts.URL, `{"region":"gemm","bindings":{"n":64}}`)
+	if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(len(raw)) {
+		t.Fatalf("decide Content-Length = %q, body = %d bytes", got, len(raw))
+	}
+	for _, path := range []string{"/healthz", "/v1/regions"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(len(raw)) {
+			t.Fatalf("%s Content-Length = %q, body = %d bytes", path, got, len(raw))
+		}
+	}
+	// Error responses go through the same encoder.
+	resp2, raw2 := postDecide(t, ts.URL, `{"region":"nope","bindings":{"n":64}}`)
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("unknown region accepted")
+	}
+	if got := resp2.Header.Get("Content-Length"); got != fmt.Sprint(len(raw2)) {
+		t.Fatalf("error Content-Length = %q, body = %d bytes", got, len(raw2))
+	}
+}

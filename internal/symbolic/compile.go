@@ -46,6 +46,14 @@ func MustCompile(e Expr, slots map[string]int) Compiled {
 }
 
 // Eval evaluates against the slot value vector.
+//
+// Wraparound contract: Eval performs raw int64 arithmetic with no
+// overflow detection — products and sums that exceed the int64 range
+// wrap, exactly as the map-based Expr.Eval does. Because two's-complement
+// addition and multiplication are commutative and associative even under
+// wraparound, a wrapped Eval still matches Expr.Eval bit-for-bit; callers
+// that must *reject* wrapped results (rather than reproduce them) use
+// EvalChecked.
 func (c Compiled) Eval(vals []int64) int64 {
 	sum := c.constant
 	for _, t := range c.terms {
@@ -57,3 +65,61 @@ func (c Compiled) Eval(vals []int64) int64 {
 	}
 	return sum
 }
+
+// ErrOverflow reports that an EvalChecked computation left the int64
+// range. It is a value (not a wrapper) so hot callers can compare with ==.
+var ErrOverflow = fmt.Errorf("symbolic: int64 overflow in compiled evaluation")
+
+// EvalChecked is Eval with overflow detection: it returns ErrOverflow if
+// any intermediate product or the running sum wraps around the int64
+// range. It is slower than Eval and intended for validation paths — the
+// compiler cross-check test runs every compiled expression through
+// EvalChecked so that a wrapped fast-path result can never masquerade as
+// a legitimate model prediction.
+func (c Compiled) EvalChecked(vals []int64) (int64, error) {
+	sum := c.constant
+	for _, t := range c.terms {
+		p := t.coef
+		for _, s := range t.slots {
+			np, ok := mulChecked(p, vals[s])
+			if !ok {
+				return 0, ErrOverflow
+			}
+			p = np
+		}
+		ns, ok := addChecked(sum, p)
+		if !ok {
+			return 0, ErrOverflow
+		}
+		sum = ns
+	}
+	return sum, nil
+}
+
+// mulChecked returns a*b and whether it fit in int64.
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	// Division undoes a non-overflowed multiply exactly; the one case it
+	// cannot distinguish is MinInt64 * -1, which overflows to MinInt64.
+	if (a == -1 && b == minInt64) || (b == -1 && a == minInt64) {
+		return 0, false
+	}
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// addChecked returns a+b and whether it fit in int64.
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+const minInt64 = -1 << 63

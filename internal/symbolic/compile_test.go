@@ -1,0 +1,88 @@
+package symbolic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompiledEvalMatchesExpr(t *testing.T) {
+	e := Sym("n").Mul(Sym("n")).MulConst(3).Add(Sym("m").MulConst(-7)).AddConst(11)
+	slots := map[string]int{"n": 0, "m": 1}
+	c, err := Compile(e, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][2]int64{{0, 0}, {5, 9}, {-3, 12}, {1 << 20, 1 << 30}} {
+		want, err := e.Eval(Bindings{"n": tc[0], "m": tc[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Eval([]int64{tc[0], tc[1]}); got != want {
+			t.Fatalf("Eval(n=%d,m=%d) = %d, want %d", tc[0], tc[1], got, want)
+		}
+		chk, err := c.EvalChecked([]int64{tc[0], tc[1]})
+		if err != nil {
+			t.Fatalf("EvalChecked(n=%d,m=%d): %v", tc[0], tc[1], err)
+		}
+		if chk != want {
+			t.Fatalf("EvalChecked(n=%d,m=%d) = %d, want %d", tc[0], tc[1], chk, want)
+		}
+	}
+}
+
+func TestCompileMissingSlot(t *testing.T) {
+	e := Sym("n").Add(Sym("k"))
+	if _, err := Compile(e, map[string]int{"n": 0}); err == nil {
+		t.Fatal("Compile with missing slot: want error")
+	}
+}
+
+func TestEvalCheckedOverflow(t *testing.T) {
+	big := int64(math.MaxInt64)
+	cases := []struct {
+		name string
+		e    Expr
+		vals map[string]int64
+	}{
+		{"product", Sym("a").Mul(Sym("b")), map[string]int64{"a": 1 << 40, "b": 1 << 40}},
+		{"sum", Sym("a").Add(Sym("b")), map[string]int64{"a": big, "b": big}},
+		{"coef", Sym("a").MulConst(4), map[string]int64{"a": big/2 + 1, "b": 0}},
+		{"min-times-minus-one", Sym("a").MulConst(-1), map[string]int64{"a": math.MinInt64, "b": 0}},
+	}
+	slots := map[string]int{"a": 0, "b": 1}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Compile(tc.e, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := []int64{tc.vals["a"], tc.vals["b"]}
+			if _, err := c.EvalChecked(vals); err != ErrOverflow {
+				t.Fatalf("EvalChecked = %v, want ErrOverflow", err)
+			}
+			// The fast path must still agree with the (equally wrapped)
+			// map-based Eval: wraparound is deterministic, not undefined.
+			want, evalErr := tc.e.Eval(Bindings{"a": vals[0], "b": vals[1]})
+			if evalErr != nil {
+				t.Fatal(evalErr)
+			}
+			if got := c.Eval(vals); got != want {
+				t.Fatalf("wrapped Eval = %d, want %d (must match Expr.Eval)", got, want)
+			}
+		})
+	}
+}
+
+func TestEvalCheckedAllocs(t *testing.T) {
+	e := Sym("n").Mul(Sym("m")).AddConst(3)
+	c := MustCompile(e, map[string]int{"n": 0, "m": 1})
+	vals := []int64{12, 34}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.EvalChecked(vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EvalChecked allocs/run = %v, want 0", allocs)
+	}
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# bench.sh — run the decision hot-path micro-benchmarks and freeze the
+# results into BENCH_decide.json (the benchmark ledger). The ledger's
+# machine-independent ratios (compiled-vs-interpreted speedup and
+# allocation ratio) are what scripts/check.sh gates against; raw ns/op is
+# recorded for the curious but never compared across machines.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_decide.json}"
+
+echo "== decide benchmarks (benchtime $BENCHTIME) =="
+go test -run '^$' -bench 'BenchmarkPredict(Uncached|UncachedInterpreted|Cached)$|BenchmarkDecideCached(Parallel)?$' \
+	-benchtime "$BENCHTIME" -benchmem . | tee /tmp/bench_decide.$$ || {
+	rm -f /tmp/bench_decide.$$; exit 1; }
+go run ./cmd/benchjson -out "$OUT" </tmp/bench_decide.$$
+rm -f /tmp/bench_decide.$$
+echo "== ledger written to $OUT =="
+awk '/"summary"/,/^  }/' "$OUT"
