@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench bench-paper vet build
+.PHONY: check test race chaos fuzz bench bench-paper vet build
 
 # The full verification gate: vet + build + tests (+race) + perf smoke.
 check:
@@ -17,7 +17,22 @@ test:
 
 race:
 	$(GO) test -race ./internal/offload/ ./internal/experiments/ \
-		./internal/server/ ./internal/trace/
+		./internal/server/ ./internal/trace/ ./internal/client/ \
+		./internal/faultnet/ ./internal/regiongen/
+
+# Chaos regression suite: scripted fault scenarios driven through the
+# fault-injection proxy against a live in-process daemon, race detector on.
+chaos:
+	$(GO) test -race -count=1 -run '^TestChaos' \
+		./internal/client/ ./internal/faultnet/
+
+# Fuzz each parser briefly (the checked-in seed corpora always run as
+# part of plain `make test`). FUZZTIME=1m make fuzz digs deeper.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/offload/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecideBody$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
 
 # Run the decision hot-path micro-benchmarks and refresh the ledger
 # (BENCH_decide.json). BENCHTIME=3s make bench for steadier numbers.

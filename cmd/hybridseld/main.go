@@ -14,6 +14,15 @@
 //	hybridseld -pprof-addr 127.0.0.1:6060           # profiling on its own listener
 //	hybridseld -attrdb-out snapshot.json -dry-run   # write the DB and exit
 //	hybridseld -attrdb snapshot.json                # verify DB against snapshot
+//	hybridseld -chaos flap -chaos-addr :8081        # faulty front door for drills
+//
+// With -chaos the daemon additionally listens on -chaos-addr behind a
+// deterministic fault-injection proxy (internal/faultnet) replaying the
+// given scenario — a preset name (flap, brownout, partition-heal,
+// faults30) or the scenario DSL — in a loop until shutdown. The clean
+// listener on -addr is unaffected; point resilient clients at the chaos
+// port to drill retries, hedging and breaker behaviour against a live
+// daemon.
 //
 // With -audit-rate > 0 the daemon shadow-audits a deterministic sample of
 // served decisions on background workers: both targets are measured, the
@@ -42,6 +51,7 @@ import (
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
 	"github.com/hybridsel/hybridsel/internal/audit"
+	"github.com/hybridsel/hybridsel/internal/faultnet"
 	"github.com/hybridsel/hybridsel/internal/machine"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/polybench"
@@ -77,6 +87,11 @@ func main() {
 		"background audit goroutines (0 = audit inline on the request path)")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this separate listener (empty = off; keep it loopback)")
+	chaos := flag.String("chaos", "",
+		"front the daemon with a fault-injection listener replaying this scenario (preset or DSL)")
+	chaosAddr := flag.String("chaos-addr", "127.0.0.1:0",
+		"listen address for the -chaos fault-injection proxy")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
 	logFormat := flag.String("log", "text", "log format: text|json")
 	logLevel := flag.String("log-level", "info",
 		"log level: debug|info|warn (debug includes per-request lines)")
@@ -213,6 +228,37 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(),
 		syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// The chaos listener fronts the daemon's own service address and
+	// replays its scenario until shutdown. It only dials on demand, so it
+	// can start before the service listener is up.
+	var chaosProxy *faultnet.Proxy
+	if *chaos != "" {
+		sc, err := faultnet.ParseScenario(*chaos)
+		if err != nil {
+			fatal(logger, err)
+		}
+		target := *addr
+		if strings.HasPrefix(target, ":") {
+			target = "127.0.0.1" + target
+		}
+		chaosProxy = faultnet.New("http://"+target, *chaosSeed)
+		paddr, err := chaosProxy.Start(*chaosAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("chaos listener up",
+			"addr", paddr, "scenario", sc.Name, "pass", sc.Total().String())
+		go func() {
+			for ctx.Err() == nil {
+				_ = chaosProxy.Run(ctx, sc, func(i int, s faultnet.Step) {
+					logger.Info("chaos step", "step", i,
+						"faults", s.Faults.String(), "hold", s.Duration.String())
+				})
+			}
+		}()
+	}
+
 	served := make(chan error, 1)
 	go func() { served <- srv.ListenAndServe(*addr) }()
 
@@ -227,6 +273,7 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
 			logger.Error("drain incomplete", "err", err)
+			closeChaos(logger, chaosProxy)
 			closePprof(logger, pprofSrv, dctx)
 			closeAudit(logger, auditor)
 			_ = flushTrace(logger, tw)
@@ -240,10 +287,21 @@ func main() {
 			"launches", m.Launches, "decides", m.Decides,
 			"cache_hits", m.DecisionCacheHits, "cache_misses", m.DecisionCacheMisses)
 	}
+	closeChaos(logger, chaosProxy)
 	closePprof(logger, pprofSrv, context.Background())
 	closeAudit(logger, auditor)
 	if err := flushTrace(logger, tw); err != nil {
 		os.Exit(1)
+	}
+}
+
+// closeChaos stops the fault-injection listener, if one was started.
+func closeChaos(logger *slog.Logger, p *faultnet.Proxy) {
+	if p == nil {
+		return
+	}
+	if err := p.Close(); err != nil {
+		logger.Error("chaos listener close", "err", err)
 	}
 }
 

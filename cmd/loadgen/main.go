@@ -20,11 +20,21 @@
 //	loadgen -addr http://127.0.0.1:8080 -rate 20000 -duration 10s
 //	loadgen -addr http://127.0.0.1:8080 -trace decisions.jsonl -batch 32
 //	loadgen -addr http://127.0.0.1:8080 -wait 5s -min-throughput 10000
+//
+// Resilience runs: -client routes traffic through the production client
+// (retries, hedging, circuit breaker, in-process fallback) instead of a
+// bare http.Client, and -faults interposes a deterministic fault-injection
+// proxy scripted by a scenario (a faultnet preset name or DSL). Combined,
+// they are the acceptance run — every request must complete with a
+// verdict, remote or fallback:
+//
+//	loadgen -addr http://127.0.0.1:8080 -client -faults faults30 -duration 10s
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,8 +48,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hybridsel/hybridsel/internal/client"
+	"github.com/hybridsel/hybridsel/internal/faultnet"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/polybench"
 	"github.com/hybridsel/hybridsel/internal/server"
+	"github.com/hybridsel/hybridsel/internal/sim"
 	"github.com/hybridsel/hybridsel/internal/trace"
 )
 
@@ -59,9 +74,15 @@ func main() {
 	minThroughput := flag.Float64("min-throughput", 0,
 		"exit non-zero if decisions/sec falls below this")
 	scrape := flag.Bool("scrape", true, "print daemon-side counters from /metrics after the run")
+	useClient := flag.Bool("client", false,
+		"route traffic through the resilient client (retries, hedging, breaker, fallback)")
+	noFallback := flag.Bool("no-fallback", false,
+		"client mode: disable the in-process fallback runtime")
+	faults := flag.String("faults", "",
+		"front the daemon with a fault-injection proxy scripted by this scenario (preset or DSL)")
 	flag.Parse()
 
-	client := &http.Client{
+	httpClient := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        *concurrency * 2,
 			MaxIdleConnsPerHost: *concurrency * 2,
@@ -69,7 +90,7 @@ func main() {
 	}
 
 	if *wait > 0 {
-		if err := waitHealthy(client, *addr, *wait); err != nil {
+		if err := waitHealthy(httpClient, *addr, *wait); err != nil {
 			fatal(err)
 		}
 	}
@@ -78,14 +99,58 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("loadgen: %s, %d workers, batch %d, %v against %s (%d distinct requests)\n",
-		loopName(*rate), *concurrency, *batch, *duration, *addr, len(reqs))
 
-	st := run(client, *addr, reqs, *concurrency, *rate, *batch, *duration)
+	// With -faults the traffic goes through an in-process faultnet proxy
+	// whose scenario loops for the whole run; health checks and the final
+	// metrics scrape keep using the direct address.
+	target := *addr
+	if *faults != "" {
+		sc, err := faultnet.ParseScenario(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		proxy := faultnet.New(*addr, *seed)
+		paddr, err := proxy.Start("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer proxy.Close()
+		target = "http://" + paddr
+		fmt.Printf("loadgen: faultnet proxy on %s, scenario %s (%v per pass)\n",
+			paddr, sc.Name, sc.Total())
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			for ctx.Err() == nil {
+				_ = proxy.Run(ctx, sc, func(i int, s faultnet.Step) {
+					fmt.Printf("loadgen: fault step %d: %v for %v\n", i, s.Faults, s.Duration)
+				})
+			}
+		}()
+	}
+
+	fmt.Printf("loadgen: %s, %d workers, batch %d, %v against %s (%d distinct requests)\n",
+		loopName(*rate), *concurrency, *batch, *duration, target, len(reqs))
+
+	var st *stats
+	var rc *client.Client
+	if *useClient {
+		rc, err = newResilientClient(target, *kernels, *noFallback, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		defer rc.Close()
+		st = runClient(rc, reqs, *concurrency, *rate, *batch, *duration)
+	} else {
+		st = run(httpClient, target, reqs, *concurrency, *rate, *batch, *duration)
+	}
 	st.report(os.Stdout)
+	if rc != nil {
+		reportClient(rc, os.Stdout)
+	}
 
 	if *scrape {
-		scrapeMetrics(client, *addr, os.Stdout)
+		scrapeMetrics(httpClient, *addr, os.Stdout)
 	}
 	if err := st.gateErr(*minThroughput); err != nil {
 		fatal(err)
@@ -193,6 +258,14 @@ type stats struct {
 	itemErrs  atomic.Uint64 // per-item errors inside batch responses
 	dropped   atomic.Uint64 // open loop: dispatches the client queue refused
 
+	// Client-mode accounting: verdict provenance and calls the resilient
+	// client could not complete at all (its hard-failure class).
+	remote    atomic.Uint64
+	hedged    atomic.Uint64
+	fallback  atomic.Uint64
+	coalesced atomic.Uint64
+	failed    atomic.Uint64
+
 	mu        sync.Mutex
 	latencies []int64 // ns per HTTP call
 	elapsed   time.Duration
@@ -233,19 +306,21 @@ func (st *stats) gateErr(min float64) error {
 
 // hardErr reports transport and 5xx failures — the errors that must fail
 // the run. Sheds are excluded: they are the daemon's documented
-// backpressure, not a malfunction.
+// backpressure, not a malfunction. In client mode the bar is higher:
+// the resilient client absorbs transport faults, so any call it could
+// not complete with a verdict is a hard failure — 100% completion is
+// the contract a -faults run is graded on.
 func (st *stats) hardErr() error {
-	t, s := st.transport.Load(), st.serverErr.Load()
-	if t+s == 0 {
+	t, s, f := st.transport.Load(), st.serverErr.Load(), st.failed.Load()
+	if t+s+f == 0 {
 		return nil
 	}
-	return fmt.Errorf("%d transport errors, %d server errors", t, s)
+	return fmt.Errorf("%d transport errors, %d server errors, %d incomplete client calls", t, s, f)
 }
 
 func run(client *http.Client, addr string, reqs []server.DecideRequest,
 	concurrency, rate, batch int, duration time.Duration) *stats {
 	st := &stats{}
-	deadline := time.Now().Add(duration)
 	var next atomic.Uint64
 
 	fire := func() {
@@ -271,6 +346,77 @@ func run(client *http.Client, addr string, reqs []server.DecideRequest,
 		}
 	}
 
+	drive(st, concurrency, rate, duration, fire)
+	return st
+}
+
+// runClient is run's counterpart over the resilient client: same loop
+// models and ring, but every call goes through retries, hedging, the
+// breaker and (when configured) the in-process fallback, and every
+// verdict's provenance is tallied.
+func runClient(c *client.Client, reqs []server.DecideRequest,
+	concurrency, rate, batch int, duration time.Duration) *stats {
+	st := &stats{}
+	var next atomic.Uint64
+	ctx := context.Background()
+
+	note := func(v client.Verdict) {
+		switch v.Provenance {
+		case client.ProvenanceHedged:
+			st.hedged.Add(1)
+		case client.ProvenanceFallback:
+			st.fallback.Add(1)
+		default:
+			st.remote.Add(1)
+		}
+		if v.Coalesced {
+			st.coalesced.Add(1)
+		}
+		if v.Response.Error != "" {
+			st.itemErrs.Add(1)
+		} else {
+			st.decisions.Add(1)
+		}
+	}
+
+	fire := func() {
+		i := int(next.Add(1)-1) % len(reqs)
+		start := time.Now()
+		if batch <= 1 {
+			v, err := c.Decide(ctx, reqs[i])
+			st.observe(time.Since(start))
+			if err != nil {
+				st.failed.Add(1)
+				return
+			}
+			st.ok.Add(1)
+			note(*v)
+			return
+		}
+		window := make([]server.DecideRequest, batch)
+		for j := 0; j < batch; j++ {
+			window[j] = reqs[(i+j)%len(reqs)]
+		}
+		vs, err := c.DecideBatch(ctx, window)
+		st.observe(time.Since(start))
+		if err != nil {
+			st.failed.Add(1)
+			return
+		}
+		st.ok.Add(1)
+		for _, v := range vs {
+			note(v)
+		}
+	}
+
+	drive(st, concurrency, rate, duration, fire)
+	return st
+}
+
+// drive runs the shared load loop — closed (workers back-to-back) or
+// open (dispatch on schedule into a bounded queue) — until the deadline.
+func drive(st *stats, concurrency, rate int, duration time.Duration, fire func()) {
+	deadline := time.Now().Add(duration)
 	start := time.Now()
 	var wg sync.WaitGroup
 	if rate <= 0 {
@@ -315,7 +461,48 @@ func run(client *http.Client, addr string, reqs []server.DecideRequest,
 		wg.Wait()
 	}
 	st.elapsed = time.Since(start)
-	return st
+}
+
+// newResilientClient builds the production client for -client mode. The
+// fallback runtime mirrors hybridseld's defaults (same platform, thread
+// count and kernel subset), so degraded verdicts match what the daemon
+// would have answered.
+func newResilientClient(baseURL, kernels string, noFallback bool, seed int64) (*client.Client, error) {
+	cfg := client.Config{BaseURL: baseURL, Seed: seed}
+	if !noFallback {
+		rt := offload.NewRuntime(offload.Config{
+			Platform: machine.PlatformP9V100(),
+			Threads:  160,
+			CPUSim:   sim.CPUConfig{SampleItems: 8, MaxLoopSample: 32},
+			GPUSim:   sim.GPUConfig{SampleWarps: 2, MaxLoopSample: 32, MaxRepSample: 1},
+		})
+		want := map[string]bool{}
+		for _, name := range strings.Split(kernels, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				want[name] = true
+			}
+		}
+		for _, k := range polybench.Suite() {
+			if len(want) > 0 && !want[k.Name] {
+				continue
+			}
+			if _, err := rt.Register(k.IR); err != nil {
+				return nil, err
+			}
+		}
+		cfg.Fallback = rt
+	}
+	return client.New(cfg)
+}
+
+// reportClient prints the client-side resilience counters after a
+// -client run, in the same spirit as the daemon scrape.
+func reportClient(c *client.Client, w io.Writer) {
+	m := c.Metrics()
+	fmt.Fprintf(w, "client       %d retries, %d hedges (%d won), %d fallbacks, %d coalesced\n",
+		m.Retries, m.Hedges, m.HedgeWins, m.Fallbacks, m.Coalesced)
+	fmt.Fprintf(w, "breaker      %s (opened %d times), %d retry-after waits honored\n",
+		m.BreakerState, m.BreakerOpened, m.RetryAfterHonored)
 }
 
 // encodeCall builds the request body starting at ring index i: the
@@ -373,7 +560,14 @@ func (st *stats) report(w io.Writer) {
 	if d := st.dropped.Load(); d > 0 {
 		fmt.Fprintf(w, ", %d dropped client-side", d)
 	}
+	if f := st.failed.Load(); f > 0 {
+		fmt.Fprintf(w, ", %d incomplete", f)
+	}
 	fmt.Fprintln(w)
+	if r, h, fb := st.remote.Load(), st.hedged.Load(), st.fallback.Load(); r+h+fb > 0 {
+		fmt.Fprintf(w, "provenance   %d remote, %d hedged, %d fallback, %d coalesced\n",
+			r, h, fb, st.coalesced.Load())
+	}
 	fmt.Fprintf(w, "decisions    %d (%.0f/s)", st.decisions.Load(), st.decisionsPerSec())
 	if e := st.itemErrs.Load(); e > 0 {
 		fmt.Fprintf(w, ", %d item errors", e)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hybridsel/hybridsel/internal/faultnet"
 	"github.com/hybridsel/hybridsel/internal/server"
 )
 
@@ -74,6 +75,57 @@ func TestTransportErrorsCounted(t *testing.T) {
 	}
 	if err := st.hardErr(); err == nil {
 		t.Fatal("transport errors did not fail hardErr")
+	}
+}
+
+// TestClientModeCompletesUnderFaults is the acceptance run in miniature:
+// the resilient client (retries + fallback) drives a stub daemon through
+// a fault-injection proxy holding the faults30 regime (≈30% mixed
+// faults), and every single call must complete with a verdict.
+func TestClientModeCompletesUnderFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"region":"mvt1","target":"gpu","predCpuSeconds":1,"predGpuSeconds":0.5}`))
+	}))
+	defer ts.Close()
+
+	proxy := faultnet.New(ts.URL, 42)
+	paddr, err := proxy.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	sc, err := faultnet.ParseScenario("faults30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.SetFaults(sc.Steps[0].Faults)
+
+	c, err := newResilientClient("http://"+paddr, "mvt1", false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	reqs, err := buildWorkload("", "mvt1", "test", 2, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runClient(c, reqs, 4, 0, 1, 300*time.Millisecond)
+
+	if st.ok.Load() == 0 {
+		t.Fatal("no calls completed")
+	}
+	if f := st.failed.Load(); f != 0 {
+		t.Fatalf("%d of %d calls did not complete under the 30%% fault regime",
+			f, f+st.ok.Load())
+	}
+	if err := st.hardErr(); err != nil {
+		t.Fatalf("hardErr under faults: %v", err)
+	}
+	if r, h, fb := st.remote.Load(), st.hedged.Load(), st.fallback.Load(); r+h+fb != st.ok.Load() {
+		t.Fatalf("provenance %d+%d+%d does not cover %d completed calls",
+			r, h, fb, st.ok.Load())
 	}
 }
 

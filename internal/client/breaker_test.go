@@ -1,0 +1,100 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var transitions []string
+	b := newBreaker(3, time.Second, func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	b.now = clk.now
+
+	// Closed: passes traffic; failures below threshold stay closed.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected")
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after 2/3 failures", b.State())
+	}
+	// A success resets the consecutive count.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure count")
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// Cooldown elapses: half-open admits exactly one probe.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v during probe", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure reopens; cooldown restarts.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("reopened breaker never half-opened again")
+	}
+	// Probe success closes.
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+
+	want := []string{
+		"closed->open",
+		"open->half-open",
+		"half-open->open",
+		"open->half-open",
+		"half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v", transitions)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d: got %s want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

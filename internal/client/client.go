@@ -1,0 +1,754 @@
+// Package client is the production-shape client for the hybridseld
+// decision service: the piece that turns "speak HTTP to the daemon" into
+// "always get a launch-site verdict".
+//
+// A Verdict always arrives (when a fallback runtime is configured), and
+// always says where it came from:
+//
+//   - remote:   the daemon answered a plain request.
+//   - hedged:   the daemon answered, but it was the hedge — a duplicate
+//     fired after a p99-derived delay — that won the race.
+//   - fallback: the daemon was unreachable (circuit open, or every
+//     retry failed) and the verdict came from the in-process
+//     compiled-model runtime. Because the analytical models are
+//     deterministic, a fallback verdict is bit-for-bit the verdict the
+//     daemon would have served.
+//
+// The resilience pipeline, outermost first: request coalescing (identical
+// in-flight decide-only requests share one network call) and optional
+// time-window batching; a consecutive-failure circuit breaker; retries
+// with exponential backoff + jitter that honor Retry-After; hedging of
+// idempotent requests; connection pooling. Every stage is instrumented
+// (Metrics / WritePrometheus, hybridselc_ namespace), mirroring the
+// daemon's own exposition.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/server"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Provenance says which path produced a Verdict.
+type Provenance string
+
+// Provenance values.
+const (
+	ProvenanceRemote   Provenance = "remote"
+	ProvenanceHedged   Provenance = "hedged"
+	ProvenanceFallback Provenance = "fallback"
+)
+
+// Verdict is a decision with its delivery story.
+type Verdict struct {
+	Response server.DecideResponse
+	// Provenance is remote, hedged, or fallback.
+	Provenance Provenance
+	// Attempts counts HTTP attempts consumed (0 for a pure-fallback
+	// verdict served while the breaker was open).
+	Attempts int
+	// Coalesced marks a verdict served by another caller's identical
+	// in-flight request rather than a network call of its own.
+	Coalesced bool
+}
+
+// ErrCircuitOpen reports that the breaker rejected the call and no
+// fallback runtime was configured.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultMaxAttempts     = 4
+	DefaultRetryBackoff    = 20 * time.Millisecond
+	DefaultMaxBackoff      = time.Second
+	DefaultTimeout         = 2 * time.Second
+	DefaultBreakerFailures = 5
+	DefaultBreakerCooldown = 500 * time.Millisecond
+	DefaultHedgeMinSamples = 20
+	DefaultMaxBatch        = 64
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// BaseURL is the daemon base URL, e.g. "http://127.0.0.1:8080"
+	// (required).
+	BaseURL string
+	// HTTPClient overrides the pooled default transport.
+	HTTPClient *http.Client
+
+	// Fallback, when non-nil, serves verdicts in-process when the remote
+	// is unavailable (breaker open or retries exhausted). Configure it
+	// identically to the daemon — platform, policy, threads — and
+	// fallback verdicts match the daemon's bit-for-bit.
+	Fallback *offload.Runtime
+
+	// MaxAttempts bounds HTTP attempts per logical call, first try
+	// included. 0 selects DefaultMaxAttempts; 1 disables retries.
+	MaxAttempts int
+	// RetryBackoff is the base backoff, doubled per attempt with ±50%
+	// jitter, capped at MaxBackoff. A server Retry-After longer than the
+	// computed backoff wins.
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// Timeout is the per-attempt deadline. 0 selects DefaultTimeout.
+	Timeout time.Duration
+
+	// HedgeAfter fixes the hedging delay. 0 derives it from the observed
+	// p99 attempt latency (no hedging until HedgeMinSamples successes).
+	// Only idempotent (decide-only) calls are hedged — Execute requests
+	// dispatch work and are never duplicated.
+	HedgeAfter      time.Duration
+	HedgeMinSamples int
+	DisableHedging  bool
+
+	// BreakerFailures consecutive eligible failures open the breaker;
+	// it stays open for BreakerCooldown, then half-opens for one probe.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+
+	// BatchWindow > 0 enables transparent batching: concurrent Decide
+	// calls are collected for up to BatchWindow (or MaxBatch requests)
+	// and sent as one /v1/decide batch. Duplicate (region, bindings)
+	// pairs inside a window are coalesced client-side.
+	BatchWindow time.Duration
+	MaxBatch    int
+
+	// Seed fixes the backoff-jitter RNG for reproducible runs (0 = 1).
+	Seed int64
+}
+
+// Client is a resilient hybridseld client. Safe for concurrent use.
+type Client struct {
+	cfg     Config
+	http    *http.Client
+	breaker *breaker
+	met     metrics
+	lat     *latencySampler
+	batcher *batcher
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	fmu      sync.Mutex
+	inflight map[string]*flight
+}
+
+// flight is one in-progress decide shared by coalesced callers.
+type flight struct {
+	done chan struct{}
+	v    *Verdict
+	err  error
+}
+
+// New builds a client for the daemon at cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: Config.BaseURL is required")
+	}
+	cfg.BaseURL = strings.TrimSuffix(cfg.BaseURL, "/")
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = DefaultBreakerFailures
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if cfg.HedgeMinSamples <= 0 {
+		cfg.HedgeMinSamples = DefaultHedgeMinSamples
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        128,
+				MaxIdleConnsPerHost: 128,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	c := &Client{
+		cfg:      cfg,
+		http:     hc,
+		lat:      newLatencySampler(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		inflight: map[string]*flight{},
+	}
+	c.breaker = newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown,
+		func(from, to BreakerState) { c.met.breakerTransition(to) })
+	if cfg.BatchWindow > 0 {
+		c.batcher = newBatcher(c, cfg.BatchWindow, cfg.MaxBatch)
+	}
+	return c, nil
+}
+
+// Close stops the background batcher, if any. In-flight calls finish.
+func (c *Client) Close() {
+	if c.batcher != nil {
+		c.batcher.close()
+	}
+}
+
+// BreakerState returns the circuit breaker's current state.
+func (c *Client) BreakerState() BreakerState { return c.breaker.State() }
+
+// Metrics returns a snapshot of the client's instrumentation.
+func (c *Client) Metrics() Metrics { return c.met.snapshot(c.breaker.State()) }
+
+// WritePrometheus renders the client metrics in the Prometheus text
+// exposition format under the hybridselc_ namespace — the client-side
+// mirror of the daemon's /metrics.
+func (c *Client) WritePrometheus(w io.Writer) error {
+	return c.Metrics().WritePrometheus(w)
+}
+
+// requestKey canonicalizes a request for coalescing.
+func requestKey(req server.DecideRequest) string {
+	key := req.Region + "\x00" + attrdb.BindingsKey(symbolic.Bindings(req.Bindings))
+	if req.Execute {
+		key += "\x00x"
+	}
+	return key
+}
+
+// Decide returns a verdict for one decision request. Identical
+// decide-only requests in flight at once share a single network call;
+// with batching enabled (Config.BatchWindow) concurrent calls ride one
+// batched request.
+func (c *Client) Decide(ctx context.Context, req server.DecideRequest) (*Verdict, error) {
+	c.met.requests.Add(1)
+	if req.Execute {
+		// Execute dispatches work on the daemon: no coalescing with
+		// decide-only traffic, no batching, and never hedged.
+		return c.decideRemoteOrFallback(ctx, req)
+	}
+	if c.batcher != nil {
+		return c.batcher.decide(ctx, req)
+	}
+	return c.decideCoalesced(ctx, req)
+}
+
+// decideCoalesced funnels identical concurrent decide-only requests into
+// one in-flight call.
+func (c *Client) decideCoalesced(ctx context.Context, req server.DecideRequest) (*Verdict, error) {
+	key := requestKey(req)
+	c.fmu.Lock()
+	if fl, ok := c.inflight[key]; ok {
+		c.fmu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		c.met.coalesced.Add(1)
+		v := *fl.v
+		v.Coalesced = true
+		return &v, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.fmu.Unlock()
+
+	v, err := c.decideRemoteOrFallback(ctx, req)
+	fl.v, fl.err = v, err
+	c.fmu.Lock()
+	delete(c.inflight, key)
+	c.fmu.Unlock()
+	close(fl.done)
+	return v, err
+}
+
+// decideRemoteOrFallback is the per-request pipeline: breaker → retries
+// (+hedging) → fallback.
+func (c *Client) decideRemoteOrFallback(ctx context.Context, req server.DecideRequest) (*Verdict, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	data, hedged, attempts, rerr := c.roundTrip(ctx, body, !req.Execute)
+	if rerr == nil {
+		var resp server.DecideResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return nil, fmt.Errorf("client: decode response: %w", err)
+		}
+		prov := ProvenanceRemote
+		if hedged {
+			prov = ProvenanceHedged
+		}
+		c.met.remoteOK.Add(1)
+		return &Verdict{Response: resp, Provenance: prov, Attempts: attempts}, nil
+	}
+	var perm *permanentError
+	if errors.As(rerr, &perm) {
+		return nil, rerr
+	}
+	v, ferr := c.fallbackOne(req, attempts)
+	if ferr != nil {
+		return nil, fmt.Errorf("%w (fallback: %w)", rerr, ferr)
+	}
+	return v, nil
+}
+
+// DecideBatch returns verdicts for a slice of requests, positionally.
+// The batch goes out as one /v1/decide call with duplicate requests
+// coalesced client-side; per-item failures are carried in each verdict's
+// Response.Error exactly as the daemon reports them. When the daemon is
+// unreachable every item degrades to the fallback runtime.
+func (c *Client) DecideBatch(ctx context.Context, reqs []server.DecideRequest) ([]Verdict, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	c.met.requests.Add(uint64(len(reqs)))
+	return c.decideBatch(ctx, reqs)
+}
+
+// decideBatch is DecideBatch without the request count (the window
+// batcher counts items as callers enter Decide).
+func (c *Client) decideBatch(ctx context.Context, reqs []server.DecideRequest) ([]Verdict, error) {
+	c.met.batchCalls.Add(1)
+
+	// Client-side coalescing: send each distinct request once.
+	unique := make([]server.DecideRequest, 0, len(reqs))
+	slot := make([]int, len(reqs)) // request index -> unique index
+	byKey := map[string]int{}
+	canHedge := true
+	for i, req := range reqs {
+		if req.Execute {
+			canHedge = false
+		}
+		key := requestKey(req)
+		u, ok := byKey[key]
+		if !ok {
+			u = len(unique)
+			byKey[key] = u
+			unique = append(unique, req)
+		} else {
+			c.met.coalesced.Add(1)
+		}
+		slot[i] = u
+	}
+
+	results, prov, attempts, err := c.batchRemoteOrFallback(ctx, unique, canHedge)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, len(reqs))
+	for i, u := range slot {
+		out[i] = Verdict{
+			Response:   results[u],
+			Provenance: prov,
+			Attempts:   attempts,
+			Coalesced:  slot[i] != i && i > 0 && sameSlotEarlier(slot, i),
+		}
+	}
+	return out, nil
+}
+
+// sameSlotEarlier reports whether an earlier request already claimed this
+// item's unique slot (i.e. this verdict was coalesced client-side).
+func sameSlotEarlier(slot []int, i int) bool {
+	for j := 0; j < i; j++ {
+		if slot[j] == slot[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// batchRemoteOrFallback sends one batched call, degrading every item to
+// the fallback runtime if the remote is unavailable.
+func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.DecideRequest, canHedge bool) ([]server.DecideResponse, Provenance, int, error) {
+	body, err := json.Marshal(struct {
+		Requests []server.DecideRequest `json:"requests"`
+	}{unique})
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("client: encode batch: %w", err)
+	}
+	data, hedged, attempts, rerr := c.roundTrip(ctx, body, canHedge)
+	if rerr == nil {
+		var br server.BatchResponse
+		if err := json.Unmarshal(data, &br); err != nil {
+			return nil, "", 0, fmt.Errorf("client: decode batch response: %w", err)
+		}
+		if len(br.Results) != len(unique) {
+			return nil, "", 0, fmt.Errorf("client: batch returned %d results for %d requests",
+				len(br.Results), len(unique))
+		}
+		prov := ProvenanceRemote
+		if hedged {
+			prov = ProvenanceHedged
+		}
+		c.met.remoteOK.Add(1)
+		return br.Results, prov, attempts, nil
+	}
+	var perm *permanentError
+	if errors.As(rerr, &perm) {
+		return nil, "", 0, rerr
+	}
+	results := make([]server.DecideResponse, len(unique))
+	for i, req := range unique {
+		v, ferr := c.fallbackOne(req, attempts)
+		if ferr != nil {
+			return nil, "", 0, fmt.Errorf("%w (fallback: %w)", rerr, ferr)
+		}
+		results[i] = v.Response
+	}
+	return results, ProvenanceFallback, attempts, nil
+}
+
+// fallbackOne serves one verdict from the in-process runtime. Item-level
+// model errors (unknown region, unbound symbol) are carried in
+// Response.Error like the daemon does for batch items, so a degraded
+// client behaves like the daemon it replaces.
+func (c *Client) fallbackOne(req server.DecideRequest, attempts int) (*Verdict, error) {
+	rt := c.cfg.Fallback
+	if rt == nil {
+		return nil, errors.New("client: no fallback runtime configured")
+	}
+	resp := server.DecideResponse{Region: req.Region}
+	b := symbolic.Bindings(req.Bindings)
+	var out *offload.Outcome
+	region, err := rt.Region(req.Region)
+	if err == nil {
+		if req.Execute {
+			out, err = region.Launch(b)
+		} else {
+			out, err = region.Decide(b)
+		}
+	}
+	if err != nil {
+		c.met.fallbackErrors.Add(1)
+		resp.Error = err.Error()
+	} else {
+		resp.Target = out.Target.String()
+		resp.PredCPUSeconds = out.PredCPUSeconds
+		resp.PredGPUSeconds = out.PredGPUSeconds
+		resp.SplitFraction = out.SplitFraction
+		resp.CacheHit = out.CacheHit
+		resp.ActualSeconds = out.ActualSeconds
+		resp.DecisionNanos = out.DecisionOverhead.Nanoseconds()
+	}
+	c.met.fallbacks.Add(1)
+	return &Verdict{Response: resp, Provenance: ProvenanceFallback, Attempts: attempts}, nil
+}
+
+// ------------------------------------------------------------ transport --
+
+// permanentError marks a response that retrying cannot fix (4xx: the
+// request itself is wrong). It bypasses both retries and fallback.
+type permanentError struct {
+	status int
+	msg    string
+}
+
+func (e *permanentError) Error() string {
+	return fmt.Sprintf("client: permanent HTTP %d: %s", e.status, e.msg)
+}
+
+// callErr classifies one failed attempt.
+type callErr struct {
+	err        error
+	retryable  bool
+	breaker    bool // counts toward the circuit breaker
+	retryAfter time.Duration
+}
+
+// roundTrip runs the breaker → hedged attempt → backoff loop and returns
+// the raw 200 response body.
+func (c *Client) roundTrip(ctx context.Context, body []byte, canHedge bool) (data []byte, hedged bool, attempts int, err error) {
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if !c.breaker.Allow() {
+			if lastErr != nil {
+				return nil, false, attempt - 1, fmt.Errorf("%w after %w", ErrCircuitOpen, lastErr)
+			}
+			return nil, false, attempt - 1, ErrCircuitOpen
+		}
+		data, hedgeWon, cerr := c.hedgedAttempt(ctx, body, canHedge)
+		if cerr == nil {
+			c.breaker.Success()
+			return data, hedgeWon, attempt, nil
+		}
+		if cerr.breaker {
+			c.breaker.Failure()
+		}
+		lastErr = cerr.err
+		if !cerr.retryable {
+			return nil, false, attempt, lastErr
+		}
+		if attempt == c.cfg.MaxAttempts || ctx.Err() != nil {
+			break
+		}
+		c.met.retries.Add(1)
+		d := c.backoff(attempt)
+		if cerr.retryAfter > d {
+			d = cerr.retryAfter
+			c.met.retryAfterHonored.Add(1)
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, false, attempt, fmt.Errorf("client: %w (last attempt: %w)", ctx.Err(), lastErr)
+		}
+	}
+	return nil, false, c.cfg.MaxAttempts,
+		fmt.Errorf("client: %d attempts failed, last: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// backoff computes the jittered exponential delay after a given attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.RetryBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.jmu.Lock()
+	j := c.rng.Float64()
+	c.jmu.Unlock()
+	// Uniform in [d/2, 3d/2): desynchronizes retry storms.
+	return d/2 + time.Duration(j*float64(d))
+}
+
+// hedgedAttempt runs one attempt, racing a duplicate after the hedge
+// delay when allowed. It reports whether the hedge produced the result.
+func (c *Client) hedgedAttempt(ctx context.Context, body []byte, canHedge bool) ([]byte, bool, *callErr) {
+	delay := c.hedgeDelay(canHedge)
+	if delay <= 0 {
+		data, cerr := c.attempt(ctx, body)
+		return data, false, cerr
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		data  []byte
+		cerr  *callErr
+		hedge bool
+	}
+	results := make(chan outcome, 2)
+	launch := func(hedge bool) {
+		data, cerr := c.attempt(actx, body)
+		results <- outcome{data: data, cerr: cerr, hedge: hedge}
+	}
+	go launch(false)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	launched, returned := 1, 0
+	var firstErr *callErr
+	for {
+		select {
+		case out := <-results:
+			returned++
+			if out.cerr == nil {
+				if out.hedge {
+					c.met.hedgeWins.Add(1)
+				}
+				return out.data, out.hedge, nil
+			}
+			if firstErr == nil || !out.hedge {
+				// Prefer reporting the primary's error: the hedge's is
+				// usually a cancellation echo.
+				firstErr = out.cerr
+			}
+			if returned == launched {
+				return nil, false, firstErr
+			}
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				c.met.hedges.Add(1)
+				go launch(true)
+			}
+		case <-ctx.Done():
+			return nil, false, &callErr{err: ctx.Err(), retryable: false}
+		}
+	}
+}
+
+// hedgeDelay returns the delay before a duplicate request is launched
+// (0 = hedging off for this call).
+func (c *Client) hedgeDelay(canHedge bool) time.Duration {
+	if !canHedge || c.cfg.DisableHedging {
+		return 0
+	}
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter
+	}
+	p99 := c.lat.p99(c.cfg.HedgeMinSamples)
+	if p99 <= 0 {
+		return 0
+	}
+	// Clamp: hedging below 500µs just doubles load; above half the
+	// attempt timeout it cannot win before the primary times out.
+	if p99 < 500*time.Microsecond {
+		p99 = 500 * time.Microsecond
+	}
+	if max := c.cfg.Timeout / 2; p99 > max {
+		p99 = max
+	}
+	return p99
+}
+
+// attempt is one HTTP POST /v1/decide.
+func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, *callErr) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost,
+		c.cfg.BaseURL+"/v1/decide", bytes.NewReader(body))
+	if err != nil {
+		return nil, &callErr{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.met.transportErrors.Add(1)
+		return nil, &callErr{err: err, retryable: true, breaker: true}
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		// Truncated or reset mid-body: the response cannot be trusted.
+		c.met.transportErrors.Add(1)
+		return nil, &callErr{
+			err:       fmt.Errorf("read body (HTTP %d): %w", resp.StatusCode, err),
+			retryable: true, breaker: true,
+		}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		c.lat.observe(time.Since(start))
+		return data, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Deliberate shedding: retry later, but the daemon is healthy —
+		// the breaker does not count it.
+		c.met.sheds.Add(1)
+		return nil, &callErr{
+			err:        fmt.Errorf("HTTP 429: %s", errBody(data)),
+			retryable:  true,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	case resp.StatusCode >= 500:
+		c.met.serverErrors.Add(1)
+		return nil, &callErr{
+			err:        fmt.Errorf("HTTP %d: %s", resp.StatusCode, errBody(data)),
+			retryable:  true,
+			breaker:    true,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	default:
+		c.met.permanentErrors.Add(1)
+		return nil, &callErr{
+			err: &permanentError{status: resp.StatusCode, msg: errBody(data)},
+		}
+	}
+}
+
+// errBody extracts the daemon's error message from an error response.
+func errBody(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(data))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// parseRetryAfter accepts delay-seconds (integer or float).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.ParseFloat(v, 64)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// --------------------------------------------------------- latency p99 --
+
+// latencySampler keeps a ring of recent successful attempt latencies and
+// serves a cached p99 for hedge-delay derivation.
+type latencySampler struct {
+	mu      sync.Mutex
+	ring    [256]int64
+	n       int // total observations
+	cached  time.Duration
+	cachedN int
+}
+
+func newLatencySampler() *latencySampler { return &latencySampler{} }
+
+func (s *latencySampler) observe(d time.Duration) {
+	s.mu.Lock()
+	s.ring[s.n%len(s.ring)] = int64(d)
+	s.n++
+	s.mu.Unlock()
+}
+
+// p99 returns the 99th percentile of the ring, or 0 with fewer than min
+// observations. Recomputed every 32 observations; cached in between.
+func (s *latencySampler) p99(min int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n < min {
+		return 0
+	}
+	if s.cachedN != 0 && s.n-s.cachedN < 32 {
+		return s.cached
+	}
+	size := s.n
+	if size > len(s.ring) {
+		size = len(s.ring)
+	}
+	buf := make([]int64, size)
+	copy(buf, s.ring[:size])
+	// Insertion sort: size ≤ 256 and this runs every 32 observations.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	s.cached = time.Duration(buf[(size-1)*99/100])
+	s.cachedN = s.n
+	return s.cached
+}

@@ -1,0 +1,484 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/server"
+	"github.com/hybridsel/hybridsel/internal/sim"
+)
+
+// fallbackRuntime builds the in-process runtime used for degraded mode.
+func fallbackRuntime(t *testing.T) *offload.Runtime {
+	t.Helper()
+	rt := offload.NewRuntime(offload.Config{
+		Platform: machine.PlatformP9V100(),
+		CPUSim:   sim.CPUConfig{SampleItems: 8, MaxLoopSample: 32},
+		GPUSim:   sim.GPUConfig{SampleWarps: 2, MaxLoopSample: 32, MaxRepSample: 1},
+	})
+	for _, name := range []string{"gemm", "mvt1"} {
+		k, err := polybench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Register(k.IR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rt
+}
+
+// stubDaemon answers /v1/decide with a canned per-request handler.
+func stubDaemon(t *testing.T, h http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// okResponse writes a well-formed single DecideResponse.
+func okResponse(w http.ResponseWriter, region, target string) {
+	_ = json.NewEncoder(w).Encode(server.DecideResponse{Region: region, Target: target})
+}
+
+func newTestClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func gemmReq() server.DecideRequest {
+	return server.DecideRequest{Region: "gemm", Bindings: map[string]int64{"n": 1100}}
+}
+
+func TestDecideRemote(t *testing.T) {
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/decide" || r.Method != http.MethodPost {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		okResponse(w, "gemm", "gpu")
+	})
+	c := newTestClient(t, Config{BaseURL: ts.URL})
+
+	v, err := c.Decide(context.Background(), gemmReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Provenance != ProvenanceRemote || v.Attempts != 1 || v.Response.Target != "gpu" {
+		t.Fatalf("verdict %+v", v)
+	}
+	m := c.Metrics()
+	if m.Requests != 1 || m.RemoteOK != 1 || m.Retries != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestRetryOn5xxThenSuccess(t *testing.T) {
+	var calls atomic.Int64
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		okResponse(w, "gemm", "cpu")
+	})
+	c := newTestClient(t, Config{
+		BaseURL: ts.URL, RetryBackoff: time.Millisecond, DisableHedging: true,
+	})
+
+	v, err := c.Decide(context.Background(), gemmReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Attempts != 3 || v.Provenance != ProvenanceRemote {
+		t.Fatalf("verdict %+v", v)
+	}
+	m := c.Metrics()
+	if m.Retries != 2 || m.ServerErrors != 2 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestShedRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.1")
+			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+			return
+		}
+		okResponse(w, "gemm", "gpu")
+	})
+	c := newTestClient(t, Config{
+		BaseURL: ts.URL, RetryBackoff: time.Millisecond, DisableHedging: true,
+		BreakerFailures: 1, // a shed must NOT trip even a hair-trigger breaker
+	})
+
+	start := time.Now()
+	v, err := c.Decide(context.Background(), gemmReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 90*time.Millisecond {
+		t.Fatalf("Retry-After not honored: waited %v", el)
+	}
+	if v.Attempts != 2 {
+		t.Fatalf("attempts %d", v.Attempts)
+	}
+	m := c.Metrics()
+	if m.Sheds != 1 || m.RetryAfterHonored != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.BreakerOpened != 0 || c.BreakerState() != BreakerClosed {
+		t.Fatalf("429 fed the breaker: %+v", m)
+	}
+}
+
+func TestPermanent4xxFailsFastWithoutFallback(t *testing.T) {
+	var calls atomic.Int64
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown region"}`, http.StatusNotFound)
+	})
+	c := newTestClient(t, Config{
+		BaseURL: ts.URL, Fallback: fallbackRuntime(t), DisableHedging: true,
+	})
+
+	_, err := c.Decide(context.Background(), server.DecideRequest{Region: "nope"})
+	if err == nil {
+		t.Fatal("404 produced a verdict")
+	}
+	var perm *permanentError
+	if !errors.As(err, &perm) || perm.status != http.StatusNotFound {
+		t.Fatalf("error %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried: %d calls", calls.Load())
+	}
+	if m := c.Metrics(); m.Fallbacks != 0 || m.PermanentErrors != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestBreakerOpensThenFallsBack(t *testing.T) {
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	})
+	c := newTestClient(t, Config{
+		BaseURL: ts.URL, Fallback: fallbackRuntime(t),
+		MaxAttempts: 1, DisableHedging: true,
+		BreakerFailures: 2, BreakerCooldown: time.Hour,
+	})
+
+	// First two calls exhaust retries and degrade to fallback, feeding
+	// the breaker.
+	for i := 0; i < 2; i++ {
+		v, err := c.Decide(context.Background(), gemmReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Provenance != ProvenanceFallback || v.Attempts != 1 {
+			t.Fatalf("call %d verdict %+v", i, v)
+		}
+		if v.Response.Target == "" {
+			t.Fatalf("fallback verdict has no target: %+v", v.Response)
+		}
+	}
+	if c.BreakerState() != BreakerOpen {
+		t.Fatalf("breaker %v after threshold failures", c.BreakerState())
+	}
+	// With the breaker open the fallback serves without touching the
+	// network at all.
+	v, err := c.Decide(context.Background(), gemmReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Provenance != ProvenanceFallback || v.Attempts != 0 {
+		t.Fatalf("open-breaker verdict %+v", v)
+	}
+	m := c.Metrics()
+	if m.Fallbacks != 3 || m.BreakerOpened != 1 || m.BreakerState != BreakerOpen {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestBreakerOpenWithoutFallbackErrors(t *testing.T) {
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	})
+	c := newTestClient(t, Config{
+		BaseURL: ts.URL, MaxAttempts: 1, DisableHedging: true,
+		BreakerFailures: 1, BreakerCooldown: time.Hour,
+	})
+	if _, err := c.Decide(context.Background(), gemmReq()); err == nil {
+		t.Fatal("502 with no fallback produced a verdict")
+	}
+	_, err := c.Decide(context.Background(), gemmReq())
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("error %v", err)
+	}
+}
+
+func TestHedgedRequestWins(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// The primary stalls until the test ends; only the hedge can
+			// answer.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		okResponse(w, "gemm", "gpu")
+	})
+	defer close(release)
+	c := newTestClient(t, Config{
+		BaseURL: ts.URL, HedgeAfter: 10 * time.Millisecond, Timeout: 5 * time.Second,
+	})
+
+	v, err := c.Decide(context.Background(), gemmReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Provenance != ProvenanceHedged {
+		t.Fatalf("provenance %q", v.Provenance)
+	}
+	m := c.Metrics()
+	if m.Hedges != 1 || m.HedgeWins != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestExecuteRequestsAreNeverHedged(t *testing.T) {
+	var calls atomic.Int64
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		okResponse(w, "gemm", "gpu")
+	})
+	c := newTestClient(t, Config{BaseURL: ts.URL, HedgeAfter: 5 * time.Millisecond})
+
+	req := gemmReq()
+	req.Execute = true
+	if _, err := c.Decide(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("execute request duplicated: %d calls", calls.Load())
+	}
+	if m := c.Metrics(); m.Hedges != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestIdenticalInflightRequestsCoalesce(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-gate
+		okResponse(w, "gemm", "gpu")
+	})
+	c := newTestClient(t, Config{BaseURL: ts.URL, DisableHedging: true})
+
+	const n = 4
+	verdicts := make([]*Verdict, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Decide(context.Background(), gemmReq())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			verdicts[i] = v
+		}(i)
+	}
+	// Let the followers pile onto the leader's flight, then release.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("identical requests made %d network calls", calls.Load())
+	}
+	coalesced := 0
+	for _, v := range verdicts {
+		if v == nil {
+			t.Fatal("missing verdict")
+		}
+		if v.Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != n-1 {
+		t.Fatalf("coalesced %d of %d", coalesced, n)
+	}
+	if m := c.Metrics(); m.Coalesced != n-1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestWindowBatchingMergesConcurrentCalls(t *testing.T) {
+	var calls atomic.Int64
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		var batch struct {
+			Requests []server.DecideRequest `json:"requests"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			t.Errorf("batch decode: %v", err)
+		}
+		results := make([]server.DecideResponse, len(batch.Requests))
+		for i, req := range batch.Requests {
+			results[i] = server.DecideResponse{Region: req.Region, Target: "cpu"}
+		}
+		_ = json.NewEncoder(w).Encode(server.BatchResponse{Results: results})
+	})
+	c := newTestClient(t, Config{
+		BaseURL: ts.URL, BatchWindow: 30 * time.Millisecond, DisableHedging: true,
+	})
+
+	var wg sync.WaitGroup
+	regions := []string{"gemm", "mvt1", "gemm"}
+	verdicts := make([]*Verdict, len(regions))
+	for i, region := range regions {
+		wg.Add(1)
+		go func(i int, region string) {
+			defer wg.Done()
+			v, err := c.Decide(context.Background(),
+				server.DecideRequest{Region: region, Bindings: map[string]int64{"n": 64}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			verdicts[i] = v
+		}(i, region)
+	}
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("window batching made %d network calls", calls.Load())
+	}
+	for i, v := range verdicts {
+		if v == nil || v.Response.Region != regions[i] {
+			t.Fatalf("verdict %d: %+v", i, v)
+		}
+	}
+	if m := c.Metrics(); m.BatchCalls != 1 || m.Requests != 3 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestDecideBatchPositionsAndClientCoalescing(t *testing.T) {
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		var batch struct {
+			Requests []server.DecideRequest `json:"requests"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&batch)
+		if len(batch.Requests) != 2 {
+			t.Errorf("duplicates not coalesced: %d unique requests", len(batch.Requests))
+		}
+		results := make([]server.DecideResponse, len(batch.Requests))
+		for i, req := range batch.Requests {
+			results[i] = server.DecideResponse{Region: req.Region, Target: "gpu"}
+		}
+		_ = json.NewEncoder(w).Encode(server.BatchResponse{Results: results})
+	})
+	c := newTestClient(t, Config{BaseURL: ts.URL, DisableHedging: true})
+
+	reqs := []server.DecideRequest{
+		{Region: "gemm", Bindings: map[string]int64{"n": 8}},
+		{Region: "mvt1", Bindings: map[string]int64{"n": 8}},
+		{Region: "gemm", Bindings: map[string]int64{"n": 8}}, // dup of [0]
+	}
+	out, err := c.DecideBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d verdicts", len(out))
+	}
+	for i, want := range []string{"gemm", "mvt1", "gemm"} {
+		if out[i].Response.Region != want {
+			t.Fatalf("verdict %d region %q", i, out[i].Response.Region)
+		}
+	}
+	if out[2].Coalesced != true || out[0].Coalesced || out[1].Coalesced {
+		t.Fatalf("coalesced flags: %v %v %v",
+			out[0].Coalesced, out[1].Coalesced, out[2].Coalesced)
+	}
+}
+
+func TestDecideBatchFallsBackWholesale(t *testing.T) {
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	})
+	c := newTestClient(t, Config{
+		BaseURL: ts.URL, Fallback: fallbackRuntime(t),
+		MaxAttempts: 1, DisableHedging: true,
+	})
+	out, err := c.DecideBatch(context.Background(), []server.DecideRequest{
+		{Region: "gemm", Bindings: map[string]int64{"n": 256}},
+		{Region: "not-registered"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Provenance != ProvenanceFallback || out[0].Response.Target == "" {
+		t.Fatalf("verdict 0: %+v", out[0])
+	}
+	// Item-level model errors travel in Response.Error, like the daemon.
+	if out[1].Response.Error == "" {
+		t.Fatalf("verdict 1 swallowed its error: %+v", out[1])
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
+		okResponse(w, "gemm", "gpu")
+	})
+	c := newTestClient(t, Config{BaseURL: ts.URL})
+	if _, err := c.Decide(context.Background(), gemmReq()); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"hybridselc_requests_total 1",
+		"hybridselc_remote_ok_total 1",
+		"# TYPE hybridselc_breaker_state gauge",
+		"hybridselc_breaker_state 0",
+		"hybridselc_retries_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package faultnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFaultsGrammar(t *testing.T) {
+	f, err := ParseFaults("lat=5ms,jit=2ms,bw=1024,reset=0.1,trunc=0.2,err=0.3,code=502,retryafter=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Faults{
+		Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond,
+		BandwidthBps: 1024, ResetRate: 0.1, TruncateRate: 0.2,
+		ErrorRate: 0.3, ErrorCode: 502, RetryAfter: 100 * time.Millisecond,
+	}
+	if f != want {
+		t.Fatalf("got %+v want %+v", f, want)
+	}
+
+	if f, err := ParseFaults("off"); err != nil || f.Active() {
+		t.Fatalf("off: %+v %v", f, err)
+	}
+	if f, err := ParseFaults(""); err != nil || f.Active() {
+		t.Fatalf("empty: %+v %v", f, err)
+	}
+	if f, err := ParseFaults("partition"); err != nil || !f.Partition {
+		t.Fatalf("partition: %+v %v", f, err)
+	}
+
+	for _, bad := range []string{
+		"nope=1", "reset=1.5", "err=-0.1", "lat=fast", "code=200", "reset",
+	} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+}
+
+func TestParseScenarioDSLRoundTrip(t *testing.T) {
+	spec := "400ms:partition;1s:off;2s:err=0.3,lat=5ms"
+	sc, err := ParseScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Steps) != 3 {
+		t.Fatalf("steps %d", len(sc.Steps))
+	}
+	if sc.Total() != 400*time.Millisecond+time.Second+2*time.Second {
+		t.Fatalf("total %v", sc.Total())
+	}
+	if !sc.Steps[0].Faults.Partition || sc.Steps[1].Faults.Active() {
+		t.Fatalf("steps %+v", sc.Steps)
+	}
+	// The rendered DSL must re-parse to the same scenario.
+	again, err := ParseScenario(sc.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", sc.String(), err)
+	}
+	if len(again.Steps) != len(sc.Steps) || again.Total() != sc.Total() {
+		t.Fatalf("round trip changed scenario: %q", again.String())
+	}
+	for i := range sc.Steps {
+		if again.Steps[i].Faults != sc.Steps[i].Faults {
+			t.Fatalf("step %d changed: %+v vs %+v", i, again.Steps[i], sc.Steps[i])
+		}
+	}
+}
+
+func TestParseScenarioPresets(t *testing.T) {
+	for name := range Presets {
+		sc, err := ParseScenario(name)
+		if err != nil {
+			t.Errorf("preset %s: %v", name, err)
+			continue
+		}
+		if sc.Name != name || len(sc.Steps) == 0 || sc.Total() <= 0 {
+			t.Errorf("preset %s parsed oddly: %+v", name, sc)
+		}
+	}
+	// faults30 must actually be a ≈30% regime.
+	sc, err := ParseScenario("faults30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sc.Steps[0].Faults
+	p := f.ResetRate + (1-f.ResetRate)*f.ErrorRate +
+		(1-f.ResetRate)*(1-f.ErrorRate)*f.TruncateRate
+	if p < 0.25 || p > 0.35 {
+		t.Fatalf("faults30 total fault probability %.3f outside [0.25, 0.35]", p)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", ";", "partition", "0s:off", "-1s:off", "1s:wat=3", "1s",
+	} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("scenario %q parsed", bad)
+		}
+	}
+}
+
+func TestFaultsStringStable(t *testing.T) {
+	f, err := ParseFaults("partition,lat=1ms,err=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.String()
+	for _, want := range []string{"partition", "lat=1ms", "err=0.25"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+	back, err := ParseFaults(s)
+	if err != nil || back != f {
+		t.Fatalf("String round trip: %q -> %+v (%v)", s, back, err)
+	}
+}

@@ -1,0 +1,85 @@
+package ipda
+
+// Metamorphic invariant: IPDA's coalescing classification is a property
+// of the access pattern, not of where the iteration space sits — so
+// translating every loop by a constant (with compensated subscripts,
+// regiongen's translate knob) must leave the analysis unchanged: same
+// affinity verdicts, same concrete strides, same transaction counts.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/regiongen"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+func TestPropCoalescingStableUnderTranslation(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	g := DefaultWarpGeom()
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := regiongen.NewShape(r)
+		shift := int64(1 + r.Intn(50))
+		name := fmt.Sprintf("xlate-%03d", trial)
+		base := s.Build(name, 0, 0)
+		moved := s.Build(name, 0, shift)
+		for _, k := range []*ir.Kernel{base, moved} {
+			if err := k.Validate(); err != nil {
+				t.Fatalf("shape %v shift=%d: invalid kernel: %v", s, shift, err)
+			}
+		}
+		ra, err := Analyze(base, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatalf("shape %v: %v", s, err)
+		}
+		rb, err := Analyze(moved, ir.DefaultCountOptions())
+		if err != nil {
+			t.Fatalf("shape %v shift=%d: %v", s, shift, err)
+		}
+		if len(ra.Sites) != len(rb.Sites) {
+			t.Fatalf("shape %v shift=%d: site count changed: %d vs %d",
+				s, shift, len(ra.Sites), len(rb.Sites))
+		}
+		for i := range ra.Sites {
+			sa, sb := ra.Sites[i], rb.Sites[i]
+			if sa.ThreadAffine != sb.ThreadAffine {
+				t.Fatalf("shape %v shift=%d site %d: affinity flipped (%v vs %v)",
+					s, shift, i, sa.ThreadAffine, sb.ThreadAffine)
+			}
+			if !sa.ThreadAffine {
+				continue
+			}
+			// Compare concrete strides and their coalescing class for a
+			// few random problem sizes.
+			for probe := 0; probe < 5; probe++ {
+				b := symbolic.Bindings{"n": int64(2 + r.Intn(1000))}
+				va, erra := sa.ThreadStride.Eval(b)
+				vb, errb := sb.ThreadStride.Eval(b)
+				if (erra == nil) != (errb == nil) {
+					t.Fatalf("shape %v shift=%d site %d: stride evaluability changed (%v vs %v)",
+						s, shift, i, erra, errb)
+				}
+				if erra != nil {
+					continue
+				}
+				if va != vb {
+					t.Fatalf("shape %v shift=%d site %d: stride moved: %d vs %d (n=%d)",
+						s, shift, i, va, vb, b["n"])
+				}
+				const elem = 8 // all generated arrays are F64
+				wa := ClassifyStride(va*elem, elem, g)
+				wb := ClassifyStride(vb*elem, elem, g)
+				if wa != wb {
+					t.Fatalf("shape %v shift=%d site %d: classification changed: %+v vs %+v",
+						s, shift, i, wa, wb)
+				}
+			}
+		}
+	}
+}

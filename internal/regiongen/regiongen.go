@@ -1,0 +1,172 @@
+// Package regiongen generates random-but-valid offload regions for
+// property-based testing of the analytical models. A Shape is a compact
+// random description of a kernel — loop-nest depth, access strides, an
+// optional reduction loop, extra input arrays — drawn from a seeded RNG;
+// Build renders it to IR deterministically, with two metamorphic knobs:
+//
+//   - pad grows the arrays (and thus GPU transfer bytes) without
+//     touching a single executed statement, and
+//   - translate shifts the whole iteration space by a constant (loops
+//     run [t, n+t) and every subscript compensates), leaving the access
+//     pattern untouched.
+//
+// Separating the random draw (NewShape) from the rendering (Build) is
+// what makes the metamorphic test suites work: one draw, several
+// renderings, and every property that should survive the knobs can be
+// asserted between them.
+package regiongen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Shape is the random description of a generated region. All fields are
+// plain data so a Shape can be logged to reproduce a failure.
+type Shape struct {
+	// Depth is the parallel loop-nest depth (1 or 2).
+	Depth int
+	// Reduce adds an inner sequential loop over [0, n) accumulating into
+	// the output.
+	Reduce bool
+	// RowMajor makes the store subscript (i)*n + cj*(j) + c instead of
+	// ci*(i) + cj*(j) + c.
+	RowMajor bool
+	// Coef are the store subscript coefficients for i and j; Const its
+	// constant term.
+	Coef  [2]int64
+	Const int64
+	// Loads is the number of extra input arrays read (0..2), each with
+	// its own affine subscript LoadCoef (i, j, k coefficients) and
+	// row-major flag.
+	Loads    int
+	LoadCoef [2][3]int64
+	LoadRM   [2]bool
+	// Accum makes the store an accumulation (read-modify-write).
+	Accum bool
+}
+
+// NewShape draws a random shape. Coefficients are kept small so every
+// subscript provably fits the generous array bounds Build declares.
+func NewShape(r *rand.Rand) Shape {
+	s := Shape{
+		Depth:    1 + r.Intn(2),
+		Reduce:   r.Intn(2) == 0,
+		RowMajor: r.Intn(2) == 0,
+		Coef:     [2]int64{int64(r.Intn(5)), int64(1 + r.Intn(4))},
+		Const:    int64(r.Intn(8)),
+		Loads:    r.Intn(3),
+		Accum:    r.Intn(2) == 0,
+	}
+	for l := range s.LoadCoef {
+		s.LoadRM[l] = r.Intn(2) == 0
+		for c := range s.LoadCoef[l] {
+			s.LoadCoef[l][c] = int64(r.Intn(4))
+		}
+	}
+	return s
+}
+
+// String renders the shape compactly for failure messages.
+func (s Shape) String() string {
+	return fmt.Sprintf("depth=%d reduce=%v rm=%v coef=%v const=%d loads=%d accum=%v",
+		s.Depth, s.Reduce, s.RowMajor, s.Coef, s.Const, s.Loads, s.Accum)
+}
+
+// Bindings returns the problem-size bindings for a given scale.
+func Bindings(scale int64) symbolic.Bindings {
+	return symbolic.Bindings{"n": scale}
+}
+
+// Build renders the shape as a validated kernel named name. pad adds
+// constant elements to every array (more transfer bytes, same compute);
+// translate shifts the iteration space: loops run over [translate,
+// n+translate) with every subscript compensated, so the set of touched
+// addresses — and therefore every model input — is unchanged.
+func (s Shape) Build(name string, pad, translate int64) *ir.Kernel {
+	n := ir.V("n")
+	// Effective (translation-compensated) induction values, each in
+	// [0, n) regardless of translate.
+	iE := ir.V("i").AddConst(-translate)
+	var jE, kE symbolic.Expr
+	hasJ := s.Depth == 2
+	if hasJ {
+		jE = ir.V("j").AddConst(-translate)
+	}
+	if s.Reduce {
+		kE = ir.V("k") // the reduction loop is not translated
+	}
+
+	// affine builds c0 + ci*i (+ n*i if rm) + cj*j + ck*k, skipping
+	// absent variables.
+	affine := func(rm bool, ci, cj, ck, c0 int64) symbolic.Expr {
+		sub := symbolic.Const(c0)
+		if rm {
+			sub = sub.Add(iE.Mul(n))
+		} else {
+			sub = sub.Add(iE.MulConst(ci))
+		}
+		if hasJ {
+			sub = sub.Add(jE.MulConst(cj))
+		}
+		if s.Reduce {
+			sub = sub.Add(kE.MulConst(ck))
+		}
+		return sub
+	}
+
+	storeSub := affine(s.RowMajor, s.Coef[0], s.Coef[1], 1, s.Const)
+
+	rhs := ir.F(1.5)
+	for l := 0; l < s.Loads; l++ {
+		lc := s.LoadCoef[l]
+		sub := affine(s.LoadRM[l], lc[0], lc[1], lc[2], int64(l))
+		rhs = ir.FAdd(rhs, ir.Ld(loadName(l), sub))
+	}
+
+	ref := ir.R("A", storeSub)
+	var inner ir.Stmt
+	if s.Accum || s.Reduce {
+		// A reduction loop must accumulate or it is dead iteration.
+		inner = ir.Accum(ref, rhs)
+	} else {
+		inner = ir.Store(ref, rhs)
+	}
+	if s.Reduce {
+		inner = ir.For("k", ir.N(0), n, inner)
+	}
+
+	lo, hi := ir.N(translate), n.AddConst(translate)
+	body := inner
+	if hasJ {
+		body = ir.ParFor("j", lo, hi, body)
+	}
+	body = ir.ParFor("i", lo, hi, body)
+
+	// Generous bound covering every subscript above: |sub| ≤ n*n + 8n +
+	// 8n + 8 ≤ 16n² + const for n ≥ 1.
+	bound := n.Mul(n).MulConst(16).AddConst(4096 + pad)
+	arrays := []*ir.Array{ir.Arr("A", ir.F64, bound)}
+	for l := 0; l < s.Loads; l++ {
+		arrays = append(arrays, ir.In(loadName(l), ir.F64, bound))
+	}
+
+	return &ir.Kernel{
+		Name:   name,
+		Params: []string{"n"},
+		Arrays: arrays,
+		Body:   []ir.Stmt{body},
+	}
+}
+
+func loadName(l int) string { return fmt.Sprintf("B%d", l) }
+
+// Generate draws a shape and renders it with no padding or translation —
+// the common case for plain property sweeps.
+func Generate(r *rand.Rand, id int) (*ir.Kernel, Shape) {
+	s := NewShape(r)
+	return s.Build(fmt.Sprintf("rand-%04d", id), 0, 0), s
+}

@@ -1,0 +1,61 @@
+package regiongen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGeneratedKernelsAlwaysValidate: every rendering of every shape —
+// plain, padded, translated — must pass IR validation; the generator is
+// useless if downstream suites have to filter its output.
+func TestGeneratedKernelsAlwaysValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		s := NewShape(r)
+		for _, variant := range []struct {
+			pad, translate int64
+		}{{0, 0}, {1 << 16, 0}, {0, 13}, {1 << 16, 13}} {
+			k := s.Build("g", variant.pad, variant.translate)
+			if err := k.Validate(); err != nil {
+				t.Fatalf("shape %v pad=%d shift=%d: %v",
+					s, variant.pad, variant.translate, err)
+			}
+		}
+	}
+}
+
+// TestSubscriptsStayWithinDeclaredBounds: for concrete problem sizes,
+// every generated subscript value must be inside the declared array
+// bound (the models charge transfers by the declared sizes; a subscript
+// past the bound would mean the bound lies).
+func TestSubscriptsStayWithinDeclaredBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		s := NewShape(r)
+		k := s.Build("g", 0, 0)
+		bound := k.Arrays[0].Dims[0]
+		for _, n := range []int64{1, 7, 100} {
+			b := Bindings(n)
+			limit := bound.MustEval(b)
+			// Coefficients are ≤ 8 and row-major terms ≤ (n-1)*n, so the
+			// worst subscript at the iteration-space corner is bounded by
+			// (n-1)*n + 16*(n-1) + 8 across every generated array.
+			max := (n-1)*n + 16*(n-1) + 8
+			if max >= limit {
+				t.Fatalf("shape %v n=%d: worst-case subscript %d >= bound %d",
+					s, n, max, limit)
+			}
+		}
+	}
+}
+
+// TestShapeDrawIsDeterministic: identical seeds must yield identical
+// shape sequences.
+func TestShapeDrawIsDeterministic(t *testing.T) {
+	a, b := rand.New(rand.NewSource(33)), rand.New(rand.NewSource(33))
+	for i := 0; i < 300; i++ {
+		if sa, sb := NewShape(a), NewShape(b); sa != sb {
+			t.Fatalf("draw %d: %v vs %v", i, sa, sb)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+	"github.com/hybridsel/hybridsel/internal/sim"
+)
+
+// FuzzDecideBody throws arbitrary bytes at the /v1/decide decoder and the
+// decision path behind it. The handler runs without net/http's panic
+// recovery (ServeHTTP on a recorder), so any panic in JSON decoding,
+// binding evaluation, or the models surfaces as a crasher. Invariants:
+// never panic, always answer, and 200 responses must parse back as the
+// documented response shapes.
+func FuzzDecideBody(f *testing.F) {
+	rt := offload.NewRuntime(offload.Config{
+		Platform: machine.PlatformP9V100(),
+		CPUSim:   sim.CPUConfig{SampleItems: 8, MaxLoopSample: 32},
+		GPUSim:   sim.GPUConfig{SampleWarps: 2, MaxLoopSample: 32, MaxRepSample: 1},
+	})
+	k, err := polybench.Get("mvt1")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := rt.Register(k.IR); err != nil {
+		f.Fatal(err)
+	}
+	s, err := New(Config{
+		Runtime:  rt,
+		MaxBatch: 8,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+
+	f.Add([]byte(`{"region":"mvt1","bindings":{"n":64}}`))
+	f.Add([]byte(`{"region":"mvt1","bindings":{"n":64},"execute":true}`))
+	f.Add([]byte(`{"requests":[{"region":"mvt1","bindings":{"n":8}},{"region":"nope"}]}`))
+	f.Add([]byte(`{"requests":[]}`))
+	f.Add([]byte(`{"region":"mvt1","bindings":{"n":-1}}`))
+	f.Add([]byte(`{"region":"mvt1","bindings":{"n":9223372036854775807}}`))
+	f.Add([]byte(`{"requests":[{},{},{},{},{},{},{},{},{}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"region":1}`))
+	f.Add([]byte(`{"bindings":{"n":1.5}}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/decide", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		res := rec.Result()
+		if res.StatusCode < 200 || res.StatusCode > 599 {
+			t.Fatalf("implausible status %d for body %q", res.StatusCode, body)
+		}
+		if res.StatusCode != 200 {
+			return
+		}
+		// Decode with the shape the request selected: batch bodies answer
+		// with BatchResponse, everything else with a single response.
+		var probe decideBody
+		isBatch := json.Unmarshal(body, &probe) == nil && probe.Requests != nil
+		if isBatch {
+			var br BatchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+				t.Fatalf("200 batch response is not a BatchResponse: %v (body %q)", err, body)
+			}
+			if len(br.Results) != len(probe.Requests) {
+				t.Fatalf("batch of %d answered with %d results (body %q)",
+					len(probe.Requests), len(br.Results), body)
+			}
+			return
+		}
+		var dr DecideResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &dr); err != nil {
+			t.Fatalf("200 response is not a DecideResponse: %v (body %q)", err, body)
+		}
+	})
+}

@@ -531,5 +531,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
+	// Transient rejections — sheds and unavailability — advertise when to
+	// come back, so well-behaved clients pace their retries instead of
+	// hammering an overloaded or draining instance.
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
 	writeJSON(w, code, map[string]string{"error": msg, "status": strconv.Itoa(code)})
 }

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRead feeds arbitrary bytes to the JSONL trace parser.
+// Invariants: never panic; on success, every parsed record re-encodes to
+// JSON that parses back to the same record (the round-trip Replay and the
+// audit loop depend on), and the record count never exceeds the line
+// count.
+func FuzzTraceRead(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"seq":0,"region":"gemm","bindings":{"n":100},"target":"gpu","predCpuSeconds":0.5,"predGpuSeconds":0.1}`))
+	f.Add([]byte(`{"seq":1,"region":"x","bindings":null,"target":"cpu","predCpuSeconds":0,"predGpuSeconds":0}` + "\n" +
+		`{"kind":"audit","seq":2,"region":"x","bindings":{},"target":"cpu","predCpuSeconds":0,"predGpuSeconds":0,"bestTarget":"gpu","mispredict":true,"regretSeconds":0.25}`))
+	f.Add([]byte(`{"seq":3,"region":"s","bindings":{"n":1},"target":"split","predCpuSeconds":1,"predGpuSeconds":1,"splitFraction":0.4,"actualSeconds":0.7}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"seq":"string"}`))
+	f.Add([]byte(`{"bindings":{"n":1e400}}`))
+	f.Add(bytes.Repeat([]byte(`{"seq":0,"region":"r","bindings":{},"target":"cpu","predCpuSeconds":0,"predGpuSeconds":0}`+"\n"), 50))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if lines := bytes.Count(data, []byte("\n")) + 1; len(recs) > lines {
+			t.Fatalf("%d records out of %d lines", len(recs), lines)
+		}
+		for i, rec := range recs {
+			raw, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatalf("record %d does not re-encode: %v", i, err)
+			}
+			again, err := Read(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("record %d re-encoding does not parse: %v (%s)", i, err, raw)
+			}
+			if len(again) != 1 || !reflect.DeepEqual(again[0], rec) {
+				t.Fatalf("record %d does not round-trip: %+v vs %+v", i, rec, again)
+			}
+		}
+	})
+}

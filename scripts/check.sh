@@ -17,7 +17,15 @@ go test ./...
 
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/offload/ ./internal/experiments/ \
-	./internal/server/ ./internal/trace/ ./internal/audit/
+	./internal/server/ ./internal/trace/ ./internal/audit/ \
+	./internal/client/ ./internal/faultnet/ ./internal/regiongen/
+
+echo "== fuzz smoke (10s per parser) =="
+# Short randomized runs on top of the checked-in seed corpora, one
+# invocation per target (go test allows a single -fuzz per package run).
+go test -run '^$' -fuzz '^FuzzParsePolicy$' -fuzztime 10s ./internal/offload/
+go test -run '^$' -fuzz '^FuzzDecideBody$' -fuzztime 10s ./internal/server/
+go test -run '^$' -fuzz '^FuzzTraceRead$' -fuzztime 10s ./internal/trace/
 
 echo "== perf smoke: cached vs interpreted-model launch =="
 # The bar predates the compiled decision programs: a cached launch must
@@ -112,6 +120,19 @@ if curl -sf "http://$addr/debug/pprof/" >/dev/null; then
 	exit 1
 fi
 echo "daemon smoke: pprof isolated on $pprof_addr"
+# Chaos smoke: the resilient client drives the same daemon through a
+# scripted ~30% fault regime. loadgen exits non-zero unless every call
+# completed with a verdict (remote, hedged, or fallback) — the
+# acceptance bar for the fault-injection harness.
+if ! "$tmp/loadgen" -addr "http://$addr" -client -faults faults30 \
+	-duration 3s -concurrency 4 -kernels gemm,mvt1,2dconv -mode test \
+	-scrape=false; then
+	echo "chaos smoke: loadgen did not complete 100% under faults; daemon log:"
+	cat "$tmp/daemon.log"
+	kill "$daemon" 2>/dev/null || true
+	exit 1
+fi
+echo "chaos smoke: 100% completion under faults30"
 # Graceful drain: SIGTERM must flush the trace and exit 0.
 kill -TERM "$daemon"
 if ! wait "$daemon"; then
