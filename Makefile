@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race chaos fuzz bench bench-paper vet build
+.PHONY: check test race chaos fuzz bench bench-paper vet build api
 
 # The full verification gate: vet + build + tests (+race) + perf smoke.
 check:
@@ -38,6 +38,11 @@ fuzz:
 # (BENCH_decide.json). BENCHTIME=3s make bench for steadier numbers.
 bench:
 	./scripts/bench.sh
+
+# Refresh the committed exported-API snapshot after an intentional,
+# reviewed surface change (scripts/check.sh gates against it).
+api:
+	$(GO) run ./cmd/apidump > api/exported.txt
 
 # Regenerate every paper artifact at full fidelity.
 bench-paper:

@@ -1,7 +1,8 @@
 // Command explain prints the full white-box reasoning behind one target
-// selection: the kernel pseudocode, the IPDA access analysis, both model
-// breakdowns, and the decision the offload runtime actually takes (with
-// its ground-truth validation launch and instrumentation). This is the
+// selection: the kernel pseudocode, the IPDA access analysis, the base
+// pair's model breakdowns, the ranked verdict over every registered
+// target, and the decision the offload runtime actually takes (with its
+// ground-truth validation launch and instrumentation). This is the
 // transparency argument of the paper made concrete — every term of the
 // decision is inspectable, unlike an ML model's inference.
 //
@@ -9,7 +10,8 @@
 //
 //	explain -kernel 2dconv -n 9600
 //	explain -kernel gemm -n 1100 -threads 4 -platform p8k80
-//	explain -kernel gemm -launch=false   # models only, no simulation
+//	explain -kernel gemm -launch=false    # models only, no simulation
+//	explain -kernel gemm -targets synthetic   # rank an N-way registry
 package main
 
 import (
@@ -35,6 +37,8 @@ func main() {
 	platform := flag.String("platform", "p9v100", "platform: p9v100|p8k80")
 	launch := flag.Bool("launch", true,
 		"dispatch the region through the runtime and simulate the chosen target")
+	targets := flag.String("targets", "classic",
+		"target registry: classic|synthetic|comma-separated IDs (e.g. cpu/base,gpu/base,gpu/prev)")
 	flag.Parse()
 
 	var plat machine.Platform
@@ -53,7 +57,11 @@ func main() {
 	}
 	b := symbolic.Bindings{"n": *n}
 
-	rt := offload.NewRuntime(offload.Config{Platform: plat, Threads: *threads})
+	reg, err := offload.ParseTargets(plat, *threads, *targets)
+	if err != nil {
+		fatal(err)
+	}
+	rt := offload.NewRuntime(offload.Config{Platform: plat, Threads: *threads, Targets: reg})
 	region, err := rt.Register(k.IR)
 	if err != nil {
 		fatal(err)
@@ -109,12 +117,30 @@ func main() {
 	fmt.Println()
 	fmt.Print(gp.Format())
 
-	if !*launch {
-		target := "CPU (host fallback)"
-		if gp.Seconds < cp.Seconds {
-			target = "GPU (offload)"
+	// The ranked verdict over every registered target — the base pair
+	// above are just the two entries every registry carries.
+	cands, err := region.PredictTargets(b)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n=== Target ranking (%d registered, ascending predicted time) ===\n",
+		len(cands))
+	for i, c := range cands {
+		marker := "   "
+		if i == 0 {
+			marker = "-> "
 		}
-		fmt.Printf("\n=== Decision: %s ===\n", target)
+		fmt.Printf("  %s%d. %-10s %-4s %.4gs\n",
+			marker, i+1, c.Target, c.Kind.String(), c.PredSeconds)
+	}
+
+	if !*launch {
+		top := cands[0]
+		how := "CPU host"
+		if top.Kind == offload.KindGPU {
+			how = "GPU offload"
+		}
+		fmt.Printf("\n=== Decision: %s (%s) ===\n", top.Target, how)
 		fmt.Printf("predicted speedup of offloading: %.2fx\n", cp.Seconds/gp.Seconds)
 		return
 	}
@@ -125,11 +151,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	target := "CPU (host fallback)"
+	how := "CPU host"
 	if out.Target == offload.TargetGPU {
-		target = "GPU (offload)"
+		how = "GPU offload"
+	} else if out.Target == offload.TargetSplit {
+		how = "cooperative split"
 	}
-	fmt.Printf("\n=== Decision: %s (policy %s) ===\n", target, out.Policy.Name())
+	fmt.Printf("\n=== Decision: %s (%s, policy %s) ===\n",
+		out.TargetID, how, out.Policy.Name())
 	fmt.Printf("predicted speedup of offloading: %.2fx\n",
 		out.PredCPUSeconds/out.PredGPUSeconds)
 	fmt.Printf("simulated %v execution: %.4gs  (decision overhead %v)\n",

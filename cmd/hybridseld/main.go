@@ -10,6 +10,8 @@
 //	hybridseld -addr :8080
 //	hybridseld -addr 127.0.0.1:8080 -policy model-guided -queue 512
 //	hybridseld -regions gemm,mvt1 -trace /tmp/decisions.jsonl
+//	hybridseld -targets synthetic                   # rank an N-way registry
+//	hybridseld -targets synthetic -constraints cap=gpu/*:8,avoid=cpu/smt2
 //	hybridseld -audit-rate 0.1 -audit-workers 2     # shadow-audit 10% of keys
 //	hybridseld -pprof-addr 127.0.0.1:6060           # profiling on its own listener
 //	hybridseld -attrdb-out snapshot.json -dry-run   # write the DB and exit
@@ -33,7 +35,9 @@
 // Then:
 //
 //	curl -s localhost:8080/v1/decide -d '{"region":"gemm","bindings":{"n":1100}}'
+//	curl -s localhost:8080/v2/decide -d '{"region":"gemm","bindings":{"n":1100}}'
 //	curl -s localhost:8080/v1/regions
+//	curl -s localhost:8080/v1/targets
 //	curl -s localhost:8080/metrics
 package main
 
@@ -67,6 +71,10 @@ func main() {
 		"policy: model-guided|always-gpu|always-cpu|oracle|split")
 	cacheSize := flag.Int("cache", 0,
 		"decision-cache entries per region (0 = default, <0 = disabled)")
+	targets := flag.String("targets", "classic",
+		"target registry: classic|synthetic|comma-separated IDs (e.g. cpu/base,gpu/base,gpu/prev)")
+	constraints := flag.String("constraints", "",
+		"ranking constraints, comma-separated: avoid=<pattern>, cap=<pattern>:<n>")
 	regions := flag.String("regions", "",
 		"comma-separated kernel subset (default: full Polybench suite)")
 	queue := flag.Int("queue", 0,
@@ -119,11 +127,22 @@ func main() {
 		fatal(logger, fmt.Errorf("unknown platform %q", *platform))
 	}
 
+	reg, err := offload.ParseTargets(plat, *threads, *targets)
+	if err != nil {
+		fatal(logger, err)
+	}
+	cons, err := offload.ParseConstraints(*constraints)
+	if err != nil {
+		fatal(logger, err)
+	}
+
 	cfg := offload.Config{
 		Platform:          plat,
 		Threads:           *threads,
 		Policy:            pol,
 		DecisionCacheSize: *cacheSize,
+		Targets:           reg,
+		Constraints:       cons,
 	}
 
 	// Decision trace recording, wired through the runtime observer so it
@@ -176,7 +195,9 @@ func main() {
 			"rate", *auditRate, "workers", *auditWorkers)
 	}
 	logger.Info("registered regions", "count", len(names), "policy", pol.Name(),
-		"platform", plat.Name, "threads", rt.Config().Threads)
+		"platform", plat.Name, "threads", rt.Config().Threads,
+		"targets", strings.Join(rt.Targets().IDs(), ","),
+		"constraints", offload.ConstraintNames(cons))
 
 	if *attrdbIn != "" {
 		if err := verifySnapshot(rt, *attrdbIn); err != nil {

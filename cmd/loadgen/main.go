@@ -372,7 +372,7 @@ func runClient(c *client.Client, reqs []server.DecideRequest,
 		if v.Coalesced {
 			st.coalesced.Add(1)
 		}
-		if v.Response.Error != "" {
+		if v.Response.Error != nil {
 			st.itemErrs.Add(1)
 		} else {
 			st.decisions.Add(1)

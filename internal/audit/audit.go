@@ -87,27 +87,50 @@ type Config struct {
 	OnVerdict func(Verdict)
 }
 
-// Verdict is the outcome of auditing one decision: both targets measured,
-// the chosen target judged against the measured-faster one.
+// TargetMeasurement is one registered target's audit of a sampled point:
+// the model's raw prediction against the ground-truth simulation.
+type TargetMeasurement struct {
+	// Target is the registry target ID.
+	Target        string  `json:"target"`
+	PredSeconds   float64 `json:"predSeconds"`
+	ActualSeconds float64 `json:"actualSeconds"`
+	// LogErr is the signed log-error ln(actual/predicted) (positive =
+	// the model underestimated).
+	LogErr float64 `json:"logErr"`
+}
+
+// Verdict is the outcome of auditing one decision: every registered
+// target measured, the chosen target judged against the measured-fastest
+// one.
 type Verdict struct {
 	Region   string
 	Bindings map[string]int64
-	// Chosen is the target the audited decision dispatched (or would
-	// have); Best the measured-faster target.
-	Chosen offload.Target
-	Best   offload.Target
-	// Predictions as the decision recorded them (raw model output).
+	// Chosen is the kind of target the audited decision dispatched (or
+	// would have); Best the kind of the measured-fastest target. ChosenID
+	// and BestID carry the registry target IDs — the authoritative
+	// comparison in an N-way registry (two targets of the same kind are
+	// different verdicts by ID but not by kind).
+	Chosen   offload.Target
+	Best     offload.Target
+	ChosenID string
+	BestID   string
+	// Targets holds every registered target's measurement, in registry
+	// order.
+	Targets []TargetMeasurement
+	// Predictions as the decision recorded them for the base CPU/GPU
+	// pair (raw model output; 0 when the registry lacks that kind).
 	PredCPUSeconds float64
 	PredGPUSeconds float64
-	// Ground-truth (simulated) times for both targets.
+	// Ground-truth (simulated) times for the base CPU/GPU pair.
 	ActualCPUSeconds float64
 	ActualGPUSeconds float64
-	// Mispredict reports Chosen != Best; RegretSeconds is the time the
-	// wrong choice cost (actual chosen minus actual best, 0 when right).
+	// Mispredict reports ChosenID != BestID; RegretSeconds is the time
+	// the wrong choice cost (actual chosen minus actual best, 0 when
+	// right).
 	Mispredict    bool
 	RegretSeconds float64
 	// LogErrCPU/GPU are the signed log-errors ln(actual/predicted) of
-	// each model on this point (positive = the model underestimated).
+	// the base pair's models on this point.
 	LogErrCPU float64
 	LogErrGPU float64
 }
@@ -253,46 +276,75 @@ func Sampled(key string, rate float64) bool {
 	return float64(h.Sum64())/float64(math.MaxUint64) < rate
 }
 
-// audit measures both targets for the decision and folds the verdict into
-// the accounting, the calibrator, and the OnVerdict hook.
+// audit measures every registered target for the decision and folds the
+// verdict into the accounting, the calibrator, and the OnVerdict hook.
 func (a *Auditor) audit(d offload.Decision) {
 	rt := a.cfg.Runtime
-	actCPU, err := rt.Execute(d.Region, offload.TargetCPU, d.Bindings)
-	if err != nil {
-		a.execErrs.Add(1)
-		return
+	reg := rt.Targets()
+
+	// Raw predictions by target ID, from the decision's ranked candidate
+	// list (PredSeconds is the uncalibrated model output).
+	preds := make(map[string]float64, len(d.Candidates))
+	for _, c := range d.Candidates {
+		preds[c.Target] = c.PredSeconds
 	}
-	actGPU, err := rt.Execute(d.Region, offload.TargetGPU, d.Bindings)
-	if err != nil {
-		a.execErrs.Add(1)
-		return
-	}
+
 	v := Verdict{
-		Region:           d.Region,
-		Bindings:         d.Bindings,
-		Chosen:           d.Target,
-		Best:             offload.TargetCPU,
-		PredCPUSeconds:   d.PredCPUSeconds,
-		PredGPUSeconds:   d.PredGPUSeconds,
-		ActualCPUSeconds: actCPU,
-		ActualGPUSeconds: actGPU,
-		LogErrCPU:        signedLogErr(actCPU, d.PredCPUSeconds),
-		LogErrGPU:        signedLogErr(actGPU, d.PredGPUSeconds),
+		Region:   d.Region,
+		Bindings: d.Bindings,
+		Chosen:   d.Target,
+		ChosenID: d.TargetID,
+		Targets:  make([]TargetMeasurement, reg.Len()),
 	}
-	if actGPU < actCPU {
-		v.Best = offload.TargetGPU
+	best, chosen := -1, -1
+	seenCPU, seenGPU := false, false
+	for i := 0; i < reg.Len(); i++ {
+		sp := reg.At(i)
+		act, err := rt.ExecuteTarget(d.Region, sp.ID, d.Bindings)
+		if err != nil {
+			a.execErrs.Add(1)
+			return
+		}
+		v.Targets[i] = TargetMeasurement{
+			Target:        sp.ID,
+			PredSeconds:   preds[sp.ID],
+			ActualSeconds: act,
+			LogErr:        signedLogErr(act, preds[sp.ID]),
+		}
+		// Strictly-less keeps ties on the first registered target, the
+		// same rule the oracle policy applies.
+		if best < 0 || act < v.Targets[best].ActualSeconds {
+			best = i
+		}
+		if sp.ID == v.ChosenID {
+			chosen = i
+		}
+		// The base (first-of-kind) pair also populates the legacy
+		// CPU/GPU fields.
+		switch {
+		case sp.Kind == offload.KindCPU && !seenCPU:
+			seenCPU = true
+			v.PredCPUSeconds = preds[sp.ID]
+			v.ActualCPUSeconds = act
+			v.LogErrCPU = v.Targets[i].LogErr
+		case sp.Kind == offload.KindGPU && !seenGPU:
+			seenGPU = true
+			v.PredGPUSeconds = preds[sp.ID]
+			v.ActualGPUSeconds = act
+			v.LogErrGPU = v.Targets[i].LogErr
+		}
 	}
-	v.Mispredict = v.Chosen != v.Best
+	if best < 0 || chosen < 0 {
+		// The decision's target is not in the registry (stale decision
+		// across a reconfiguration) — nothing sound to judge.
+		a.execErrs.Add(1)
+		return
+	}
+	v.BestID = v.Targets[best].Target
+	v.Best = reg.At(best).Kind.LegacyTarget()
+	v.Mispredict = v.ChosenID != v.BestID
 	if v.Mispredict {
-		chosen := actCPU
-		if v.Chosen == offload.TargetGPU {
-			chosen = actGPU
-		}
-		best := actCPU
-		if v.Best == offload.TargetGPU {
-			best = actGPU
-		}
-		v.RegretSeconds = chosen - best
+		v.RegretSeconds = v.Targets[chosen].ActualSeconds - v.Targets[best].ActualSeconds
 	}
 
 	a.mu.Lock()
@@ -310,7 +362,11 @@ func (a *Auditor) audit(d offload.Decision) {
 	a.mu.Unlock()
 
 	if a.cfg.Calibrator != nil {
-		if a.cfg.Calibrator.Observe(v.Region, v.LogErrCPU, v.LogErrGPU) {
+		logErrs := make(map[string]float64, len(v.Targets))
+		for _, tm := range v.Targets {
+			logErrs[tm.Target] = tm.LogErr
+		}
+		if a.cfg.Calibrator.Observe(v.Region, logErrs) {
 			// The correction moved materially: memoized decisions for
 			// the region were taken under stale factors.
 			_ = rt.InvalidateDecisions(v.Region)

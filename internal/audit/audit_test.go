@@ -73,23 +73,31 @@ func TestSampledDeterministic(t *testing.T) {
 func TestCalibratorEWMA(t *testing.T) {
 	c := NewCalibrator(0.5)
 	ln2 := math.Log(2)
+	cpuID, gpuID := offload.TargetIDCPUBase, offload.TargetIDGPUBase
 
 	// First observation seeds the EWMA directly: factor == exp(logErr),
 	// i.e. calibrated prediction == actual.
-	if !c.Observe("r", ln2, -ln2) {
+	if !c.Observe("r", map[string]float64{cpuID: ln2, gpuID: -ln2}) {
 		t.Fatal("seeding observation reported no change")
 	}
 	fc, fg, n := c.Factors("r")
 	if n != 1 || math.Abs(fc-2) > 1e-12 || math.Abs(fg-0.5) > 1e-12 {
 		t.Fatalf("seeded factors cpu=%v gpu=%v n=%d", fc, fg, n)
 	}
-	ccpu, cgpu := c.Correct("r", 10, 10)
-	if math.Abs(ccpu-20) > 1e-9 || math.Abs(cgpu-5) > 1e-9 {
-		t.Fatalf("Correct = %v, %v", ccpu, cgpu)
+	cands := []offload.Candidate{
+		{Target: cpuID, Kind: offload.KindCPU, PredSeconds: 10, CalSeconds: 10},
+		{Target: gpuID, Kind: offload.KindGPU, PredSeconds: 10, CalSeconds: 10},
+	}
+	c.Correct("r", cands)
+	if math.Abs(cands[0].CalSeconds-20) > 1e-9 || math.Abs(cands[1].CalSeconds-5) > 1e-9 {
+		t.Fatalf("Correct = %v, %v", cands[0].CalSeconds, cands[1].CalSeconds)
+	}
+	if cands[0].PredSeconds != 10 || cands[1].PredSeconds != 10 {
+		t.Fatal("Correct rewrote the raw predictions")
 	}
 
 	// Second observation blends: ewma = 0.5*ln2 + 0.5*0 = ln2/2.
-	if !c.Observe("r", 0, 0) {
+	if !c.Observe("r", map[string]float64{cpuID: 0, gpuID: 0}) {
 		t.Fatal("halving observation reported no change")
 	}
 	fc, fg, _ = c.Factors("r")
@@ -99,17 +107,32 @@ func TestCalibratorEWMA(t *testing.T) {
 	}
 
 	// A sub-threshold movement is not worth a cache invalidation.
-	cur := math.Log(fc)
-	if c.Observe("r", cur+1e-5, math.Log(fg)+1e-5) {
+	if c.Observe("r", map[string]float64{
+		cpuID: math.Log(fc) + 1e-5, gpuID: math.Log(fg) + 1e-5,
+	}) {
 		t.Fatal("negligible movement reported as changed")
+	}
+	_, fg, _ = c.Factors("r")
+
+	// Targets beyond the base pair calibrate independently.
+	if !c.Observe("r", map[string]float64{"gpu/prev": ln2}) {
+		t.Fatal("new target's seeding observation reported no change")
+	}
+	if f, tn := c.Factor("r", "gpu/prev"); tn != 1 || math.Abs(f-2) > 1e-12 {
+		t.Fatalf("per-target factor %v n=%d", f, tn)
+	}
+	if f, _ := c.Factor("r", gpuID); math.Abs(f-fg) > 1e-12 {
+		t.Fatal("observing one target moved another's factor")
 	}
 
 	// Unaudited regions are identity.
 	if a, b, n := c.Factors("other"); a != 1 || b != 1 || n != 0 {
 		t.Fatalf("unaudited factors %v %v %d", a, b, n)
 	}
-	if a, b := c.Correct("other", 3, 4); a != 3 || b != 4 {
-		t.Fatalf("unaudited Correct %v %v", a, b)
+	other := []offload.Candidate{{Target: cpuID, PredSeconds: 3, CalSeconds: 3}}
+	c.Correct("other", other)
+	if other[0].CalSeconds != 3 {
+		t.Fatalf("unaudited Correct %v", other[0].CalSeconds)
 	}
 
 	// Invalid alpha selects the default.
@@ -302,6 +325,7 @@ func TestAsyncNonBlockingDrop(t *testing.T) {
 	a.Offer(offload.Decision{
 		Region: "gemm", Bindings: symbolic.Bindings{"n": 64},
 		Policy: offload.ModelGuided, Target: offload.TargetCPU,
+		TargetID:       offload.TargetIDCPUBase,
 		PredCPUSeconds: 1, PredGPUSeconds: 1,
 	})
 	<-stalled
@@ -313,6 +337,7 @@ func TestAsyncNonBlockingDrop(t *testing.T) {
 		a.Offer(offload.Decision{
 			Region: "gemm", Bindings: symbolic.Bindings{"n": int64(100 + i)},
 			Policy: offload.ModelGuided, Target: offload.TargetCPU,
+			TargetID:       offload.TargetIDCPUBase,
 			PredCPUSeconds: 1, PredGPUSeconds: 1,
 		})
 	}
@@ -331,6 +356,7 @@ func TestAsyncNonBlockingDrop(t *testing.T) {
 	a.Offer(offload.Decision{
 		Region: "gemm", Bindings: symbolic.Bindings{"n": 9999},
 		Policy: offload.ModelGuided, Target: offload.TargetCPU,
+		TargetID:       offload.TargetIDCPUBase,
 		PredCPUSeconds: 1, PredGPUSeconds: 1,
 	})
 	if got := a.dropped.Load(); got != rep.Dropped+1 {
@@ -354,6 +380,7 @@ func TestConcurrentOfferClose(t *testing.T) {
 				a.Offer(offload.Decision{
 					Region: "gemm", Bindings: symbolic.Bindings{"n": int64(64 + g*50 + i)},
 					Policy: offload.ModelGuided, Target: offload.TargetGPU,
+					TargetID:       offload.TargetIDGPUBase,
 					PredCPUSeconds: 1, PredGPUSeconds: 1,
 				})
 			}

@@ -17,11 +17,13 @@ const DefaultAlpha = 0.5
 // an update is not worth invalidating the region's memoized decisions.
 const changeThreshold = 0.01
 
-// Calibrator is the online half of the audit loop: a per-region EWMA of
-// each model's signed log-error, applied as a multiplicative correction
-// exp(ewma) to that model's predicted seconds. It implements
-// offload.Calibrator, so a runtime configured with one consults measured
-// feedback on every policy decision.
+// Calibrator is the online half of the audit loop: a per-region,
+// per-target EWMA of each model's signed log-error, applied as a
+// multiplicative correction exp(ewma) to that target's predicted
+// seconds. It implements offload.Calibrator, so a runtime configured
+// with one consults measured feedback on every policy decision. Targets
+// are keyed by registry ID, so every entry in an N-way registry
+// calibrates independently.
 //
 // The correction is maintained in log space: ln(actual/predicted) is
 // symmetric (a 2x over- and a 2x under-estimate weigh the same) and the
@@ -34,11 +36,16 @@ type Calibrator struct {
 }
 
 type calState struct {
-	n                uint64
-	ewmaCPU, ewmaGPU float64
-	// Cached exp(ewma) so Correct stays multiplication-only on the
+	n       uint64
+	targets map[string]*targetCal
+}
+
+type targetCal struct {
+	n    uint64
+	ewma float64
+	// fac caches exp(ewma) so Correct stays multiplication-only on the
 	// decision hot path.
-	facCPU, facGPU float64
+	fac float64
 }
 
 var _ offload.Calibrator = (*Calibrator)(nil)
@@ -52,30 +59,39 @@ func NewCalibrator(alpha float64) *Calibrator {
 	return &Calibrator{alpha: alpha, regions: map[string]*calState{}}
 }
 
-// Observe folds one audit's signed log-errors into the region's EWMA. The
-// first observation seeds the EWMA directly (there is no prior to damp
-// against). It reports whether either correction factor moved by more
-// than 1% — the signal that memoized decisions for the region are stale.
-func (c *Calibrator) Observe(region string, logErrCPU, logErrGPU float64) (changed bool) {
+// Observe folds one audit's signed log-errors — keyed by registry target
+// ID — into the region's per-target EWMAs. The first observation of a
+// target seeds its EWMA directly (there is no prior to damp against). It
+// reports whether any correction factor moved by more than 1% — the
+// signal that memoized decisions for the region are stale.
+func (c *Calibrator) Observe(region string, logErrs map[string]float64) (changed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.regions[region]
 	if s == nil {
-		s = &calState{facCPU: 1, facGPU: 1}
+		s = &calState{targets: map[string]*targetCal{}}
 		c.regions[region] = s
 	}
-	oldCPU, oldGPU := s.facCPU, s.facGPU
-	if s.n == 0 {
-		s.ewmaCPU, s.ewmaGPU = logErrCPU, logErrGPU
-	} else {
-		s.ewmaCPU = (1-c.alpha)*s.ewmaCPU + c.alpha*logErrCPU
-		s.ewmaGPU = (1-c.alpha)*s.ewmaGPU + c.alpha*logErrGPU
+	for id, le := range logErrs {
+		t := s.targets[id]
+		if t == nil {
+			t = &targetCal{fac: 1}
+			s.targets[id] = t
+		}
+		old := t.fac
+		if t.n == 0 {
+			t.ewma = le
+		} else {
+			t.ewma = (1-c.alpha)*t.ewma + c.alpha*le
+		}
+		t.n++
+		t.fac = math.Exp(t.ewma)
+		if relChange(old, t.fac) > changeThreshold {
+			changed = true
+		}
 	}
 	s.n++
-	s.facCPU = math.Exp(s.ewmaCPU)
-	s.facGPU = math.Exp(s.ewmaGPU)
-	return relChange(oldCPU, s.facCPU) > changeThreshold ||
-		relChange(oldGPU, s.facGPU) > changeThreshold
+	return changed
 }
 
 func relChange(old, new float64) float64 {
@@ -85,23 +101,43 @@ func relChange(old, new float64) float64 {
 	return math.Abs(new-old) / old
 }
 
-// Correct implements offload.Calibrator: it scales each model's predicted
-// seconds by the region's current correction factor (identity for regions
-// never audited).
-func (c *Calibrator) Correct(region string, cpuSec, gpuSec float64) (float64, float64) {
+// Correct implements offload.Calibrator: it scales each candidate's
+// calibrated seconds by its target's current correction factor (identity
+// for targets never audited).
+func (c *Calibrator) Correct(region string, cands []offload.Candidate) {
 	c.mu.RLock()
 	s := c.regions[region]
 	if s == nil {
 		c.mu.RUnlock()
-		return cpuSec, gpuSec
+		return
 	}
-	fc, fg := s.facCPU, s.facGPU
+	for i := range cands {
+		if t := s.targets[cands[i].Target]; t != nil {
+			cands[i].CalSeconds = cands[i].PredSeconds * t.fac
+		}
+	}
 	c.mu.RUnlock()
-	return cpuSec * fc, gpuSec * fg
 }
 
-// Factors returns the region's current correction factors and how many
-// audits shaped them (1, 1, 0 for regions never audited).
+// Factor returns one target's current correction factor for the region
+// and how many audits shaped it (1, 0 when never audited).
+func (c *Calibrator) Factor(region, targetID string) (factor float64, n uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.regions[region]
+	if s == nil {
+		return 1, 0
+	}
+	t := s.targets[targetID]
+	if t == nil {
+		return 1, 0
+	}
+	return t.fac, t.n
+}
+
+// Factors returns the region's current correction factors for the base
+// CPU/GPU pair and how many audits shaped them (1, 1, 0 for regions
+// never audited) — the classic-pair view of the per-target state.
 func (c *Calibrator) Factors(region string) (cpuFactor, gpuFactor float64, n uint64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -109,5 +145,12 @@ func (c *Calibrator) Factors(region string) (cpuFactor, gpuFactor float64, n uin
 	if s == nil {
 		return 1, 1, 0
 	}
-	return s.facCPU, s.facGPU, s.n
+	cpuFactor, gpuFactor = 1, 1
+	if t := s.targets[offload.TargetIDCPUBase]; t != nil {
+		cpuFactor = t.fac
+	}
+	if t := s.targets[offload.TargetIDGPUBase]; t != nil {
+		gpuFactor = t.fac
+	}
+	return cpuFactor, gpuFactor, s.n
 }

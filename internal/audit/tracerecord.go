@@ -13,7 +13,9 @@ func (v Verdict) TraceRecord() trace.Record {
 		Region:           v.Region,
 		Bindings:         v.Bindings,
 		Target:           v.Chosen.String(),
+		TargetID:         v.ChosenID,
 		BestTarget:       v.Best.String(),
+		BestTargetID:     v.BestID,
 		PredCPUSeconds:   v.PredCPUSeconds,
 		PredGPUSeconds:   v.PredGPUSeconds,
 		ActualCPUSeconds: v.ActualCPUSeconds,

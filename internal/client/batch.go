@@ -10,7 +10,7 @@ import (
 
 // batcher collects concurrent decide-only calls for up to a time window
 // (or maxBatch requests, whichever first) and flushes them as one batched
-// /v1/decide call. Duplicate (region, bindings) pairs inside a window
+// /v2/decide call. Duplicate (region, bindings) pairs inside a window
 // ride DecideBatch's client-side coalescing.
 type batcher struct {
 	c      *Client

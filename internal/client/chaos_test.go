@@ -257,12 +257,22 @@ func TestChaosPartitionHealFallbackMatchesDaemon(t *testing.T) {
 			t.Fatalf("req %d provenance %q after heal", i, v.Provenance)
 		}
 		d, r := degraded[i].Response, v.Response
-		if d.Target != r.Target ||
-			d.PredCPUSeconds != r.PredCPUSeconds ||
-			d.PredGPUSeconds != r.PredGPUSeconds ||
-			d.SplitFraction != r.SplitFraction {
+		// Compare target identities, not a CPU/GPU boolean: the fallback
+		// must pick the same registry target and rank every candidate
+		// identically.
+		if d.Verdict != r.Verdict || d.Kind != r.Kind || d.SplitFraction != r.SplitFraction {
 			t.Fatalf("req %d fallback/daemon mismatch:\n fallback: %+v\n daemon:   %+v",
 				i, d, r)
+		}
+		if len(d.Candidates) != len(r.Candidates) {
+			t.Fatalf("req %d candidate counts %d vs %d", i, len(d.Candidates), len(r.Candidates))
+		}
+		for j := range d.Candidates {
+			if d.Candidates[j].Target != r.Candidates[j].Target ||
+				d.Candidates[j].PredSeconds != r.Candidates[j].PredSeconds {
+				t.Fatalf("req %d candidate mismatch at rank %d:\n fallback: %+v\n daemon:   %+v",
+					i, j, d.Candidates[j], r.Candidates[j])
+			}
 		}
 	}
 }

@@ -2,8 +2,9 @@
 // decision service: the piece that turns "speak HTTP to the daemon" into
 // "always get a launch-site verdict".
 //
-// A Verdict always arrives (when a fallback runtime is configured), and
-// always says where it came from:
+// A Verdict always arrives (when a fallback runtime is configured),
+// carries the full ranked candidate list from /v2/decide (top-1 is the
+// chosen target's registry ID), and always says where it came from:
 //
 //   - remote:   the daemon answered a plain request.
 //   - hedged:   the daemon answered, but it was the hedge — a duplicate
@@ -53,9 +54,13 @@ const (
 	ProvenanceFallback Provenance = "fallback"
 )
 
-// Verdict is a decision with its delivery story.
+// Verdict is a decision with its delivery story. Response.Verdict is
+// the chosen target's registry ID ("cpu/base", "gpu/prev", ...; "split"
+// for a cooperative split) and Response.Candidates the full ranking, so
+// callers comparing verdicts from different paths (hedged vs primary,
+// fallback vs daemon) compare target identities, not a CPU/GPU boolean.
 type Verdict struct {
-	Response server.DecideResponse
+	Response server.DecideResponseV2
 	// Provenance is remote, hedged, or fallback.
 	Provenance Provenance
 	// Attempts counts HTTP attempts consumed (0 for a pure-fallback
@@ -122,7 +127,7 @@ type Config struct {
 
 	// BatchWindow > 0 enables transparent batching: concurrent Decide
 	// calls are collected for up to BatchWindow (or MaxBatch requests)
-	// and sent as one /v1/decide batch. Duplicate (region, bindings)
+	// and sent as one /v2/decide batch. Duplicate (region, bindings)
 	// pairs inside a window are coalesced client-side.
 	BatchWindow time.Duration
 	MaxBatch    int
@@ -300,7 +305,7 @@ func (c *Client) decideRemoteOrFallback(ctx context.Context, req server.DecideRe
 	}
 	data, hedged, attempts, rerr := c.roundTrip(ctx, body, !req.Execute)
 	if rerr == nil {
-		var resp server.DecideResponse
+		var resp server.DecideResponseV2
 		if err := json.Unmarshal(data, &resp); err != nil {
 			return nil, fmt.Errorf("client: decode response: %w", err)
 		}
@@ -323,10 +328,10 @@ func (c *Client) decideRemoteOrFallback(ctx context.Context, req server.DecideRe
 }
 
 // DecideBatch returns verdicts for a slice of requests, positionally.
-// The batch goes out as one /v1/decide call with duplicate requests
+// The batch goes out as one /v2/decide call with duplicate requests
 // coalesced client-side; per-item failures are carried in each verdict's
-// Response.Error exactly as the daemon reports them. When the daemon is
-// unreachable every item degrades to the fallback runtime.
+// Response.Error envelope exactly as the daemon reports them. When the
+// daemon is unreachable every item degrades to the fallback runtime.
 func (c *Client) DecideBatch(ctx context.Context, reqs []server.DecideRequest) ([]Verdict, error) {
 	if len(reqs) == 0 {
 		return nil, nil
@@ -390,7 +395,7 @@ func sameSlotEarlier(slot []int, i int) bool {
 
 // batchRemoteOrFallback sends one batched call, degrading every item to
 // the fallback runtime if the remote is unavailable.
-func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.DecideRequest, canHedge bool) ([]server.DecideResponse, Provenance, int, error) {
+func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.DecideRequest, canHedge bool) ([]server.DecideResponseV2, Provenance, int, error) {
 	body, err := json.Marshal(struct {
 		Requests []server.DecideRequest `json:"requests"`
 	}{unique})
@@ -399,7 +404,7 @@ func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.Deci
 	}
 	data, hedged, attempts, rerr := c.roundTrip(ctx, body, canHedge)
 	if rerr == nil {
-		var br server.BatchResponse
+		var br server.BatchResponseV2
 		if err := json.Unmarshal(data, &br); err != nil {
 			return nil, "", 0, fmt.Errorf("client: decode batch response: %w", err)
 		}
@@ -418,7 +423,7 @@ func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.Deci
 	if errors.As(rerr, &perm) {
 		return nil, "", 0, rerr
 	}
-	results := make([]server.DecideResponse, len(unique))
+	results := make([]server.DecideResponseV2, len(unique))
 	for i, req := range unique {
 		v, ferr := c.fallbackOne(req, attempts)
 		if ferr != nil {
@@ -431,14 +436,14 @@ func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.Deci
 
 // fallbackOne serves one verdict from the in-process runtime. Item-level
 // model errors (unknown region, unbound symbol) are carried in
-// Response.Error like the daemon does for batch items, so a degraded
-// client behaves like the daemon it replaces.
+// Response.Error with the daemon's own error codes (server.ClassifyError),
+// so a degraded client behaves like the daemon it replaces.
 func (c *Client) fallbackOne(req server.DecideRequest, attempts int) (*Verdict, error) {
 	rt := c.cfg.Fallback
 	if rt == nil {
 		return nil, errors.New("client: no fallback runtime configured")
 	}
-	resp := server.DecideResponse{Region: req.Region}
+	resp := server.DecideResponseV2{Region: req.Region}
 	b := symbolic.Bindings(req.Bindings)
 	var out *offload.Outcome
 	region, err := rt.Region(req.Region)
@@ -451,11 +456,12 @@ func (c *Client) fallbackOne(req server.DecideRequest, attempts int) (*Verdict, 
 	}
 	if err != nil {
 		c.met.fallbackErrors.Add(1)
-		resp.Error = err.Error()
+		resp.Error = server.ClassifyError(err)
 	} else {
-		resp.Target = out.Target.String()
-		resp.PredCPUSeconds = out.PredCPUSeconds
-		resp.PredGPUSeconds = out.PredGPUSeconds
+		resp.Verdict = out.TargetID
+		resp.Kind = out.Target.String()
+		resp.Policy = out.Policy.Name()
+		resp.Candidates = out.Candidates
 		resp.SplitFraction = out.SplitFraction
 		resp.CacheHit = out.CacheHit
 		resp.ActualSeconds = out.ActualSeconds
@@ -467,14 +473,19 @@ func (c *Client) fallbackOne(req server.DecideRequest, attempts int) (*Verdict, 
 
 // ------------------------------------------------------------ transport --
 
-// permanentError marks a response that retrying cannot fix (4xx: the
-// request itself is wrong). It bypasses both retries and fallback.
+// permanentError marks a response that retrying cannot fix (the request
+// itself is wrong: bad_request, unknown_region, unbound_symbol, ...). It
+// bypasses both retries and fallback.
 type permanentError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *permanentError) Error() string {
+	if e.code != "" {
+		return fmt.Sprintf("client: permanent HTTP %d (%s): %s", e.status, e.code, e.msg)
+	}
 	return fmt.Sprintf("client: permanent HTTP %d: %s", e.status, e.msg)
 }
 
@@ -622,12 +633,12 @@ func (c *Client) hedgeDelay(canHedge bool) time.Duration {
 	return p99
 }
 
-// attempt is one HTTP POST /v1/decide.
+// attempt is one HTTP POST /v2/decide.
 func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, *callErr) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost,
-		c.cfg.BaseURL+"/v1/decide", bytes.NewReader(body))
+		c.cfg.BaseURL+"/v2/decide", bytes.NewReader(body))
 	if err != nil {
 		return nil, &callErr{err: err}
 	}
@@ -648,48 +659,97 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, *callErr) {
 			retryable: true, breaker: true,
 		}
 	}
-	switch {
-	case resp.StatusCode == http.StatusOK:
+	if resp.StatusCode == http.StatusOK {
 		c.lat.observe(time.Since(start))
 		return data, nil
-	case resp.StatusCode == http.StatusTooManyRequests:
+	}
+	// Classify on the envelope's structured code when the daemon sent
+	// one; the HTTP status is the fallback for proxies and old daemons.
+	re := parseErrBody(data)
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+	if retryAfter == 0 {
+		retryAfter = re.retryAfter
+	}
+	switch {
+	case re.code == server.ErrCodeQueueFull ||
+		(re.code == "" && resp.StatusCode == http.StatusTooManyRequests):
 		// Deliberate shedding: retry later, but the daemon is healthy —
 		// the breaker does not count it.
 		c.met.sheds.Add(1)
 		return nil, &callErr{
-			err:        fmt.Errorf("HTTP 429: %s", errBody(data)),
+			err:        fmt.Errorf("HTTP %d: %s", resp.StatusCode, re.String()),
 			retryable:  true,
-			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			retryAfter: retryAfter,
 		}
-	case resp.StatusCode >= 500:
+	case re.retryable(resp.StatusCode):
 		c.met.serverErrors.Add(1)
 		return nil, &callErr{
-			err:        fmt.Errorf("HTTP %d: %s", resp.StatusCode, errBody(data)),
+			err:        fmt.Errorf("HTTP %d: %s", resp.StatusCode, re.String()),
 			retryable:  true,
 			breaker:    true,
-			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			retryAfter: retryAfter,
 		}
 	default:
 		c.met.permanentErrors.Add(1)
 		return nil, &callErr{
-			err: &permanentError{status: resp.StatusCode, msg: errBody(data)},
+			err: &permanentError{status: resp.StatusCode, code: re.code, msg: re.msg},
 		}
 	}
 }
 
-// errBody extracts the daemon's error message from an error response.
-func errBody(data []byte) string {
-	var e struct {
-		Error string `json:"error"`
+// remoteErr is the parsed body of a non-2xx response: the structured
+// envelope {"error": {code, message, retry_after?}} when the daemon sent
+// one, otherwise the legacy {"error": "..."} string or the raw body.
+type remoteErr struct {
+	code       string
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e remoteErr) String() string {
+	if e.code != "" {
+		return e.code + ": " + e.msg
 	}
-	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return e.Error
+	return e.msg
+}
+
+// retryable reports whether the failure is transient. A structured code
+// decides outright; without one the HTTP status has to.
+func (e remoteErr) retryable(status int) bool {
+	switch e.code {
+	case server.ErrCodeQueueFull, server.ErrCodeDraining,
+		server.ErrCodeDeadlineExceeded, server.ErrCodeInternal:
+		return true
+	case "":
+		return status == http.StatusTooManyRequests || status >= 500
+	}
+	return false
+}
+
+// parseErrBody extracts the daemon's error from a non-2xx body.
+func parseErrBody(data []byte) remoteErr {
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(data, &env) == nil && len(env.Error) > 0 {
+		var ei server.ErrorInfo
+		if env.Error[0] == '{' && json.Unmarshal(env.Error, &ei) == nil && ei.Code != "" {
+			return remoteErr{
+				code:       ei.Code,
+				msg:        ei.Message,
+				retryAfter: time.Duration(ei.RetryAfter) * time.Second,
+			}
+		}
+		var s string
+		if json.Unmarshal(env.Error, &s) == nil && s != "" {
+			return remoteErr{msg: s}
+		}
 	}
 	s := strings.TrimSpace(string(data))
 	if len(s) > 200 {
 		s = s[:200] + "..."
 	}
-	return s
+	return remoteErr{msg: s}
 }
 
 // parseRetryAfter accepts delay-seconds (integer or float).

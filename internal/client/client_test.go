@@ -39,7 +39,7 @@ func fallbackRuntime(t *testing.T) *offload.Runtime {
 	return rt
 }
 
-// stubDaemon answers /v1/decide with a canned per-request handler.
+// stubDaemon answers /v2/decide with a canned per-request handler.
 func stubDaemon(t *testing.T, h http.HandlerFunc) *httptest.Server {
 	t.Helper()
 	ts := httptest.NewServer(h)
@@ -47,9 +47,10 @@ func stubDaemon(t *testing.T, h http.HandlerFunc) *httptest.Server {
 	return ts
 }
 
-// okResponse writes a well-formed single DecideResponse.
-func okResponse(w http.ResponseWriter, region, target string) {
-	_ = json.NewEncoder(w).Encode(server.DecideResponse{Region: region, Target: target})
+// okResponse writes a well-formed single DecideResponseV2 whose verdict
+// is the given target registry ID.
+func okResponse(w http.ResponseWriter, region, verdict string) {
+	_ = json.NewEncoder(w).Encode(server.DecideResponseV2{Region: region, Verdict: verdict})
 }
 
 func newTestClient(t *testing.T, cfg Config) *Client {
@@ -68,10 +69,10 @@ func gemmReq() server.DecideRequest {
 
 func TestDecideRemote(t *testing.T) {
 	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/v1/decide" || r.Method != http.MethodPost {
+		if r.URL.Path != "/v2/decide" || r.Method != http.MethodPost {
 			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
 		}
-		okResponse(w, "gemm", "gpu")
+		okResponse(w, "gemm", "gpu/base")
 	})
 	c := newTestClient(t, Config{BaseURL: ts.URL})
 
@@ -79,7 +80,7 @@ func TestDecideRemote(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Provenance != ProvenanceRemote || v.Attempts != 1 || v.Response.Target != "gpu" {
+	if v.Provenance != ProvenanceRemote || v.Attempts != 1 || v.Response.Verdict != "gpu/base" {
 		t.Fatalf("verdict %+v", v)
 	}
 	m := c.Metrics()
@@ -92,10 +93,12 @@ func TestRetryOn5xxThenSuccess(t *testing.T) {
 	var calls atomic.Int64
 	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1) <= 2 {
+			// Legacy string-shaped error body: the classifier must fall
+			// back to the HTTP status.
 			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
 			return
 		}
-		okResponse(w, "gemm", "cpu")
+		okResponse(w, "gemm", "cpu/base")
 	})
 	c := newTestClient(t, Config{
 		BaseURL: ts.URL, RetryBackoff: time.Millisecond, DisableHedging: true,
@@ -119,10 +122,12 @@ func TestShedRetryHonorsRetryAfter(t *testing.T) {
 	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1) == 1 {
 			w.Header().Set("Retry-After", "0.1")
-			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+			http.Error(w,
+				`{"error":{"code":"queue_full","message":"admission queue full"}}`,
+				http.StatusTooManyRequests)
 			return
 		}
-		okResponse(w, "gemm", "gpu")
+		okResponse(w, "gemm", "gpu/base")
 	})
 	c := newTestClient(t, Config{
 		BaseURL: ts.URL, RetryBackoff: time.Millisecond, DisableHedging: true,
@@ -149,11 +154,46 @@ func TestShedRetryHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestParseErrBodyShapes: the error classifier accepts the structured
+// /v2 envelope, the legacy {"error": "..."} string, and raw non-JSON
+// bodies, in that order of preference.
+func TestParseErrBodyShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want remoteErr
+	}{
+		{"envelope", `{"error":{"code":"queue_full","message":"full","retry_after":2}}`,
+			remoteErr{code: "queue_full", msg: "full", retryAfter: 2 * time.Second}},
+		{"envelope-no-retry", `{"error":{"code":"draining","message":"bye"}}`,
+			remoteErr{code: "draining", msg: "bye"}},
+		{"legacy-string", `{"error":"boom"}`, remoteErr{msg: "boom"}},
+		{"raw", "bad gateway", remoteErr{msg: "bad gateway"}},
+	}
+	for _, tc := range cases {
+		if got := parseErrBody([]byte(tc.body)); got != tc.want {
+			t.Errorf("%s: parseErrBody = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	// Structured codes drive retry classification regardless of status.
+	if !(remoteErr{code: "queue_full"}).retryable(200) {
+		t.Error("queue_full not retryable")
+	}
+	if (remoteErr{code: "unknown_region"}).retryable(500) {
+		t.Error("unknown_region retryable despite a 5xx status")
+	}
+	if !(remoteErr{}).retryable(503) || (remoteErr{}).retryable(404) {
+		t.Error("status fallback classification wrong")
+	}
+}
+
 func TestPermanent4xxFailsFastWithoutFallback(t *testing.T) {
 	var calls atomic.Int64
 	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
 		calls.Add(1)
-		http.Error(w, `{"error":"unknown region"}`, http.StatusNotFound)
+		http.Error(w,
+			`{"error":{"code":"unknown_region","message":"offload: unknown region"}}`,
+			http.StatusNotFound)
 	})
 	c := newTestClient(t, Config{
 		BaseURL: ts.URL, Fallback: fallbackRuntime(t), DisableHedging: true,
@@ -166,6 +206,9 @@ func TestPermanent4xxFailsFastWithoutFallback(t *testing.T) {
 	var perm *permanentError
 	if !errors.As(err, &perm) || perm.status != http.StatusNotFound {
 		t.Fatalf("error %v", err)
+	}
+	if perm.code != server.ErrCodeUnknownRegion {
+		t.Fatalf("structured code %q, want %q", perm.code, server.ErrCodeUnknownRegion)
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("4xx retried: %d calls", calls.Load())
@@ -195,7 +238,7 @@ func TestBreakerOpensThenFallsBack(t *testing.T) {
 		if v.Provenance != ProvenanceFallback || v.Attempts != 1 {
 			t.Fatalf("call %d verdict %+v", i, v)
 		}
-		if v.Response.Target == "" {
+		if v.Response.Verdict == "" || len(v.Response.Candidates) == 0 {
 			t.Fatalf("fallback verdict has no target: %+v", v.Response)
 		}
 	}
@@ -247,7 +290,7 @@ func TestHedgedRequestWins(t *testing.T) {
 				return
 			}
 		}
-		okResponse(w, "gemm", "gpu")
+		okResponse(w, "gemm", "gpu/base")
 	})
 	defer close(release)
 	c := newTestClient(t, Config{
@@ -272,7 +315,7 @@ func TestExecuteRequestsAreNeverHedged(t *testing.T) {
 	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
 		calls.Add(1)
 		time.Sleep(50 * time.Millisecond)
-		okResponse(w, "gemm", "gpu")
+		okResponse(w, "gemm", "gpu/base")
 	})
 	c := newTestClient(t, Config{BaseURL: ts.URL, HedgeAfter: 5 * time.Millisecond})
 
@@ -295,7 +338,7 @@ func TestIdenticalInflightRequestsCoalesce(t *testing.T) {
 	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
 		calls.Add(1)
 		<-gate
-		okResponse(w, "gemm", "gpu")
+		okResponse(w, "gemm", "gpu/base")
 	})
 	c := newTestClient(t, Config{BaseURL: ts.URL, DisableHedging: true})
 
@@ -352,11 +395,11 @@ func TestWindowBatchingMergesConcurrentCalls(t *testing.T) {
 		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
 			t.Errorf("batch decode: %v", err)
 		}
-		results := make([]server.DecideResponse, len(batch.Requests))
+		results := make([]server.DecideResponseV2, len(batch.Requests))
 		for i, req := range batch.Requests {
-			results[i] = server.DecideResponse{Region: req.Region, Target: "cpu"}
+			results[i] = server.DecideResponseV2{Region: req.Region, Verdict: "cpu/base"}
 		}
-		_ = json.NewEncoder(w).Encode(server.BatchResponse{Results: results})
+		_ = json.NewEncoder(w).Encode(server.BatchResponseV2{Results: results})
 	})
 	c := newTestClient(t, Config{
 		BaseURL: ts.URL, BatchWindow: 30 * time.Millisecond, DisableHedging: true,
@@ -402,11 +445,11 @@ func TestDecideBatchPositionsAndClientCoalescing(t *testing.T) {
 		if len(batch.Requests) != 2 {
 			t.Errorf("duplicates not coalesced: %d unique requests", len(batch.Requests))
 		}
-		results := make([]server.DecideResponse, len(batch.Requests))
+		results := make([]server.DecideResponseV2, len(batch.Requests))
 		for i, req := range batch.Requests {
-			results[i] = server.DecideResponse{Region: req.Region, Target: "gpu"}
+			results[i] = server.DecideResponseV2{Region: req.Region, Verdict: "gpu/base"}
 		}
-		_ = json.NewEncoder(w).Encode(server.BatchResponse{Results: results})
+		_ = json.NewEncoder(w).Encode(server.BatchResponseV2{Results: results})
 	})
 	c := newTestClient(t, Config{BaseURL: ts.URL, DisableHedging: true})
 
@@ -448,18 +491,23 @@ func TestDecideBatchFallsBackWholesale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out[0].Provenance != ProvenanceFallback || out[0].Response.Target == "" {
+	if out[0].Provenance != ProvenanceFallback || out[0].Response.Verdict == "" {
 		t.Fatalf("verdict 0: %+v", out[0])
 	}
-	// Item-level model errors travel in Response.Error, like the daemon.
-	if out[1].Response.Error == "" {
+	// Item-level model errors travel in Response.Error with the daemon's
+	// own structured codes.
+	if out[1].Response.Error == nil {
 		t.Fatalf("verdict 1 swallowed its error: %+v", out[1])
+	}
+	if out[1].Response.Error.Code != server.ErrCodeUnknownRegion {
+		t.Fatalf("verdict 1 error code %q, want %q",
+			out[1].Response.Error.Code, server.ErrCodeUnknownRegion)
 	}
 }
 
 func TestWritePrometheusExposition(t *testing.T) {
 	ts := stubDaemon(t, func(w http.ResponseWriter, r *http.Request) {
-		okResponse(w, "gemm", "gpu")
+		okResponse(w, "gemm", "gpu/base")
 	})
 	c := newTestClient(t, Config{BaseURL: ts.URL})
 	if _, err := c.Decide(context.Background(), gemmReq()); err != nil {

@@ -351,6 +351,24 @@ func POWER8() *CPU {
 	return c
 }
 
+// ReducedSMT returns a copy of the CPU limited to the given SMT ways per
+// core (clamped to [1, c.SMTWays]). Fleets commonly run POWER hosts in
+// SMT2 or SMT4 mode for latency-sensitive work; the reduced descriptor
+// registers as its own selection target so the model ranks it against
+// the full-SMT configuration.
+func ReducedSMT(c *CPU, ways int) *CPU {
+	if ways < 1 {
+		ways = 1
+	}
+	if ways > c.SMTWays {
+		ways = c.SMTWays
+	}
+	r := *c
+	r.Name = fmt.Sprintf("%s-SMT%d", c.Name, ways)
+	r.SMTWays = ways
+	return &r
+}
+
 // TeslaV100 returns the Volta accelerator of Table III (SXM2, 16 GB HBM2,
 // 900 GB/s). Latencies follow Jia et al.'s micro-benchmark study.
 func TeslaV100() *GPU {

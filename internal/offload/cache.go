@@ -7,19 +7,29 @@ import (
 )
 
 // decisionEntry is one memoized model evaluation, keyed by the canonical
-// encoding of the launch bindings (and its 64-bit hash). The predictions
-// are always present; the decided target (and split fraction) is filled
-// the first time a Launch completes the policy decision for the key —
-// Predict alone stores the prediction half so a later Launch still skips
-// the model evaluation.
+// encoding of the launch bindings (and its 64-bit hash). The ranked
+// candidates are always present; the decided target (and split fraction)
+// is filled the first time a Launch completes the policy decision for
+// the key — Predict alone stores the prediction half so a later Launch
+// still skips the model evaluation.
 type decisionEntry struct {
-	key              string
-	hash             uint64
+	key  string
+	hash uint64
+	// cands is the ranked candidate list (ascending calibrated seconds).
+	// The slice is immutable once stored: hits share it (get copies the
+	// entry struct, not the slice), and refreshes replace the whole
+	// slice — concurrent readers keep their old snapshot.
+	cands []Candidate
+	// predCPU/predGPU are the raw predictions of the base CPU/GPU-kind
+	// targets (0 when the registry has none), kept denormalized so the
+	// hot hit path fills the legacy Decision fields without scanning.
 	predCPU, predGPU float64
 
 	// decided is set once a Launch has run the policy on this key.
 	decided bool
-	target  Target
+	// targetIdx is the chosen target's registry index (-1 for a split).
+	targetIdx int
+	target    Target
 	// frac is the host share chosen by a split decision (0 otherwise).
 	frac float64
 }

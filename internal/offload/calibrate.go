@@ -1,12 +1,14 @@
 package offload
 
 // Calibrator corrects analytical-model predictions with measured
-// feedback. The decide path calls Correct with the raw predicted seconds
-// of both models just before the policy decision; the returned values
-// replace the predictions for selection purposes only (logs and traces
-// keep the raw model output). internal/audit provides the standard
-// implementation: a per-region EWMA multiplicative correction fed by
-// shadow audits.
+// feedback. The decide path calls Correct with the freshly evaluated
+// candidates just before ranking; implementations rewrite each
+// candidate's CalSeconds in place (candidates arrive with CalSeconds ==
+// PredSeconds) keyed by Candidate.Target. The raw PredSeconds must stay
+// untouched — logs and traces keep the raw model output; the calibrated
+// values only steer the ranking and policy. internal/audit provides the
+// standard implementation: a per-region, per-target EWMA multiplicative
+// correction fed by shadow audits.
 //
 // Implementations must be safe for concurrent use from many launching
 // goroutines, and cheap — Correct sits on the decision hot path.
@@ -14,9 +16,9 @@ package offload
 // A calibration update changes the inputs of future decisions but not of
 // already-memoized ones; whoever mutates the calibrator should call
 // Runtime.InvalidateDecisions (or Region.InvalidateDecisions) for the
-// affected region so stale cached targets are re-decided.
+// affected region so stale cached verdicts are re-decided.
 type Calibrator interface {
-	Correct(region string, cpuSec, gpuSec float64) (ccpuSec, cgpuSec float64)
+	Correct(region string, cands []Candidate)
 }
 
 // InvalidateDecisions drops the region's memoized decisions so the next

@@ -11,45 +11,63 @@ import (
 	"github.com/hybridsel/hybridsel/internal/ir"
 )
 
-// compiledModels is a region's decision program: both analytical models
-// specialized at Register time to the kernel, platform and configuration.
-// The expensive launch-invariant work — MCA pipeline simulation, stride
-// analysis compilation, expression walking, binding canonicalization
-// layout — happens once here; each subsequent Predict is slot-vector
-// polynomial evaluation producing bit-for-bit the interpreted models'
-// output (pinned by TestCompiledRuntimeMatchesInterpreted).
+// targetProg is one registry target's compiled analytical model. Exactly
+// one of cpu/gpu is non-nil, matching the target's kind.
+type targetProg struct {
+	kind TargetKind
+	cpu  *cpumodel.Compiled
+	gpu  *gpumodel.Compiled
+}
+
+// compiledModels is a region's decision program: every registered
+// target's analytical model specialized at Register time to the kernel,
+// descriptor and configuration. The expensive launch-invariant work —
+// MCA pipeline simulation, stride analysis compilation, expression
+// walking, binding canonicalization layout — happens once here per
+// target; each subsequent Predict is slot-vector polynomial evaluation
+// producing bit-for-bit the interpreted models' output (pinned by
+// TestCompiledRuntimeMatchesInterpreted). The kernel-shape analyses
+// (layout, augment, count, IPDA compilation) are shared across targets:
+// only the machine-specific model specialization is per-target.
 //
 // The fast path engages only when a launch's binding names are exactly
 // the kernel parameters (KeyLayout.Fill); anything else — extra names,
 // missing names, regions whose expressions are not resolvable from the
 // parameters alone, exotic estimators — falls back to the interpreted
-// path, which also owns all error reporting. That split keeps the
-// compiled path free of error states by construction.
+// path, which also owns all error reporting. Compilation is
+// all-or-nothing across targets: one target failing to compile sends
+// the whole region to the interpreted path, so the two paths always
+// agree on which targets exist.
 type compiledModels struct {
 	layout *attrdb.KeyLayout
 	aug    *ir.Augment
-	cpu    *cpumodel.Compiled
-	gpu    *gpumodel.Compiled
-	nslots int
-	pool   sync.Pool // of *slotVecs
+	// progs is indexed by registry position; baseCPU/baseGPU mirror the
+	// registry's first-of-kind indices (-1 when that kind is absent).
+	progs   []targetProg
+	baseCPU int
+	baseGPU int
+	nslots  int
+	pool    sync.Pool // of *slotVecs
 }
 
 // slotVecs is the per-evaluation scratch state: the raw parameter vector,
-// its midpoint-augmented copy, and a scratch vector the CPU model's
-// edge probes overwrite. Pooled so the steady-state decision path
-// allocates only on a cache miss (the stored key string).
+// its midpoint-augmented copy, a scratch vector the CPU model's edge
+// probes overwrite, and the per-target prediction vector predictAll
+// fills (indexed by registry position). Pooled so the steady-state
+// decision path allocates only on a cache miss.
 type slotVecs struct {
 	vals, mid, scratch []int64
+	preds              []float64
 }
 
-func (cm *compiledModels) getVecs() *slotVecs  { return cm.pool.Get().(*slotVecs) }
+func (cm *compiledModels) getVecs() *slotVecs   { return cm.pool.Get().(*slotVecs) }
 func (cm *compiledModels) putVecs(sv *slotVecs) { cm.pool.Put(sv) }
 
-// compileRegion specializes both models for a region at Register time.
-// An error means the region stays on the interpreted path — which is
-// exactly the set of regions where the interpreted path's per-launch
-// validation (attrdb Resolve, model errors) can fire.
-func compileRegion(cfg *Config, k *ir.Kernel, attrs *attrdb.RegionAttrs, an *ipda.Result) (*compiledModels, error) {
+// compileRegion specializes every registered target's model for a region
+// at Register time. An error means the region stays on the interpreted
+// path — which is exactly the set of regions where the interpreted
+// path's per-launch validation (attrdb Resolve, model errors) can fire.
+func compileRegion(cfg *Config, reg *Registry, k *ir.Kernel, attrs *attrdb.RegionAttrs, an *ipda.Result) (*compiledModels, error) {
 	layout, err := attrdb.NewKeyLayout(k.Params)
 	if err != nil {
 		return nil, err
@@ -92,60 +110,111 @@ func compileRegion(cfg *Config, k *ir.Kernel, attrs *attrdb.RegionAttrs, an *ipd
 	if err != nil {
 		return nil, err
 	}
-	cpuC, err := cpumodel.Compile(cpumodel.CompileInput{
-		Kernel:      k,
-		CPU:         cfg.Platform.CPU,
-		Threads:     cfg.Threads,
-		Estimator:   cfg.Estimator,
-		IPDA:        ic,
-		Count:       count,
-		Augment:     aug,
-		Slots:       slots,
-		Bound:       bound,
-		AugBound:    augBound,
-		DefaultTrip: 128,
-	})
-	if err != nil {
-		return nil, err
+	progs := make([]targetProg, reg.Len())
+	for i := range progs {
+		sp := reg.At(i)
+		switch sp.Kind {
+		case KindCPU:
+			cpuC, err := cpumodel.Compile(cpumodel.CompileInput{
+				Kernel:      k,
+				CPU:         sp.CPU,
+				Threads:     sp.Threads,
+				Estimator:   cfg.Estimator,
+				IPDA:        ic,
+				Count:       count,
+				Augment:     aug,
+				Slots:       slots,
+				Bound:       bound,
+				AugBound:    augBound,
+				DefaultTrip: 128,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("offload: compile %s for %s: %w", k.Name, sp.ID, err)
+			}
+			progs[i] = targetProg{kind: KindCPU, cpu: cpuC}
+		case KindGPU:
+			gpuC, err := gpumodel.Compile(gpumodel.CompileInput{
+				Kernel:      k,
+				GPU:         sp.GPU,
+				Link:        sp.Link,
+				Options:     *cfg.GPUOptions,
+				IPDA:        ic,
+				Count:       count,
+				Slots:       slots,
+				Bound:       bound,
+				DefaultTrip: 128,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("offload: compile %s for %s: %w", k.Name, sp.ID, err)
+			}
+			progs[i] = targetProg{kind: KindGPU, gpu: gpuC}
+		}
 	}
-	gpuC, err := gpumodel.Compile(gpumodel.CompileInput{
-		Kernel:      k,
-		GPU:         cfg.Platform.GPU,
-		Link:        cfg.Platform.Link,
-		Options:     *cfg.GPUOptions,
-		IPDA:        ic,
-		Count:       count,
-		Slots:       slots,
-		Bound:       bound,
-		DefaultTrip: 128,
-	})
-	if err != nil {
-		return nil, err
+	cm := &compiledModels{
+		layout:  layout,
+		aug:     aug,
+		progs:   progs,
+		baseCPU: reg.baseCPU,
+		baseGPU: reg.baseGPU,
+		nslots:  n,
 	}
-	cm := &compiledModels{layout: layout, aug: aug, cpu: cpuC, gpu: gpuC, nslots: n}
+	nt := len(progs)
 	cm.pool.New = func() any {
 		return &slotVecs{
 			vals:    make([]int64, n),
 			mid:     make([]int64, n),
 			scratch: make([]int64, n),
+			preds:   make([]float64, nt),
 		}
 	}
 	return cm, nil
 }
 
+// predictOne evaluates one target's compiled model with the given work
+// fraction (0 = whole kernel).
+func (cm *compiledModels) predictOne(i int, sv *slotVecs, branchProb, frac float64) (float64, error) {
+	p := &cm.progs[i]
+	if p.kind == KindCPU {
+		cp, err := p.cpu.Predict(sv.vals, sv.mid, sv.scratch, branchProb, frac)
+		if err != nil {
+			return 0, wrapUnbound(err)
+		}
+		return cp.Seconds, nil
+	}
+	gp, err := p.gpu.Predict(sv.vals, sv.mid, branchProb, frac)
+	if err != nil {
+		return 0, wrapUnbound(err)
+	}
+	return gp.Seconds, nil
+}
+
+// predictAll evaluates every target's compiled model over the current
+// slot vectors, filling sv.preds in registry order.
+func (cm *compiledModels) predictAll(sv *slotVecs, branchProb float64) error {
+	for i := range cm.progs {
+		s, err := cm.predictOne(i, sv, branchProb, 0)
+		if err != nil {
+			return err
+		}
+		sv.preds[i] = s
+	}
+	return nil
+}
+
 // predictFraction is the compiled counterpart of Region.predictFraction:
-// sv.vals must hold the raw parameter vector and sv.mid its midpoint-
-// augmented copy.
+// the base CPU/GPU pair evaluated at a work split. sv.vals must hold the
+// raw parameter vector and sv.mid its midpoint-augmented copy. Callers
+// (the split planner) only reach here when both base kinds exist.
 func (cm *compiledModels) predictFraction(sv *slotVecs, branchProb, cpuFrac, gpuFrac float64) (cpuSec, gpuSec float64, err error) {
-	cp, err := cm.cpu.Predict(sv.vals, sv.mid, sv.scratch, branchProb, fracOrZero(cpuFrac))
+	cp, err := cm.predictOne(cm.baseCPU, sv, branchProb, fracOrZero(cpuFrac))
 	if err != nil {
-		return 0, 0, wrapUnbound(err)
+		return 0, 0, err
 	}
-	gp, err := cm.gpu.Predict(sv.vals, sv.mid, branchProb, fracOrZero(gpuFrac))
+	gp, err := cm.predictOne(cm.baseGPU, sv, branchProb, fracOrZero(gpuFrac))
 	if err != nil {
-		return 0, 0, wrapUnbound(err)
+		return 0, 0, err
 	}
-	return cp.Seconds, gp.Seconds, nil
+	return cp, gp, nil
 }
 
 // bestSplit is the compiled counterpart of Region.bestSplit (same

@@ -215,8 +215,12 @@ type Metrics struct {
 	// CompiledRegions is the number of registered regions whose decision
 	// path is compiled.
 	CompiledRegions int
-	// Dispatch counts completed launches per execution target.
-	Dispatch map[Target]uint64
+	// Dispatch counts completed launches per execution-target kind (the
+	// legacy binary view plus split); DispatchTargets counts them per
+	// registry target ID (plus the "split" pseudo-target), omitting
+	// zero rows.
+	Dispatch        map[Target]uint64
+	DispatchTargets map[string]uint64
 
 	// Decision cache accounting. Every Launch and every decide-only call
 	// resolves to exactly one hit or miss, so Hits + Misses ==
@@ -270,6 +274,16 @@ func (m Metrics) Merge(o Metrics) Metrics {
 		dispatch[t] += n
 	}
 	m.Dispatch = dispatch
+	if len(m.DispatchTargets) > 0 || len(o.DispatchTargets) > 0 {
+		byID := make(map[string]uint64, len(m.DispatchTargets))
+		for id, n := range m.DispatchTargets {
+			byID[id] = n
+		}
+		for id, n := range o.DispatchTargets {
+			byID[id] += n
+		}
+		m.DispatchTargets = byID
+	}
 	m.DecisionCacheHits += o.DecisionCacheHits
 	m.DecisionCacheMisses += o.DecisionCacheMisses
 	m.DecisionCacheEvictions += o.DecisionCacheEvictions

@@ -1,0 +1,208 @@
+package offload
+
+import (
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+)
+
+// TestClassicPairRankedParity is the API-redesign parity gate: with the
+// registry at exactly the classic CPU+GPU pair (the default), the ranked
+// verdict's top-1 must be bit-for-bit the historical binary rule
+// "offload iff gpuSec < cpuSec" — for every Polybench kernel, on both
+// paper platforms, in both dataset modes, through both the compiled and
+// the interpreted decision path.
+func TestClassicPairRankedParity(t *testing.T) {
+	platforms := []struct {
+		name string
+		p    machine.Platform
+	}{
+		{"p9-v100", machine.PlatformP9V100()},
+		{"p8-k80", machine.PlatformP8K80()},
+	}
+	for _, plat := range platforms {
+		for _, disable := range []bool{false, true} {
+			path := "compiled"
+			if disable {
+				path = "interpreted"
+			}
+			t.Run(plat.name+"/"+path, func(t *testing.T) {
+				rt := NewRuntime(Config{
+					Platform:              plat.p,
+					Policy:                ModelGuided,
+					DisableCompiledModels: disable,
+				})
+				if !rt.Targets().IsClassicPair() {
+					t.Fatal("default registry is not the classic pair")
+				}
+				for _, k := range polybench.Suite() {
+					r, err := rt.Register(k.IR)
+					if err != nil {
+						t.Fatalf("%s: %v", k.Name, err)
+					}
+					for _, mode := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+						b := k.Bindings(mode)
+						cpuSec, gpuSec, err := r.Predict(b)
+						if err != nil {
+							t.Fatalf("%s/%v: predict: %v", k.Name, mode, err)
+						}
+						wantID, wantTarget := TargetIDCPUBase, TargetCPU
+						if gpuSec < cpuSec {
+							wantID, wantTarget = TargetIDGPUBase, TargetGPU
+						}
+						out, err := rt.Decide(k.Name, b)
+						if err != nil {
+							t.Fatalf("%s/%v: decide: %v", k.Name, mode, err)
+						}
+						if out.TargetID != wantID || out.Target != wantTarget {
+							t.Errorf("%s/%v: ranked verdict %s/%v, binary rule wants %s/%v (cpu %v, gpu %v)",
+								k.Name, mode, out.TargetID, out.Target, wantID, wantTarget, cpuSec, gpuSec)
+						}
+						if len(out.Candidates) != 2 {
+							t.Fatalf("%s/%v: classic pair ranked %d candidates", k.Name, mode, len(out.Candidates))
+						}
+						if out.Candidates[0].Target != wantID {
+							t.Errorf("%s/%v: top-1 candidate %s, want %s",
+								k.Name, mode, out.Candidates[0].Target, wantID)
+						}
+						if out.PredCPUSeconds != cpuSec || out.PredGPUSeconds != gpuSec {
+							t.Errorf("%s/%v: base-pair fields %v/%v, predictions %v/%v",
+								k.Name, mode, out.PredCPUSeconds, out.PredGPUSeconds, cpuSec, gpuSec)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSyntheticRankingTotalOrderAndStable pins the N-way ranking
+// semantics: with a 4-target registry every ranking is a total order
+// (each registered target appears exactly once, ascending by calibrated
+// seconds, registry order breaking ties) and repeated calls return the
+// identical ranking — decisions are pure functions of the model inputs.
+func TestSyntheticRankingTotalOrderAndStable(t *testing.T) {
+	plat := machine.PlatformP9V100()
+	reg := SyntheticTargets(plat, 160)
+	for _, disable := range []bool{false, true} {
+		rt := NewRuntime(Config{
+			Platform:              plat,
+			Threads:               160,
+			Policy:                ModelGuided,
+			Targets:               reg,
+			DisableCompiledModels: disable,
+		})
+		for _, name := range []string{"gemm", "mvt1", "2dconv", "atax2"} {
+			k, err := polybench.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.Register(k.IR); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, mode := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+				b := k.Bindings(mode)
+				first, err := rt.PredictTargets(name, b)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, mode, err)
+				}
+				if len(first) != reg.Len() {
+					t.Fatalf("%s/%v: ranked %d of %d targets", name, mode, len(first), reg.Len())
+				}
+				seen := map[string]bool{}
+				for i, c := range first {
+					if _, ok := reg.Lookup(c.Target); !ok {
+						t.Fatalf("%s/%v: unknown target %q in ranking", name, mode, c.Target)
+					}
+					if seen[c.Target] {
+						t.Fatalf("%s/%v: target %q ranked twice", name, mode, c.Target)
+					}
+					seen[c.Target] = true
+					if c.PredSeconds <= 0 || c.CalSeconds <= 0 {
+						t.Fatalf("%s/%v: candidate %d has non-positive time: %+v", name, mode, i, c)
+					}
+					if i > 0 && first[i-1].CalSeconds > c.CalSeconds {
+						t.Fatalf("%s/%v: ranking not ascending at %d: %v > %v",
+							name, mode, i, first[i-1].CalSeconds, c.CalSeconds)
+					}
+				}
+				// Stability: re-ranking the same point returns the same
+				// ranking, value for value.
+				for rep := 0; rep < 4; rep++ {
+					again, err := rt.PredictTargets(name, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range first {
+						if again[i].Target != first[i].Target ||
+							again[i].PredSeconds != first[i].PredSeconds ||
+							again[i].CalSeconds != first[i].CalSeconds {
+							t.Fatalf("%s/%v: ranking unstable at %d: %+v vs %+v",
+								name, mode, i, again[i], first[i])
+						}
+					}
+				}
+				// The policy-chosen verdict is the ranking's top-1 and the
+				// decision carries the full ranking.
+				out, err := rt.Decide(name, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.TargetID != first[0].Target {
+					t.Errorf("%s/%v: verdict %s, top-1 %s", name, mode, out.TargetID, first[0].Target)
+				}
+				if len(out.Candidates) != len(first) {
+					t.Errorf("%s/%v: decision carries %d candidates, ranking has %d",
+						name, mode, len(out.Candidates), len(first))
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledSyntheticMatchesInterpreted extends the PR-4 cross-check
+// to N-way registries: per-target compiled programs must reproduce the
+// interpreted models' ranking bit-for-bit for every synthetic target,
+// not just the classic pair.
+func TestCompiledSyntheticMatchesInterpreted(t *testing.T) {
+	for _, plat := range []machine.Platform{machine.PlatformP9V100(), machine.PlatformP8K80()} {
+		reg := SyntheticTargets(plat, 160)
+		crt := NewRuntime(Config{Platform: plat, Threads: 160, Targets: reg})
+		irt := NewRuntime(Config{Platform: plat, Threads: 160, Targets: reg,
+			DisableCompiledModels: true})
+		for _, k := range polybench.Suite() {
+			cr, err := crt.Register(k.IR)
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			if !cr.Compiled() {
+				t.Fatalf("%s: synthetic registry did not compile", k.Name)
+			}
+			if _, err := irt.Register(k.IR); err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			for _, mode := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+				b := k.Bindings(mode)
+				cc, err := crt.PredictTargets(k.Name, b)
+				if err != nil {
+					t.Fatalf("%s/%v: compiled: %v", k.Name, mode, err)
+				}
+				ic, err := irt.PredictTargets(k.Name, b)
+				if err != nil {
+					t.Fatalf("%s/%v: interpreted: %v", k.Name, mode, err)
+				}
+				if len(cc) != len(ic) {
+					t.Fatalf("%s/%v: %d vs %d candidates", k.Name, mode, len(cc), len(ic))
+				}
+				for i := range cc {
+					if cc[i].Target != ic[i].Target || cc[i].PredSeconds != ic[i].PredSeconds {
+						t.Errorf("%s/%v: rank %d diverges: compiled %s %v, interpreted %s %v",
+							k.Name, mode, i,
+							cc[i].Target, cc[i].PredSeconds, ic[i].Target, ic[i].PredSeconds)
+					}
+				}
+			}
+		}
+	}
+}

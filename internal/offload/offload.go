@@ -88,6 +88,21 @@ type Config struct {
 	// Policy selects the target per launch (nil = ModelGuided).
 	Policy Policy
 
+	// Targets is the execution-target registry the runtime ranks over.
+	// nil selects the classic pair derived from Platform and Threads —
+	// the configuration whose ranked top-1 is bit-for-bit the historical
+	// binary verdict. The registry must not be mutated after NewRuntime
+	// (Register compiles per-target decision programs against it).
+	Targets *Registry
+
+	// Constraints filter the ranked candidates before every policy
+	// selection ("GPU pool at capacity: next-best target"). When the
+	// filter would empty the ranking the constraints are ignored for
+	// that decision. Constraints implementing DispatchObserver are
+	// notified around every dispatched execution. Any Dynamic constraint
+	// disables decided-verdict caching (predictions stay memoized).
+	Constraints []Constraint
+
 	// DecisionCacheSize bounds each region's memoized-decision LRU (the
 	// number of distinct binding sets cached per region). 0 selects the
 	// default (1024); a negative value disables decision caching.
@@ -104,9 +119,10 @@ type Config struct {
 	// measured feedback before every policy decision (the online half of
 	// the shadow-audit loop, see internal/audit). It must be safe for
 	// concurrent use and cheap: decide consults it on every cache miss.
-	// Decision.PredCPUSeconds/PredGPUSeconds always carry the raw model
-	// output so traces stay comparable across calibration states; the
-	// calibrated values only steer the policy.
+	// Candidate.PredSeconds (and the legacy Decision.PredCPUSeconds/
+	// PredGPUSeconds) always carry the raw model output so traces stay
+	// comparable across calibration states; the calibrated CalSeconds
+	// only steer the ranking and policy.
 	Calibrator Calibrator
 
 	// GPUOptions default to the paper's configuration (IPDA coalescing,
@@ -159,8 +175,22 @@ type Decision struct {
 	Region   string
 	Bindings symbolic.Bindings
 	Policy   Policy
+	// Target is the chosen target's kind as the legacy binary enum
+	// (TargetSplit for a cooperative split); TargetID is its registry ID
+	// ("cpu/base", "gpu/prev", ..., or TargetIDSplit).
 	Target   Target
+	TargetID string
 
+	// Candidates is the full ranked verdict: every registered target
+	// ascending by calibrated predicted seconds (ties in registration
+	// order). The slice is shared with the decision cache and must not
+	// be mutated.
+	Candidates []Candidate
+
+	// PredCPUSeconds/PredGPUSeconds are the raw predictions of the base
+	// CPU-kind and GPU-kind targets (0 when the registry has none),
+	// kept so two-target traces and logs read exactly as before the
+	// N-way redesign.
 	PredCPUSeconds float64
 	PredGPUSeconds float64
 	// SplitFraction is the host share of the iteration space chosen by
@@ -172,9 +202,13 @@ type Decision struct {
 	// ActualSeconds is the executed (simulated) time of the chosen
 	// target; for Oracle both actuals are filled.
 	ActualSeconds    float64
-	ActualCPUSeconds float64 // 0 if CPU was not executed
-	ActualGPUSeconds float64 // 0 if GPU was not executed
+	ActualCPUSeconds float64 // 0 if the base CPU target was not executed
+	ActualGPUSeconds float64 // 0 if the base GPU target was not executed
 	DecisionOverhead time.Duration
+
+	// targetIdx is the chosen target's registry index (-1 for a split),
+	// carried so dispatch accounting avoids an ID lookup.
+	targetIdx int
 }
 
 // Outcome is what Launch returns.
@@ -189,11 +223,25 @@ type Outcome struct {
 type Runtime struct {
 	cfg Config
 
+	// targets is the resolved registry (Config.Targets, or the classic
+	// pair derived from the platform), with CPU team sizes normalized.
+	targets *Registry
+
 	// obs is the live observer hook, seeded from Config.Observer and
 	// replaceable via SetObserver (atomically, so wiring an observer that
 	// itself needs the constructed runtime — e.g. a shadow auditor — does
 	// not race with in-flight launches).
 	obs atomic.Pointer[func(Decision)]
+
+	// dispatchID counts completed launches per registry target, indexed
+	// by registry order with one trailing slot for the split
+	// pseudo-target.
+	dispatchID []atomic.Uint64
+	// dispatchObs are the Config.Constraints implementing
+	// DispatchObserver; hasDynamic is true when any constraint is
+	// Dynamic (disabling decided-verdict caching).
+	dispatchObs []DispatchObserver
+	hasDynamic  bool
 
 	regmu   sync.RWMutex
 	regions map[string]*Region
@@ -221,16 +269,35 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.Estimator == nil {
 		cfg.Estimator = cpumodel.MCAEstimator{}
 	}
+	reg := cfg.Targets
+	if reg == nil || reg.Len() == 0 {
+		reg = ClassicPair(cfg.Platform, cfg.Threads)
+	} else {
+		reg = reg.withResolvedThreads()
+	}
 	rt := &Runtime{
-		cfg:     cfg,
-		db:      attrdb.New(),
-		regions: map[string]*Region{},
+		cfg:        cfg,
+		targets:    reg,
+		dispatchID: make([]atomic.Uint64, reg.Len()+1),
+		db:         attrdb.New(),
+		regions:    map[string]*Region{},
+	}
+	for _, c := range cfg.Constraints {
+		if c.Dynamic() {
+			rt.hasDynamic = true
+		}
+		if o, ok := c.(DispatchObserver); ok {
+			rt.dispatchObs = append(rt.dispatchObs, o)
+		}
 	}
 	if cfg.Observer != nil {
 		rt.obs.Store(&cfg.Observer)
 	}
 	return rt
 }
+
+// Targets returns the runtime's resolved target registry.
+func (rt *Runtime) Targets() *Registry { return rt.targets }
 
 // SetObserver replaces the decision observer hook. It exists for
 // observers that can only be built once the runtime exists (the shadow
@@ -275,10 +342,10 @@ func (rt *Runtime) Register(k *ir.Kernel) (*Region, error) {
 		exec:      map[string]float64{},
 	}
 	if !rt.cfg.DisableCompiledModels {
-		// Specialize both models now (the compiler role): per-launch
-		// Predicts become slot-vector evaluations. Failure is not an
-		// error — the region simply stays on the interpreted path.
-		if cm, err := compileRegion(&rt.cfg, k, attrs, an); err == nil {
+		// Specialize every target's model now (the compiler role):
+		// per-launch Predicts become slot-vector evaluations. Failure is
+		// not an error — the region simply stays on the interpreted path.
+		if cm, err := compileRegion(&rt.cfg, rt.targets, k, attrs, an); err == nil {
 			r.compiled = cm
 		}
 	}
@@ -348,6 +415,15 @@ func (rt *Runtime) Predict(name string, b symbolic.Bindings) (cpuSec, gpuSec flo
 	return r.Predict(b)
 }
 
+// PredictTargets is the name-based wrapper around Region.PredictTargets.
+func (rt *Runtime) PredictTargets(name string, b symbolic.Bindings) ([]Candidate, error) {
+	r, err := rt.Region(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.PredictTargets(b)
+}
+
 // Execute is the name-based wrapper around Region.Execute.
 func (rt *Runtime) Execute(name string, t Target, b symbolic.Bindings) (float64, error) {
 	r, err := rt.Region(name)
@@ -355,6 +431,15 @@ func (rt *Runtime) Execute(name string, t Target, b symbolic.Bindings) (float64,
 		return 0, err
 	}
 	return r.Execute(t, b)
+}
+
+// ExecuteTarget is the name-based wrapper around Region.ExecuteTarget.
+func (rt *Runtime) ExecuteTarget(name, targetID string, b symbolic.Bindings) (float64, error) {
+	r, err := rt.Region(name)
+	if err != nil {
+		return 0, err
+	}
+	return r.ExecuteTarget(targetID, b)
 }
 
 // Metrics returns a point-in-time snapshot of the runtime's
@@ -377,6 +462,7 @@ func (rt *Runtime) Metrics() Metrics {
 			TargetGPU:   rt.met.dispatch[TargetGPU].Load(),
 			TargetSplit: rt.met.dispatch[TargetSplit].Load(),
 		},
+		DispatchTargets: rt.snapshotDispatchTargets(),
 	}
 	rt.regmu.RLock()
 	m.Regions = len(rt.regions)
@@ -387,6 +473,25 @@ func (rt *Runtime) Metrics() Metrics {
 		}
 	}
 	rt.regmu.RUnlock()
+	return m
+}
+
+// snapshotDispatchTargets reads the per-target dispatch counters into a
+// map keyed by registry ID (plus the split pseudo-target), omitting
+// zero rows.
+func (rt *Runtime) snapshotDispatchTargets() map[string]uint64 {
+	m := make(map[string]uint64)
+	for i := range rt.dispatchID {
+		n := rt.dispatchID[i].Load()
+		if n == 0 {
+			continue
+		}
+		if i == rt.targets.Len() {
+			m[TargetIDSplit] = n
+		} else {
+			m[rt.targets.specs[i].ID] = n
+		}
+	}
 	return m
 }
 
@@ -445,9 +550,10 @@ func (r *Region) countOpt(b symbolic.Bindings) ir.CountOptions {
 		Bindings: ir.MidpointBindings(r.Kernel, b)}
 }
 
-// evalModels runs both analytical models for the full iteration space,
-// recording the evaluation in the latency histogram.
-func (r *Region) evalModels(b symbolic.Bindings) (cpuSec, gpuSec float64, err error) {
+// evalTargets runs the analytical model of every registered target for
+// the full iteration space, in registry order, recording one model-pass
+// evaluation in the latency histogram.
+func (r *Region) evalTargets(b symbolic.Bindings) ([]float64, error) {
 	rt := r.rt
 	start := time.Now()
 	// Resolving the stored attributes validates that every runtime
@@ -456,50 +562,229 @@ func (r *Region) evalModels(b symbolic.Bindings) (cpuSec, gpuSec float64, err er
 		WarpSize:         rt.cfg.Platform.GPU.WarpSize,
 		TransactionBytes: rt.cfg.Platform.GPU.L2.LineBytes,
 	}); err != nil {
-		return 0, 0, wrapUnbound(err)
+		return nil, wrapUnbound(err)
 	}
-	cpuSec, gpuSec, err = r.predictFraction(b, 1, 1)
-	if err != nil {
-		return 0, 0, err
+	opt := r.countOpt(b)
+	preds := make([]float64, rt.targets.Len())
+	for i := range preds {
+		sec, err := r.predictTargetSpec(&rt.targets.specs[i], b, opt, 0)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = sec
 	}
 	rt.met.predictions.Add(1)
 	rt.met.modelEval.observe(time.Since(start))
-	return cpuSec, gpuSec, nil
+	return preds, nil
 }
 
-// predictFraction evaluates the models with the host running cpuFrac of
-// the iteration space and the device gpuFrac (both 1 for a full
-// single-target prediction).
-func (r *Region) predictFraction(b symbolic.Bindings, cpuFrac, gpuFrac float64) (cpuSec, gpuSec float64, err error) {
+// predictTargetSpec evaluates one target's analytical model. frac uses
+// the models' zero-value convention (0 means the whole iteration space).
+func (r *Region) predictTargetSpec(sp *TargetSpec, b symbolic.Bindings, opt ir.CountOptions, frac float64) (float64, error) {
 	rt := r.rt
-	opt := r.countOpt(b)
-	cp, err := cpumodel.Predict(cpumodel.Input{
-		Kernel:       r.Kernel,
-		CPU:          rt.cfg.Platform.CPU,
-		Threads:      rt.cfg.Threads,
-		Bindings:     b,
-		CountOpt:     opt,
-		IPDA:         r.Analysis,
-		Estimator:    rt.cfg.Estimator,
-		IterFraction: fracOrZero(cpuFrac),
-	})
-	if err != nil {
-		return 0, 0, wrapUnbound(err)
+	if sp.Kind == KindCPU {
+		cp, err := cpumodel.Predict(cpumodel.Input{
+			Kernel:       r.Kernel,
+			CPU:          sp.CPU,
+			Threads:      sp.Threads,
+			Bindings:     b,
+			CountOpt:     opt,
+			IPDA:         r.Analysis,
+			Estimator:    rt.cfg.Estimator,
+			IterFraction: frac,
+		})
+		if err != nil {
+			return 0, wrapUnbound(err)
+		}
+		return cp.Seconds, nil
 	}
 	gp, err := gpumodel.Predict(gpumodel.Input{
 		Kernel:       r.Kernel,
-		GPU:          rt.cfg.Platform.GPU,
-		Link:         rt.cfg.Platform.Link,
+		GPU:          sp.GPU,
+		Link:         sp.Link,
 		Bindings:     b,
 		CountOpt:     opt,
 		IPDA:         r.Analysis,
 		Options:      *rt.cfg.GPUOptions,
-		IterFraction: fracOrZero(gpuFrac),
+		IterFraction: frac,
 	})
 	if err != nil {
-		return 0, 0, wrapUnbound(err)
+		return 0, wrapUnbound(err)
 	}
-	return cp.Seconds, gp.Seconds, nil
+	return gp.Seconds, nil
+}
+
+// predictFraction evaluates the base CPU/GPU pair's models with the host
+// running cpuFrac of the iteration space and the device gpuFrac (both 1
+// for a full single-target prediction). Callers (the split planner)
+// guarantee the registry has both kinds.
+func (r *Region) predictFraction(b symbolic.Bindings, cpuFrac, gpuFrac float64) (cpuSec, gpuSec float64, err error) {
+	rt := r.rt
+	opt := r.countOpt(b)
+	cpuSec, err = r.predictTargetSpec(&rt.targets.specs[rt.targets.baseCPU], b, opt, fracOrZero(cpuFrac))
+	if err != nil {
+		return 0, 0, err
+	}
+	gpuSec, err = r.predictTargetSpec(&rt.targets.specs[rt.targets.baseGPU], b, opt, fracOrZero(gpuFrac))
+	if err != nil {
+		return 0, 0, err
+	}
+	return cpuSec, gpuSec, nil
+}
+
+// newCandidates builds the registry-ordered candidate list from raw
+// per-target predictions (preds in registry order), with calibration
+// initialized to the raw values.
+func (rt *Runtime) newCandidates(preds []float64) []Candidate {
+	cands := make([]Candidate, rt.targets.Len())
+	for i := range cands {
+		sp := &rt.targets.specs[i]
+		cands[i] = Candidate{Target: sp.ID, Kind: sp.Kind,
+			PredSeconds: preds[i], CalSeconds: preds[i], order: i}
+	}
+	return cands
+}
+
+// basePreds extracts the raw base-pair predictions from a candidate list
+// in any order (0 for a kind the registry lacks).
+func (rt *Runtime) basePreds(cands []Candidate) (cpu, gpu float64) {
+	for i := range cands {
+		switch cands[i].order {
+		case rt.targets.baseCPU:
+			cpu = cands[i].PredSeconds
+		case rt.targets.baseGPU:
+			gpu = cands[i].PredSeconds
+		}
+	}
+	return cpu, gpu
+}
+
+// reorderedCopy rebuilds a registry-ordered working copy of memoized
+// candidates with calibration reset to the raw predictions, so
+// re-selection over a prediction-only cache entry is bit-for-bit the
+// same as selection over a fresh evaluation.
+func (rt *Runtime) reorderedCopy(cands []Candidate) []Candidate {
+	out := make([]Candidate, len(cands))
+	for _, c := range cands {
+		c.CalSeconds = c.PredSeconds
+		out[c.order] = c
+	}
+	return out
+}
+
+// setChosen fills the decision's chosen-target fields from a registry
+// index.
+func (rt *Runtime) setChosen(d *Decision, idx int) {
+	sp := &rt.targets.specs[idx]
+	d.Target = sp.Kind.LegacyTarget()
+	d.TargetID = sp.ID
+	d.targetIdx = idx
+}
+
+// filterEligible applies the configured constraints to the ranked
+// candidates. It returns the input slice untouched when nothing is
+// filtered — or when everything would be (availability beats placement
+// preferences: an over-constrained decision falls back to the full
+// ranking rather than fail the launch).
+func filterEligible(ranked []Candidate, cs []Constraint) []Candidate {
+	eligible := func(c Candidate) bool {
+		for _, con := range cs {
+			if !con.Eligible(c) {
+				return false
+			}
+		}
+		return true
+	}
+	all := true
+	for i := range ranked {
+		if !eligible(ranked[i]) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return ranked
+	}
+	elig := make([]Candidate, 0, len(ranked))
+	for i := range ranked {
+		if eligible(ranked[i]) {
+			elig = append(elig, ranked[i])
+		}
+	}
+	if len(elig) == 0 {
+		return ranked
+	}
+	return elig
+}
+
+// splitPlanner resolves a split request against the calibrated base-pair
+// predictions (interpreted or compiled, depending on the decide path).
+type splitPlanner func(calCPU, calGPU float64) (Target, float64, error)
+
+// selectTarget is the selection stage shared by both decide paths over
+// freshly built (or recalibration-reset) registry-ordered candidates:
+// calibrate, rank, filter by constraints, run the policy, and resolve
+// split requests. It fills the decision's verdict fields; the ranked
+// slice lands in d.Candidates for memoization.
+func (r *Region) selectTarget(d *Decision, cands []Candidate, plan splitPlanner) error {
+	rt := r.rt
+	if rt.cfg.Calibrator != nil {
+		rt.cfg.Calibrator.Correct(r.Name, cands)
+	}
+	// The split planner compares against the calibrated base pair;
+	// capture before ranking permutes the slice.
+	var calCPU, calGPU float64
+	for i := range cands {
+		switch cands[i].order {
+		case rt.targets.baseCPU:
+			calCPU = cands[i].CalSeconds
+		case rt.targets.baseGPU:
+			calGPU = cands[i].CalSeconds
+		}
+	}
+	rankCandidates(cands)
+	d.Candidates = cands
+
+	elig := cands
+	if len(rt.cfg.Constraints) > 0 {
+		elig = filterEligible(cands, rt.cfg.Constraints)
+	}
+	sel := d.Policy.Select(r, elig)
+	if sel.Split && plan != nil && rt.targets.baseCPU >= 0 && rt.targets.baseGPU >= 0 {
+		t, f, err := plan(calCPU, calGPU)
+		if err != nil {
+			return err
+		}
+		switch t {
+		case TargetSplit:
+			d.Target, d.TargetID = TargetSplit, TargetIDSplit
+			d.SplitFraction, d.targetIdx = f, -1
+		case TargetGPU:
+			rt.setChosen(d, rt.targets.baseGPU)
+		default:
+			rt.setChosen(d, rt.targets.baseCPU)
+		}
+		return nil
+	}
+	i := sel.Index
+	if i < 0 || i >= len(elig) {
+		i = 0
+	}
+	rt.setChosen(d, elig[i].order)
+	return nil
+}
+
+// fillFromEntry serves a decision from a decided cache entry.
+func (r *Region) fillFromEntry(d *Decision, ent *decisionEntry) {
+	d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
+	d.Candidates = ent.cands
+	d.SplitFraction = ent.frac
+	d.CacheHit = true
+	if ent.targetIdx < 0 {
+		d.Target, d.TargetID, d.targetIdx = TargetSplit, TargetIDSplit, -1
+		return
+	}
+	r.rt.setChosen(d, ent.targetIdx)
 }
 
 // fracOrZero maps a full-space fraction to the models' zero-value
@@ -511,10 +796,13 @@ func fracOrZero(f float64) float64 {
 	return f
 }
 
-// Predict evaluates both analytical models for the region under runtime
-// bindings, without executing anything. Results are memoized in the
-// region's decision cache.
+// Predict evaluates the analytical models for the region under runtime
+// bindings, without executing anything, and returns the base CPU/GPU
+// pair's raw predictions (the historical two-target view; PredictTargets
+// returns the full ranking). Results are memoized in the region's
+// decision cache.
 func (r *Region) Predict(b symbolic.Bindings) (cpuSec, gpuSec float64, err error) {
+	rt := r.rt
 	if cm := r.compiled; cm != nil {
 		sv := cm.getVecs()
 		defer cm.putVecs(sv)
@@ -523,12 +811,14 @@ func (r *Region) Predict(b symbolic.Bindings) (cpuSec, gpuSec float64, err error
 			if ent, ok := r.decisions.getVec(hash, cm.layout, sv.vals); ok {
 				return ent.predCPU, ent.predGPU, nil
 			}
-			cpuSec, gpuSec, err = r.evalCompiled(cm, sv, r.branchProb())
-			if err != nil {
+			if err := r.evalCompiled(cm, sv, r.branchProb()); err != nil {
 				return 0, 0, err
 			}
+			cands := rt.newCandidates(sv.preds)
+			cpuSec, gpuSec = rt.basePreds(cands)
+			rankCandidates(cands)
 			r.storeEntry(decisionEntry{key: cm.layout.Key(sv.vals), hash: hash,
-				predCPU: cpuSec, predGPU: gpuSec})
+				cands: cands, predCPU: cpuSec, predGPU: gpuSec})
 			return cpuSec, gpuSec, nil
 		}
 	}
@@ -536,34 +826,83 @@ func (r *Region) Predict(b symbolic.Bindings) (cpuSec, gpuSec float64, err error
 	if ent, ok := r.decisions.get(attrdb.KeyHash(key), key); ok {
 		return ent.predCPU, ent.predGPU, nil
 	}
-	cpuSec, gpuSec, err = r.evalModels(b)
+	preds, err := r.evalTargets(b)
 	if err != nil {
 		return 0, 0, err
 	}
+	cands := rt.newCandidates(preds)
+	cpuSec, gpuSec = rt.basePreds(cands)
+	rankCandidates(cands)
 	r.storeEntry(decisionEntry{key: key, hash: attrdb.KeyHash(key),
-		predCPU: cpuSec, predGPU: gpuSec})
+		cands: cands, predCPU: cpuSec, predGPU: gpuSec})
 	return cpuSec, gpuSec, nil
 }
 
-// evalCompiled runs both compiled models for the full iteration space
-// (sv.vals already filled; it fills sv.mid), with the same accounting as
-// evalModels. The interpreted path's Attrs.Resolve validation is
-// unnecessary here: compileRegion proved every expression resolvable
-// from the parameters, and Fill proved the parameters are exactly what
-// was bound.
-func (r *Region) evalCompiled(cm *compiledModels, sv *slotVecs, branchProb float64) (cpuSec, gpuSec float64, err error) {
+// PredictTargets evaluates every registered target's analytical model
+// (memoized like Predict) and returns the ranked raw-prediction
+// candidates — ascending PredSeconds, ties in registration order, with
+// CalSeconds == PredSeconds. Calibration and constraints apply at
+// decision time, not here. The returned slice is the caller's to keep.
+func (r *Region) PredictTargets(b symbolic.Bindings) ([]Candidate, error) {
+	rt := r.rt
+	if cm := r.compiled; cm != nil {
+		sv := cm.getVecs()
+		defer cm.putVecs(sv)
+		if cm.layout.Fill(b, sv.vals) {
+			hash := cm.layout.Hash(sv.vals)
+			if ent, ok := r.decisions.getVec(hash, cm.layout, sv.vals); ok {
+				cands := rt.reorderedCopy(ent.cands)
+				rankCandidates(cands)
+				return cands, nil
+			}
+			if err := r.evalCompiled(cm, sv, r.branchProb()); err != nil {
+				return nil, err
+			}
+			cands := rt.newCandidates(sv.preds)
+			cpu, gpu := rt.basePreds(cands)
+			rankCandidates(cands)
+			r.storeEntry(decisionEntry{key: cm.layout.Key(sv.vals), hash: hash,
+				cands: cands, predCPU: cpu, predGPU: gpu})
+			return append([]Candidate(nil), cands...), nil
+		}
+	}
+	key := attrdb.BindingsKey(b)
+	hash := attrdb.KeyHash(key)
+	if ent, ok := r.decisions.get(hash, key); ok {
+		cands := rt.reorderedCopy(ent.cands)
+		rankCandidates(cands)
+		return cands, nil
+	}
+	preds, err := r.evalTargets(b)
+	if err != nil {
+		return nil, err
+	}
+	cands := rt.newCandidates(preds)
+	cpu, gpu := rt.basePreds(cands)
+	rankCandidates(cands)
+	r.storeEntry(decisionEntry{key: key, hash: hash,
+		cands: cands, predCPU: cpu, predGPU: gpu})
+	return append([]Candidate(nil), cands...), nil
+}
+
+// evalCompiled runs every target's compiled model for the full iteration
+// space (sv.vals already filled; it fills sv.mid and sv.preds), with the
+// same accounting as evalTargets. The interpreted path's Attrs.Resolve
+// validation is unnecessary here: compileRegion proved every expression
+// resolvable from the parameters, and Fill proved the parameters are
+// exactly what was bound.
+func (r *Region) evalCompiled(cm *compiledModels, sv *slotVecs, branchProb float64) error {
 	rt := r.rt
 	start := time.Now()
 	copy(sv.mid, sv.vals)
 	cm.aug.Midpoint(sv.mid)
-	cpuSec, gpuSec, err = cm.predictFraction(sv, branchProb, 1, 1)
-	if err != nil {
-		return 0, 0, err
+	if err := cm.predictAll(sv, branchProb); err != nil {
+		return err
 	}
 	rt.met.predictions.Add(1)
 	rt.met.compiledEvals.Add(1)
 	rt.met.modelEval.observe(time.Since(start))
-	return cpuSec, gpuSec, nil
+	return nil
 }
 
 // storeEntry inserts a cache entry, counting evictions. The cache itself
@@ -578,9 +917,9 @@ func (r *Region) storeEntry(e decisionEntry) {
 // execKey builds the memoization key for a ground-truth execution from a
 // pre-canonicalized bindings key (avoiding a second canonicalization on
 // the hot launch path).
-func execKey(t Target, bkey string, frac float64) string {
-	buf := make([]byte, 0, len(bkey)+16)
-	buf = append(buf, t.String()...)
+func execKey(targetID, bkey string, frac float64) string {
+	buf := make([]byte, 0, len(targetID)+len(bkey)+16)
+	buf = append(buf, targetID...)
 	buf = append(buf, "/f="...)
 	buf = strconv.AppendFloat(buf, frac, 'f', 4, 64)
 	buf = append(buf, '/')
@@ -588,18 +927,51 @@ func execKey(t Target, bkey string, frac float64) string {
 	return string(buf)
 }
 
-// Execute runs the region on the given target (ground truth) and returns
-// the wall-clock seconds. Results are memoized per (target, bindings).
+// baseIndex resolves the binary-enum view onto the registry: the first
+// registered target of the kind.
+func (rt *Runtime) baseIndex(t Target) (int, error) {
+	switch t {
+	case TargetCPU:
+		if rt.targets.baseCPU >= 0 {
+			return rt.targets.baseCPU, nil
+		}
+	case TargetGPU:
+		if rt.targets.baseGPU >= 0 {
+			return rt.targets.baseGPU, nil
+		}
+	}
+	return 0, fmt.Errorf("offload: no registered %v-kind target", t)
+}
+
+// Execute runs the region on the base target of the given kind (ground
+// truth) and returns the wall-clock seconds — the historical two-target
+// entry point; ExecuteTarget addresses any registered target. Results
+// are memoized per (target, bindings).
 func (r *Region) Execute(t Target, b symbolic.Bindings) (float64, error) {
-	return r.execute(t, b, 1, attrdb.BindingsKey(b))
+	idx, err := r.rt.baseIndex(t)
+	if err != nil {
+		return 0, err
+	}
+	return r.execute(&r.rt.targets.specs[idx], b, 1, attrdb.BindingsKey(b))
+}
+
+// ExecuteTarget runs the region on a registered target by ID (ground
+// truth), memoized per (target, bindings).
+func (r *Region) ExecuteTarget(id string, b symbolic.Bindings) (float64, error) {
+	i := r.rt.targets.index(id)
+	if i < 0 {
+		return 0, fmt.Errorf("offload: unknown target %q (have %v)", id, r.rt.targets.IDs())
+	}
+	return r.execute(&r.rt.targets.specs[i], b, 1, attrdb.BindingsKey(b))
 }
 
 // execute runs a leading (CPU) or trailing (GPU) fraction of the region's
-// iteration space, memoized per (target, bindings, fraction). bkey is the
-// caller's canonicalized attrdb.BindingsKey for b.
-func (r *Region) execute(t Target, b symbolic.Bindings, frac float64, bkey string) (float64, error) {
+// iteration space on one registered target, memoized per (target,
+// bindings, fraction). bkey is the caller's canonicalized
+// attrdb.BindingsKey for b.
+func (r *Region) execute(sp *TargetSpec, b symbolic.Bindings, frac float64, bkey string) (float64, error) {
 	rt := r.rt
-	key := execKey(t, bkey, frac)
+	key := execKey(sp.ID, bkey, frac)
 	r.mu.Lock()
 	if s, ok := r.exec[key]; ok {
 		r.mu.Unlock()
@@ -609,28 +981,27 @@ func (r *Region) execute(t Target, b symbolic.Bindings, frac float64, bkey strin
 	r.mu.Unlock()
 	rt.met.execMisses.Add(1)
 	var sec float64
-	switch t {
-	case TargetCPU:
+	switch sp.Kind {
+	case KindCPU:
 		cfg := rt.cfg.CPUSim
-		cfg.Threads = rt.cfg.Threads
+		cfg.Threads = sp.Threads
 		cfg.Fraction = frac
-		res, err := sim.SimulateCPU(r.Kernel, rt.cfg.Platform.CPU, b, cfg)
+		res, err := sim.SimulateCPU(r.Kernel, sp.CPU, b, cfg)
 		if err != nil {
 			return 0, wrapUnbound(err)
 		}
 		sec = res.Seconds
-	case TargetGPU:
+	case KindGPU:
 		cfg := rt.cfg.GPUSim
 		cfg.IncludeTransfer = true
 		cfg.Fraction = frac
-		res, err := sim.SimulateGPU(r.Kernel, rt.cfg.Platform.GPU,
-			rt.cfg.Platform.Link, b, cfg)
+		res, err := sim.SimulateGPU(r.Kernel, sp.GPU, sp.Link, b, cfg)
 		if err != nil {
 			return 0, wrapUnbound(err)
 		}
 		sec = res.Seconds
 	default:
-		return 0, fmt.Errorf("offload: unknown target %d", t)
+		return 0, fmt.Errorf("offload: unknown target kind %d", sp.Kind)
 	}
 	r.mu.Lock()
 	r.exec[key] = sec
@@ -710,10 +1081,11 @@ func (r *Region) planSplit(b symbolic.Bindings, cpuPred, gpuPred float64) (Targe
 }
 
 // decide runs the selection stage shared by Launch and Decide: consult
-// the memoized decision cache, evaluate both analytical models on a miss,
-// run the policy (planning the split when asked), and memoize the result.
-// It returns the canonical bindings key (from the cache entry on a hit,
-// so the steady-state hot path never re-canonicalizes the bindings).
+// the memoized decision cache, evaluate every registered target's model
+// on a miss, rank, filter, run the policy (planning the split when
+// asked), and memoize the result. It returns the canonical bindings key
+// (from the cache entry on a hit, so the steady-state hot path never
+// re-canonicalizes the bindings).
 func (r *Region) decide(b symbolic.Bindings, d *Decision) (string, error) {
 	rt := r.rt
 	if cm := r.compiled; cm != nil {
@@ -727,92 +1099,82 @@ func (r *Region) decide(b symbolic.Bindings, d *Decision) (string, error) {
 	key := attrdb.BindingsKey(b)
 	hash := attrdb.KeyHash(key)
 	ent, ok := r.decisions.get(hash, key)
-	if ok {
-		d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
-		if ent.decided {
-			d.Target, d.SplitFraction, d.CacheHit = ent.target, ent.frac, true
-		}
-	}
-
-	if d.CacheHit {
+	if ok && ent.decided {
+		r.fillFromEntry(d, &ent)
 		rt.met.decisionHits.Add(1)
 		return key, nil
 	}
+
 	rt.met.decisionMisses.Add(1)
+	var cands []Candidate
 	if !ok {
-		cpuPred, gpuPred, err := r.evalModels(b)
+		preds, err := r.evalTargets(b)
 		if err != nil {
 			return "", err
 		}
-		d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
+		cands = rt.newCandidates(preds)
+		d.PredCPUSeconds, d.PredGPUSeconds = rt.basePreds(cands)
+	} else {
+		// Prediction-only entry (stored by Predict): reuse the memoized
+		// evaluations on a fresh registry-ordered copy.
+		cands = rt.reorderedCopy(ent.cands)
+		d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
 	}
-	// The policy sees the calibrated predictions (measured-feedback
-	// corrections, when configured); the decision record keeps the raw
-	// model output.
-	calCPU, calGPU := d.PredCPUSeconds, d.PredGPUSeconds
-	if rt.cfg.Calibrator != nil {
-		calCPU, calGPU = rt.cfg.Calibrator.Correct(r.Name, calCPU, calGPU)
+	err := r.selectTarget(d, cands, func(calCPU, calGPU float64) (Target, float64, error) {
+		return r.planSplit(b, calCPU, calGPU)
+	})
+	if err != nil {
+		return "", err
 	}
-	d.Target = d.Policy.Decide(r, calCPU, calGPU)
-	if d.Target == TargetSplit {
-		t, f, err := r.planSplit(b, calCPU, calGPU)
-		if err != nil {
-			return "", err
-		}
-		d.Target, d.SplitFraction = t, f
-	}
-	r.storeEntry(decisionEntry{key: key, hash: hash,
+	r.storeEntry(decisionEntry{key: key, hash: hash, cands: d.Candidates,
 		predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
-		decided: true, target: d.Target, frac: d.SplitFraction})
+		decided: !rt.hasDynamic, targetIdx: d.targetIdx,
+		target: d.Target, frac: d.SplitFraction})
 	return key, nil
 }
 
 // decideCompiled is decide's fast path: sv.vals already holds the launch
 // parameters in slot order. On the steady-state hit it performs zero
-// allocations and zero map lookups — one hash, one sharded-LRU probe.
+// allocations and zero map lookups — one hash, one sharded-LRU probe
+// (the ranked candidate list is shared with the immutable cache entry).
 func (r *Region) decideCompiled(cm *compiledModels, sv *slotVecs, d *Decision) (string, error) {
 	rt := r.rt
 	hash := cm.layout.Hash(sv.vals)
 	ent, ok := r.decisions.getVec(hash, cm.layout, sv.vals)
-	if ok {
-		d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
-		if ent.decided {
-			d.Target, d.SplitFraction, d.CacheHit = ent.target, ent.frac, true
-			rt.met.decisionHits.Add(1)
-			return ent.key, nil
-		}
+	if ok && ent.decided {
+		r.fillFromEntry(d, &ent)
+		rt.met.decisionHits.Add(1)
+		return ent.key, nil
 	}
 	rt.met.decisionMisses.Add(1)
 	branchProb := r.branchProb()
+	var cands []Candidate
 	if !ok {
-		cpuPred, gpuPred, err := r.evalCompiled(cm, sv, branchProb)
-		if err != nil {
+		if err := r.evalCompiled(cm, sv, branchProb); err != nil {
 			return "", err
 		}
-		d.PredCPUSeconds, d.PredGPUSeconds = cpuPred, gpuPred
+		cands = rt.newCandidates(sv.preds)
+		d.PredCPUSeconds, d.PredGPUSeconds = rt.basePreds(cands)
 	} else {
 		// Prediction-only entry (stored by Predict): the models are
 		// already evaluated, but the split planner below may still need
 		// the midpoint vector.
 		copy(sv.mid, sv.vals)
 		cm.aug.Midpoint(sv.mid)
+		cands = rt.reorderedCopy(ent.cands)
+		d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
 	}
-	calCPU, calGPU := d.PredCPUSeconds, d.PredGPUSeconds
-	if rt.cfg.Calibrator != nil {
-		calCPU, calGPU = rt.cfg.Calibrator.Correct(r.Name, calCPU, calGPU)
-	}
-	d.Target = d.Policy.Decide(r, calCPU, calGPU)
-	if d.Target == TargetSplit {
-		t, f, err := cm.planSplit(sv, branchProb, calCPU, calGPU)
-		if err != nil {
-			return "", err
-		}
-		d.Target, d.SplitFraction = t, f
+	err := r.selectTarget(d, cands, func(calCPU, calGPU float64) (Target, float64, error) {
+		return cm.planSplit(sv, branchProb, calCPU, calGPU)
+	})
+	if err != nil {
+		return "", err
 	}
 	key := cm.layout.Key(sv.vals)
-	r.storeEntry(decisionEntry{key: key, hash: hash,
+	r.storeEntry(decisionEntry{key: key, hash: hash, cands: d.Candidates,
 		predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
-		decided: true, target: d.Target, frac: d.SplitFraction})
+		decided: !rt.hasDynamic, targetIdx: d.targetIdx,
+		target: d.Target, frac: d.SplitFraction})
 	return key, nil
 }
 
@@ -854,60 +1216,93 @@ func (r *Region) Launch(b symbolic.Bindings) (*Outcome, error) {
 	d.DecisionOverhead = time.Since(start)
 
 	if _, both := pol.(runsBoth); both {
-		// Oracle semantics: run both code versions, keep the faster.
-		cpuSec, err := r.execute(TargetCPU, b, 1, key)
-		if err != nil {
-			return nil, err
+		// Oracle semantics: run every registered code version, keep the
+		// fastest (registration order breaks exact ties, so the classic
+		// pair keeps the historical "tie stays on the host" behaviour).
+		best, bestSec := -1, 0.0
+		for i := 0; i < rt.targets.Len(); i++ {
+			sec, err := r.execute(&rt.targets.specs[i], b, 1, key)
+			if err != nil {
+				return nil, err
+			}
+			switch i {
+			case rt.targets.baseCPU:
+				d.ActualCPUSeconds = sec
+			case rt.targets.baseGPU:
+				d.ActualGPUSeconds = sec
+			}
+			if best < 0 || sec < bestSec {
+				best, bestSec = i, sec
+			}
 		}
-		gpuSec, err := r.execute(TargetGPU, b, 1, key)
-		if err != nil {
-			return nil, err
-		}
-		d.ActualCPUSeconds, d.ActualGPUSeconds = cpuSec, gpuSec
-		d.Target, d.ActualSeconds = TargetCPU, cpuSec
-		if gpuSec < cpuSec {
-			d.Target, d.ActualSeconds = TargetGPU, gpuSec
-		}
+		rt.setChosen(&d, best)
+		d.ActualSeconds = bestSec
 		return r.finish(d)
 	}
 
+	rt.beginDispatch(d.TargetID)
+	defer rt.endDispatch(d.TargetID)
+
 	if d.Target == TargetSplit {
-		cpuSec, err := r.execute(TargetCPU, b, d.SplitFraction, key)
+		cpuSp := &rt.targets.specs[rt.targets.baseCPU]
+		gpuSp := &rt.targets.specs[rt.targets.baseGPU]
+		cpuSec, err := r.execute(cpuSp, b, d.SplitFraction, key)
 		if err != nil {
 			return nil, err
 		}
-		gpuSec, err := r.execute(TargetGPU, b, 1-d.SplitFraction, key)
+		gpuSec, err := r.execute(gpuSp, b, 1-d.SplitFraction, key)
 		if err != nil {
 			return nil, err
 		}
 		d.ActualCPUSeconds, d.ActualGPUSeconds = cpuSec, gpuSec
 		// Both halves run concurrently; joining adds one barrier.
-		_, _, join := rt.cfg.Platform.CPU.OverheadCycles(rt.cfg.Threads)
+		_, _, join := cpuSp.CPU.OverheadCycles(cpuSp.Threads)
 		d.ActualSeconds = maxf(cpuSec, gpuSec) +
-			join/(rt.cfg.Platform.CPU.FreqGHz*1e9)
+			join/(cpuSp.CPU.FreqGHz*1e9)
 		return r.finish(d)
 	}
 
-	sec, err := r.execute(d.Target, b, 1, key)
+	sec, err := r.execute(&rt.targets.specs[d.targetIdx], b, 1, key)
 	if err != nil {
 		return nil, err
 	}
 	d.ActualSeconds = sec
-	if d.Target == TargetCPU {
+	switch d.targetIdx {
+	case rt.targets.baseCPU:
 		d.ActualCPUSeconds = sec
-	} else {
+	case rt.targets.baseGPU:
 		d.ActualGPUSeconds = sec
 	}
 	return r.finish(d)
 }
 
-// finish counts the dispatch, appends the decision to the log, and fires
-// the observer hook.
+// finish counts the dispatch (by legacy kind and by target ID), appends
+// the decision to the log, and fires the observer hook.
 func (r *Region) finish(d Decision) (*Outcome, error) {
-	r.rt.met.dispatch[d.Target].Add(1)
-	r.rt.log.append(d)
-	r.rt.notify(d)
+	rt := r.rt
+	rt.met.dispatch[d.Target].Add(1)
+	idx := d.targetIdx
+	if idx < 0 || idx >= len(rt.dispatchID)-1 {
+		idx = len(rt.dispatchID) - 1 // split pseudo-target slot
+	}
+	rt.dispatchID[idx].Add(1)
+	rt.log.append(d)
+	rt.notify(d)
 	return &Outcome{Decision: d}, nil
+}
+
+// beginDispatch/endDispatch bracket a dispatched execution for
+// capacity-tracking constraints.
+func (rt *Runtime) beginDispatch(targetID string) {
+	for _, o := range rt.dispatchObs {
+		o.BeginDispatch(targetID)
+	}
+}
+
+func (rt *Runtime) endDispatch(targetID string) {
+	for _, o := range rt.dispatchObs {
+		o.EndDispatch(targetID)
+	}
 }
 
 // notify fires the configured observer hook, if any.

@@ -504,12 +504,18 @@ func TestCacheInvariantMixedTraffic(t *testing.T) {
 	}
 }
 
-// fixedCalibrator scales both predictions by constant factors — enough to
-// force the policy across the decision boundary in tests.
+// fixedCalibrator scales each kind's predictions by a constant factor —
+// enough to force the policy across the decision boundary in tests.
 type fixedCalibrator struct{ cpu, gpu float64 }
 
-func (c fixedCalibrator) Correct(_ string, cpuSec, gpuSec float64) (float64, float64) {
-	return cpuSec * c.cpu, gpuSec * c.gpu
+func (c fixedCalibrator) Correct(_ string, cands []Candidate) {
+	for i := range cands {
+		f := c.cpu
+		if cands[i].Kind == KindGPU {
+			f = c.gpu
+		}
+		cands[i].CalSeconds = cands[i].PredSeconds * f
+	}
 }
 
 // TestCalibratorSteersDecision: a calibration factor large enough to flip

@@ -7,87 +7,108 @@ import (
 )
 
 // Policy selects how Launch picks a target. Implementations must be
-// stateless (or internally synchronized): a Runtime calls Decide from
+// stateless (or internally synchronized): a Runtime calls Select from
 // concurrent Launch goroutines.
 //
-// Decide receives the region handle and both model predictions and names
-// the execution destination. Returning TargetSplit asks the runtime to
-// divide the iteration space between host and device using the analytical
-// models (it degrades to the better single target when the predicted
-// cooperative gain is inside the models' error bars).
+// Select receives the region handle and the ranked, constraint-eligible
+// candidates (ascending calibrated seconds, ties in registration order;
+// never empty) and returns a Selection: an index into the ranking, or a
+// request for the cooperative host+device split (which the runtime
+// degrades to the better single target when the predicted cooperative
+// gain is inside the models' error bars).
 type Policy interface {
 	// Name identifies the policy in flags, logs and metrics.
 	Name() string
-	// Decide picks the execution target from the two model predictions.
-	Decide(r *Region, cpuSec, gpuSec float64) Target
+	// Select picks from the ranked candidates.
+	Select(r *Region, ranked []Candidate) Selection
 }
 
-// Provided policies, reproducing the paper's experimental configurations.
+// Provided policies, reproducing the paper's experimental configurations
+// generalized to N-way rankings.
 var (
-	// ModelGuided evaluates both analytical models and picks the lower
-	// predicted time — the paper's contribution.
+	// ModelGuided takes the top of the ranking — the lowest calibrated
+	// predicted time, the paper's contribution.
 	ModelGuided Policy = modelGuidedPolicy{}
-	// AlwaysGPU is the compiler's default prescriptive behaviour.
+	// AlwaysGPU is the compiler's default prescriptive behaviour: the
+	// best-ranked GPU-kind target (the whole ranking's best when no GPU
+	// is eligible).
 	AlwaysGPU Policy = alwaysGPUPolicy{}
-	// AlwaysCPU is the host fallback path.
+	// AlwaysCPU is the host fallback path: the best-ranked CPU-kind
+	// target (the whole ranking's best when no CPU is eligible).
 	AlwaysCPU Policy = alwaysCPUPolicy{}
-	// Oracle executes both targets and keeps the faster (upper bound on
-	// any selector). Its Decide is advisory — the runtime special-cases
-	// the dual execution.
+	// Oracle executes every registered target and keeps the faster
+	// (upper bound on any selector). Its Select is advisory — the
+	// runtime special-cases the dual execution.
 	Oracle Policy = oraclePolicy{}
-	// Split uses the models to divide the iteration space between host
-	// and device so both finish together (the cooperative CPU+GPU
-	// execution the paper's introduction motivates via Valero-Lara et
-	// al.), falling back to a single target when the models predict the
-	// split is not worthwhile.
+	// Split uses the models to divide the iteration space between the
+	// base host and device so both finish together (the cooperative
+	// CPU+GPU execution the paper's introduction motivates via
+	// Valero-Lara et al.), falling back to a single target when the
+	// models predict the split is not worthwhile.
 	Split Policy = splitPolicy{}
 )
+
+// firstOfKind returns the index of the best-ranked candidate of the
+// kind, or 0 (the ranking's best) when the kind is absent.
+func firstOfKind(ranked []Candidate, k TargetKind) int {
+	for i := range ranked {
+		if ranked[i].Kind == k {
+			return i
+		}
+	}
+	return 0
+}
 
 type modelGuidedPolicy struct{}
 
 func (modelGuidedPolicy) Name() string     { return "model-guided" }
 func (p modelGuidedPolicy) String() string { return p.Name() }
-func (modelGuidedPolicy) Decide(_ *Region, cpuSec, gpuSec float64) Target {
-	if gpuSec < cpuSec {
-		return TargetGPU
-	}
-	return TargetCPU
+func (modelGuidedPolicy) Select(_ *Region, _ []Candidate) Selection {
+	return Selection{Index: 0}
 }
 
 type alwaysGPUPolicy struct{}
 
-func (alwaysGPUPolicy) Name() string                            { return "always-gpu" }
-func (p alwaysGPUPolicy) String() string                        { return p.Name() }
-func (alwaysGPUPolicy) Decide(*Region, float64, float64) Target { return TargetGPU }
+func (alwaysGPUPolicy) Name() string     { return "always-gpu" }
+func (p alwaysGPUPolicy) String() string { return p.Name() }
+func (alwaysGPUPolicy) Select(_ *Region, ranked []Candidate) Selection {
+	return Selection{Index: firstOfKind(ranked, KindGPU)}
+}
 
 type alwaysCPUPolicy struct{}
 
-func (alwaysCPUPolicy) Name() string                            { return "always-cpu" }
-func (p alwaysCPUPolicy) String() string                        { return p.Name() }
-func (alwaysCPUPolicy) Decide(*Region, float64, float64) Target { return TargetCPU }
+func (alwaysCPUPolicy) Name() string     { return "always-cpu" }
+func (p alwaysCPUPolicy) String() string { return p.Name() }
+func (alwaysCPUPolicy) Select(_ *Region, ranked []Candidate) Selection {
+	return Selection{Index: firstOfKind(ranked, KindCPU)}
+}
 
 // oraclePolicy marks the dual-execution upper bound. The runtime
-// recognizes it via the runsBothTargets marker and executes both code
-// versions, keeping the faster; Decide reports the model-predicted winner
-// so the policy remains usable as a plain selector.
+// recognizes it via the runsBothTargets marker and executes every
+// registered target, keeping the faster; Select reports the
+// model-predicted winner so the policy remains usable as a plain
+// selector.
 type oraclePolicy struct{}
 
 func (oraclePolicy) Name() string     { return "oracle" }
 func (p oraclePolicy) String() string { return p.Name() }
-func (oraclePolicy) Decide(r *Region, cpuSec, gpuSec float64) Target {
-	return ModelGuided.Decide(r, cpuSec, gpuSec)
+func (oraclePolicy) Select(r *Region, ranked []Candidate) Selection {
+	return ModelGuided.Select(r, ranked)
 }
 func (oraclePolicy) runsBothTargets() {}
 
-// runsBoth is the optional marker interface a policy implements to request
-// oracle semantics: the runtime executes both targets and keeps the faster.
+// runsBoth is the optional marker interface a policy implements to
+// request oracle semantics: the runtime executes every registered target
+// and keeps the fastest.
 type runsBoth interface{ runsBothTargets() }
 
 type splitPolicy struct{}
 
-func (splitPolicy) Name() string                            { return "split" }
-func (p splitPolicy) String() string                        { return p.Name() }
-func (splitPolicy) Decide(*Region, float64, float64) Target { return TargetSplit }
+func (splitPolicy) Name() string     { return "split" }
+func (p splitPolicy) String() string { return p.Name() }
+func (splitPolicy) Select(_ *Region, _ []Candidate) Selection {
+	return Selection{Split: true}
+}
 
 // policies indexes the provided policies for flag parsing.
 var policies = map[string]Policy{

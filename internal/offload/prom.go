@@ -3,6 +3,7 @@ package offload
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -39,6 +40,18 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 	fmt.Fprintf(ew, "# TYPE hybridsel_dispatch_total counter\n")
 	for _, t := range []Target{TargetCPU, TargetGPU, TargetSplit} {
 		fmt.Fprintf(ew, "hybridsel_dispatch_total{target=%q} %d\n", t, m.Dispatch[t])
+	}
+	if len(m.DispatchTargets) > 0 {
+		ids := make([]string, 0, len(m.DispatchTargets))
+		for id := range m.DispatchTargets {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(ew, "# HELP hybridsel_dispatch_target_total Completed launches by registry target ID.\n")
+		fmt.Fprintf(ew, "# TYPE hybridsel_dispatch_target_total counter\n")
+		for _, id := range ids {
+			fmt.Fprintf(ew, "hybridsel_dispatch_target_total{target=%q} %d\n", id, m.DispatchTargets[id])
+		}
 	}
 
 	counter("hybridsel_decision_cache_hits_total",

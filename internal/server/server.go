@@ -7,11 +7,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/decide   single or batched decision requests
+//	POST /v1/decide   single or batched decision requests (deprecated in
+//	                  favor of /v2/decide; response shape frozen)
+//	POST /v2/decide   ranked decision requests: every registered target's
+//	                  prediction, ascending by calibrated seconds
 //	GET  /v1/regions  the registered region set and its parameters
+//	GET  /v1/targets  the execution-target registry the runtime ranks over
 //	GET  /v1/audit    shadow-audit accuracy report (404 without an auditor)
 //	GET  /metrics     Prometheus text exposition (runtime + server + audit)
 //	GET  /healthz     liveness/readiness (503 while draining)
+//
+// Error responses on every endpoint share one envelope:
+//
+//	{"error": {"code": "unknown_region", "message": "...", "retry_after": 1}}
+//
+// with machine-classifiable codes (ErrCode* constants); retry_after (in
+// seconds) appears only on transient rejections (429/503), mirroring the
+// Retry-After header.
 //
 // Backpressure model: a request first claims one of QueueDepth admission
 // tickets — none free means the service is saturated beyond its queue and
@@ -136,8 +148,10 @@ func New(cfg Config) (*Server, error) {
 		slots:   make(chan struct{}, cfg.Concurrency),
 		start:   time.Now(),
 	}
-	s.mux.HandleFunc("POST /v1/decide", s.admit(s.handleDecide))
+	s.mux.HandleFunc("POST /v1/decide", s.admit(s.deprecated(s.handleDecideV1)))
+	s.mux.HandleFunc("POST /v2/decide", s.admit(s.handleDecideV2))
 	s.mux.HandleFunc("GET /v1/regions", s.instrument(s.handleRegions))
+	s.mux.HandleFunc("GET /v1/targets", s.instrument(s.handleTargets))
 	s.mux.HandleFunc("GET /v1/audit", s.instrument(s.handleAudit))
 	s.mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
@@ -190,7 +204,7 @@ func (s *Server) admit(h func(http.ResponseWriter, *http.Request)) http.HandlerF
 	return s.instrument(func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			w.Header().Set("Connection", "close")
-			httpError(w, http.StatusServiceUnavailable, "draining")
+			httpError(w, http.StatusServiceUnavailable, ErrCodeDraining, "draining")
 			return
 		}
 		select {
@@ -200,7 +214,7 @@ func (s *Server) admit(h func(http.ResponseWriter, *http.Request)) http.HandlerF
 			// Saturated beyond the queue: shed at the door.
 			s.met.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, "admission queue full")
+			httpError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "admission queue full")
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -210,7 +224,7 @@ func (s *Server) admit(h func(http.ResponseWriter, *http.Request)) http.HandlerF
 			defer func() { <-s.slots }()
 		case <-ctx.Done():
 			// Queued past the deadline: the client has likely given up.
-			httpError(w, http.StatusServiceUnavailable, "queued past deadline")
+			httpError(w, http.StatusServiceUnavailable, ErrCodeDeadlineExceeded, "queued past deadline")
 			return
 		}
 		if s.holdForTest != nil {
@@ -272,8 +286,9 @@ type DecideRequest struct {
 	Execute  bool             `json:"execute,omitempty"`
 }
 
-// DecideResponse is the served decision. Error is set (and the other
-// fields zero) for per-item failures inside a batch.
+// DecideResponse is the served /v1 decision — the frozen legacy shape
+// (binary CPU/GPU verdict plus the base pair's predictions). Error is
+// set (and the other fields zero) for per-item failures inside a batch.
 type DecideResponse struct {
 	Region         string  `json:"region"`
 	Target         string  `json:"target,omitempty"`
@@ -286,6 +301,28 @@ type DecideResponse struct {
 	Error          string  `json:"error,omitempty"`
 }
 
+// DecideResponseV2 is the served /v2 decision: the ranked verdict over
+// the full target registry. Verdict is the policy-chosen target's
+// registry ID (top-1 of the constrained ranking; "split" for a
+// cooperative split); Candidates every registered target ascending by
+// calibrated predicted seconds, carrying both the raw model output
+// (predSeconds) and the calibration-adjusted value the ranking used
+// (calSeconds). Error is set for per-item failures inside a batch.
+type DecideResponseV2 struct {
+	Region string `json:"region"`
+	// Verdict is the chosen target's registry ID; Kind its legacy
+	// classification ("cpu"/"gpu"/"split").
+	Verdict       string              `json:"verdict,omitempty"`
+	Kind          string              `json:"kind,omitempty"`
+	Policy        string              `json:"policy,omitempty"`
+	Candidates    []offload.Candidate `json:"candidates,omitempty"`
+	SplitFraction float64             `json:"splitFraction,omitempty"`
+	CacheHit      bool                `json:"cacheHit,omitempty"`
+	ActualSeconds float64             `json:"actualSeconds,omitempty"`
+	DecisionNanos int64               `json:"decisionNanos,omitempty"`
+	Error         *ErrorInfo          `json:"error,omitempty"`
+}
+
 // decideBody accepts both shapes: a single request object, or
 // {"requests": [...]} for a batch.
 type decideBody struct {
@@ -293,60 +330,152 @@ type decideBody struct {
 	Requests []DecideRequest `json:"requests"`
 }
 
-// BatchResponse is the body of a batched decide call. Coalesced counts
-// duplicate (region, bindings, execute) items served from one decision.
+// BatchResponse is the body of a batched /v1 decide call. Coalesced
+// counts duplicate (region, bindings, execute) items served from one
+// decision.
 type BatchResponse struct {
 	Results   []DecideResponse `json:"results"`
 	Coalesced int              `json:"coalesced"`
 }
 
-func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+// BatchResponseV2 is the body of a batched /v2 decide call.
+type BatchResponseV2 struct {
+	Results   []DecideResponseV2 `json:"results"`
+	Coalesced int                `json:"coalesced"`
+}
+
+// deprecated marks a frozen endpoint superseded by a /v2 successor:
+// RFC 9745 Deprecation plus a successor-version Link. Headers only — the
+// response body stays byte-identical for existing clients.
+func (s *Server) deprecated(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v2/decide>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// parseDecide reads and decodes a decide body, writing the error
+// response itself when the body is unusable.
+func (s *Server) parseDecide(w http.ResponseWriter, r *http.Request) (*decideBody, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
-		return
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: "+err.Error())
+		return nil, false
 	}
 	var req decideBody
 	if err := json.Unmarshal(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "parse body: "+err.Error())
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, "parse body: "+err.Error())
+		return nil, false
+	}
+	if req.Requests != nil && len(req.Requests) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, ErrCodeBatchTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch))
+		return nil, false
+	}
+	return &req, true
+}
+
+func (s *Server) handleDecideV1(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.parseDecide(w, r)
+	if !ok {
 		return
 	}
-
 	if req.Requests == nil {
-		resp := s.decideOne(r.Context(), req.DecideRequest)
-		if resp.Error != "" {
-			httpError(w, statusForMessage(resp), resp.Error)
+		out, ei := s.decideOne(r.Context(), req.DecideRequest)
+		if ei != nil {
+			httpError(w, ei.status, ei.Code, ei.Message)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, v1Response(req.Region, out))
 		return
 	}
-
-	if len(req.Requests) > s.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch))
-		return
-	}
-	results, coalesced := s.decideBatch(r.Context(), req.Requests)
+	results := make([]DecideResponse, len(req.Requests))
+	coalesced := decideBatch(s, r.Context(), req.Requests, results,
+		func(req DecideRequest, out *offload.Outcome, ei *ErrorInfo) DecideResponse {
+			if ei != nil {
+				return DecideResponse{Region: req.Region, Error: ei.Message}
+			}
+			return v1Response(req.Region, out)
+		},
+		func(resp DecideResponse) DecideResponse {
+			// The duplicate was answered by the first item's decision.
+			resp.CacheHit = resp.Error == ""
+			return resp
+		})
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results, Coalesced: coalesced})
 }
 
-// decideOne serves a single decision, mapping runtime errors into the
-// response's Error field.
-func (s *Server) decideOne(ctx context.Context, req DecideRequest) DecideResponse {
-	resp := DecideResponse{Region: req.Region}
+func (s *Server) handleDecideV2(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.parseDecide(w, r)
+	if !ok {
+		return
+	}
+	if req.Requests == nil {
+		out, ei := s.decideOne(r.Context(), req.DecideRequest)
+		if ei != nil {
+			httpError(w, ei.status, ei.Code, ei.Message)
+			return
+		}
+		writeJSON(w, http.StatusOK, v2Response(req.Region, out))
+		return
+	}
+	results := make([]DecideResponseV2, len(req.Requests))
+	coalesced := decideBatch(s, r.Context(), req.Requests, results,
+		func(req DecideRequest, out *offload.Outcome, ei *ErrorInfo) DecideResponseV2 {
+			if ei != nil {
+				return DecideResponseV2{Region: req.Region, Error: ei}
+			}
+			return v2Response(req.Region, out)
+		},
+		func(resp DecideResponseV2) DecideResponseV2 {
+			resp.CacheHit = resp.Error == nil
+			return resp
+		})
+	writeJSON(w, http.StatusOK, BatchResponseV2{Results: results, Coalesced: coalesced})
+}
+
+// v1Response projects an outcome onto the frozen /v1 shape.
+func v1Response(region string, out *offload.Outcome) DecideResponse {
+	return DecideResponse{
+		Region:         region,
+		Target:         out.Target.String(),
+		PredCPUSeconds: out.PredCPUSeconds,
+		PredGPUSeconds: out.PredGPUSeconds,
+		SplitFraction:  out.SplitFraction,
+		CacheHit:       out.CacheHit,
+		ActualSeconds:  out.ActualSeconds,
+		DecisionNanos:  out.DecisionOverhead.Nanoseconds(),
+	}
+}
+
+// v2Response projects an outcome onto the ranked /v2 shape.
+func v2Response(region string, out *offload.Outcome) DecideResponseV2 {
+	return DecideResponseV2{
+		Region:        region,
+		Verdict:       out.TargetID,
+		Kind:          out.Target.String(),
+		Policy:        out.Policy.Name(),
+		Candidates:    out.Candidates,
+		SplitFraction: out.SplitFraction,
+		CacheHit:      out.CacheHit,
+		ActualSeconds: out.ActualSeconds,
+		DecisionNanos: out.DecisionOverhead.Nanoseconds(),
+	}
+}
+
+// decideOne serves a single decision; a non-nil *ErrorInfo describes the
+// failure with its classification and HTTP status.
+func (s *Server) decideOne(ctx context.Context, req DecideRequest) (*offload.Outcome, *ErrorInfo) {
 	if req.Region == "" {
-		resp.Error = "missing region"
-		return resp
+		return nil, errInfo(http.StatusBadRequest, ErrCodeBadRequest, "missing region")
 	}
 	if err := ctx.Err(); err != nil {
-		resp.Error = "deadline exceeded"
-		return resp
+		return nil, errInfo(http.StatusServiceUnavailable, ErrCodeDeadlineExceeded, "deadline exceeded")
 	}
 	region, err := s.rt.Region(req.Region)
 	if err != nil {
-		resp.Error = err.Error()
-		return resp
+		return nil, classify(err)
 	}
 	b := symbolic.Bindings(req.Bindings)
 	var out *offload.Outcome
@@ -356,78 +485,94 @@ func (s *Server) decideOne(ctx context.Context, req DecideRequest) DecideRespons
 		out, err = region.Decide(b)
 	}
 	if err != nil {
-		resp.Error = err.Error()
-		return resp
+		return nil, classify(err)
 	}
-	resp.Target = out.Target.String()
-	resp.PredCPUSeconds = out.PredCPUSeconds
-	resp.PredGPUSeconds = out.PredGPUSeconds
-	resp.SplitFraction = out.SplitFraction
-	resp.CacheHit = out.CacheHit
-	resp.ActualSeconds = out.ActualSeconds
-	resp.DecisionNanos = out.DecisionOverhead.Nanoseconds()
-	return resp
+	return out, nil
 }
 
 // decideBatch serves a batch, coalescing duplicate (region, bindings,
 // execute) items: each distinct key is decided once — and every decide
 // after the first for a key is itself a decision-cache hit, so a batch
-// of identical requests costs one model evaluation at most.
-func (s *Server) decideBatch(ctx context.Context, reqs []DecideRequest) ([]DecideResponse, int) {
-	type slot struct {
-		resp  DecideResponse
-		first int // index of the request that computed it
-	}
-	results := make([]DecideResponse, len(reqs))
-	byKey := map[string]*slot{}
+// of identical requests costs one model evaluation at most. project
+// renders one decision; dup marks a coalesced duplicate's response.
+func decideBatch[R any](s *Server, ctx context.Context, reqs []DecideRequest, results []R,
+	project func(DecideRequest, *offload.Outcome, *ErrorInfo) R, dup func(R) R) int {
+	byKey := map[string]int{}
 	coalesced := 0
 	for i, req := range reqs {
 		key := req.Region + "\x00" + attrdb.BindingsKey(symbolic.Bindings(req.Bindings))
 		if req.Execute {
 			key += "\x00x"
 		}
-		if sl, ok := byKey[key]; ok {
-			resp := sl.resp
-			// The duplicate was answered by the first item's decision.
-			resp.CacheHit = resp.Error == ""
-			results[i] = resp
+		if first, ok := byKey[key]; ok {
+			results[i] = dup(results[first])
 			coalesced++
 			continue
 		}
-		resp := s.decideOne(ctx, req)
-		byKey[key] = &slot{resp: resp, first: i}
-		results[i] = resp
+		out, ei := s.decideOne(ctx, req)
+		byKey[key] = i
+		results[i] = project(req, out, ei)
 	}
-	return results, coalesced
+	return coalesced
 }
 
-// statusForMessage maps a failed single-decision response to an HTTP
-// status via the runtime's sentinel errors.
-func statusForMessage(resp DecideResponse) int {
+// -------------------------------------------------------------- errors --
+
+// Error codes carried by the unified error envelope. Clients classify on
+// these instead of parsing messages.
+const (
+	ErrCodeBadRequest       = "bad_request"
+	ErrCodeUnknownRegion    = "unknown_region"
+	ErrCodeUnboundSymbol    = "unbound_symbol"
+	ErrCodeDeadlineExceeded = "deadline_exceeded"
+	ErrCodeQueueFull        = "queue_full"
+	ErrCodeDraining         = "draining"
+	ErrCodeBatchTooLarge    = "batch_too_large"
+	ErrCodeNotFound         = "not_found"
+	ErrCodeInternal         = "internal"
+)
+
+// ErrorInfo is the unified error body: a machine-classifiable code, a
+// human-readable message, and — on transient rejections — the same
+// retry hint the Retry-After header carries, in seconds.
+type ErrorInfo struct {
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	RetryAfter int    `json:"retry_after,omitempty"`
+
+	// status is the HTTP status the error maps to (not serialized; the
+	// envelope is self-describing through Code).
+	status int `json:"-"`
+}
+
+// ErrorEnvelope wraps every non-2xx response body.
+type ErrorEnvelope struct {
+	Error ErrorInfo `json:"error"`
+}
+
+func errInfo(status int, code, msg string) *ErrorInfo {
+	return &ErrorInfo{Code: code, Message: msg, status: status}
+}
+
+// ClassifyError maps a runtime error onto the envelope entry the daemon
+// would serve for it. Exported so a degraded client (serving verdicts
+// from its in-process fallback runtime) reports item-level failures with
+// exactly the daemon's error codes.
+func ClassifyError(err error) *ErrorInfo { return classify(err) }
+
+// classify maps a runtime error onto its envelope entry via the
+// runtime's sentinel errors.
+func classify(err error) *ErrorInfo {
 	switch {
-	case resp.Error == "missing region":
-		return http.StatusBadRequest
-	case resp.Error == "deadline exceeded":
-		return http.StatusServiceUnavailable
-	case errors.Is(sentinelOf(resp.Error), offload.ErrUnknownRegion):
-		return http.StatusNotFound
-	case errors.Is(sentinelOf(resp.Error), offload.ErrUnboundSymbol):
-		return http.StatusUnprocessableEntity
+	case errors.Is(err, offload.ErrUnknownRegion):
+		return errInfo(http.StatusNotFound, ErrCodeUnknownRegion, err.Error())
+	case errors.Is(err, offload.ErrUnboundSymbol):
+		return errInfo(http.StatusUnprocessableEntity, ErrCodeUnboundSymbol, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		return errInfo(http.StatusServiceUnavailable, ErrCodeDeadlineExceeded, err.Error())
 	default:
-		return http.StatusInternalServerError
+		return errInfo(http.StatusInternalServerError, ErrCodeInternal, err.Error())
 	}
-}
-
-// sentinelOf recovers the runtime sentinel from a serialized error
-// message. decideOne flattens errors to strings so batches can carry
-// per-item failures; single responses need the status back.
-func sentinelOf(msg string) error {
-	for _, sentinel := range []error{offload.ErrUnknownRegion, offload.ErrUnboundSymbol} {
-		if len(msg) >= len(sentinel.Error()) && msg[:len(sentinel.Error())] == sentinel.Error() {
-			return sentinel
-		}
-	}
-	return errors.New(msg)
 }
 
 // ------------------------------------------------------------- regions --
@@ -451,6 +596,38 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// ------------------------------------------------------------- targets --
+
+// TargetInfo is one entry of the /v1/targets listing: a registered
+// execution target as the ranking sees it, in registry (tie-break)
+// order.
+type TargetInfo struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Device names the underlying machine descriptor (CPU or GPU model
+	// name); Threads is the OMP team size for CPU-kind targets.
+	Device  string `json:"device,omitempty"`
+	Threads int    `json:"threads,omitempty"`
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	reg := s.rt.Targets()
+	infos := make([]TargetInfo, 0, reg.Len())
+	for i := 0; i < reg.Len(); i++ {
+		sp := reg.At(i)
+		info := TargetInfo{ID: sp.ID, Kind: sp.Kind.String()}
+		switch sp.Kind {
+		case offload.KindCPU:
+			info.Device = sp.CPU.Name
+			info.Threads = sp.Threads
+		case offload.KindGPU:
+			info.Device = sp.GPU.Name
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
 // --------------------------------------------------------------- audit --
 
 // handleAudit serves the shadow auditor's accuracy report: per-region
@@ -458,7 +635,7 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 // live correction factors. 404 when the daemon runs without an auditor.
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Auditor == nil {
-		httpError(w, http.StatusNotFound, "auditing disabled")
+		httpError(w, http.StatusNotFound, ErrCodeNotFound, "auditing disabled")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.cfg.Auditor.Report())
@@ -530,14 +707,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+func httpError(w http.ResponseWriter, status int, code, msg string) {
+	ei := ErrorInfo{Code: code, Message: msg}
 	// Transient rejections — sheds and unavailability — advertise when to
 	// come back, so well-behaved clients pace their retries instead of
-	// hammering an overloaded or draining instance.
-	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+	// hammering an overloaded or draining instance. The hint rides in
+	// both the header and the envelope.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		if w.Header().Get("Retry-After") == "" {
 			w.Header().Set("Retry-After", "1")
 		}
+		if ra, err := strconv.Atoi(w.Header().Get("Retry-After")); err == nil {
+			ei.RetryAfter = ra
+		}
 	}
-	writeJSON(w, code, map[string]string{"error": msg, "status": strconv.Itoa(code)})
+	writeJSON(w, status, ErrorEnvelope{Error: ei})
 }

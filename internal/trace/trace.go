@@ -38,23 +38,34 @@ const (
 // one. Bindings maps serialize in sorted key order (encoding/json), so
 // equal records encode to equal bytes.
 type Record struct {
-	Kind           string           `json:"kind,omitempty"`
-	Seq            uint64           `json:"seq"`
-	Region         string           `json:"region"`
-	Bindings       map[string]int64 `json:"bindings"`
-	Policy         string           `json:"policy,omitempty"`
-	Target         string           `json:"target"`
-	PredCPUSeconds float64          `json:"predCpuSeconds"`
-	PredGPUSeconds float64          `json:"predGpuSeconds"`
-	SplitFraction  float64          `json:"splitFraction,omitempty"`
+	Kind     string           `json:"kind,omitempty"`
+	Seq      uint64           `json:"seq"`
+	Region   string           `json:"region"`
+	Bindings map[string]int64 `json:"bindings"`
+	Policy   string           `json:"policy,omitempty"`
+	// Target is the chosen target's kind ("cpu"/"gpu"/"split"); TargetID
+	// its registry ID ("cpu/base", "gpu/prev", ...). TargetID is empty
+	// only in traces recorded before the registry existed — replays then
+	// compare by kind alone.
+	Target         string  `json:"target"`
+	TargetID       string  `json:"targetId,omitempty"`
+	PredCPUSeconds float64 `json:"predCpuSeconds"`
+	PredGPUSeconds float64 `json:"predGpuSeconds"`
+	// Candidates is the full ranked verdict, recorded when the registry
+	// holds more than the classic pair (the base-pair fields above carry
+	// the whole story otherwise).
+	Candidates    []offload.Candidate `json:"candidates,omitempty"`
+	SplitFraction float64             `json:"splitFraction,omitempty"`
 	// ActualSeconds is the executed (simulated) time; 0 for decide-only
 	// decisions, which dispatch nothing.
 	ActualSeconds float64 `json:"actualSeconds,omitempty"`
 
 	// Audit-verdict fields (Kind == KindAudit). Target above carries the
-	// audited decision's chosen target; BestTarget the measured-faster
-	// one; the actuals are the ground-truth times of both targets.
+	// audited decision's chosen target; BestTarget/BestTargetID the
+	// measured-fastest one; the actuals are the ground-truth times of the
+	// base CPU/GPU pair.
 	BestTarget       string  `json:"bestTarget,omitempty"`
+	BestTargetID     string  `json:"bestTargetId,omitempty"`
 	ActualCPUSeconds float64 `json:"actualCpuSeconds,omitempty"`
 	ActualGPUSeconds float64 `json:"actualGpuSeconds,omitempty"`
 	Mispredict       bool    `json:"mispredict,omitempty"`
@@ -67,17 +78,22 @@ func (r *Record) IsAudit() bool { return r.Kind == KindAudit }
 // FromDecision projects a Decision onto its deterministic trace fields.
 // The caller supplies the sequence number.
 func FromDecision(seq uint64, d offload.Decision) Record {
-	return Record{
+	rec := Record{
 		Seq:            seq,
 		Region:         d.Region,
 		Bindings:       d.Bindings,
 		Policy:         d.Policy.Name(),
 		Target:         d.Target.String(),
+		TargetID:       d.TargetID,
 		PredCPUSeconds: d.PredCPUSeconds,
 		PredGPUSeconds: d.PredGPUSeconds,
 		SplitFraction:  d.SplitFraction,
 		ActualSeconds:  d.ActualSeconds,
 	}
+	if len(d.Candidates) > 2 {
+		rec.Candidates = d.Candidates
+	}
+	return rec
 }
 
 // Writer appends records to a JSONL stream. It is safe for concurrent
@@ -269,8 +285,27 @@ func compare(rec *Record, d *offload.Decision, executed bool) *Divergence {
 	if got := d.Target.String(); got != rec.Target {
 		return diverge("target", rec.Target, got)
 	}
+	if rec.TargetID != "" && d.TargetID != rec.TargetID {
+		return diverge("targetId", rec.TargetID, d.TargetID)
+	}
 	if got := d.Policy.Name(); got != rec.Policy {
 		return diverge("policy", rec.Policy, got)
+	}
+	if len(rec.Candidates) > 0 {
+		if len(d.Candidates) != len(rec.Candidates) {
+			return diverge("candidates",
+				fmt.Sprint(len(rec.Candidates)), fmt.Sprint(len(d.Candidates)))
+		}
+		for i, c := range rec.Candidates {
+			if d.Candidates[i].Target != c.Target {
+				return diverge(fmt.Sprintf("candidates[%d].target", i),
+					c.Target, d.Candidates[i].Target)
+			}
+			if d.Candidates[i].PredSeconds != c.PredSeconds {
+				return diverge(fmt.Sprintf("candidates[%d].predSeconds", i),
+					fmt.Sprint(c.PredSeconds), fmt.Sprint(d.Candidates[i].PredSeconds))
+			}
+		}
 	}
 	if d.PredCPUSeconds != rec.PredCPUSeconds {
 		return diverge("predCpuSeconds",

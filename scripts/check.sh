@@ -12,6 +12,12 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== api surface gate =="
+# The exported surface of the decision-facing packages is a contract:
+# any drift from the committed snapshot fails here until the snapshot is
+# regenerated (make api) and reviewed alongside the change.
+go run ./cmd/apidump -check api/exported.txt
+
 echo "== go test =="
 go test ./...
 
