@@ -18,7 +18,7 @@ test:
 race:
 	$(GO) test -race ./internal/offload/ ./internal/experiments/ \
 		./internal/server/ ./internal/trace/ ./internal/client/ \
-		./internal/faultnet/ ./internal/regiongen/
+		./internal/faultnet/ ./internal/regiongen/ ./internal/learn/
 
 # Chaos regression suite: scripted fault scenarios driven through the
 # fault-injection proxy against a live in-process daemon, race detector on.
@@ -32,7 +32,9 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/offload/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecideBody$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecideBodyV2$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzLearnSnapshot$$' -fuzztime $(FUZZTIME) ./internal/learn/
 
 # Run the decision hot-path micro-benchmarks and refresh the ledger
 # (BENCH_decide.json). BENCHTIME=3s make bench for steadier numbers.

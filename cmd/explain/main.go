@@ -12,6 +12,7 @@
 //	explain -kernel gemm -n 1100 -threads 4 -platform p8k80
 //	explain -kernel gemm -launch=false    # models only, no simulation
 //	explain -kernel gemm -targets synthetic   # rank an N-way registry
+//	explain -kernel gemm -learn-snapshot w.json  # learned corrections per target
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"github.com/hybridsel/hybridsel/internal/gpumodel"
 	"github.com/hybridsel/hybridsel/internal/ipda"
 	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/learn"
 	"github.com/hybridsel/hybridsel/internal/machine"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/polybench"
@@ -39,6 +41,8 @@ func main() {
 		"dispatch the region through the runtime and simulate the chosen target")
 	targets := flag.String("targets", "classic",
 		"target registry: classic|synthetic|comma-separated IDs (e.g. cpu/base,gpu/base,gpu/prev)")
+	learnSnap := flag.String("learn-snapshot", "",
+		"show each target's learned residual correction from this learner snapshot (see hybridseld -learn-out)")
 	flag.Parse()
 
 	var plat machine.Platform
@@ -117,6 +121,33 @@ func main() {
 	fmt.Println()
 	fmt.Print(gp.Format())
 
+	// The decision feature vector — what a residual learner regresses
+	// over (see internal/learn).
+	feat, err := region.Features(b)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n=== Decision features ===\n")
+	fmt.Printf("  iterations %d   transfer bytes %d   coalesced fraction %.2f\n",
+		feat.Iterations, feat.TransferBytes, feat.CoalescedFrac)
+
+	var lrn *learn.Learner
+	if *learnSnap != "" {
+		f, err := os.Open(*learnSnap)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := learn.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		lrn = learn.New(learn.Config{})
+		if err := lrn.Restore(s); err != nil {
+			fatal(err)
+		}
+	}
+
 	// The ranked verdict over every registered target — the base pair
 	// above are just the two entries every registry carries.
 	cands, err := region.PredictTargets(b)
@@ -130,8 +161,17 @@ func main() {
 		if i == 0 {
 			marker = "-> "
 		}
-		fmt.Printf("  %s%d. %-10s %-4s %.4gs\n",
+		fmt.Printf("  %s%d. %-10s %-4s %.4gs",
 			marker, i+1, c.Target, c.Kind.String(), c.PredSeconds)
+		if lrn != nil {
+			mult, learned := lrn.Multiplier(k.Name, c.Target, c.PredSeconds, feat)
+			src := "below confidence gate, analytical"
+			if learned {
+				src = fmt.Sprintf("corrected %.4gs", c.PredSeconds*mult)
+			}
+			fmt.Printf("   [learned x%.3f: %s]", mult, src)
+		}
+		fmt.Println()
 	}
 
 	if !*launch {

@@ -13,6 +13,8 @@
 //	hybridseld -targets synthetic                   # rank an N-way registry
 //	hybridseld -targets synthetic -constraints cap=gpu/*:8,avoid=cpu/smt2
 //	hybridseld -audit-rate 0.1 -audit-workers 2     # shadow-audit 10% of keys
+//	hybridseld -audit-rate 1 -learn                 # learned residual corrections
+//	hybridseld -learn -learn-out w.json             # persist learner state on drain
 //	hybridseld -pprof-addr 127.0.0.1:6060           # profiling on its own listener
 //	hybridseld -attrdb-out snapshot.json -dry-run   # write the DB and exit
 //	hybridseld -attrdb snapshot.json                # verify DB against snapshot
@@ -31,6 +33,15 @@
 // per-region accuracy accounting is exposed on GET /v1/audit and /metrics,
 // and an online calibrator feeds the measured error back into subsequent
 // decisions. A summary is logged on drain.
+//
+// With -learn (requires -audit-rate > 0) the audit stream additionally
+// trains an online residual learner (internal/learn): a deterministic
+// per-(region, target) ridge regression over the decision features whose
+// confidence-gated corrections replace the EWMA factors once a model has
+// seen -learn-min-samples audited points, with the EWMA as fallback
+// below the gate. Learner state is inspectable on GET /v1/learn and
+// /metrics (hybridsel_learner_* series), can be seeded from a snapshot
+// with -learn-in, and is persisted to -learn-out on drain.
 //
 // Then:
 //
@@ -56,6 +67,7 @@ import (
 	"github.com/hybridsel/hybridsel/internal/attrdb"
 	"github.com/hybridsel/hybridsel/internal/audit"
 	"github.com/hybridsel/hybridsel/internal/faultnet"
+	"github.com/hybridsel/hybridsel/internal/learn"
 	"github.com/hybridsel/hybridsel/internal/machine"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/polybench"
@@ -93,6 +105,14 @@ func main() {
 		"shadow-audit sampling rate over distinct decision keys (0 = off, 1 = all)")
 	auditWorkers := flag.Int("audit-workers", 1,
 		"background audit goroutines (0 = audit inline on the request path)")
+	learnOn := flag.Bool("learn", false,
+		"train a residual learner from the audit stream and gate decisions on it (requires -audit-rate > 0)")
+	learnMinSamples := flag.Int("learn-min-samples", 0,
+		"audited samples before a learned model corrects decisions (0 = default)")
+	learnIn := flag.String("learn-in", "",
+		"seed the learner from this snapshot at startup")
+	learnOut := flag.String("learn-out", "",
+		"write the learner's snapshot to this file on drain")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this separate listener (empty = off; keep it loopback)")
 	chaos := flag.String("chaos", "",
@@ -159,13 +179,27 @@ func main() {
 		cfg.Observer = tw.Observer()
 	}
 
-	// The calibrator must exist before the runtime (it is a Config hook);
-	// the auditor needs the built runtime, so it is wired in below via
-	// SetObserver.
+	// The calibrator (and the learner wrapping it) must exist before the
+	// runtime (they are Config hooks); the auditor needs the built
+	// runtime, so it is wired in below via SetObserver.
 	var cal *audit.Calibrator
+	var lrn *learn.Learner
+	if *learnOn && *auditRate <= 0 {
+		fatal(logger, errors.New("-learn needs an audit training stream: set -audit-rate > 0"))
+	}
 	if *auditRate > 0 {
 		cal = audit.NewCalibrator(0)
 		cfg.Calibrator = cal
+		if *learnOn {
+			lrn = learn.New(learn.Config{Fallback: cal, MinSamples: *learnMinSamples})
+			if *learnIn != "" {
+				if err := loadLearner(lrn, *learnIn); err != nil {
+					fatal(logger, err)
+				}
+				logger.Info("learner snapshot loaded", "path", *learnIn)
+			}
+			cfg.Calibrator = lrn
+		}
 	}
 
 	rt := offload.NewRuntime(cfg)
@@ -181,6 +215,11 @@ func main() {
 			Rate:       *auditRate,
 			Workers:    *auditWorkers,
 			Calibrator: cal,
+		}
+		if lrn != nil {
+			acfg.Learner = lrn
+			logger.Info("residual learner enabled",
+				"min_samples", lrn.MinSamples())
 		}
 		if tw != nil {
 			acfg.OnVerdict = audit.RecordObserver(tw)
@@ -215,6 +254,7 @@ func main() {
 		if auditor != nil {
 			auditor.Close()
 		}
+		closeLearn(logger, lrn, *learnOut)
 		if err := flushTrace(logger, tw); err != nil {
 			os.Exit(1)
 		}
@@ -228,6 +268,7 @@ func main() {
 		RequestTimeout: *timeout,
 		Logger:         logger,
 		Auditor:        auditor,
+		Learner:        lrn,
 	})
 	if err != nil {
 		fatal(logger, err)
@@ -297,6 +338,7 @@ func main() {
 			closeChaos(logger, chaosProxy)
 			closePprof(logger, pprofSrv, dctx)
 			closeAudit(logger, auditor)
+			closeLearn(logger, lrn, *learnOut)
 			_ = flushTrace(logger, tw)
 			os.Exit(1)
 		}
@@ -311,9 +353,58 @@ func main() {
 	closeChaos(logger, chaosProxy)
 	closePprof(logger, pprofSrv, context.Background())
 	closeAudit(logger, auditor)
+	closeLearn(logger, lrn, *learnOut)
 	if err := flushTrace(logger, tw); err != nil {
 		os.Exit(1)
 	}
+}
+
+// loadLearner seeds the learner from a snapshot written by -learn-out.
+func loadLearner(l *learn.Learner, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := learn.ReadSnapshot(f)
+	if err != nil {
+		return err
+	}
+	return l.Restore(s)
+}
+
+// closeLearn logs the learner's final accounting and persists its
+// snapshot, if requested. The audit queue must already be drained so the
+// snapshot holds every observed sample.
+func closeLearn(logger *slog.Logger, l *learn.Learner, out string) {
+	if l == nil {
+		return
+	}
+	st := l.Stats()
+	logger.Info("learner summary",
+		"samples", st.Samples, "updates", st.Updates,
+		"region_models", st.RegionModels, "global_models", st.GlobalModels,
+		"confident_models", st.ConfidentModels,
+		"learned_verdicts", st.LearnedVerdicts,
+		"analytical_verdicts", st.AnalyticalVerdicts)
+	if out == "" {
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		logger.Error("learner snapshot", "err", err)
+		return
+	}
+	if err := learn.WriteSnapshot(f, l.Snapshot()); err != nil {
+		logger.Error("learner snapshot", "err", err)
+		f.Close()
+		return
+	}
+	if err := f.Close(); err != nil {
+		logger.Error("learner snapshot", "err", err)
+		return
+	}
+	logger.Info("learner snapshot written", "path", out)
 }
 
 // closeChaos stops the fault-injection listener, if one was started.

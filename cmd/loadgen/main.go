@@ -266,6 +266,12 @@ type stats struct {
 	coalesced atomic.Uint64
 	failed    atomic.Uint64
 
+	// Correction-stage accounting over successful /v2 verdicts: how many
+	// rankings came from a confident learned residual model versus the
+	// analytical (EWMA-calibrated) path.
+	learned    atomic.Uint64
+	analytical atomic.Uint64
+
 	mu        sync.Mutex
 	latencies []int64 // ns per HTTP call
 	elapsed   time.Duration
@@ -376,6 +382,12 @@ func runClient(c *client.Client, reqs []server.DecideRequest,
 			st.itemErrs.Add(1)
 		} else {
 			st.decisions.Add(1)
+			switch v.Response.Provenance {
+			case offload.ProvenanceLearned:
+				st.learned.Add(1)
+			case offload.ProvenanceAnalytical:
+				st.analytical.Add(1)
+			}
 		}
 	}
 
@@ -571,6 +583,9 @@ func (st *stats) report(w io.Writer) {
 	fmt.Fprintf(w, "decisions    %d (%.0f/s)", st.decisions.Load(), st.decisionsPerSec())
 	if e := st.itemErrs.Load(); e > 0 {
 		fmt.Fprintf(w, ", %d item errors", e)
+	}
+	if l, a := st.learned.Load(), st.analytical.Load(); l+a > 0 {
+		fmt.Fprintf(w, ", %d learned / %d analytical", l, a)
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "call latency p50 %v  p95 %v  p99 %v  max %v\n",

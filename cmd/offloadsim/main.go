@@ -11,6 +11,7 @@
 //	offloadsim -exp fig8 -threads 160
 //	offloadsim -exp ablations
 //	offloadsim -exp audit -rounds 3 -audit-rate 1
+//	offloadsim -exp learn -rounds 3 -points 4
 package main
 
 import (
@@ -27,13 +28,15 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1|table2|table3|fig6|fig7|fig8|ablations|audit|all")
+		"experiment: table1|table2|table3|fig6|fig7|fig8|ablations|audit|learn|all")
 	threads := flag.Int("threads", 4,
 		"host thread count for the fig6/fig7 and audit comparisons")
 	parallel := flag.Int("parallel", 0, "simulation parallelism (0 = NumCPU)")
-	rounds := flag.Int("rounds", 3, "launches per kernel in the audit study")
+	rounds := flag.Int("rounds", 3, "launches per kernel in the audit and learn studies")
+	points := flag.Int("points", 4,
+		"distinct problem sizes per kernel in the learn study")
 	auditRate := flag.Float64("audit-rate", 1,
-		"shadow-audit sampling rate for the audit study")
+		"shadow-audit sampling rate for the audit and learn studies")
 	metrics := flag.Bool("metrics", false,
 		"print aggregated offload-runtime instrumentation after the runs")
 	flag.Parse()
@@ -116,6 +119,18 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.RenderAudit(res))
+			fmt.Println()
+		}
+		return nil
+	})
+
+	run("learn", func() error {
+		for _, m := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+			res, err := r.LearnStudy(m, *threads, *rounds, *points, *auditRate)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderLearn(res))
 			fmt.Println()
 		}
 		return nil

@@ -80,11 +80,31 @@ type Config struct {
 	// so stale cached targets are re-decided.
 	Calibrator *Calibrator
 
+	// Learner, when non-nil, receives every verdict's per-target
+	// ground-truth measurements together with the decision's feature
+	// vector (see offload.Features) — the training stream of the residual
+	// learner in internal/learn. When an update moves a learned
+	// correction materially the auditor invalidates the region's memoized
+	// decisions, exactly as it does for the EWMA calibrator.
+	Learner VerdictLearner
+
 	// OnVerdict, when non-nil, is invoked with every completed verdict
 	// (after accounting and calibration) — e.g. trace recording. Inline
 	// mode calls it on the offering goroutine; async mode from worker
 	// goroutines, so it must be safe for concurrent use.
 	OnVerdict func(Verdict)
+}
+
+// VerdictLearner consumes audit ground truth incrementally: one call per
+// verdict with the decision's feature vector and every target's
+// measured-vs-predicted seconds. It reports whether the update moved any
+// correction materially (the caller invalidates the region's memoized
+// decisions). Implementations must be safe for concurrent use — async
+// auditors call from worker goroutines. The interface lives here (not in
+// internal/learn) so the learner can depend on the audit types without a
+// package cycle.
+type VerdictLearner interface {
+	ObserveVerdict(region string, f offload.Features, ms []TargetMeasurement) (changed bool)
 }
 
 // TargetMeasurement is one registered target's audit of a sampled point:
@@ -370,6 +390,19 @@ func (a *Auditor) audit(d offload.Decision) {
 			// The correction moved materially: memoized decisions for
 			// the region were taken under stale factors.
 			_ = rt.InvalidateDecisions(v.Region)
+		}
+	}
+	if a.cfg.Learner != nil {
+		// Feed the residual learner the same ground truth, keyed by the
+		// decision's feature vector. A feature-evaluation failure only
+		// skips training — the audit accounting above already landed.
+		if f, err := rt.Features(v.Region, d.Bindings); err == nil {
+			if a.cfg.Learner.ObserveVerdict(v.Region, f, v.Targets) {
+				// A learned correction moved materially (the same >1%
+				// rule the EWMA calibrator applies): cached verdicts for
+				// the region were taken under stale weights.
+				_ = rt.InvalidateDecisions(v.Region)
+			}
 		}
 	}
 	if a.cfg.OnVerdict != nil {

@@ -1,0 +1,469 @@
+// Package learn closes the gap the scalar EWMA calibration cannot: a
+// deterministic, dependency-free online ridge regressor over analytical
+// decision features, trained incrementally from audit ground truth.
+//
+// The EWMA calibrator (internal/audit) learns one multiplicative factor
+// per (region, target) — a constant correction, blind to *where* in the
+// binding space the model errs. The paper's headline weakness is exactly
+// non-constant error: the analytical models are systematically biased
+// where MCA is blind (the memory hierarchy), and that bias moves with
+// problem size, transfer volume and access pattern. The learner
+// regresses the residual ln(actual/predicted) on a fixed feature vector
+// drawn from the compiled slot programs —
+//
+//	x = [1, ln(pred seconds), ln(1+iterations), ln(1+transfer bytes), coalesced fraction]
+//
+// — per (region, target), with a hierarchical fallback to per-target
+// global weights for cold regions. The bias term is near-unregularized
+// while the feature weights carry full ridge strength, so a young model
+// behaves like the EWMA's mean-log-error seed and only grows
+// feature-dependent corrections as evidence accumulates.
+//
+// Verdicts are confidence-gated: a decision is corrected by the learner
+// only when every candidate target has a model past the sample-count and
+// residual-variance thresholds; otherwise the whole verdict falls back
+// to the EWMA-calibrated analytical ranking. The applied stage is
+// recorded as Decision.Provenance (offload.ProvenanceLearned /
+// ProvenanceAnalytical).
+//
+// Everything is deterministic: updates fold in arrival order, weights
+// come from a fixed-order Gaussian elimination, and snapshot/restore
+// (see snapshot.go) reproduces weights bit-for-bit — so record/replay
+// traces stay byte-identical.
+package learn
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hybridsel/hybridsel/internal/audit"
+	"github.com/hybridsel/hybridsel/internal/offload"
+)
+
+// NumFeatures is the fixed length of the regression feature vector:
+// bias, ln(predicted seconds), ln(1+iterations), ln(1+transfer bytes),
+// coalesced fraction.
+const NumFeatures = 5
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultMinSamples is the confidence gate's sample floor: a model
+	// corrects verdicts only once it has absorbed this many ground-truth
+	// observations.
+	DefaultMinSamples = 3
+	// DefaultLambda is the ridge strength on the feature weights. The
+	// bias term is regularized by biasLambda instead, so a cold model
+	// reduces to a mean-log-error correction rather than extrapolating
+	// from under-determined feature weights.
+	DefaultLambda = 1.0
+	// DefaultMaxVariance bounds the in-sample residual variance (in
+	// squared log space) a model may carry and still pass the confidence
+	// gate; above it the verdict falls back to the analytical ranking.
+	DefaultMaxVariance = 0.5
+)
+
+// biasLambda keeps the normal equations non-singular without materially
+// shrinking the intercept.
+const biasLambda = 1e-6
+
+// changeThreshold is the relative movement of a learned correction below
+// which an update is not worth invalidating memoized decisions — the
+// same 1% rule the EWMA calibrator applies.
+const changeThreshold = 0.01
+
+// maxLogCorrection clamps the learned residual before exponentiation so
+// a degenerate extrapolation cannot produce an overflowing multiplier.
+const maxLogCorrection = 8.0
+
+// Config parameterizes a Learner.
+type Config struct {
+	// Fallback, when non-nil, corrects the verdicts the confidence gate
+	// rejects — the EWMA calibrator in the standard wiring, shared with
+	// the auditor that feeds both. With a zero-state learner every
+	// verdict delegates here, reproducing the pure EWMA behaviour
+	// bit-for-bit.
+	Fallback offload.Calibrator
+
+	// MinSamples is the confidence gate's per-model sample floor
+	// (0 selects DefaultMinSamples).
+	MinSamples int
+
+	// Lambda is the ridge strength on the feature weights (0 selects
+	// DefaultLambda).
+	Lambda float64
+
+	// MaxVariance is the confidence gate's in-sample residual-variance
+	// ceiling (0 selects DefaultMaxVariance; negative disables the
+	// variance half of the gate).
+	MaxVariance float64
+}
+
+// model is one (region, target) — or per-target global — ridge state:
+// the Gram matrix and moment vector of the residual regression, with the
+// solved weights cached. All mutation happens under the Learner's lock.
+type model struct {
+	n uint64
+	// gram accumulates sum(x xT), mom sum(x t), sumT2 sum(t²) where
+	// t = ln(actual/predicted) is the regression target.
+	gram  [NumFeatures][NumFeatures]float64
+	mom   [NumFeatures]float64
+	sumT2 float64
+	// w is the solved weight vector (valid when ok).
+	w  [NumFeatures]float64
+	ok bool
+}
+
+// add folds one observation and re-solves the weights (a 5x5 system —
+// cheap next to the ground-truth simulation that produced the sample).
+func (m *model) add(x *[NumFeatures]float64, t, lambda float64) {
+	for i := 0; i < NumFeatures; i++ {
+		for j := 0; j < NumFeatures; j++ {
+			m.gram[i][j] += x[i] * x[j]
+		}
+		m.mom[i] += x[i] * t
+	}
+	m.sumT2 += t * t
+	m.n++
+	m.solve(lambda)
+}
+
+// solve recomputes w from the accumulated sums: (gram + Λ) w = mom with
+// Λ = diag(biasLambda, lambda, ..., lambda), by Gaussian elimination
+// with partial pivoting in fixed order — deterministic for a given
+// state, so snapshot restores reproduce weights bit-for-bit.
+func (m *model) solve(lambda float64) {
+	var a [NumFeatures][NumFeatures + 1]float64
+	for i := 0; i < NumFeatures; i++ {
+		for j := 0; j < NumFeatures; j++ {
+			a[i][j] = m.gram[i][j]
+		}
+		a[i][NumFeatures] = m.mom[i]
+	}
+	a[0][0] += biasLambda
+	for i := 1; i < NumFeatures; i++ {
+		a[i][i] += lambda
+	}
+	for col := 0; col < NumFeatures; col++ {
+		pivot := col
+		for row := col + 1; row < NumFeatures; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		if a[pivot][col] == 0 {
+			m.ok = false
+			return
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for row := col + 1; row < NumFeatures; row++ {
+			f := a[row][col] / a[col][col]
+			for j := col; j <= NumFeatures; j++ {
+				a[row][j] -= f * a[col][j]
+			}
+		}
+	}
+	for i := NumFeatures - 1; i >= 0; i-- {
+		s := a[i][NumFeatures]
+		for j := i + 1; j < NumFeatures; j++ {
+			s -= a[i][j] * m.w[j]
+		}
+		m.w[i] = s / a[i][i]
+	}
+	m.ok = true
+	for i := 0; i < NumFeatures; i++ {
+		if math.IsNaN(m.w[i]) || math.IsInf(m.w[i], 0) {
+			m.ok = false
+			return
+		}
+	}
+}
+
+// residual predicts the log-space correction w·x at a feature point.
+func (m *model) residual(x *[NumFeatures]float64) float64 {
+	s := 0.0
+	for i := 0; i < NumFeatures; i++ {
+		s += m.w[i] * x[i]
+	}
+	return s
+}
+
+// multiplier is the clamped multiplicative correction at a feature
+// point: exp(w·x), the learned counterpart of the EWMA's exp(ewma).
+func (m *model) multiplier(x *[NumFeatures]float64) float64 {
+	r := m.residual(x)
+	if r > maxLogCorrection {
+		r = maxLogCorrection
+	} else if r < -maxLogCorrection {
+		r = -maxLogCorrection
+	}
+	return math.Exp(r)
+}
+
+// variance is the in-sample residual variance SSE/n of the current
+// weights, computable from the accumulated sums alone:
+// SSE = sum(t²) - 2 w·mom + wᵀ gram w.
+func (m *model) variance() float64 {
+	if m.n == 0 || !m.ok {
+		return math.Inf(1)
+	}
+	sse := m.sumT2
+	for i := 0; i < NumFeatures; i++ {
+		sse -= 2 * m.w[i] * m.mom[i]
+		for j := 0; j < NumFeatures; j++ {
+			sse += m.w[i] * m.gram[i][j] * m.w[j]
+		}
+	}
+	if sse < 0 {
+		sse = 0 // accumulated float error on a near-perfect fit
+	}
+	return sse / float64(m.n)
+}
+
+// Learner is the online residual learner. It implements
+// offload.Corrector (wire as offload.Config.Calibrator) and
+// audit.VerdictLearner (wire as audit.Config.Learner). Safe for
+// concurrent use.
+type Learner struct {
+	cfg Config
+
+	mu sync.RWMutex
+	// global holds the per-target fallback models (keyed by registry
+	// target ID); regions the per-(region, target) models.
+	global  map[string]*model
+	regions map[string]map[string]*model
+
+	samples    atomic.Uint64
+	updates    atomic.Uint64
+	learned    atomic.Uint64
+	analytical atomic.Uint64
+}
+
+var (
+	_ offload.Corrector    = (*Learner)(nil)
+	_ audit.VerdictLearner = (*Learner)(nil)
+)
+
+// New builds a learner. A zero Config is valid: defaults apply, and with
+// no Fallback the analytical verdicts keep their raw model ranking.
+func New(cfg Config) *Learner {
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = DefaultMinSamples
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = DefaultLambda
+	}
+	if cfg.MaxVariance == 0 {
+		cfg.MaxVariance = DefaultMaxVariance
+	}
+	return &Learner{
+		cfg:     cfg,
+		global:  map[string]*model{},
+		regions: map[string]map[string]*model{},
+	}
+}
+
+// MinSamples returns the effective confidence-gate sample floor.
+func (l *Learner) MinSamples() int { return l.cfg.MinSamples }
+
+// featVec builds the fixed feature vector for one target's prediction at
+// a decision point. predSeconds must be positive.
+func featVec(predSeconds float64, f offload.Features) [NumFeatures]float64 {
+	return [NumFeatures]float64{
+		1,
+		math.Log(predSeconds),
+		math.Log1p(float64(f.Iterations)),
+		math.Log1p(float64(f.TransferBytes)),
+		f.CoalescedFrac,
+	}
+}
+
+// passesGate reports whether one model clears the confidence gate.
+func (l *Learner) passesGate(m *model) bool {
+	if m == nil || !m.ok || m.n < uint64(l.cfg.MinSamples) {
+		return false
+	}
+	if l.cfg.MaxVariance > 0 && m.variance() > l.cfg.MaxVariance {
+		return false
+	}
+	return true
+}
+
+// confidentLocked resolves the model that would correct (region, target)
+// — the region model when it clears the gate, else the global fallback
+// when it does, else nil. Callers hold l.mu (either side).
+func (l *Learner) confidentLocked(region, target string) *model {
+	if rm := l.regions[region]; rm != nil {
+		if m := rm[target]; l.passesGate(m) {
+			return m
+		}
+	}
+	if m := l.global[target]; l.passesGate(m) {
+		return m
+	}
+	return nil
+}
+
+// CorrectFeatures implements offload.Corrector: when every candidate
+// target has a confident model, each candidate's CalSeconds becomes
+// PredSeconds times its learned multiplier and the verdict is learned;
+// otherwise the whole verdict delegates to the Fallback calibrator
+// (identity without one) and stays analytical. Gating is whole-verdict:
+// mixing learned and EWMA-scaled seconds inside one ranking would
+// compare incommensurable corrections.
+func (l *Learner) CorrectFeatures(region string, f offload.Features, cands []offload.Candidate) string {
+	mults := make([]float64, len(cands))
+	confident := len(cands) > 0
+	l.mu.RLock()
+	for i := range cands {
+		if cands[i].PredSeconds <= 0 {
+			confident = false
+			break
+		}
+		m := l.confidentLocked(region, cands[i].Target)
+		if m == nil {
+			confident = false
+			break
+		}
+		x := featVec(cands[i].PredSeconds, f)
+		mults[i] = m.multiplier(&x)
+	}
+	l.mu.RUnlock()
+	if !confident {
+		l.analytical.Add(1)
+		if l.cfg.Fallback != nil {
+			l.cfg.Fallback.Correct(region, cands)
+		}
+		return offload.ProvenanceAnalytical
+	}
+	for i := range cands {
+		cands[i].CalSeconds = cands[i].PredSeconds * mults[i]
+	}
+	l.learned.Add(1)
+	return offload.ProvenanceLearned
+}
+
+// Correct implements the plain offload.Calibrator half of the Corrector
+// contract by delegating to the Fallback — feature-less callers get the
+// analytical correction.
+func (l *Learner) Correct(region string, cands []offload.Candidate) {
+	if l.cfg.Fallback != nil {
+		l.cfg.Fallback.Correct(region, cands)
+	}
+}
+
+// ObserveVerdict implements audit.VerdictLearner: it folds every
+// measured target of one audit verdict into the region's and the global
+// models, in slice order (deterministic for a deterministic audit
+// stream). It reports whether any learned correction at the observed
+// point moved materially — including a gate transition — the signal to
+// invalidate the region's memoized decisions.
+func (l *Learner) ObserveVerdict(region string, f offload.Features, ms []audit.TargetMeasurement) (changed bool) {
+	l.mu.Lock()
+	for i := range ms {
+		tm := &ms[i]
+		if tm.PredSeconds <= 0 || tm.ActualSeconds <= 0 {
+			continue
+		}
+		x := featVec(tm.PredSeconds, f)
+		t := math.Log(tm.ActualSeconds / tm.PredSeconds)
+
+		before, okBefore := l.effectiveLocked(region, tm.Target, &x)
+
+		rm := l.regions[region]
+		if rm == nil {
+			rm = map[string]*model{}
+			l.regions[region] = rm
+		}
+		m := rm[tm.Target]
+		if m == nil {
+			m = &model{}
+			rm[tm.Target] = m
+		}
+		m.add(&x, t, l.cfg.Lambda)
+		g := l.global[tm.Target]
+		if g == nil {
+			g = &model{}
+			l.global[tm.Target] = g
+		}
+		g.add(&x, t, l.cfg.Lambda)
+		l.samples.Add(1)
+
+		after, okAfter := l.effectiveLocked(region, tm.Target, &x)
+		if okBefore != okAfter {
+			changed = true
+		} else if okAfter && relChange(before, after) > changeThreshold {
+			changed = true
+		}
+	}
+	l.mu.Unlock()
+	if changed {
+		l.updates.Add(1)
+	}
+	return changed
+}
+
+// effectiveLocked evaluates the learned multiplier that would currently
+// apply at a feature point (ok=false when the gate rejects — the EWMA
+// fallback owns such verdicts, and its own >1% rule handles their
+// invalidation).
+func (l *Learner) effectiveLocked(region, target string, x *[NumFeatures]float64) (mult float64, ok bool) {
+	m := l.confidentLocked(region, target)
+	if m == nil {
+		return 0, false
+	}
+	return m.multiplier(x), true
+}
+
+func relChange(old, new float64) float64 {
+	if old <= 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(new-old) / old
+}
+
+// Multiplier returns the learned correction the learner would apply to
+// one target's prediction at a feature point, and whether the verdict
+// would be learned there (false: the caller should consult the EWMA
+// factor instead). Used by cmd/explain and GET /v1/learn.
+func (l *Learner) Multiplier(region, target string, predSeconds float64, f offload.Features) (mult float64, learned bool) {
+	if predSeconds <= 0 {
+		return 1, false
+	}
+	x := featVec(predSeconds, f)
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	m := l.confidentLocked(region, target)
+	if m == nil {
+		return 1, false
+	}
+	return m.multiplier(&x), true
+}
+
+// Stats snapshots the learner's aggregate state for /metrics.
+func (l *Learner) Stats() offload.LearnerStats {
+	s := offload.LearnerStats{
+		Samples:            l.samples.Load(),
+		Updates:            l.updates.Load(),
+		LearnedVerdicts:    l.learned.Load(),
+		AnalyticalVerdicts: l.analytical.Load(),
+		MinSamples:         l.cfg.MinSamples,
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s.GlobalModels = len(l.global)
+	for _, m := range l.global {
+		if l.passesGate(m) {
+			s.ConfidentModels++
+		}
+	}
+	for _, rm := range l.regions {
+		s.RegionModels += len(rm)
+		for _, m := range rm {
+			if l.passesGate(m) {
+				s.ConfidentModels++
+			}
+		}
+	}
+	return s
+}

@@ -32,6 +32,9 @@ type decisionEntry struct {
 	target    Target
 	// frac is the host share chosen by a split decision (0 otherwise).
 	frac float64
+	// prov is the decision's provenance (set with decided), so cache hits
+	// report the correction stage that produced the memoized verdict.
+	prov string
 }
 
 // cacheNode is an entry's residence in one shard: an intrusive LRU link

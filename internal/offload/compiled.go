@@ -9,6 +9,7 @@ import (
 	"github.com/hybridsel/hybridsel/internal/gpumodel"
 	"github.com/hybridsel/hybridsel/internal/ipda"
 	"github.com/hybridsel/hybridsel/internal/ir"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
 )
 
 // targetProg is one registry target's compiled analytical model. Exactly
@@ -48,6 +49,15 @@ type compiledModels struct {
 	baseGPU int
 	nslots  int
 	pool    sync.Pool // of *slotVecs
+
+	// Decision feature programs (see Region.Features): the iteration
+	// space and transfer-byte expressions as slot polynomials, and the
+	// compiled IPDA result for the coalesced fraction — evaluated only
+	// when a Corrector is configured.
+	iterProg  symbolic.Compiled
+	bytesProg symbolic.Compiled
+	ipda      *ipda.CompiledResult
+	geom      ipda.WarpGeom
 }
 
 // slotVecs is the per-evaluation scratch state: the raw parameter vector,
@@ -110,6 +120,14 @@ func compileRegion(cfg *Config, reg *Registry, k *ir.Kernel, attrs *attrdb.Regio
 	if err != nil {
 		return nil, err
 	}
+	iterProg, err := symbolic.Compile(attrs.IterSpace, slots)
+	if err != nil {
+		return nil, err
+	}
+	bytesProg, err := symbolic.Compile(attrs.TransferBytes, slots)
+	if err != nil {
+		return nil, err
+	}
 	progs := make([]targetProg, reg.Len())
 	for i := range progs {
 		sp := reg.At(i)
@@ -151,12 +169,19 @@ func compileRegion(cfg *Config, reg *Registry, k *ir.Kernel, attrs *attrdb.Regio
 		}
 	}
 	cm := &compiledModels{
-		layout:  layout,
-		aug:     aug,
-		progs:   progs,
-		baseCPU: reg.baseCPU,
-		baseGPU: reg.baseGPU,
-		nslots:  n,
+		layout:    layout,
+		aug:       aug,
+		progs:     progs,
+		baseCPU:   reg.baseCPU,
+		baseGPU:   reg.baseGPU,
+		nslots:    n,
+		iterProg:  iterProg,
+		bytesProg: bytesProg,
+		ipda:      ic,
+		geom: ipda.WarpGeom{
+			WarpSize:         cfg.Platform.GPU.WarpSize,
+			TransactionBytes: cfg.Platform.GPU.L2.LineBytes,
+		},
 	}
 	nt := len(progs)
 	cm.pool.New = func() any {
@@ -168,6 +193,16 @@ func compileRegion(cfg *Config, reg *Registry, k *ir.Kernel, attrs *attrdb.Regio
 		}
 	}
 	return cm, nil
+}
+
+// features evaluates the decision feature vector over a filled slot
+// vector — the compiled counterpart of Region.featuresInterpreted.
+func (cm *compiledModels) features(sv *slotVecs) Features {
+	return Features{
+		Iterations:    cm.iterProg.Eval(sv.vals),
+		TransferBytes: cm.bytesProg.Eval(sv.vals),
+		CoalescedFrac: cm.ipda.CoalescedFraction(sv.vals, cm.geom),
+	}
 }
 
 // predictOne evaluates one target's compiled model with the given work

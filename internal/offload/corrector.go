@@ -1,0 +1,109 @@
+package offload
+
+import (
+	"github.com/hybridsel/hybridsel/internal/ipda"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// Decision provenance values: which correction stage produced the
+// ranking the verdict was taken from.
+const (
+	// ProvenanceAnalytical marks a verdict ranked by the analytical
+	// models, possibly scaled by the scalar EWMA calibration — the
+	// pre-learner behaviour, and the fallback whenever the learner's
+	// confidence gate does not pass.
+	ProvenanceAnalytical = "analytical"
+	// ProvenanceLearned marks a verdict whose ranking was corrected by a
+	// confident learned residual model for every candidate target.
+	ProvenanceLearned = "learned"
+)
+
+// Features is the fixed per-decision feature view handed to a Corrector:
+// the launch-invariant analytical quantities the learner regresses
+// residuals over, evaluated from the same compiled slot programs (or
+// interpreted expressions) the decision itself used. Per-target predicted
+// seconds travel separately on each Candidate.
+type Features struct {
+	// Iterations is the region's full iteration-space size at the bound
+	// point (the product of loop trip counts).
+	Iterations int64 `json:"iterations"`
+	// TransferBytes is the host-device transfer volume the GPU model
+	// charges for the region.
+	TransferBytes int64 `json:"transferBytes"`
+	// CoalescedFrac is the IPDA stride analysis' weighted fraction of
+	// coalesced global-memory accesses in [0, 1].
+	CoalescedFrac float64 `json:"coalescedFrac"`
+}
+
+// Corrector is the feature-aware superset of Calibrator: the decide path
+// calls CorrectFeatures with the decision's feature vector (evaluated
+// lazily, only when a Corrector is configured) instead of Correct, and
+// records the returned provenance on the Decision. Implementations must
+// obey the Calibrator contract (rewrite CalSeconds only, concurrency-
+// safe, cheap) and must return one of the Provenance* constants:
+// ProvenanceLearned only when a confident learned correction was applied
+// to every candidate, ProvenanceAnalytical when the implementation fell
+// back to its analytical (e.g. EWMA) path. internal/learn provides the
+// standard implementation.
+type Corrector interface {
+	Calibrator
+	CorrectFeatures(region string, f Features, cands []Candidate) string
+}
+
+// Features evaluates the region's decision feature vector at the bound
+// point — the inputs a Corrector regresses over. The compiled slot
+// programs serve regions on the compiled decision path; everything else
+// evaluates the stored attribute expressions and the IPDA stride
+// analysis directly. Both paths produce identical values (pinned by
+// TestFeaturesCompiledMatchesInterpreted).
+func (r *Region) Features(b symbolic.Bindings) (Features, error) {
+	if cm := r.compiled; cm != nil {
+		sv := cm.getVecs()
+		defer cm.putVecs(sv)
+		if cm.layout.Fill(b, sv.vals) {
+			return cm.features(sv), nil
+		}
+	}
+	return r.featuresInterpreted(b)
+}
+
+// featuresInterpreted evaluates the feature vector from the stored
+// attribute expressions and the IPDA result (the slow path, and the
+// reference the compiled path is checked against).
+func (r *Region) featuresInterpreted(b symbolic.Bindings) (Features, error) {
+	iters, err := r.Attrs.IterSpace.Eval(b)
+	if err != nil {
+		return Features{}, wrapUnbound(err)
+	}
+	bytes, err := r.Attrs.TransferBytes.Eval(b)
+	if err != nil {
+		return Features{}, wrapUnbound(err)
+	}
+	sum, err := r.Analysis.GPUCoalescing(b, r.rt.warpGeom())
+	if err != nil {
+		return Features{}, wrapUnbound(err)
+	}
+	return Features{
+		Iterations:    iters,
+		TransferBytes: bytes,
+		CoalescedFrac: sum.CoalescedFraction(),
+	}, nil
+}
+
+// Features is the name-based wrapper around Region.Features.
+func (rt *Runtime) Features(name string, b symbolic.Bindings) (Features, error) {
+	r, err := rt.Region(name)
+	if err != nil {
+		return Features{}, err
+	}
+	return r.Features(b)
+}
+
+// warpGeom is the platform's warp geometry, the same one the decide path
+// hands the IPDA coalescing analysis.
+func (rt *Runtime) warpGeom() ipda.WarpGeom {
+	return ipda.WarpGeom{
+		WarpSize:         rt.cfg.Platform.GPU.WarpSize,
+		TransactionBytes: rt.cfg.Platform.GPU.L2.LineBytes,
+	}
+}

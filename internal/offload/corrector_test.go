@@ -1,0 +1,80 @@
+package offload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/polybench"
+)
+
+// TestFeaturesCompiledMatchesInterpreted pins the compiled feature
+// programs to the interpreted reference: a Corrector must see the same
+// feature vector whichever decide path evaluated it, across the full
+// suite, both platforms and both workload modes.
+func TestFeaturesCompiledMatchesInterpreted(t *testing.T) {
+	for _, plat := range []machine.Platform{machine.PlatformP9V100(), machine.PlatformP8K80()} {
+		rtC := NewRuntime(Config{Platform: plat})
+		rtI := NewRuntime(Config{Platform: plat, DisableCompiledModels: true})
+		for _, k := range polybench.Suite() {
+			if _, err := rtC.Register(k.IR); err != nil {
+				t.Fatalf("%s: register compiled: %v", k.Name, err)
+			}
+			if _, err := rtI.Register(k.IR); err != nil {
+				t.Fatalf("%s: register interpreted: %v", k.Name, err)
+			}
+			for _, mode := range []polybench.Mode{polybench.Test, polybench.Benchmark} {
+				b := k.Bindings(mode)
+				fc, errC := rtC.Features(k.Name, b)
+				fi, errI := rtI.Features(k.Name, b)
+				if (errC != nil) != (errI != nil) {
+					t.Fatalf("%s %s %v: error mismatch: compiled %v, interpreted %v",
+						plat.Name, k.Name, mode, errC, errI)
+				}
+				if errC != nil {
+					continue
+				}
+				if fc.Iterations != fi.Iterations || fc.TransferBytes != fi.TransferBytes ||
+					math.Float64bits(fc.CoalescedFrac) != math.Float64bits(fi.CoalescedFrac) {
+					t.Fatalf("%s %s %v: features diverge: compiled %+v, interpreted %+v",
+						plat.Name, k.Name, mode, fc, fi)
+				}
+			}
+		}
+		// The suite must actually exercise the compiled path.
+		if got := rtC.Metrics().CompiledRegions; got == 0 {
+			t.Fatalf("%s: no compiled regions in suite", plat.Name)
+		}
+	}
+}
+
+// TestProvenanceDefaultsAnalytical checks every decision records a
+// provenance, including cache hits, without any calibrator configured.
+func TestProvenanceDefaultsAnalytical(t *testing.T) {
+	rt := NewRuntime(Config{Platform: machine.PlatformP9V100()})
+	k, err := polybench.Get("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(k.IR); err != nil {
+		t.Fatal(err)
+	}
+	b := k.Bindings(polybench.Test)
+	out, err := rt.Decide("gemm", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Provenance != ProvenanceAnalytical {
+		t.Fatalf("miss provenance = %q, want %q", out.Provenance, ProvenanceAnalytical)
+	}
+	hit, err := rt.Decide("gemm", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("second decide should hit the cache")
+	}
+	if hit.Provenance != ProvenanceAnalytical {
+		t.Fatalf("hit provenance = %q, want %q", hit.Provenance, ProvenanceAnalytical)
+	}
+}

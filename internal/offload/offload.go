@@ -199,6 +199,11 @@ type Decision struct {
 	// CacheHit reports that the decision was served from the memoized
 	// decision cache (no model evaluation).
 	CacheHit bool
+	// Provenance records which correction stage produced the ranking:
+	// ProvenanceAnalytical (models + EWMA calibration, the default) or
+	// ProvenanceLearned (a confident learned residual correction from a
+	// configured Corrector).
+	Provenance string
 	// ActualSeconds is the executed (simulated) time of the chosen
 	// target; for Oracle both actuals are filled.
 	ActualSeconds    float64
@@ -242,6 +247,12 @@ type Runtime struct {
 	// Dynamic (disabling decided-verdict caching).
 	dispatchObs []DispatchObserver
 	hasDynamic  bool
+
+	// corrector is Config.Calibrator when it implements the feature-aware
+	// Corrector superset; such calibrators are consulted through
+	// CorrectFeatures (with the decision's feature vector) instead of
+	// Correct.
+	corrector Corrector
 
 	regmu   sync.RWMutex
 	regions map[string]*Region
@@ -289,6 +300,9 @@ func NewRuntime(cfg Config) *Runtime {
 		if o, ok := c.(DispatchObserver); ok {
 			rt.dispatchObs = append(rt.dispatchObs, o)
 		}
+	}
+	if cor, ok := cfg.Calibrator.(Corrector); ok {
+		rt.corrector = cor
 	}
 	if cfg.Observer != nil {
 		rt.obs.Store(&cfg.Observer)
@@ -724,11 +738,21 @@ type splitPlanner func(calCPU, calGPU float64) (Target, float64, error)
 // selectTarget is the selection stage shared by both decide paths over
 // freshly built (or recalibration-reset) registry-ordered candidates:
 // calibrate, rank, filter by constraints, run the policy, and resolve
-// split requests. It fills the decision's verdict fields; the ranked
-// slice lands in d.Candidates for memoization.
-func (r *Region) selectTarget(d *Decision, cands []Candidate, plan splitPlanner) error {
+// split requests. It fills the decision's verdict fields (including
+// provenance); the ranked slice lands in d.Candidates for memoization.
+// feats lazily evaluates the decision's feature vector — it is invoked
+// only when a Corrector is configured, so the legacy calibration path
+// pays nothing for it.
+func (r *Region) selectTarget(d *Decision, cands []Candidate, feats func() (Features, error), plan splitPlanner) error {
 	rt := r.rt
-	if rt.cfg.Calibrator != nil {
+	d.Provenance = ProvenanceAnalytical
+	if rt.corrector != nil {
+		f, err := feats()
+		if err != nil {
+			return err
+		}
+		d.Provenance = rt.corrector.CorrectFeatures(r.Name, f, cands)
+	} else if rt.cfg.Calibrator != nil {
 		rt.cfg.Calibrator.Correct(r.Name, cands)
 	}
 	// The split planner compares against the calibrated base pair;
@@ -780,6 +804,7 @@ func (r *Region) fillFromEntry(d *Decision, ent *decisionEntry) {
 	d.Candidates = ent.cands
 	d.SplitFraction = ent.frac
 	d.CacheHit = true
+	d.Provenance = ent.prov
 	if ent.targetIdx < 0 {
 		d.Target, d.TargetID, d.targetIdx = TargetSplit, TargetIDSplit, -1
 		return
@@ -1120,16 +1145,18 @@ func (r *Region) decide(b symbolic.Bindings, d *Decision) (string, error) {
 		cands = rt.reorderedCopy(ent.cands)
 		d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
 	}
-	err := r.selectTarget(d, cands, func(calCPU, calGPU float64) (Target, float64, error) {
-		return r.planSplit(b, calCPU, calGPU)
-	})
+	err := r.selectTarget(d, cands,
+		func() (Features, error) { return r.featuresInterpreted(b) },
+		func(calCPU, calGPU float64) (Target, float64, error) {
+			return r.planSplit(b, calCPU, calGPU)
+		})
 	if err != nil {
 		return "", err
 	}
 	r.storeEntry(decisionEntry{key: key, hash: hash, cands: d.Candidates,
 		predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
 		decided: !rt.hasDynamic, targetIdx: d.targetIdx,
-		target: d.Target, frac: d.SplitFraction})
+		target: d.Target, frac: d.SplitFraction, prov: d.Provenance})
 	return key, nil
 }
 
@@ -1164,9 +1191,11 @@ func (r *Region) decideCompiled(cm *compiledModels, sv *slotVecs, d *Decision) (
 		cands = rt.reorderedCopy(ent.cands)
 		d.PredCPUSeconds, d.PredGPUSeconds = ent.predCPU, ent.predGPU
 	}
-	err := r.selectTarget(d, cands, func(calCPU, calGPU float64) (Target, float64, error) {
-		return cm.planSplit(sv, branchProb, calCPU, calGPU)
-	})
+	err := r.selectTarget(d, cands,
+		func() (Features, error) { return cm.features(sv), nil },
+		func(calCPU, calGPU float64) (Target, float64, error) {
+			return cm.planSplit(sv, branchProb, calCPU, calGPU)
+		})
 	if err != nil {
 		return "", err
 	}
@@ -1174,7 +1203,7 @@ func (r *Region) decideCompiled(cm *compiledModels, sv *slotVecs, d *Decision) (
 	r.storeEntry(decisionEntry{key: key, hash: hash, cands: d.Candidates,
 		predCPU: d.PredCPUSeconds, predGPU: d.PredGPUSeconds,
 		decided: !rt.hasDynamic, targetIdx: d.targetIdx,
-		target: d.Target, frac: d.SplitFraction})
+		target: d.Target, frac: d.SplitFraction, prov: d.Provenance})
 	return key, nil
 }
 

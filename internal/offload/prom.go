@@ -150,6 +150,64 @@ func WriteAccuracyPrometheus(w io.Writer, rows []RegionAccuracy) error {
 	return ew.err
 }
 
+// LearnerStats is a residual learner's aggregate state as exposed on
+// /metrics and /v1/learn: how much audit ground truth it has absorbed,
+// how many models exist (and are past the confidence gate), and how its
+// verdicts split between learned and analytical provenance. The learner
+// implementation lives in internal/learn; the row lives here so the
+// Prometheus exposition stays a single package (see RegionAccuracy).
+type LearnerStats struct {
+	// Samples counts absorbed (target, point) ground-truth observations;
+	// Updates counts weight-vector recomputations that materially moved a
+	// correction (the >1% invalidation rule).
+	Samples uint64 `json:"samples"`
+	Updates uint64 `json:"updates"`
+	// LearnedVerdicts/AnalyticalVerdicts count CorrectFeatures outcomes
+	// by returned provenance.
+	LearnedVerdicts    uint64 `json:"learnedVerdicts"`
+	AnalyticalVerdicts uint64 `json:"analyticalVerdicts"`
+	// RegionModels counts per-(region, target) models; GlobalModels the
+	// per-target fallbacks; ConfidentModels those past the gate.
+	RegionModels    int `json:"regionModels"`
+	GlobalModels    int `json:"globalModels"`
+	ConfidentModels int `json:"confidentModels"`
+	// MinSamples is the configured confidence-gate floor.
+	MinSamples int `json:"minSamples"`
+}
+
+// WriteLearnerPrometheus renders the learner gauges after a
+// WritePrometheus exposition, under the hybridsel_learner_ namespace.
+func WriteLearnerPrometheus(w io.Writer, s LearnerStats) error {
+	ew := &errWriter{w: w}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("hybridsel_learner_samples_total",
+		"Ground-truth observations absorbed by the residual learner.", s.Samples)
+	counter("hybridsel_learner_updates_total",
+		"Learner weight updates that materially moved a correction.", s.Updates)
+	fmt.Fprintf(ew, "# HELP hybridsel_learner_verdicts_total Corrected verdicts by provenance.\n")
+	fmt.Fprintf(ew, "# TYPE hybridsel_learner_verdicts_total counter\n")
+	fmt.Fprintf(ew, "hybridsel_learner_verdicts_total{provenance=%q} %d\n",
+		ProvenanceLearned, s.LearnedVerdicts)
+	fmt.Fprintf(ew, "hybridsel_learner_verdicts_total{provenance=%q} %d\n",
+		ProvenanceAnalytical, s.AnalyticalVerdicts)
+	gauge("hybridsel_learner_region_models",
+		"Per-(region, target) residual models.", s.RegionModels)
+	gauge("hybridsel_learner_global_models",
+		"Per-target global fallback models.", s.GlobalModels)
+	gauge("hybridsel_learner_confident_models",
+		"Residual models past the confidence gate.", s.ConfidentModels)
+	gauge("hybridsel_learner_min_samples",
+		"Configured confidence-gate sample floor.", s.MinSamples)
+	return ew.err
+}
+
 // errWriter latches the first write error so the renderers above stay
 // free of per-line error plumbing.
 type errWriter struct {

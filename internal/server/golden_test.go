@@ -17,9 +17,29 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"github.com/hybridsel/hybridsel/internal/audit"
+	"github.com/hybridsel/hybridsel/internal/learn"
+	"github.com/hybridsel/hybridsel/internal/offload"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden API fixtures")
+
+// goldenLearner trains a learner on a small fixed audit stream so the
+// /v1/learn fixture has real models — weights included, which pins the
+// solver's determinism into the golden bytes.
+func goldenLearner() *learn.Learner {
+	l := learn.New(learn.Config{MinSamples: 2})
+	f := offload.Features{Iterations: 4096, TransferBytes: 1 << 16, CoalescedFrac: 0.5}
+	for i := 0; i < 3; i++ {
+		f.Iterations += int64(i) * 1024
+		l.ObserveVerdict("gemm", f, []audit.TargetMeasurement{
+			{Target: "cpu/base", PredSeconds: 0.010, ActualSeconds: 0.020},
+			{Target: "gpu/base", PredSeconds: 0.012, ActualSeconds: 0.012},
+		})
+	}
+	return l
+}
 
 // nanosRe normalizes the only per-run field in a decide response: the
 // wall-clock decision overhead.
@@ -38,6 +58,9 @@ func TestGoldenAPICompat(t *testing.T) {
 		status int
 		// wantDeprecation asserts the frozen-endpoint headers.
 		wantDeprecation bool
+		// learner serves the case from a server with a deterministically
+		// trained residual learner configured.
+		learner bool
 	}{
 		{name: "v1_decide_single", method: "POST", path: "/v1/decide",
 			body:   `{"region":"gemm","bindings":{"n":64}}`,
@@ -70,12 +93,20 @@ func TestGoldenAPICompat(t *testing.T) {
 			body: `{"requests":[{"region":"gemm","bindings":{"n":64}},` +
 				`{"region":"no-such-region"}]}`,
 			status: http.StatusOK},
+		{name: "v1_learn_disabled", method: "GET", path: "/v1/learn",
+			status: http.StatusNotFound},
+		{name: "v1_learn", method: "GET", path: "/v1/learn",
+			status: http.StatusOK, learner: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			// A fresh server per case: fixture bytes must not depend on
 			// cross-case cache state.
-			s := testServer(t, Config{})
+			cfg := Config{}
+			if tc.learner {
+				cfg.Learner = goldenLearner()
+			}
+			s := testServer(t, cfg)
 			ts := httptest.NewServer(s.Handler())
 			defer ts.Close()
 

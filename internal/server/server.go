@@ -54,6 +54,7 @@ import (
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
 	"github.com/hybridsel/hybridsel/internal/audit"
+	"github.com/hybridsel/hybridsel/internal/learn"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/symbolic"
 )
@@ -92,6 +93,13 @@ type Config struct {
 	// exposed on GET /v1/audit and folded into /metrics. Lifecycle
 	// (wiring the observer, Close on drain) stays with the caller.
 	Auditor *audit.Auditor
+
+	// Learner, when non-nil, is the online residual learner correcting
+	// the served runtime's rankings. The server only reads from it: its
+	// models and verdict counters are exposed on GET /v1/learn and its
+	// gauges folded into /metrics. Wiring (offload.Config.Calibrator,
+	// the auditor's training feed) stays with the caller.
+	Learner *learn.Learner
 }
 
 // Server is the HTTP decision service.
@@ -153,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/regions", s.instrument(s.handleRegions))
 	s.mux.HandleFunc("GET /v1/targets", s.instrument(s.handleTargets))
 	s.mux.HandleFunc("GET /v1/audit", s.instrument(s.handleAudit))
+	s.mux.HandleFunc("GET /v1/learn", s.instrument(s.handleLearn))
 	s.mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
 	return s, nil
@@ -318,9 +327,13 @@ type DecideResponseV2 struct {
 	Candidates    []offload.Candidate `json:"candidates,omitempty"`
 	SplitFraction float64             `json:"splitFraction,omitempty"`
 	CacheHit      bool                `json:"cacheHit,omitempty"`
-	ActualSeconds float64             `json:"actualSeconds,omitempty"`
-	DecisionNanos int64               `json:"decisionNanos,omitempty"`
-	Error         *ErrorInfo          `json:"error,omitempty"`
+	// Provenance records which correction stage produced the ranking:
+	// "analytical" (models + EWMA calibration) or "learned" (a confident
+	// learned residual correction).
+	Provenance    string     `json:"provenance,omitempty"`
+	ActualSeconds float64    `json:"actualSeconds,omitempty"`
+	DecisionNanos int64      `json:"decisionNanos,omitempty"`
+	Error         *ErrorInfo `json:"error,omitempty"`
 }
 
 // decideBody accepts both shapes: a single request object, or
@@ -459,6 +472,7 @@ func v2Response(region string, out *offload.Outcome) DecideResponseV2 {
 		Candidates:    out.Candidates,
 		SplitFraction: out.SplitFraction,
 		CacheHit:      out.CacheHit,
+		Provenance:    out.Provenance,
 		ActualSeconds: out.ActualSeconds,
 		DecisionNanos: out.DecisionOverhead.Nanoseconds(),
 	}
@@ -641,6 +655,20 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Auditor.Report())
 }
 
+// --------------------------------------------------------------- learn --
+
+// handleLearn serves the residual learner's inspectable state: every
+// per-(region, target) and global model's sample count, gate status and
+// solved weights, plus the verdict counters. 404 when the daemon runs
+// without a learner.
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Learner == nil {
+		httpError(w, http.StatusNotFound, ErrCodeNotFound, "learning disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Learner.State())
+}
+
 // ------------------------------------------------------------- metrics --
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -656,6 +684,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Auditor != nil {
 		if err := offload.WriteAccuracyPrometheus(w, rep.Accuracy()); err != nil {
+			return
+		}
+	}
+	if s.cfg.Learner != nil {
+		if err := offload.WriteLearnerPrometheus(w, s.cfg.Learner.Stats()); err != nil {
 			return
 		}
 	}

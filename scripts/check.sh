@@ -24,14 +24,17 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/offload/ ./internal/experiments/ \
 	./internal/server/ ./internal/trace/ ./internal/audit/ \
-	./internal/client/ ./internal/faultnet/ ./internal/regiongen/
+	./internal/client/ ./internal/faultnet/ ./internal/regiongen/ \
+	./internal/learn/
 
 echo "== fuzz smoke (10s per parser) =="
 # Short randomized runs on top of the checked-in seed corpora, one
 # invocation per target (go test allows a single -fuzz per package run).
 go test -run '^$' -fuzz '^FuzzParsePolicy$' -fuzztime 10s ./internal/offload/
 go test -run '^$' -fuzz '^FuzzDecideBody$' -fuzztime 10s ./internal/server/
+go test -run '^$' -fuzz '^FuzzDecideBodyV2$' -fuzztime 10s ./internal/server/
 go test -run '^$' -fuzz '^FuzzTraceRead$' -fuzztime 10s ./internal/trace/
+go test -run '^$' -fuzz '^FuzzLearnSnapshot$' -fuzztime 10s ./internal/learn/
 
 echo "== perf smoke: cached vs interpreted-model launch =="
 # The bar predates the compiled decision programs: a cached launch must
@@ -74,7 +77,8 @@ addr=127.0.0.1:18927
 pprof_addr=127.0.0.1:18928
 "$tmp/hybridseld" -addr "$addr" -regions gemm,mvt1,2dconv \
 	-trace "$tmp/decisions.jsonl" -pprof-addr "$pprof_addr" \
-	-audit-rate 1 -audit-workers 2 2>"$tmp/daemon.log" &
+	-audit-rate 1 -audit-workers 2 \
+	-learn -learn-out "$tmp/learner.json" 2>"$tmp/daemon.log" &
 daemon=$!
 # Exercise the full service path: wait for /healthz, push a short mixed
 # load, assert a conservative throughput floor (CI machines vary; the
@@ -106,7 +110,9 @@ if ! [ "${audited:-0}" -gt 0 ]; then
 fi
 metrics=$(curl -s "http://$addr/metrics")
 for series in hybridsel_mispredict_total \
-	hybridsel_audit_regret_seconds_total hybridsel_correction_factor; do
+	hybridsel_audit_regret_seconds_total hybridsel_correction_factor \
+	hybridsel_learner_samples_total hybridsel_learner_verdicts_total \
+	hybridsel_learner_region_models hybridsel_learner_confident_models; do
 	if ! printf '%s\n' "$metrics" | grep -q "^$series"; then
 		echo "daemon smoke: /metrics missing $series"
 		kill "$daemon" 2>/dev/null || true
@@ -114,6 +120,13 @@ for series in hybridsel_mispredict_total \
 	fi
 done
 echo "daemon smoke: $audited decisions shadow-audited"
+# The residual learner trained from those audits and serves its state.
+if ! curl -s "http://$addr/v1/learn" | grep -q '"minSamples"'; then
+	echo "daemon smoke: /v1/learn not serving learner state"
+	kill "$daemon" 2>/dev/null || true
+	exit 1
+fi
+echo "daemon smoke: learner state live on /v1/learn"
 # The profiling listener is separate from the decision port and live.
 if ! curl -sf "http://$pprof_addr/debug/pprof/" >/dev/null; then
 	echo "daemon smoke: pprof listener not serving"
@@ -148,6 +161,10 @@ if ! wait "$daemon"; then
 fi
 if ! [ -s "$tmp/decisions.jsonl" ]; then
 	echo "daemon smoke: no trace recorded"
+	exit 1
+fi
+if ! [ -s "$tmp/learner.json" ]; then
+	echo "daemon smoke: no learner snapshot written on drain"
 	exit 1
 fi
 echo "daemon smoke: ok ($(wc -l < "$tmp/decisions.jsonl") decisions traced)"
