@@ -18,7 +18,8 @@ test:
 race:
 	$(GO) test -race ./internal/offload/ ./internal/experiments/ \
 		./internal/server/ ./internal/trace/ ./internal/client/ \
-		./internal/faultnet/ ./internal/regiongen/ ./internal/learn/
+		./internal/faultnet/ ./internal/regiongen/ ./internal/learn/ \
+		./internal/wire/
 
 # Chaos regression suite: scripted fault scenarios driven through the
 # fault-injection proxy against a live in-process daemon, race detector on.
@@ -35,9 +36,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecideBodyV2$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzLearnSnapshot$$' -fuzztime $(FUZZTIME) ./internal/learn/
+	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime $(FUZZTIME) ./internal/wire/
 
-# Run the decision hot-path micro-benchmarks and refresh the ledger
-# (BENCH_decide.json). BENCHTIME=3s make bench for steadier numbers.
+# Run the decision hot-path micro-benchmarks and the end-to-end serving
+# benchmarks, refreshing both ledgers (BENCH_decide.json and
+# BENCH_serve.json). BENCHTIME=3s make bench for steadier numbers.
 bench:
 	./scripts/bench.sh
 

@@ -1,10 +1,12 @@
 // Command benchjson turns `go test -bench -benchmem` output into the
-// repo's benchmark ledger (BENCH_decide.json) and gates regressions
-// against a committed ledger.
+// repo's benchmark ledgers (BENCH_decide.json for the decision hot
+// path, BENCH_serve.json for end-to-end /v2/decide serving) and gates
+// regressions against a committed ledger.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Predict|Decide' -benchmem . | benchjson -out BENCH_decide.json
+//	go test -run '^$' -bench 'Serve' -benchmem . | benchjson -out BENCH_serve.json -min-wire-speedup 2
 //	... | benchjson -gate BENCH_decide.json          # fail on regression, write nothing
 //
 // The ledger records per-benchmark ns/op, B/op and allocs/op plus two
@@ -27,12 +29,18 @@ import (
 	"strings"
 )
 
-// Benchmark is one `go test -bench` result line.
+// Benchmark is one `go test -bench` result line. The serve benchmarks
+// report three custom metrics alongside the standard triple:
+// decisions/s (items decided per second, batch-aware) and per-request
+// p50/p99 latency in nanoseconds.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"nsPerOp"`
-	BytesPerOp  float64 `json:"bytesPerOp"`
-	AllocsPerOp float64 `json:"allocsPerOp"`
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"nsPerOp"`
+	BytesPerOp      float64 `json:"bytesPerOp"`
+	AllocsPerOp     float64 `json:"allocsPerOp"`
+	DecisionsPerSec float64 `json:"decisionsPerSec,omitempty"`
+	P50Ns           float64 `json:"p50Ns,omitempty"`
+	P99Ns           float64 `json:"p99Ns,omitempty"`
 }
 
 // Summary holds the derived headline numbers.
@@ -48,6 +56,12 @@ type Summary struct {
 	// CachedVsUncachedNs = uncached compiled ns/op ÷ cached ns/op: what
 	// the decision cache still buys over the compiled models.
 	CachedVsUncachedNs float64 `json:"cachedVsUncachedNs"`
+
+	// Serving headline ratios (BENCH_serve.json only): binary-frame
+	// decisions/s ÷ JSON decisions/s on the same machine in the same
+	// run, for single-request and 64-item-batch calls.
+	BinaryVsJSONSingle  float64 `json:"binaryVsJsonSingle,omitempty"`
+	BinaryVsJSONBatched float64 `json:"binaryVsJsonBatched,omitempty"`
 }
 
 // Ledger is the BENCH_decide.json schema.
@@ -63,6 +77,11 @@ const (
 	uncachedName    = "BenchmarkPredictUncached"
 	interpretedName = "BenchmarkPredictUncachedInterpreted"
 	cachedName      = "BenchmarkPredictCached"
+
+	serveJSONSingle   = "BenchmarkServeJSONSingle"
+	serveBinarySingle = "BenchmarkServeBinarySingle"
+	serveJSONBatch    = "BenchmarkServeJSONBatch64"
+	serveBinaryBatch  = "BenchmarkServeBinaryBatch64"
 )
 
 func main() {
@@ -74,6 +93,8 @@ func main() {
 		"minimum compiled-vs-interpreted allocs/op ratio (the acceptance floor)")
 	tolerance := flag.Float64("tolerance", 0.20,
 		"allowed relative regression vs the committed ledger")
+	minWireSpeedup := flag.Float64("min-wire-speedup", 0,
+		"minimum binary-vs-JSON batched decisions/s ratio (0 = no floor; serve ledger only)")
 	flag.Parse()
 
 	ledger, err := parse(os.Stdin)
@@ -92,6 +113,15 @@ func main() {
 		fatal(fmt.Errorf("uncached allocs ratio %.1fx below the %.1fx floor",
 			ledger.Summary.UncachedAllocsRatio, *minAllocsRatio))
 	}
+	if *minWireSpeedup > 0 {
+		if ledger.Summary.BinaryVsJSONBatched == 0 {
+			fatal(fmt.Errorf("-min-wire-speedup set but the run holds no serve benchmarks"))
+		}
+		if ledger.Summary.BinaryVsJSONBatched < *minWireSpeedup {
+			fatal(fmt.Errorf("binary-vs-JSON batched ratio %.2fx below the %.2fx floor",
+				ledger.Summary.BinaryVsJSONBatched, *minWireSpeedup))
+		}
+	}
 
 	if *gate != "" {
 		old, err := readLedger(*gate)
@@ -101,8 +131,13 @@ func main() {
 		if err := compare(old, ledger, *tolerance); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: no regression vs %s (speedup %.0fx, allocs ratio %.0fx)\n",
-			*gate, ledger.Summary.UncachedSpeedup, ledger.Summary.UncachedAllocsRatio)
+		if ledger.Summary.BinaryVsJSONBatched > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no regression vs %s (binary/json batched %.1fx)\n",
+				*gate, ledger.Summary.BinaryVsJSONBatched)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: no regression vs %s (speedup %.0fx, allocs ratio %.0fx)\n",
+				*gate, ledger.Summary.UncachedSpeedup, ledger.Summary.UncachedAllocsRatio)
+		}
 	}
 
 	if *out != "" {
@@ -168,6 +203,12 @@ func parseLine(line string) (Benchmark, error) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		case "decisions/s":
+			b.DecisionsPerSec = v
+		case "p50-ns":
+			b.P50Ns = v
+		case "p99-ns":
+			b.P99Ns = v
 		}
 	}
 	if b.NsPerOp == 0 {
@@ -198,7 +239,20 @@ func summarize(benchmarks []Benchmark) Summary {
 	if cached, ok := byName[cachedName]; ok && okC && cached.NsPerOp > 0 {
 		s.CachedVsUncachedNs = comp.NsPerOp / cached.NsPerOp
 	}
+	s.BinaryVsJSONSingle = serveRatio(byName, serveBinarySingle, serveJSONSingle)
+	s.BinaryVsJSONBatched = serveRatio(byName, serveBinaryBatch, serveJSONBatch)
 	return s
+}
+
+// serveRatio divides two serve benchmarks' decisions/s (0 when either
+// side is absent — the decide ledger has no serve benchmarks).
+func serveRatio(byName map[string]Benchmark, binName, jsonName string) float64 {
+	bin, okB := byName[binName]
+	js, okJ := byName[jsonName]
+	if !okB || !okJ || js.DecisionsPerSec <= 0 {
+		return 0
+	}
+	return bin.DecisionsPerSec / js.DecisionsPerSec
 }
 
 func readLedger(path string) (*Ledger, error) {
@@ -243,6 +297,11 @@ func compare(old, cur *Ledger, tol float64) error {
 		cur.Summary.UncachedAllocsRatio < old.Summary.UncachedAllocsRatio*(1-tol) {
 		return fmt.Errorf("uncached allocs ratio regressed %.1fx -> %.1fx (>%.0f%%)",
 			old.Summary.UncachedAllocsRatio, cur.Summary.UncachedAllocsRatio, tol*100)
+	}
+	if old.Summary.BinaryVsJSONBatched > 0 &&
+		cur.Summary.BinaryVsJSONBatched < old.Summary.BinaryVsJSONBatched*(1-tol) {
+		return fmt.Errorf("binary-vs-JSON batched ratio regressed %.2fx -> %.2fx (>%.0f%%)",
+			old.Summary.BinaryVsJSONBatched, cur.Summary.BinaryVsJSONBatched, tol*100)
 	}
 	return nil
 }

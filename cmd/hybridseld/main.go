@@ -43,6 +43,13 @@
 // /metrics (hybridsel_learner_* series), can be seeded from a snapshot
 // with -learn-in, and is persisted to -learn-out on drain.
 //
+// POST /v2/decide additionally speaks the compact binary frame format
+// (internal/wire) via content negotiation: requests with Content-Type
+// application/x-hybridsel-frame are decoded as length-prefixed frames
+// (slot-form bindings with a key-layout hash, or named form) and
+// answered in kind; everything else — including /v1 — stays JSON.
+// Drive it with `loadgen -wire binary` or a client with Binary: true.
+//
 // Then:
 //
 //	curl -s localhost:8080/v1/decide -d '{"region":"gemm","bindings":{"n":1100}}'

@@ -29,6 +29,15 @@
 // verdict, remote or fallback:
 //
 //	loadgen -addr http://127.0.0.1:8080 -client -faults faults30 -duration 10s
+//
+// Wire format: -wire binary switches the decide traffic to the compact
+// frame encoding on POST /v2/decide (internal/wire) — slot-form binding
+// vectors going out, ranked-candidate frames coming back. JSON plain
+// runs drive the frozen /v1 endpoint; -client runs always speak /v2 and
+// in binary mode downgrade to JSON automatically if the daemon is too
+// old to answer frames:
+//
+//	loadgen -addr http://127.0.0.1:8080 -wire binary -batch 64 -duration 5s
 package main
 
 import (
@@ -42,12 +51,14 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/hybridsel/hybridsel/internal/attrdb"
 	"github.com/hybridsel/hybridsel/internal/client"
 	"github.com/hybridsel/hybridsel/internal/faultnet"
 	"github.com/hybridsel/hybridsel/internal/machine"
@@ -55,7 +66,9 @@ import (
 	"github.com/hybridsel/hybridsel/internal/polybench"
 	"github.com/hybridsel/hybridsel/internal/server"
 	"github.com/hybridsel/hybridsel/internal/sim"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
 	"github.com/hybridsel/hybridsel/internal/trace"
+	"github.com/hybridsel/hybridsel/internal/wire"
 )
 
 func main() {
@@ -80,7 +93,17 @@ func main() {
 		"client mode: disable the in-process fallback runtime")
 	faults := flag.String("faults", "",
 		"front the daemon with a fault-injection proxy scripted by this scenario (preset or DSL)")
+	wireFormat := flag.String("wire", "json", "decide encoding: json|binary")
 	flag.Parse()
+
+	binary := false
+	switch *wireFormat {
+	case "json":
+	case "binary":
+		binary = true
+	default:
+		fatal(fmt.Errorf("loadgen: -wire %q: want json or binary", *wireFormat))
+	}
 
 	httpClient := &http.Client{
 		Transport: &http.Transport{
@@ -129,18 +152,21 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("loadgen: %s, %d workers, batch %d, %v against %s (%d distinct requests)\n",
-		loopName(*rate), *concurrency, *batch, *duration, target, len(reqs))
+	fmt.Printf("loadgen: %s, %d workers, batch %d, %s wire, %v against %s (%d distinct requests)\n",
+		loopName(*rate), *concurrency, *batch, *wireFormat, *duration, target, len(reqs))
 
 	var st *stats
 	var rc *client.Client
 	if *useClient {
-		rc, err = newResilientClient(target, *kernels, *noFallback, *seed)
+		rc, err = newResilientClient(target, *kernels, *noFallback, binary, *seed)
 		if err != nil {
 			fatal(err)
 		}
 		defer rc.Close()
 		st = runClient(rc, reqs, *concurrency, *rate, *batch, *duration)
+	} else if binary {
+		st = runWire(httpClient, target, reqs, polybenchParams(*kernels),
+			*concurrency, *rate, *batch, *duration)
 	} else {
 		st = run(httpClient, target, reqs, *concurrency, *rate, *batch, *duration)
 	}
@@ -356,6 +382,138 @@ func run(client *http.Client, addr string, reqs []server.DecideRequest,
 	return st
 }
 
+// runWire is run's counterpart over the binary frame format: the same
+// loop models against POST /v2/decide with frame bodies — slot-form
+// binding vectors whenever the region's parameter set is known, named
+// bindings otherwise.
+func runWire(client *http.Client, addr string, reqs []server.DecideRequest,
+	params map[string][]string, concurrency, rate, batch int, duration time.Duration) *stats {
+	st := &stats{}
+	var next atomic.Uint64
+
+	fire := func() {
+		i := int(next.Add(1)-1) % len(reqs)
+		body := encodeWireCall(reqs, i, batch, params)
+		start := time.Now()
+		resp, err := client.Post(addr+"/v2/decide", wire.ContentType, bytes.NewReader(body))
+		if err != nil {
+			st.transport.Add(1)
+			return
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		st.observe(time.Since(start))
+		switch resp.StatusCode {
+		case http.StatusOK:
+			st.ok.Add(1)
+			st.decisions.Add(uint64(countWireDecisions(raw, st)))
+		case http.StatusTooManyRequests:
+			st.shed.Add(1)
+		default:
+			st.serverErr.Add(1)
+		}
+	}
+
+	drive(st, concurrency, rate, duration, fire)
+	return st
+}
+
+// polybenchParams maps each (selected) suite kernel to its sorted
+// parameter names — what the slot wire form needs to agree with the
+// daemon on a region's binding layout.
+func polybenchParams(kernels string) map[string][]string {
+	want := kernelSubset(kernels)
+	params := map[string][]string{}
+	for _, k := range polybench.Suite() {
+		if len(want) > 0 && !want[k.Name] {
+			continue
+		}
+		b := k.Bindings(polybench.Test)
+		names := make([]string, 0, len(b))
+		for name := range b {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		params[k.Name] = names
+	}
+	return params
+}
+
+// kernelSubset parses the -kernels flag (empty = whole suite).
+func kernelSubset(kernels string) map[string]bool {
+	want := map[string]bool{}
+	for _, name := range strings.Split(kernels, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	return want
+}
+
+// encodeWireCall is encodeCall in frames: one request frame for batch 1,
+// a batch frame above.
+func encodeWireCall(reqs []server.DecideRequest, i, batch int, params map[string][]string) []byte {
+	if batch <= 1 {
+		wr := toWireRequest(reqs[i], params)
+		return wire.AppendRequest(nil, &wr)
+	}
+	window := make([]wire.Request, batch)
+	for j := 0; j < batch; j++ {
+		window[j] = toWireRequest(reqs[(i+j)%len(reqs)], params)
+	}
+	return wire.AppendBatchRequest(nil, window)
+}
+
+// toWireRequest picks the slot form when the kernel's parameter set is
+// known and matches the bindings exactly, falling back to named form.
+func toWireRequest(req server.DecideRequest, params map[string][]string) wire.Request {
+	names := make([]string, 0, len(req.Bindings))
+	for name := range req.Bindings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	values := make([]int64, len(names))
+	for i, name := range names {
+		values[i] = req.Bindings[name]
+	}
+	wr := wire.Request{Region: req.Region, Execute: req.Execute, Values: values}
+	if p, ok := params[req.Region]; ok && slices.Equal(p, names) {
+		wr.SlotForm = true
+		wr.KeyHash = attrdb.BindingsHash(symbolic.Bindings(req.Bindings))
+		return wr
+	}
+	wr.Names = names
+	return wr
+}
+
+// countWireDecisions tallies successful decisions (and item errors) in
+// a 200 frame body.
+func countWireDecisions(raw []byte, st *stats) int {
+	frames, err := wire.DecodeAll(raw)
+	if err != nil {
+		return 0
+	}
+	decisions := 0
+	count := func(r *wire.Response) {
+		if r.Err != nil {
+			st.itemErrs.Add(1)
+			return
+		}
+		decisions++
+	}
+	for _, fr := range frames {
+		switch fr.Type {
+		case wire.TypeResponse:
+			count(fr.Resp)
+		case wire.TypeBatchResponse:
+			for j := range fr.Resps {
+				count(&fr.Resps[j])
+			}
+		}
+	}
+	return decisions
+}
+
 // runClient is run's counterpart over the resilient client: same loop
 // models and ring, but every call goes through retries, hedging, the
 // breaker and (when configured) the in-process fallback, and every
@@ -479,8 +637,13 @@ func drive(st *stats, concurrency, rate int, duration time.Duration, fire func()
 // fallback runtime mirrors hybridseld's defaults (same platform, thread
 // count and kernel subset), so degraded verdicts match what the daemon
 // would have answered.
-func newResilientClient(baseURL, kernels string, noFallback bool, seed int64) (*client.Client, error) {
+func newResilientClient(baseURL, kernels string, noFallback, binary bool, seed int64) (*client.Client, error) {
 	cfg := client.Config{BaseURL: baseURL, Seed: seed}
+	if binary {
+		params := polybenchParams(kernels)
+		cfg.Binary = true
+		cfg.RegionParams = func(region string) []string { return params[region] }
+	}
 	if !noFallback {
 		rt := offload.NewRuntime(offload.Config{
 			Platform: machine.PlatformP9V100(),
@@ -488,12 +651,7 @@ func newResilientClient(baseURL, kernels string, noFallback bool, seed int64) (*
 			CPUSim:   sim.CPUConfig{SampleItems: 8, MaxLoopSample: 32},
 			GPUSim:   sim.GPUConfig{SampleWarps: 2, MaxLoopSample: 32, MaxRepSample: 1},
 		})
-		want := map[string]bool{}
-		for _, name := range strings.Split(kernels, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				want[name] = true
-			}
-		}
+		want := kernelSubset(kernels)
 		for _, k := range polybench.Suite() {
 			if len(want) > 0 && !want[k.Name] {
 				continue

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -8,7 +10,11 @@ import (
 	"time"
 
 	"github.com/hybridsel/hybridsel/internal/faultnet"
+	"github.com/hybridsel/hybridsel/internal/machine"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/polybench"
 	"github.com/hybridsel/hybridsel/internal/server"
+	"github.com/hybridsel/hybridsel/internal/sim"
 )
 
 // TestRunClassifiesResponses drives the generator against a stub daemon
@@ -101,7 +107,7 @@ func TestClientModeCompletesUnderFaults(t *testing.T) {
 	}
 	proxy.SetFaults(sc.Steps[0].Faults)
 
-	c, err := newResilientClient("http://"+paddr, "mvt1", false, 1)
+	c, err := newResilientClient("http://"+paddr, "mvt1", false, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,5 +170,55 @@ func TestGateScalesToAcceptedTraffic(t *testing.T) {
 	empty := &stats{elapsed: time.Second}
 	if err := empty.gateErr(10); err == nil {
 		t.Fatal("empty run passed the gate")
+	}
+}
+
+// TestRunWireAgainstRealDaemon drives the binary frame path (-wire
+// binary, plain mode) against a live server: every call must decode as
+// frames and count its decisions, with zero transport or server errors.
+func TestRunWireAgainstRealDaemon(t *testing.T) {
+	rt := offload.NewRuntime(offload.Config{
+		Platform: machine.PlatformP9V100(),
+		CPUSim:   sim.CPUConfig{SampleItems: 8, MaxLoopSample: 32},
+		GPUSim:   sim.GPUConfig{SampleWarps: 2, MaxLoopSample: 32, MaxRepSample: 1},
+	})
+	k, err := polybench.Get("mvt1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Register(k.IR); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Runtime: rt,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqs, err := buildWorkload("", "mvt1", "test", 2, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 8} {
+		st := runWire(ts.Client(), ts.URL, reqs, polybenchParams("mvt1"),
+			2, 0, batch, 100*time.Millisecond)
+		if st.ok.Load() == 0 {
+			t.Fatalf("batch %d: no wire calls completed", batch)
+		}
+		if st.transport.Load() != 0 || st.serverErr.Load() != 0 || st.itemErrs.Load() != 0 {
+			t.Fatalf("batch %d: errors over the wire path: transport=%d server=%d item=%d",
+				batch, st.transport.Load(), st.serverErr.Load(), st.itemErrs.Load())
+		}
+		if st.decisions.Load() != st.ok.Load()*uint64(batch) {
+			t.Fatalf("batch %d: %d decisions from %d ok calls",
+				batch, st.decisions.Load(), st.ok.Load())
+		}
+		if err := st.hardErr(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
 	}
 }

@@ -359,3 +359,69 @@ func TestChaosFaults30LoadCompletes(t *testing.T) {
 	}
 	t.Logf("faults30: %v, proxy %s", byProv, rig.proxy.Stats())
 }
+
+// TestChaosBinaryTruncationDegradesWithoutLoss: a binary-mode client
+// behind a truncating network keeps serving verdicts. Truncation is a
+// transport fault, not a protocol mismatch — the client retries and
+// degrades to the JSON-identical fallback runtime when retries are
+// exhausted, but never misreads a half-frame as "the peer doesn't speak
+// frames": zero sticky downgrades, and once the network heals the wire
+// format is still in use.
+func TestChaosBinaryTruncationDegradesWithoutLoss(t *testing.T) {
+	frt := fallbackRuntime(t)
+	rig := newChaosRig(t, 21, Config{
+		MaxAttempts: 2, RetryBackoff: time.Millisecond,
+		BreakerFailures: 50, // keep the breaker out of the way
+		DisableHedging:  true, Timeout: time.Second,
+		Fallback: frt,
+		Binary:   true,
+		RegionParams: func(region string) []string {
+			r, err := frt.Region(region)
+			if err != nil {
+				return nil
+			}
+			return r.ParamNames()
+		},
+	})
+	rig.proxy.SetFaults(faultnet.Faults{TruncateRate: 1})
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		v, err := rig.client.Decide(context.Background(), gemmReq())
+		if err != nil {
+			t.Fatalf("request %d lost under truncation: %v", i, err)
+		}
+		if v.Provenance != ProvenanceFallback {
+			t.Fatalf("request %d provenance %q with every response truncated", i, v.Provenance)
+		}
+		if v.Response.Verdict == "" {
+			t.Fatalf("request %d fallback verdict empty", i)
+		}
+	}
+
+	rig.proxy.SetFaults(faultnet.Faults{})
+	v, err := rig.client.Decide(context.Background(), gemmReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Provenance != ProvenanceRemote {
+		t.Fatalf("post-heal provenance %q", v.Provenance)
+	}
+
+	m := rig.client.Metrics()
+	if m.WireDowngrades != 0 {
+		t.Fatalf("truncation triggered a protocol downgrade: %+v", m)
+	}
+	if m.WireCalls == 0 || m.TransportErrors == 0 {
+		t.Fatalf("scenario did not exercise the wire path: %+v", m)
+	}
+	// The healed call must still be binary: wire calls keep growing
+	// after the truncation window.
+	before := m.WireCalls
+	if _, err := rig.client.Decide(context.Background(), gemmReq()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.client.Metrics().WireCalls; got <= before {
+		t.Fatalf("wire format abandoned after heal: %d -> %d", before, got)
+	}
+}

@@ -36,12 +36,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/server"
 	"github.com/hybridsel/hybridsel/internal/symbolic"
+	"github.com/hybridsel/hybridsel/internal/wire"
 )
 
 // Provenance says which path produced a Verdict.
@@ -134,6 +136,23 @@ type Config struct {
 
 	// Seed fixes the backoff-jitter RNG for reproducible runs (0 = 1).
 	Seed int64
+
+	// Binary switches /v2/decide traffic to the compact frame format
+	// (wire.ContentType) over the same pooled, long-lived connections.
+	// If the peer turns out not to speak frames — an old daemon or a
+	// JSON-rewriting middlebox answers a frame body with a JSON
+	// bad_request envelope, or a 200 body fails to decode — the client
+	// downgrades to JSON once, stickily, and retries; no verdict is
+	// lost to the negotiation (Metrics.WireDowngrades counts it).
+	Binary bool
+	// RegionParams, when non-nil with Binary set, returns a region's
+	// canonical parameter names in sorted order (nil/mismatched length
+	// = unknown region). Requests whose binding names are exactly those
+	// params ride the slot-vector wire form — values only plus a key
+	// hash — which the daemon copies straight into its pooled slot
+	// vectors. Without the hook, frames carry named bindings, which is
+	// still far cheaper than JSON.
+	RegionParams func(region string) []string
 }
 
 // Client is a resilient hybridseld client. Safe for concurrent use.
@@ -144,6 +163,10 @@ type Client struct {
 	met     metrics
 	lat     *latencySampler
 	batcher *batcher
+
+	// wireDown latches a sticky downgrade from binary frames to JSON
+	// after the peer proves it does not speak the frame protocol.
+	wireDown atomic.Bool
 
 	jmu sync.Mutex
 	rng *rand.Rand
@@ -303,10 +326,16 @@ func (c *Client) decideRemoteOrFallback(ctx context.Context, req server.DecideRe
 	if err != nil {
 		return nil, fmt.Errorf("client: encode request: %w", err)
 	}
-	data, hedged, attempts, rerr := c.roundTrip(ctx, body, !req.Execute)
+	p := payload{json: body}
+	if c.wireEnabled() {
+		p.wire = c.encodeWireSingle(req)
+	}
+	res, hedged, attempts, rerr := c.roundTrip(ctx, p, !req.Execute)
 	if rerr == nil {
 		var resp server.DecideResponseV2
-		if err := json.Unmarshal(data, &resp); err != nil {
+		if res.frame != nil {
+			resp = wireToResponseV2(res.frame.Resp)
+		} else if err := json.Unmarshal(res.data, &resp); err != nil {
 			return nil, fmt.Errorf("client: decode response: %w", err)
 		}
 		prov := ProvenanceRemote
@@ -402,22 +431,35 @@ func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.Deci
 	if err != nil {
 		return nil, "", 0, fmt.Errorf("client: encode batch: %w", err)
 	}
-	data, hedged, attempts, rerr := c.roundTrip(ctx, body, canHedge)
+	p := payload{json: body, batch: true}
+	if c.wireEnabled() {
+		p.wire = c.encodeWireBatch(unique)
+	}
+	res, hedged, attempts, rerr := c.roundTrip(ctx, p, canHedge)
 	if rerr == nil {
-		var br server.BatchResponseV2
-		if err := json.Unmarshal(data, &br); err != nil {
-			return nil, "", 0, fmt.Errorf("client: decode batch response: %w", err)
+		var results []server.DecideResponseV2
+		if res.frame != nil {
+			results = make([]server.DecideResponseV2, len(res.frame.Resps))
+			for i := range res.frame.Resps {
+				results[i] = wireToResponseV2(&res.frame.Resps[i])
+			}
+		} else {
+			var br server.BatchResponseV2
+			if err := json.Unmarshal(res.data, &br); err != nil {
+				return nil, "", 0, fmt.Errorf("client: decode batch response: %w", err)
+			}
+			results = br.Results
 		}
-		if len(br.Results) != len(unique) {
+		if len(results) != len(unique) {
 			return nil, "", 0, fmt.Errorf("client: batch returned %d results for %d requests",
-				len(br.Results), len(unique))
+				len(results), len(unique))
 		}
 		prov := ProvenanceRemote
 		if hedged {
 			prov = ProvenanceHedged
 		}
 		c.met.remoteOK.Add(1)
-		return br.Results, prov, attempts, nil
+		return results, prov, attempts, nil
 	}
 	var perm *permanentError
 	if errors.As(rerr, &perm) {
@@ -498,27 +540,28 @@ type callErr struct {
 }
 
 // roundTrip runs the breaker → hedged attempt → backoff loop and returns
-// the raw 200 response body.
-func (c *Client) roundTrip(ctx context.Context, body []byte, canHedge bool) (data []byte, hedged bool, attempts int, err error) {
+// the decoded 200 response: the raw body for JSON attempts, the decoded
+// frame for binary ones.
+func (c *Client) roundTrip(ctx context.Context, p payload, canHedge bool) (rtResult, bool, int, error) {
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
 		if !c.breaker.Allow() {
 			if lastErr != nil {
-				return nil, false, attempt - 1, fmt.Errorf("%w after %w", ErrCircuitOpen, lastErr)
+				return rtResult{}, false, attempt - 1, fmt.Errorf("%w after %w", ErrCircuitOpen, lastErr)
 			}
-			return nil, false, attempt - 1, ErrCircuitOpen
+			return rtResult{}, false, attempt - 1, ErrCircuitOpen
 		}
-		data, hedgeWon, cerr := c.hedgedAttempt(ctx, body, canHedge)
+		res, hedgeWon, cerr := c.hedgedAttempt(ctx, p, canHedge)
 		if cerr == nil {
 			c.breaker.Success()
-			return data, hedgeWon, attempt, nil
+			return res, hedgeWon, attempt, nil
 		}
 		if cerr.breaker {
 			c.breaker.Failure()
 		}
 		lastErr = cerr.err
 		if !cerr.retryable {
-			return nil, false, attempt, lastErr
+			return rtResult{}, false, attempt, lastErr
 		}
 		if attempt == c.cfg.MaxAttempts || ctx.Err() != nil {
 			break
@@ -532,10 +575,10 @@ func (c *Client) roundTrip(ctx context.Context, body []byte, canHedge bool) (dat
 		select {
 		case <-time.After(d):
 		case <-ctx.Done():
-			return nil, false, attempt, fmt.Errorf("client: %w (last attempt: %w)", ctx.Err(), lastErr)
+			return rtResult{}, false, attempt, fmt.Errorf("client: %w (last attempt: %w)", ctx.Err(), lastErr)
 		}
 	}
-	return nil, false, c.cfg.MaxAttempts,
+	return rtResult{}, false, c.cfg.MaxAttempts,
 		fmt.Errorf("client: %d attempts failed, last: %w", c.cfg.MaxAttempts, lastErr)
 }
 
@@ -554,24 +597,24 @@ func (c *Client) backoff(attempt int) time.Duration {
 
 // hedgedAttempt runs one attempt, racing a duplicate after the hedge
 // delay when allowed. It reports whether the hedge produced the result.
-func (c *Client) hedgedAttempt(ctx context.Context, body []byte, canHedge bool) ([]byte, bool, *callErr) {
+func (c *Client) hedgedAttempt(ctx context.Context, p payload, canHedge bool) (rtResult, bool, *callErr) {
 	delay := c.hedgeDelay(canHedge)
 	if delay <= 0 {
-		data, cerr := c.attempt(ctx, body)
-		return data, false, cerr
+		res, cerr := c.attempt(ctx, p)
+		return res, false, cerr
 	}
 
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
-		data  []byte
+		res   rtResult
 		cerr  *callErr
 		hedge bool
 	}
 	results := make(chan outcome, 2)
 	launch := func(hedge bool) {
-		data, cerr := c.attempt(actx, body)
-		results <- outcome{data: data, cerr: cerr, hedge: hedge}
+		res, cerr := c.attempt(actx, p)
+		results <- outcome{res: res, cerr: cerr, hedge: hedge}
 	}
 	go launch(false)
 
@@ -587,7 +630,7 @@ func (c *Client) hedgedAttempt(ctx context.Context, body []byte, canHedge bool) 
 				if out.hedge {
 					c.met.hedgeWins.Add(1)
 				}
-				return out.data, out.hedge, nil
+				return out.res, out.hedge, nil
 			}
 			if firstErr == nil || !out.hedge {
 				// Prefer reporting the primary's error: the hedge's is
@@ -595,7 +638,7 @@ func (c *Client) hedgedAttempt(ctx context.Context, body []byte, canHedge bool) 
 				firstErr = out.cerr
 			}
 			if returned == launched {
-				return nil, false, firstErr
+				return rtResult{}, false, firstErr
 			}
 		case <-timer.C:
 			if launched == 1 {
@@ -604,7 +647,7 @@ func (c *Client) hedgedAttempt(ctx context.Context, body []byte, canHedge bool) 
 				go launch(true)
 			}
 		case <-ctx.Done():
-			return nil, false, &callErr{err: ctx.Err(), retryable: false}
+			return rtResult{}, false, &callErr{err: ctx.Err(), retryable: false}
 		}
 	}
 }
@@ -633,42 +676,80 @@ func (c *Client) hedgeDelay(canHedge bool) time.Duration {
 	return p99
 }
 
-// attempt is one HTTP POST /v2/decide.
-func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, *callErr) {
+// attempt is one HTTP POST /v2/decide — a JSON body, or a frame body
+// when binary mode is on and the peer hasn't been demoted to JSON.
+func (c *Client) attempt(ctx context.Context, p payload) (rtResult, *callErr) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
+	body, contentType := p.json, "application/json"
+	useWire := p.wire != nil && !c.wireDown.Load()
+	if useWire {
+		body, contentType = p.wire, wire.ContentType
+	}
 	req, err := http.NewRequestWithContext(actx, http.MethodPost,
 		c.cfg.BaseURL+"/v2/decide", bytes.NewReader(body))
 	if err != nil {
-		return nil, &callErr{err: err}
+		return rtResult{}, &callErr{err: err}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if useWire {
+		c.met.wireCalls.Add(1)
+	}
 	start := time.Now()
 	resp, err := c.http.Do(req)
 	if err != nil {
 		c.met.transportErrors.Add(1)
-		return nil, &callErr{err: err, retryable: true, breaker: true}
+		return rtResult{}, &callErr{err: err, retryable: true, breaker: true}
 	}
 	data, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
 		// Truncated or reset mid-body: the response cannot be trusted.
 		c.met.transportErrors.Add(1)
-		return nil, &callErr{
+		return rtResult{}, &callErr{
 			err:       fmt.Errorf("read body (HTTP %d): %w", resp.StatusCode, err),
 			retryable: true, breaker: true,
 		}
 	}
 	if resp.StatusCode == http.StatusOK {
 		c.lat.observe(time.Since(start))
-		return data, nil
+		if !useWire {
+			return rtResult{data: data}, nil
+		}
+		fr, cerr := c.decodeWireOK(p, data, resp.Header.Get("Content-Type"))
+		if cerr != nil {
+			return rtResult{}, cerr
+		}
+		return rtResult{frame: fr}, nil
 	}
 	// Classify on the envelope's structured code when the daemon sent
 	// one; the HTTP status is the fallback for proxies and old daemons.
-	re := parseErrBody(data)
+	// A binary attempt reads the code from a TypeError frame when the
+	// peer answered in frames, falling back to the JSON envelope (errors
+	// raised before content negotiation — shedding, drain — stay JSON).
+	var re remoteErr
+	isWireErr := false
+	if useWire && wire.IsFrameContent(resp.Header.Get("Content-Type")) {
+		re, isWireErr = parseWireErrBody(data)
+	}
+	if !isWireErr {
+		re = parseErrBody(data)
+	}
 	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	if retryAfter == 0 {
 		retryAfter = re.retryAfter
+	}
+	if useWire && !isWireErr && re.code == server.ErrCodeBadRequest {
+		// A JSON bad_request answering a frame body is a peer that does
+		// not speak frames (an old daemon failing to parse them as
+		// JSON). Downgrade stickily and retry as JSON; the breaker does
+		// not count it — the daemon is healthy, just older.
+		c.downgradeWire()
+		return rtResult{}, &callErr{
+			err: fmt.Errorf("HTTP %d answering frames: %s (downgrading to JSON)",
+				resp.StatusCode, re.String()),
+			retryable: true,
+		}
 	}
 	switch {
 	case re.code == server.ErrCodeQueueFull ||
@@ -676,14 +757,14 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, *callErr) {
 		// Deliberate shedding: retry later, but the daemon is healthy —
 		// the breaker does not count it.
 		c.met.sheds.Add(1)
-		return nil, &callErr{
+		return rtResult{}, &callErr{
 			err:        fmt.Errorf("HTTP %d: %s", resp.StatusCode, re.String()),
 			retryable:  true,
 			retryAfter: retryAfter,
 		}
 	case re.retryable(resp.StatusCode):
 		c.met.serverErrors.Add(1)
-		return nil, &callErr{
+		return rtResult{}, &callErr{
 			err:        fmt.Errorf("HTTP %d: %s", resp.StatusCode, re.String()),
 			retryable:  true,
 			breaker:    true,
@@ -691,7 +772,7 @@ func (c *Client) attempt(ctx context.Context, body []byte) ([]byte, *callErr) {
 		}
 	default:
 		c.met.permanentErrors.Add(1)
-		return nil, &callErr{
+		return rtResult{}, &callErr{
 			err: &permanentError{status: resp.StatusCode, code: re.code, msg: re.msg},
 		}
 	}
@@ -737,7 +818,7 @@ func parseErrBody(data []byte) remoteErr {
 			return remoteErr{
 				code:       ei.Code,
 				msg:        ei.Message,
-				retryAfter: time.Duration(ei.RetryAfter) * time.Second,
+				retryAfter: time.Duration(ei.RetryAfter * float64(time.Second)),
 			}
 		}
 		var s string
@@ -752,16 +833,28 @@ func parseErrBody(data []byte) remoteErr {
 	return remoteErr{msg: s}
 }
 
-// parseRetryAfter accepts delay-seconds (integer or float).
+// parseRetryAfter accepts both RFC 9110 Retry-After forms: delay-seconds
+// (integer, plus the float extension the daemon emits for sub-second
+// hints) and an HTTP-date, honored as the delay from now. A date in the
+// past, like a negative delay, means "retry immediately" — zero.
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}
-	sec, err := strconv.ParseFloat(v, 64)
-	if err != nil || sec < 0 {
+	if sec, err := strconv.ParseFloat(v, 64); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		return time.Duration(sec * float64(time.Second))
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(sec * float64(time.Second))
+	if d := time.Until(t); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // --------------------------------------------------------- latency p99 --

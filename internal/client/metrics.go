@@ -25,6 +25,9 @@ type metrics struct {
 
 	retryAfterHonored atomic.Uint64
 
+	wireCalls      atomic.Uint64
+	wireDowngrades atomic.Uint64
+
 	breakerOpened   atomic.Uint64
 	breakerHalfOpen atomic.Uint64
 	breakerClosed   atomic.Uint64
@@ -74,8 +77,13 @@ type Metrics struct {
 	ServerErrors    uint64
 	PermanentErrors uint64
 	// RetryAfterHonored counts backoffs stretched to a server-provided
-	// Retry-After.
+	// Retry-After (delay-seconds or HTTP-date form).
 	RetryAfterHonored uint64
+	// WireCalls counts attempts sent in the binary frame format;
+	// WireDowngrades counts sticky downgrades to JSON after the peer
+	// answered frames with something that is not the frame protocol.
+	WireCalls      uint64
+	WireDowngrades uint64
 	// BreakerOpened/HalfOpen/Closed count transitions into each state;
 	// BreakerState is the state at snapshot time.
 	BreakerOpened   uint64
@@ -100,6 +108,8 @@ func (m *metrics) snapshot(state BreakerState) Metrics {
 		ServerErrors:      m.serverErrors.Load(),
 		PermanentErrors:   m.permanentErrors.Load(),
 		RetryAfterHonored: m.retryAfterHonored.Load(),
+		WireCalls:         m.wireCalls.Load(),
+		WireDowngrades:    m.wireDowngrades.Load(),
 		BreakerOpened:     m.breakerOpened.Load(),
 		BreakerHalfOpen:   m.breakerHalfOpen.Load(),
 		BreakerClosed:     m.breakerClosed.Load(),
@@ -134,6 +144,8 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	counter("hybridselc_server_errors_total", "HTTP 5xx responses.", m.ServerErrors)
 	counter("hybridselc_permanent_errors_total", "Non-retryable HTTP 4xx responses.", m.PermanentErrors)
 	counter("hybridselc_retry_after_honored_total", "Backoffs stretched to a server Retry-After.", m.RetryAfterHonored)
+	counter("hybridselc_wire_calls_total", "Attempts sent in the binary frame format.", m.WireCalls)
+	counter("hybridselc_wire_downgrades_total", "Sticky downgrades from binary frames to JSON.", m.WireDowngrades)
 	counter("hybridselc_breaker_open_total", "Circuit breaker transitions to open.", m.BreakerOpened)
 	counter("hybridselc_breaker_half_open_total", "Circuit breaker transitions to half-open.", m.BreakerHalfOpen)
 	counter("hybridselc_breaker_close_total", "Circuit breaker transitions to closed.", m.BreakerClosed)

@@ -1,0 +1,189 @@
+package client
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/server"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+	"github.com/hybridsel/hybridsel/internal/wire"
+)
+
+// This file is the client half of the binary frame protocol
+// (internal/wire). Binary mode changes only the encoding of /v2/decide
+// traffic: every request still flows through the same coalescing,
+// batching, breaker, retry, hedging and fallback machinery, and
+// frame-level errors classify exactly like JSON envelope codes. If the
+// peer turns out not to speak frames, the client downgrades to JSON
+// once, stickily, and the attempt retries — negotiation never costs a
+// verdict.
+
+// payload carries one request body in both encodings. wire is nil when
+// binary mode is off (or the request was built after a downgrade);
+// batch records which frame type a 200 must carry.
+type payload struct {
+	json  []byte
+	wire  []byte
+	batch bool
+}
+
+// rtResult is one successful round trip: the raw body for a JSON
+// attempt, the decoded frame for a binary one (exactly one of the two
+// is set).
+type rtResult struct {
+	data  []byte
+	frame *wire.Frame
+}
+
+// wireEnabled reports whether the next request should carry a frame
+// encoding alongside JSON.
+func (c *Client) wireEnabled() bool {
+	return c.cfg.Binary && !c.wireDown.Load()
+}
+
+// downgradeWire latches the sticky JSON downgrade, counting the first
+// flip only (concurrent attempts may all hit the same broken peer).
+func (c *Client) downgradeWire() {
+	if c.wireDown.CompareAndSwap(false, true) {
+		c.met.wireDowngrades.Add(1)
+	}
+}
+
+// toWireRequest projects a JSON-shaped request onto the frame format.
+// When the RegionParams hook confirms the binding names are exactly the
+// region's parameter set, the request rides the slot form — values in
+// canonical order plus a key hash the daemon verifies before dropping
+// them into its pooled slot vectors. Otherwise the frame carries named
+// bindings, which the daemon resolves like a JSON map.
+func (c *Client) toWireRequest(req server.DecideRequest) wire.Request {
+	names := make([]string, 0, len(req.Bindings))
+	for name := range req.Bindings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	values := make([]int64, len(names))
+	for i, name := range names {
+		values[i] = req.Bindings[name]
+	}
+	wr := wire.Request{Region: req.Region, Execute: req.Execute, Values: values}
+	if c.cfg.RegionParams != nil && len(names) > 0 {
+		if params := c.cfg.RegionParams(req.Region); slices.Equal(params, names) {
+			wr.SlotForm = true
+			wr.KeyHash = attrdb.BindingsHash(symbolic.Bindings(req.Bindings))
+			return wr
+		}
+	}
+	wr.Names = names
+	return wr
+}
+
+func (c *Client) encodeWireSingle(req server.DecideRequest) []byte {
+	wr := c.toWireRequest(req)
+	return wire.AppendRequest(nil, &wr)
+}
+
+func (c *Client) encodeWireBatch(reqs []server.DecideRequest) []byte {
+	wrs := make([]wire.Request, len(reqs))
+	for i := range reqs {
+		wrs[i] = c.toWireRequest(reqs[i])
+	}
+	return wire.AppendBatchRequest(nil, wrs)
+}
+
+// decodeWireOK decodes a 200 body answering a frame request. Anything
+// other than exactly the expected frame shape means the peer is not
+// actually speaking the protocol (a rewriting proxy, or a body produced
+// by something older): downgrade stickily and retry as JSON. The
+// breaker does not count it — the response arrived fine, it just wasn't
+// frames.
+func (c *Client) decodeWireOK(p payload, data []byte, ct string) (*wire.Frame, *callErr) {
+	fail := func(why string) (*wire.Frame, *callErr) {
+		c.downgradeWire()
+		return nil, &callErr{
+			err:       fmt.Errorf("client: frame response: %s (downgrading to JSON)", why),
+			retryable: true,
+		}
+	}
+	if !wire.IsFrameContent(ct) {
+		return fail("unexpected Content-Type " + ct)
+	}
+	frames, err := wire.DecodeAll(data)
+	if err != nil {
+		return fail(err.Error())
+	}
+	if len(frames) != 1 {
+		return fail(fmt.Sprintf("%d frames in a single-call response", len(frames)))
+	}
+	var want byte = wire.TypeResponse
+	if p.batch {
+		want = wire.TypeBatchResponse
+	}
+	if frames[0].Type != want {
+		return fail(fmt.Sprintf("frame type %d, want %d", frames[0].Type, want))
+	}
+	return frames[0], nil
+}
+
+// parseWireErrBody extracts the daemon's error from a non-2xx frame
+// body — the binary analogue of parseErrBody over the JSON envelope.
+func parseWireErrBody(data []byte) (remoteErr, bool) {
+	frames, err := wire.DecodeAll(data)
+	if err != nil || len(frames) != 1 || frames[0].Type != wire.TypeError {
+		return remoteErr{}, false
+	}
+	e := frames[0].Err
+	return remoteErr{
+		code:       e.Code,
+		msg:        e.Message,
+		retryAfter: time.Duration(e.RetryAfterSeconds * float64(time.Second)),
+	}, true
+}
+
+// kindFromWire maps a wire kind string back onto the registry enum.
+func kindFromWire(s string) offload.TargetKind {
+	if s == "gpu" {
+		return offload.KindGPU
+	}
+	return offload.KindCPU
+}
+
+// wireToResponseV2 projects a response frame back onto the JSON response
+// shape, so callers see one Verdict type regardless of encoding.
+func wireToResponseV2(wr *wire.Response) server.DecideResponseV2 {
+	resp := server.DecideResponseV2{
+		Region:        wr.Region,
+		Verdict:       wr.Verdict,
+		Kind:          wr.Kind,
+		Policy:        wr.Policy,
+		Provenance:    wr.Provenance,
+		SplitFraction: wr.SplitFraction,
+		CacheHit:      wr.CacheHit,
+		ActualSeconds: wr.ActualSeconds,
+		DecisionNanos: wr.DecisionNanos,
+	}
+	if wr.Err != nil {
+		resp.Error = &server.ErrorInfo{
+			Code:       wr.Err.Code,
+			Message:    wr.Err.Message,
+			RetryAfter: wr.Err.RetryAfterSeconds,
+		}
+		return resp
+	}
+	if n := len(wr.Candidates); n > 0 {
+		resp.Candidates = make([]offload.Candidate, n)
+		for i := range wr.Candidates {
+			wc := &wr.Candidates[i]
+			resp.Candidates[i] = offload.Candidate{
+				Target:      wc.Target,
+				Kind:        kindFromWire(wc.Kind),
+				PredSeconds: wc.PredSeconds,
+				CalSeconds:  wc.CalSeconds,
+			}
+		}
+	}
+	return resp
+}

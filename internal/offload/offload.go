@@ -166,6 +166,9 @@ type Region struct {
 	mu      sync.Mutex
 	profile *ProfileData
 	exec    map[string]float64
+	// paramNames caches the sorted parameter names for interpreted
+	// regions (compiled regions read them off the key layout).
+	paramNames []string
 
 	decisions *decisionCache
 }

@@ -1,0 +1,93 @@
+package offload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+)
+
+// This file is the slot-vector face of the decision service: the binary
+// wire protocol (internal/wire) ships bindings as values in canonical
+// parameter order plus a key hash, and these entry points let the server
+// copy them straight into the pooled compiled slot vectors without ever
+// materializing a bindings map on the hot path.
+
+// ParamNames returns the region's parameter names in canonical (sorted)
+// order — the slot order of the compiled key layout, and the order
+// attrdb.BindingsKey canonicalizes to. The returned slice is shared;
+// callers must not mutate it.
+func (r *Region) ParamNames() []string {
+	if cm := r.compiled; cm != nil {
+		return cm.layout.Names()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.paramNames == nil {
+		names := append([]string(nil), r.Attrs.Params...)
+		sort.Strings(names)
+		r.paramNames = names
+	}
+	return r.paramNames
+}
+
+// bindingsFromVals builds the map form of a canonical slot vector.
+// len(vals) must equal len(ParamNames()); callers validate first.
+func (r *Region) bindingsFromVals(vals []int64) symbolic.Bindings {
+	names := r.ParamNames()
+	b := make(symbolic.Bindings, len(names))
+	for i, name := range names {
+		b[name] = vals[i]
+	}
+	return b
+}
+
+// KeyHashVals returns the canonical key hash of a slot vector —
+// identical to attrdb.BindingsHash of the equivalent bindings map. The
+// wire protocol uses it as an end-to-end checksum: a client that
+// disagrees with the server about the region's parameter set produces a
+// different hash and the request is rejected instead of mispriced.
+// len(vals) must equal len(ParamNames()).
+func (r *Region) KeyHashVals(vals []int64) uint64 {
+	if cm := r.compiled; cm != nil && len(vals) == cm.layout.Len() {
+		return cm.layout.Hash(vals)
+	}
+	return attrdb.BindingsHash(r.bindingsFromVals(vals))
+}
+
+// DecideVals is Decide over a canonical slot vector: vals holds the
+// runtime bindings in ParamNames() order. On compiled regions the
+// values are copied straight into a pooled slot vector — no bindings
+// map is built unless an observer is registered (observers receive the
+// map form). Interpreted regions fall back to the map path. The slice
+// is not retained; callers may reuse it immediately.
+func (r *Region) DecideVals(vals []int64) (*Outcome, error) {
+	names := r.ParamNames()
+	if len(vals) != len(names) {
+		return nil, fmt.Errorf("%w: region %s wants %d parameters, got %d slot values",
+			ErrUnboundSymbol, r.Name, len(names), len(vals))
+	}
+	cm := r.compiled
+	if cm == nil {
+		return r.Decide(r.bindingsFromVals(vals))
+	}
+	rt := r.rt
+	rt.met.decides.Add(1)
+	d := Decision{Region: r.Name, Policy: rt.cfg.Policy}
+	if rt.obs.Load() != nil {
+		d.Bindings = r.bindingsFromVals(vals)
+	}
+	start := time.Now()
+	sv := cm.getVecs()
+	copy(sv.vals[:cm.layout.Len()], vals)
+	_, err := r.decideCompiled(cm, sv, &d)
+	cm.putVecs(sv)
+	if err != nil {
+		return nil, err
+	}
+	d.DecisionOverhead = time.Since(start)
+	rt.notify(d)
+	return &Outcome{Decision: d}, nil
+}

@@ -57,6 +57,7 @@ import (
 	"github.com/hybridsel/hybridsel/internal/learn"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/symbolic"
+	"github.com/hybridsel/hybridsel/internal/wire"
 )
 
 // Defaults applied by New for zero Config fields.
@@ -420,6 +421,13 @@ func (s *Server) handleDecideV1(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDecideV2(w http.ResponseWriter, r *http.Request) {
+	// Content negotiation: a Content-Type of wire.ContentType switches
+	// the whole exchange to the compact binary framing; anything else
+	// stays on the default JSON path. /v1 never negotiates.
+	if wire.IsFrameContent(r.Header.Get("Content-Type")) {
+		s.handleDecideWire(w, r)
+		return
+	}
 	req, ok := s.parseDecide(w, r)
 	if !ok {
 		return
@@ -548,11 +556,15 @@ const (
 
 // ErrorInfo is the unified error body: a machine-classifiable code, a
 // human-readable message, and — on transient rejections — the same
-// retry hint the Retry-After header carries, in seconds.
+// retry hint the Retry-After header carries, in (possibly fractional)
+// seconds. RetryAfter is a float so a sub-second header hint like "0.5"
+// survives into the envelope instead of silently vanishing; integral
+// hints still encode as bare integers ("retry_after":1), so /v1 bodies
+// are byte-identical to the historical int field.
 type ErrorInfo struct {
-	Code       string `json:"code"`
-	Message    string `json:"message"`
-	RetryAfter int    `json:"retry_after,omitempty"`
+	Code       string  `json:"code"`
+	Message    string  `json:"message"`
+	RetryAfter float64 `json:"retry_after,omitempty"`
 
 	// status is the HTTP status the error maps to (not serialized; the
 	// envelope is self-describing through Code).
@@ -724,9 +736,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	buf.Reset()
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		// Can only happen for unmarshalable values — a programming error,
-		// but the client still deserves a well-formed reply.
+		// but the non-2xx contract still holds: every error body is the
+		// structured envelope, so route through httpError. If the value
+		// that failed to encode was itself an envelope, emit a constant
+		// one instead of recursing.
 		encodeBufs.Put(buf)
-		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		if _, isEnvelope := v.(ErrorEnvelope); isEnvelope {
+			const body = `{"error":{"code":"internal","message":"response encoding failed"}}` + "\n"
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = io.WriteString(w, body)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, ErrCodeInternal,
+			"response encoding failed: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -741,18 +765,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, code, msg string) {
-	ei := ErrorInfo{Code: code, Message: msg}
-	// Transient rejections — sheds and unavailability — advertise when to
-	// come back, so well-behaved clients pace their retries instead of
-	// hammering an overloaded or draining instance. The hint rides in
-	// both the header and the envelope.
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		if w.Header().Get("Retry-After") == "" {
-			w.Header().Set("Retry-After", "1")
-		}
-		if ra, err := strconv.Atoi(w.Header().Get("Retry-After")); err == nil {
-			ei.RetryAfter = ra
-		}
-	}
+	ei := ErrorInfo{Code: code, Message: msg, RetryAfter: retryHint(w, status)}
 	writeJSON(w, status, ErrorEnvelope{Error: ei})
+}
+
+// retryHint applies the transient-rejection Retry-After convention:
+// sheds and unavailability (429/503) advertise when to come back, so
+// well-behaved clients pace their retries instead of hammering an
+// overloaded or draining instance. The hint rides in both the header
+// and the body; the returned value mirrors the header verbatim as
+// seconds, so a fractional hint like "0.5" set by a fault layer or
+// sidecar survives into the envelope instead of being dropped by
+// integer parsing (header and body must never disagree).
+func retryHint(w http.ResponseWriter, status int) float64 {
+	if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		return 0
+	}
+	if w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
+	ra, err := strconv.ParseFloat(w.Header().Get("Retry-After"), 64)
+	if err != nil || ra < 0 {
+		return 0
+	}
+	return ra
 }

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/offload"
+	"github.com/hybridsel/hybridsel/internal/symbolic"
+	"github.com/hybridsel/hybridsel/internal/wire"
+)
+
+// This file is the binary face of POST /v2/decide: the same decisions,
+// admission pipeline and error classification as the JSON path, framed
+// with internal/wire instead of encoding/json. Semantics are identical
+// by construction — both paths run through decideOne-shaped helpers and
+// classify — and enforced by TestWireMatchesJSON. Envelope errors
+// raised before negotiation (admission shedding, drain) still arrive as
+// JSON; everything after the Content-Type check answers in frames.
+
+// handleDecideWire serves a body of one or more request frames. A body
+// holding exactly one TypeRequest frame mirrors the single-object JSON
+// body: semantic failures surface as HTTP statuses with a TypeError
+// frame. Any other mix (pipelined requests, batch frames) answers HTTP
+// 200 with matching response frames in order, per-item failures riding
+// inside them — the frame analogue of the JSON batch contract.
+func (s *Server) handleDecideWire(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		wireError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: "+err.Error())
+		return
+	}
+	frames, err := wire.DecodeAll(body)
+	if err != nil {
+		wireError(w, http.StatusBadRequest, ErrCodeBadRequest, "decode frames: "+err.Error())
+		return
+	}
+	for _, fr := range frames {
+		switch fr.Type {
+		case wire.TypeRequest:
+		case wire.TypeBatchRequest:
+			if len(fr.Reqs) > s.cfg.MaxBatch {
+				wireError(w, http.StatusRequestEntityTooLarge, ErrCodeBatchTooLarge,
+					fmt.Sprintf("batch of %d exceeds limit %d", len(fr.Reqs), s.cfg.MaxBatch))
+				return
+			}
+		default:
+			wireError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Sprintf("unexpected frame type %d in request body", fr.Type))
+			return
+		}
+	}
+
+	if len(frames) == 1 && frames[0].Type == wire.TypeRequest {
+		out, ei := s.decideOneWire(r.Context(), frames[0].Req)
+		if ei != nil {
+			wireError(w, ei.status, ei.Code, ei.Message)
+			return
+		}
+		resp := projectWire(frames[0].Req.Region, out, nil)
+		buf := frameBufs.Get().(*[]byte)
+		b := wire.AppendResponse((*buf)[:0], &resp)
+		writeFrames(w, http.StatusOK, b)
+		putFrameBuf(buf, b)
+		return
+	}
+
+	buf := frameBufs.Get().(*[]byte)
+	b := (*buf)[:0]
+	for _, fr := range frames {
+		if fr.Type == wire.TypeRequest {
+			out, ei := s.decideOneWire(r.Context(), fr.Req)
+			resp := projectWire(fr.Req.Region, out, ei)
+			b = wire.AppendResponse(b, &resp)
+			continue
+		}
+		results := make([]wire.Response, len(fr.Reqs))
+		coalesced := s.decideWireBatch(r.Context(), fr.Reqs, results)
+		b = wire.AppendBatchResponse(b, coalesced, results)
+	}
+	writeFrames(w, http.StatusOK, b)
+	putFrameBuf(buf, b)
+}
+
+// decideOneWire is decideOne over a wire request. Slot-form bindings
+// skip the map entirely on the decide path: after verifying the key
+// hash (an end-to-end checksum of the client's idea of the region's
+// parameter set), the values drop straight into the region's pooled
+// slot vectors via DecideVals.
+func (s *Server) decideOneWire(ctx context.Context, req *wire.Request) (*offload.Outcome, *ErrorInfo) {
+	if req.Region == "" {
+		return nil, errInfo(http.StatusBadRequest, ErrCodeBadRequest, "missing region")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, errInfo(http.StatusServiceUnavailable, ErrCodeDeadlineExceeded, "deadline exceeded")
+	}
+	region, err := s.rt.Region(req.Region)
+	if err != nil {
+		return nil, classify(err)
+	}
+	if req.SlotForm {
+		names := region.ParamNames()
+		if len(req.Values) != len(names) {
+			return nil, errInfo(http.StatusUnprocessableEntity, ErrCodeUnboundSymbol,
+				fmt.Sprintf("offload: unbound symbol: region %s wants %d parameters, got %d slot values",
+					req.Region, len(names), len(req.Values)))
+		}
+		if got := region.KeyHashVals(req.Values); got != req.KeyHash {
+			return nil, errInfo(http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Sprintf("slot vector key hash %#x does not match region layout (%#x): client and server disagree on %s's parameter set",
+					req.KeyHash, got, req.Region))
+		}
+		if !req.Execute {
+			out, err := region.DecideVals(req.Values)
+			if err != nil {
+				return nil, classify(err)
+			}
+			return out, nil
+		}
+		// Execution still wants the map form (Launch logs bindings).
+		b := make(symbolic.Bindings, len(names))
+		for i, name := range names {
+			b[name] = req.Values[i]
+		}
+		out, err := region.Launch(b)
+		if err != nil {
+			return nil, classify(err)
+		}
+		return out, nil
+	}
+	b := make(symbolic.Bindings, len(req.Values))
+	for i, name := range req.Names {
+		b[name] = req.Values[i]
+	}
+	var out *offload.Outcome
+	if req.Execute {
+		out, err = region.Launch(b)
+	} else {
+		out, err = region.Decide(b)
+	}
+	if err != nil {
+		return nil, classify(err)
+	}
+	return out, nil
+}
+
+// decideWireBatch mirrors decideBatch's coalescing contract over wire
+// requests: duplicate (region, bindings, execute) items are answered by
+// the first item's decision and marked CacheHit.
+func (s *Server) decideWireBatch(ctx context.Context, reqs []wire.Request, results []wire.Response) int {
+	byKey := map[string]int{}
+	coalesced := 0
+	var keyBuf []byte
+	for i := range reqs {
+		keyBuf = wireCoalesceKey(keyBuf[:0], &reqs[i])
+		key := string(keyBuf)
+		if first, ok := byKey[key]; ok {
+			results[i] = results[first]
+			results[i].CacheHit = results[i].Err == nil
+			coalesced++
+			continue
+		}
+		out, ei := s.decideOneWire(ctx, &reqs[i])
+		byKey[key] = i
+		results[i] = projectWire(reqs[i].Region, out, ei)
+	}
+	return coalesced
+}
+
+// wireCoalesceKey builds the duplicate-detection key for one request.
+// Slot-form values are already canonical (sorted-name order), so their
+// raw encoding is the key; named form canonicalizes through
+// attrdb.BindingsKey exactly like the JSON batch path.
+func wireCoalesceKey(dst []byte, req *wire.Request) []byte {
+	dst = append(dst, req.Region...)
+	dst = append(dst, 0)
+	if req.Execute {
+		dst = append(dst, 'x')
+	}
+	dst = append(dst, 0)
+	if req.SlotForm {
+		dst = append(dst, 's')
+		for _, v := range req.Values {
+			dst = binary.AppendVarint(dst, v)
+		}
+		return dst
+	}
+	b := make(symbolic.Bindings, len(req.Values))
+	for i, name := range req.Names {
+		b[name] = req.Values[i]
+	}
+	return append(dst, attrdb.BindingsKey(b)...)
+}
+
+// projectWire renders one outcome (or per-item failure) as a response
+// payload, mirroring v2Response field for field.
+func projectWire(region string, out *offload.Outcome, ei *ErrorInfo) wire.Response {
+	if ei != nil {
+		return wire.Response{Region: region, Err: &wire.Error{
+			Code: ei.Code, Message: ei.Message, RetryAfterSeconds: ei.RetryAfter,
+		}}
+	}
+	d := &out.Decision
+	resp := wire.Response{
+		Region:        region,
+		Verdict:       d.TargetID,
+		Kind:          d.Target.String(),
+		Policy:        d.Policy.Name(),
+		Provenance:    d.Provenance,
+		SplitFraction: d.SplitFraction,
+		CacheHit:      d.CacheHit,
+		ActualSeconds: d.ActualSeconds,
+		DecisionNanos: d.DecisionOverhead.Nanoseconds(),
+	}
+	if n := len(d.Candidates); n > 0 {
+		resp.Candidates = make([]wire.Candidate, n)
+		for i := range d.Candidates {
+			c := &d.Candidates[i]
+			resp.Candidates[i] = wire.Candidate{
+				Target:      c.Target,
+				Kind:        c.Kind.String(),
+				PredSeconds: c.PredSeconds,
+				CalSeconds:  c.CalSeconds,
+			}
+		}
+	}
+	return resp
+}
+
+// frameBufs pools response frame buffers, the binary analogue of
+// encodeBufs: steady-state responses encode into a recycled slice and
+// ship with an exact Content-Length.
+var frameBufs = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+func putFrameBuf(buf *[]byte, b []byte) {
+	if cap(b) <= maxPooledEncodeBuf {
+		*buf = b[:0]
+		frameBufs.Put(buf)
+	}
+}
+
+func writeFrames(w http.ResponseWriter, code int, b []byte) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(code)
+	_, _ = w.Write(b)
+}
+
+// wireError is httpError in frames: the same status, stable code and
+// Retry-After conventions, delivered as a TypeError frame.
+func wireError(w http.ResponseWriter, status int, code, msg string) {
+	e := wire.Error{Status: status, Code: code, Message: msg, RetryAfterSeconds: retryHint(w, status)}
+	buf := frameBufs.Get().(*[]byte)
+	b := wire.AppendError((*buf)[:0], &e)
+	writeFrames(w, status, b)
+	putFrameBuf(buf, b)
+}

@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func randString(r *rand.Rand, max int) string {
+	n := r.Intn(max)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return string(b)
+}
+
+func randFloat(r *rand.Rand) float64 {
+	switch r.Intn(8) {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return -math.Inf(1)
+	case 3:
+		return math.MaxFloat64
+	case 4:
+		return math.SmallestNonzeroFloat64
+	default:
+		return r.NormFloat64() * math.Pow(10, float64(r.Intn(20)-10))
+	}
+}
+
+func randInt64(r *rand.Rand) int64 {
+	switch r.Intn(4) {
+	case 0:
+		return math.MaxInt64 - int64(r.Intn(3))
+	case 1:
+		return math.MinInt64 + int64(r.Intn(3))
+	default:
+		return r.Int63n(1<<40) - 1<<39
+	}
+}
+
+func randRequest(r *rand.Rand) Request {
+	req := Request{
+		Region:  randString(r, 24),
+		Execute: r.Intn(2) == 0,
+	}
+	n := r.Intn(9)
+	req.Values = make([]int64, n)
+	for i := range req.Values {
+		req.Values[i] = randInt64(r)
+	}
+	if r.Intn(2) == 0 {
+		req.SlotForm = true
+		req.KeyHash = r.Uint64()
+	} else {
+		req.Names = make([]string, n)
+		for i := range req.Names {
+			req.Names[i] = randString(r, 12)
+		}
+	}
+	if n == 0 {
+		// Zero-length slices decode as nil; normalize for DeepEqual.
+		req.Values = nil
+		req.Names = nil
+	}
+	return req
+}
+
+func randError(r *rand.Rand) *Error {
+	return &Error{
+		Status:            r.Intn(600),
+		Code:              randString(r, 16),
+		Message:           randString(r, 64),
+		RetryAfterSeconds: math.Abs(randFloat(r)),
+	}
+}
+
+func randResponse(r *rand.Rand) Response {
+	resp := Response{
+		Region:   randString(r, 24),
+		CacheHit: r.Intn(2) == 0,
+	}
+	if r.Intn(4) == 0 {
+		resp.Err = randError(r)
+		return resp
+	}
+	resp.Verdict = randString(r, 12)
+	resp.Kind = randString(r, 4)
+	resp.Policy = randString(r, 12)
+	resp.Provenance = randString(r, 12)
+	resp.SplitFraction = randFloat(r)
+	resp.ActualSeconds = randFloat(r)
+	resp.DecisionNanos = randInt64(r)
+	if n := r.Intn(5); n > 0 {
+		resp.Candidates = make([]Candidate, n)
+		for i := range resp.Candidates {
+			resp.Candidates[i] = Candidate{
+				Target:      randString(r, 16),
+				Kind:        randString(r, 4),
+				PredSeconds: randFloat(r),
+				CalSeconds:  randFloat(r),
+			}
+		}
+	}
+	return resp
+}
+
+// TestRoundTrip drives the codec with seeded random frames of every
+// type and asserts decode(encode(x)) == x exactly — the binary path
+// must not lose or reshape anything the JSON path carries.
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		var buf []byte
+		want := make([]*Frame, 0, 4)
+		for _, pick := range []int{r.Intn(5), r.Intn(5)} {
+			switch pick {
+			case 0:
+				req := randRequest(r)
+				buf = AppendRequest(buf, &req)
+				want = append(want, &Frame{Type: TypeRequest, Req: &req})
+			case 1:
+				reqs := make([]Request, r.Intn(4))
+				for j := range reqs {
+					reqs[j] = randRequest(r)
+				}
+				buf = AppendBatchRequest(buf, reqs)
+				fr := &Frame{Type: TypeBatchRequest, Reqs: reqs}
+				if len(reqs) == 0 {
+					fr.Reqs = []Request{}
+				}
+				want = append(want, fr)
+			case 2:
+				resp := randResponse(r)
+				buf = AppendResponse(buf, &resp)
+				want = append(want, &Frame{Type: TypeResponse, Resp: &resp})
+			case 3:
+				resps := make([]Response, r.Intn(4))
+				for j := range resps {
+					resps[j] = randResponse(r)
+				}
+				co := r.Intn(len(resps) + 1)
+				buf = AppendBatchResponse(buf, co, resps)
+				fr := &Frame{Type: TypeBatchResponse, Resps: resps, Coalesced: co}
+				if len(resps) == 0 {
+					fr.Resps = []Response{}
+				}
+				want = append(want, fr)
+			case 4:
+				e := randError(r)
+				buf = AppendError(buf, e)
+				want = append(want, &Frame{Type: TypeError, Err: e})
+			}
+		}
+		got, err := DecodeAll(buf)
+		if err != nil {
+			t.Fatalf("iter %d: DecodeAll: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: decoded %d frames, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if !reflect.DeepEqual(got[j], want[j]) {
+				t.Fatalf("iter %d frame %d:\n got %+v\nwant %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	req := Request{Region: "gemm", Names: []string{"n"}, Values: []int64{128}}
+	good := AppendRequest(nil, &req)
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"short header", good[:4]},
+		{"bad magic", append([]byte{'X', 'S'}, good[2:]...)},
+		{"bad version", func() []byte {
+			b := append([]byte(nil), good...)
+			b[2] = 99
+			return b
+		}()},
+		{"unknown type", func() []byte {
+			b := append([]byte(nil), good...)
+			b[3] = 42
+			return b
+		}()},
+		{"truncated payload", good[:len(good)-1]},
+		{"length beyond body", func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 0xff
+			return b
+		}()},
+		{"trailing garbage in payload", func() []byte {
+			b := append([]byte(nil), good...)
+			b = append(b, 0)
+			b[4]++ // extend declared payload over the junk byte
+			return b
+		}()},
+		{"trailing garbage after frame", append(append([]byte(nil), good...), 'j', 'u', 'n', 'k')},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeAll(tc.body); err == nil {
+			t.Errorf("%s: DecodeAll accepted malformed body", tc.name)
+		}
+	}
+
+	if _, err := DecodeAll(func() []byte {
+		b := append([]byte(nil), good...)
+		b[2] = 2
+		return b
+	}()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version: want version error, got %v", err)
+	}
+}
+
+// TestVersionTagged checks ErrVersion matches via errors.Is so clients
+// can tell dialect skew from corruption.
+func TestVersionTagged(t *testing.T) {
+	req := Request{Region: "gemm"}
+	b := AppendRequest(nil, &req)
+	b[2] = 7
+	_, _, err := DecodeFrame(b)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("got %v", err)
+	}
+}

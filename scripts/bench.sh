@@ -1,14 +1,17 @@
 #!/bin/sh
-# bench.sh — run the decision hot-path micro-benchmarks and freeze the
-# results into BENCH_decide.json (the benchmark ledger). The ledger's
-# machine-independent ratios (compiled-vs-interpreted speedup and
-# allocation ratio) are what scripts/check.sh gates against; raw ns/op is
-# recorded for the curious but never compared across machines.
+# bench.sh — run the decision hot-path micro-benchmarks and the
+# end-to-end serving benchmarks, freezing the results into the benchmark
+# ledgers (BENCH_decide.json and BENCH_serve.json). The ledgers'
+# machine-independent ratios (compiled-vs-interpreted speedup,
+# allocation ratio, binary-vs-JSON serving throughput) are what
+# scripts/check.sh gates against; raw ns/op is recorded for the curious
+# but never compared across machines.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_decide.json}"
+SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
 
 echo "== decide benchmarks (benchtime $BENCHTIME) =="
 go test -run '^$' -bench 'BenchmarkPredict(Uncached|UncachedInterpreted|Cached)$|BenchmarkDecideCached(Parallel)?$' \
@@ -18,3 +21,15 @@ go run ./cmd/benchjson -out "$OUT" </tmp/bench_decide.$$
 rm -f /tmp/bench_decide.$$
 echo "== ledger written to $OUT =="
 awk '/"summary"/,/^  }/' "$OUT"
+
+echo "== serve benchmarks (benchtime $BENCHTIME) =="
+# End-to-end /v2/decide over a live HTTP server, JSON vs the binary
+# frame format, single and 64-item batched. The acceptance floor:
+# binary batched serving must decide at >=2x the JSON batched rate.
+go test -run '^$' -bench 'BenchmarkServe(JSON|Binary)(Single|Batch64)$' \
+	-benchtime "$BENCHTIME" -benchmem . | tee /tmp/bench_serve.$$ || {
+	rm -f /tmp/bench_serve.$$; exit 1; }
+go run ./cmd/benchjson -out "$SERVE_OUT" -min-wire-speedup 2 </tmp/bench_serve.$$
+rm -f /tmp/bench_serve.$$
+echo "== ledger written to $SERVE_OUT =="
+awk '/"summary"/,/^  }/' "$SERVE_OUT"

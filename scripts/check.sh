@@ -25,7 +25,7 @@ echo "== go test -race (concurrent packages) =="
 go test -race ./internal/offload/ ./internal/experiments/ \
 	./internal/server/ ./internal/trace/ ./internal/audit/ \
 	./internal/client/ ./internal/faultnet/ ./internal/regiongen/ \
-	./internal/learn/
+	./internal/learn/ ./internal/wire/
 
 echo "== fuzz smoke (10s per parser) =="
 # Short randomized runs on top of the checked-in seed corpora, one
@@ -35,6 +35,7 @@ go test -run '^$' -fuzz '^FuzzDecideBody$' -fuzztime 10s ./internal/server/
 go test -run '^$' -fuzz '^FuzzDecideBodyV2$' -fuzztime 10s ./internal/server/
 go test -run '^$' -fuzz '^FuzzTraceRead$' -fuzztime 10s ./internal/trace/
 go test -run '^$' -fuzz '^FuzzLearnSnapshot$' -fuzztime 10s ./internal/learn/
+go test -run '^$' -fuzz '^FuzzWireFrame$' -fuzztime 10s ./internal/wire/
 
 echo "== perf smoke: cached vs interpreted-model launch =="
 # The bar predates the compiled decision programs: a cached launch must
@@ -68,6 +69,20 @@ go test -run '^$' \
 	-benchtime=0.2s -benchmem . \
 	| go run ./cmd/benchjson -gate BENCH_decide.json
 
+echo "== serve ledger: parse + regression gate =="
+# Same idea for the serving benchmarks: the committed ledger must parse
+# and the binary frame format must stay meaningfully faster than JSON.
+# Short CI runs over a live HTTP server are noisier than the in-process
+# micro-benchmarks, so the floors are relaxed relative to the 2x bar
+# bench.sh enforces when the ledger is regenerated.
+if [ ! -f BENCH_serve.json ]; then
+	echo "serve ledger: BENCH_serve.json missing (run make bench)"; exit 1
+fi
+go test -run '^$' \
+	-bench 'BenchmarkServe(JSON|Binary)(Single|Batch64)$' \
+	-benchtime=0.2s -benchmem . \
+	| go run ./cmd/benchjson -gate BENCH_serve.json -tolerance 0.5 -min-wire-speedup 1.5
+
 echo "== daemon smoke: serve, decide, scrape, drain =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -92,6 +107,18 @@ if ! "$tmp/loadgen" -addr "http://$addr" -wait 10s -duration 2s \
 	kill "$daemon" 2>/dev/null || true
 	exit 1
 fi
+# Same daemon, binary frames: loadgen speaks the wire format on
+# /v2/decide (slot-form requests, batched), proving content negotiation
+# end to end against a real process rather than httptest.
+if ! "$tmp/loadgen" -addr "http://$addr" -wire binary -duration 2s \
+	-concurrency 4 -batch 16 -kernels gemm,mvt1,2dconv -mode test \
+	-min-throughput 500 -scrape=false; then
+	echo "daemon smoke: binary-mode loadgen failed; daemon log:"
+	cat "$tmp/daemon.log"
+	kill "$daemon" 2>/dev/null || true
+	exit 1
+fi
+echo "daemon smoke: binary frames served on /v2/decide"
 # The shadow auditor must have sampled the served decisions: scrape the
 # accuracy gauges off /metrics (retrying briefly — audits run on
 # background workers and may land just after the load stops).
