@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzLearnSnapshot$$' -fuzztime $(FUZZTIME) ./internal/learn/
 	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamFrame$$' -fuzztime $(FUZZTIME) ./internal/wire/
 
 # Run the decision hot-path micro-benchmarks and the end-to-end serving
 # benchmarks, refreshing both ledgers (BENCH_decide.json and

@@ -1,6 +1,7 @@
 // Command apidump prints the exported API surface of the stable model
 // packages (internal/offload, internal/machine, internal/learn,
-// internal/wire by default) in a deterministic, diff-friendly text
+// internal/wire, internal/server, internal/client by default) in a
+// deterministic, diff-friendly text
 // form: one line per
 // exported declaration, const/var blocks kept whole so enum ordering is
 // part of the surface, struct and interface bodies pruned to their
@@ -38,7 +39,8 @@ func main() {
 	flag.Parse()
 	dirs := flag.Args()
 	if len(dirs) == 0 {
-		dirs = []string{"internal/offload", "internal/machine", "internal/learn", "internal/wire"}
+		dirs = []string{"internal/offload", "internal/machine", "internal/learn",
+			"internal/wire", "internal/server", "internal/client"}
 	}
 
 	var out bytes.Buffer

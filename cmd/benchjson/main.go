@@ -6,7 +6,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'Predict|Decide' -benchmem . | benchjson -out BENCH_decide.json
-//	go test -run '^$' -bench 'Serve' -benchmem . | benchjson -out BENCH_serve.json -min-wire-speedup 2
+//	go test -run '^$' -bench 'Serve' -benchmem . | benchjson -out BENCH_serve.json -min-wire-speedup 2 -min-stream-speedup 3
 //	... | benchjson -gate BENCH_decide.json          # fail on regression, write nothing
 //
 // The ledger records per-benchmark ns/op, B/op and allocs/op plus two
@@ -62,6 +62,10 @@ type Summary struct {
 	// run, for single-request and 64-item-batch calls.
 	BinaryVsJSONSingle  float64 `json:"binaryVsJsonSingle,omitempty"`
 	BinaryVsJSONBatched float64 `json:"binaryVsJsonBatched,omitempty"`
+	// StreamVsJSONSingle = persistent-stream single-in-flight
+	// decisions/s ÷ JSON single decisions/s — what killing per-request
+	// HTTP overhead buys the decide path on this machine in this run.
+	StreamVsJSONSingle float64 `json:"streamVsJsonSingle,omitempty"`
 }
 
 // Ledger is the BENCH_decide.json schema.
@@ -82,6 +86,7 @@ const (
 	serveBinarySingle = "BenchmarkServeBinarySingle"
 	serveJSONBatch    = "BenchmarkServeJSONBatch64"
 	serveBinaryBatch  = "BenchmarkServeBinaryBatch64"
+	serveStreamSingle = "BenchmarkServeStreamSingle"
 )
 
 func main() {
@@ -95,6 +100,8 @@ func main() {
 		"allowed relative regression vs the committed ledger")
 	minWireSpeedup := flag.Float64("min-wire-speedup", 0,
 		"minimum binary-vs-JSON batched decisions/s ratio (0 = no floor; serve ledger only)")
+	minStreamSpeedup := flag.Float64("min-stream-speedup", 0,
+		"minimum stream-vs-JSON single decisions/s ratio (0 = no floor; serve ledger only)")
 	flag.Parse()
 
 	ledger, err := parse(os.Stdin)
@@ -122,6 +129,15 @@ func main() {
 				ledger.Summary.BinaryVsJSONBatched, *minWireSpeedup))
 		}
 	}
+	if *minStreamSpeedup > 0 {
+		if ledger.Summary.StreamVsJSONSingle == 0 {
+			fatal(fmt.Errorf("-min-stream-speedup set but the run holds no stream serve benchmarks"))
+		}
+		if ledger.Summary.StreamVsJSONSingle < *minStreamSpeedup {
+			fatal(fmt.Errorf("stream-vs-JSON single ratio %.2fx below the %.2fx floor",
+				ledger.Summary.StreamVsJSONSingle, *minStreamSpeedup))
+		}
+	}
 
 	if *gate != "" {
 		old, err := readLedger(*gate)
@@ -132,8 +148,12 @@ func main() {
 			fatal(err)
 		}
 		if ledger.Summary.BinaryVsJSONBatched > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: no regression vs %s (binary/json batched %.1fx)\n",
+			line := fmt.Sprintf("benchjson: no regression vs %s (binary/json batched %.1fx",
 				*gate, ledger.Summary.BinaryVsJSONBatched)
+			if ledger.Summary.StreamVsJSONSingle > 0 {
+				line += fmt.Sprintf(", stream/json single %.1fx", ledger.Summary.StreamVsJSONSingle)
+			}
+			fmt.Fprintln(os.Stderr, line+")")
 		} else {
 			fmt.Fprintf(os.Stderr, "benchjson: no regression vs %s (speedup %.0fx, allocs ratio %.0fx)\n",
 				*gate, ledger.Summary.UncachedSpeedup, ledger.Summary.UncachedAllocsRatio)
@@ -241,6 +261,7 @@ func summarize(benchmarks []Benchmark) Summary {
 	}
 	s.BinaryVsJSONSingle = serveRatio(byName, serveBinarySingle, serveJSONSingle)
 	s.BinaryVsJSONBatched = serveRatio(byName, serveBinaryBatch, serveJSONBatch)
+	s.StreamVsJSONSingle = serveRatio(byName, serveStreamSingle, serveJSONSingle)
 	return s
 }
 
@@ -302,6 +323,11 @@ func compare(old, cur *Ledger, tol float64) error {
 		cur.Summary.BinaryVsJSONBatched < old.Summary.BinaryVsJSONBatched*(1-tol) {
 		return fmt.Errorf("binary-vs-JSON batched ratio regressed %.2fx -> %.2fx (>%.0f%%)",
 			old.Summary.BinaryVsJSONBatched, cur.Summary.BinaryVsJSONBatched, tol*100)
+	}
+	if old.Summary.StreamVsJSONSingle > 0 &&
+		cur.Summary.StreamVsJSONSingle < old.Summary.StreamVsJSONSingle*(1-tol) {
+		return fmt.Errorf("stream-vs-JSON single ratio regressed %.2fx -> %.2fx (>%.0f%%)",
+			old.Summary.StreamVsJSONSingle, cur.Summary.StreamVsJSONSingle, tol*100)
 	}
 	return nil
 }

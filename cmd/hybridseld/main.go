@@ -8,6 +8,7 @@
 // Usage:
 //
 //	hybridseld -addr :8080
+//	hybridseld -addr :8080 -stream-addr :8090         # persistent stream transport
 //	hybridseld -addr 127.0.0.1:8080 -policy model-guided -queue 512
 //	hybridseld -regions gemm,mvt1 -trace /tmp/decisions.jsonl
 //	hybridseld -targets synthetic                   # rank an N-way registry
@@ -50,6 +51,14 @@
 // answered in kind; everything else — including /v1 — stays JSON.
 // Drive it with `loadgen -wire binary` or a client with Binary: true.
 //
+// With -stream-addr the daemon additionally serves the persistent
+// multiplexed stream transport on a raw TCP listener: long-lived
+// connections carrying pipelined decide frames tagged with stream IDs,
+// per-connection credit flow control instead of 429 churn, and Goaway
+// drain on shutdown. The same protocol is always reachable on the HTTP
+// port via GET /v1/stream with Upgrade: hybridsel-stream. Drive it with
+// `loadgen -wire stream` or a client with Stream: true.
+//
 // Then:
 //
 //	curl -s localhost:8080/v1/decide -d '{"region":"gemm","bindings":{"n":1100}}'
@@ -65,6 +74,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -84,6 +94,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	streamAddr := flag.String("stream-addr", "",
+		"serve the persistent stream transport on this raw TCP address (empty = HTTP Upgrade only)")
+	streamCredit := flag.Int("stream-credit", 0,
+		"per-connection in-flight window on stream connections (0 = default)")
 	platform := flag.String("platform", "p9v100", "platform: p9v100|p8k80")
 	threads := flag.Int("threads", 160, "host thread count")
 	policy := flag.String("policy", "model-guided",
@@ -273,6 +287,7 @@ func main() {
 		Concurrency:    *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
+		StreamCredit:   *streamCredit,
 		Logger:         logger,
 		Auditor:        auditor,
 		Learner:        lrn,
@@ -324,6 +339,22 @@ func main() {
 					logger.Info("chaos step", "step", i,
 						"faults", s.Faults.String(), "hold", s.Duration.String())
 				})
+			}
+		}()
+	}
+
+	// The raw stream listener serves the persistent frame transport next
+	// to the HTTP port (the Upgrade path on -addr works regardless);
+	// srv.Shutdown drains it with Goaway under the same -drain grace.
+	if *streamAddr != "" {
+		sl, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		logger.Info("stream listener up", "addr", sl.Addr().String())
+		go func() {
+			if err := srv.ServeStream(sl); err != nil {
+				logger.Error("stream listener", "err", err)
 			}
 		}()
 	}

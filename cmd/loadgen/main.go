@@ -38,6 +38,21 @@
 // old to answer frames:
 //
 //	loadgen -addr http://127.0.0.1:8080 -wire binary -batch 64 -duration 5s
+//
+// -wire stream rides the persistent multiplexed stream transport:
+// long-lived connections carrying pipelined decide frames, dialed raw
+// at -stream-addr (hybridseld -stream-addr) or negotiated over the
+// HTTP port via Upgrade when -stream-addr is empty. Plain stream runs
+// pipeline through a small shared connection pool; -client stream runs
+// set the production client's Stream mode, failing over to HTTP per
+// attempt when a connection dies:
+//
+//	loadgen -addr http://127.0.0.1:8080 -wire stream -duration 5s
+//	loadgen -addr http://127.0.0.1:8080 -stream-addr 127.0.0.1:8090 -wire stream -client
+//
+// The throughput gate reports accepted decisions per transport
+// (http-json / http-binary / stream / local fallback), so a stream run
+// that silently fell back to HTTP is visible in the gate line.
 package main
 
 import (
@@ -93,16 +108,25 @@ func main() {
 		"client mode: disable the in-process fallback runtime")
 	faults := flag.String("faults", "",
 		"front the daemon with a fault-injection proxy scripted by this scenario (preset or DSL)")
-	wireFormat := flag.String("wire", "json", "decide encoding: json|binary")
+	wireFormat := flag.String("wire", "json", "decide encoding: json|binary|stream")
+	streamAddr := flag.String("stream-addr", "",
+		"raw TCP stream address for -wire stream (empty = HTTP Upgrade on -addr)")
+	streamConns := flag.Int("stream-conns", 0,
+		"persistent connections for plain -wire stream runs (0 = 2)")
 	flag.Parse()
 
-	binary := false
+	binary, stream := false, false
 	switch *wireFormat {
 	case "json":
 	case "binary":
 		binary = true
+	case "stream":
+		stream = true
 	default:
-		fatal(fmt.Errorf("loadgen: -wire %q: want json or binary", *wireFormat))
+		fatal(fmt.Errorf("loadgen: -wire %q: want json, binary or stream", *wireFormat))
+	}
+	if stream && *faults != "" && !*useClient {
+		fatal(fmt.Errorf("loadgen: -wire stream -faults needs -client (the HTTP fault proxy cannot carry stream connections)"))
 	}
 
 	httpClient := &http.Client{
@@ -158,12 +182,15 @@ func main() {
 	var st *stats
 	var rc *client.Client
 	if *useClient {
-		rc, err = newResilientClient(target, *kernels, *noFallback, binary, *seed)
+		rc, err = newResilientClient(target, *kernels, *noFallback, binary, stream, *streamAddr, *streamConns, *seed)
 		if err != nil {
 			fatal(err)
 		}
 		defer rc.Close()
 		st = runClient(rc, reqs, *concurrency, *rate, *batch, *duration)
+	} else if stream {
+		st = runStream(target, *streamAddr, reqs, polybenchParams(*kernels),
+			*concurrency, *rate, *batch, *duration, *streamConns)
 	} else if binary {
 		st = runWire(httpClient, target, reqs, polybenchParams(*kernels),
 			*concurrency, *rate, *batch, *duration)
@@ -298,6 +325,14 @@ type stats struct {
 	learned    atomic.Uint64
 	analytical atomic.Uint64
 
+	// Per-transport accepted-decision tallies, so a stream run that
+	// silently fell back to HTTP shows up in the gate line rather than
+	// hiding inside one aggregate.
+	tJSON   atomic.Uint64 // decisions answered over HTTP JSON
+	tBinary atomic.Uint64 // decisions answered over HTTP binary frames
+	tStream atomic.Uint64 // decisions answered over the stream transport
+	tLocal  atomic.Uint64 // decisions answered by the in-process fallback
+
 	mu        sync.Mutex
 	latencies []int64 // ns per HTTP call
 	elapsed   time.Duration
@@ -330,10 +365,41 @@ func (st *stats) gateErr(min float64) error {
 		floor = min * float64(st.ok.Load()) / float64(calls)
 	}
 	if got := st.decisionsPerSec(); got < floor {
-		return fmt.Errorf("throughput %.0f decisions/s below required %.0f (floor %.0f scaled by accepted fraction)",
+		msg := fmt.Sprintf("throughput %.0f decisions/s below required %.0f (floor %.0f scaled by accepted fraction)",
 			got, min, floor)
+		if tb := st.transportBreakdown(); tb != "" {
+			msg += " [" + tb + "]"
+		}
+		return fmt.Errorf("%s", msg)
 	}
 	return nil
+}
+
+// transportBreakdown renders the accepted-decision split per transport,
+// so a stream run that leaked onto HTTP, or a -faults run that absorbed
+// verdicts locally, is visible in the throughput line and gate message
+// rather than hiding inside one aggregate.
+func (st *stats) transportBreakdown() string {
+	parts := []struct {
+		name string
+		n    uint64
+	}{
+		{"http-json", st.tJSON.Load()},
+		{"http-binary", st.tBinary.Load()},
+		{"stream", st.tStream.Load()},
+		{"local", st.tLocal.Load()},
+	}
+	var b strings.Builder
+	for _, p := range parts {
+		if p.n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %d", p.name, p.n)
+	}
+	return b.String()
 }
 
 // hardErr reports transport and 5xx failures — the errors that must fail
@@ -370,7 +436,9 @@ func run(client *http.Client, addr string, reqs []server.DecideRequest,
 		switch resp.StatusCode {
 		case http.StatusOK:
 			st.ok.Add(1)
-			st.decisions.Add(uint64(n - countItemErrors(raw, n, st)))
+			good := uint64(n - countItemErrors(raw, n, st))
+			st.decisions.Add(good)
+			st.tJSON.Add(good)
 		case http.StatusTooManyRequests:
 			st.shed.Add(1)
 		default:
@@ -406,12 +474,138 @@ func runWire(client *http.Client, addr string, reqs []server.DecideRequest,
 		switch resp.StatusCode {
 		case http.StatusOK:
 			st.ok.Add(1)
-			st.decisions.Add(uint64(countWireDecisions(raw, st)))
+			good := uint64(countWireDecisions(raw, st))
+			st.decisions.Add(good)
+			st.tBinary.Add(good)
 		case http.StatusTooManyRequests:
 			st.shed.Add(1)
 		default:
 			st.serverErr.Add(1)
 		}
+	}
+
+	drive(st, concurrency, rate, duration, fire)
+	return st
+}
+
+// loadStreamSlot is one persistent stream connection in runStream's
+// pool, redialed in place when it dies or is drained by a Goaway.
+type loadStreamSlot struct {
+	mu   sync.Mutex
+	conn *client.StreamConn
+}
+
+func (s *loadStreamSlot) get(dial func() (*client.StreamConn, error)) (*client.StreamConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil && s.conn.Usable() {
+		return s.conn, nil
+	}
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	c, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	s.conn = c
+	return c, nil
+}
+
+// runStream is run's counterpart over the persistent stream transport:
+// a small shared pool of long-lived connections carries pipelined
+// decide frames, each call correlating its reply by stream ID. Batch
+// calls pipeline their decisions concurrently over one connection. A
+// dead connection costs the calls riding it (transport errors) and is
+// redialed in place by the next call landing on the slot.
+func runStream(addr, streamAddr string, reqs []server.DecideRequest,
+	params map[string][]string, concurrency, rate, batch int,
+	duration time.Duration, conns int) *stats {
+	st := &stats{}
+	var next atomic.Uint64
+	if conns <= 0 {
+		conns = 2
+	}
+	pool := make([]*loadStreamSlot, conns)
+	for i := range pool {
+		pool[i] = &loadStreamSlot{}
+	}
+	defer func() {
+		for _, s := range pool {
+			s.mu.Lock()
+			if s.conn != nil {
+				s.conn.Close()
+			}
+			s.mu.Unlock()
+		}
+	}()
+	dial := func() (*client.StreamConn, error) {
+		return client.DialStream(client.StreamDialConfig{
+			Addr: streamAddr, URL: addr, DialTimeout: 2 * time.Second,
+		})
+	}
+	ctx := context.Background()
+
+	// tally classifies one stream response: accepted decision, credit /
+	// admission shed, or hard server error.
+	tally := func(resp *wire.Response) {
+		switch {
+		case resp.Err == nil:
+			st.decisions.Add(1)
+			st.tStream.Add(1)
+		case resp.Err.Code == server.ErrCodeQueueFull:
+			st.shed.Add(1)
+		default:
+			st.serverErr.Add(1)
+		}
+	}
+
+	fire := func() {
+		n := next.Add(1) - 1
+		i := int(n) % len(reqs)
+		sc, err := pool[int(n)%conns].get(dial)
+		if err != nil {
+			st.transport.Add(1)
+			return
+		}
+		start := time.Now()
+		if batch <= 1 {
+			wr := toWireRequest(reqs[i], params)
+			resp, err := sc.Decide(ctx, &wr)
+			st.observe(time.Since(start))
+			if err != nil {
+				st.transport.Add(1)
+				return
+			}
+			st.ok.Add(1)
+			tally(resp)
+			return
+		}
+		// Pipelined batch: all decisions in flight on one connection at
+		// once, completing out of order.
+		var wg sync.WaitGroup
+		var deaths atomic.Uint64
+		for j := 0; j < batch; j++ {
+			wr := toWireRequest(reqs[(i+j)%len(reqs)], params)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := sc.Decide(ctx, &wr)
+				if err != nil {
+					deaths.Add(1)
+					return
+				}
+				tally(resp)
+			}()
+		}
+		wg.Wait()
+		st.observe(time.Since(start))
+		if deaths.Load() > 0 {
+			st.transport.Add(1)
+			return
+		}
+		st.ok.Add(1)
 	}
 
 	drive(st, concurrency, rate, duration, fire)
@@ -540,6 +734,16 @@ func runClient(c *client.Client, reqs []server.DecideRequest,
 			st.itemErrs.Add(1)
 		} else {
 			st.decisions.Add(1)
+			switch v.Transport {
+			case client.TransportStream:
+				st.tStream.Add(1)
+			case client.TransportHTTPBinary:
+				st.tBinary.Add(1)
+			case client.TransportLocal:
+				st.tLocal.Add(1)
+			default:
+				st.tJSON.Add(1)
+			}
 			switch v.Response.Provenance {
 			case offload.ProvenanceLearned:
 				st.learned.Add(1)
@@ -637,11 +841,19 @@ func drive(st *stats, concurrency, rate int, duration time.Duration, fire func()
 // fallback runtime mirrors hybridseld's defaults (same platform, thread
 // count and kernel subset), so degraded verdicts match what the daemon
 // would have answered.
-func newResilientClient(baseURL, kernels string, noFallback, binary bool, seed int64) (*client.Client, error) {
+func newResilientClient(baseURL, kernels string, noFallback, binary, stream bool,
+	streamAddr string, streamConns int, seed int64) (*client.Client, error) {
 	cfg := client.Config{BaseURL: baseURL, Seed: seed}
 	if binary {
 		params := polybenchParams(kernels)
 		cfg.Binary = true
+		cfg.RegionParams = func(region string) []string { return params[region] }
+	}
+	if stream {
+		params := polybenchParams(kernels)
+		cfg.Stream = true
+		cfg.StreamAddr = streamAddr
+		cfg.StreamConns = streamConns
 		cfg.RegionParams = func(region string) []string { return params[region] }
 	}
 	if !noFallback {
@@ -673,6 +885,10 @@ func reportClient(c *client.Client, w io.Writer) {
 		m.Retries, m.Hedges, m.HedgeWins, m.Fallbacks, m.Coalesced)
 	fmt.Fprintf(w, "breaker      %s (opened %d times), %d retry-after waits honored\n",
 		m.BreakerState, m.BreakerOpened, m.RetryAfterHonored)
+	if m.StreamCalls+m.StreamFallbacks+m.StreamReconnects+m.StreamDowngrades > 0 {
+		fmt.Fprintf(w, "stream       %d calls, %d fallbacks to HTTP, %d reconnects, %d downgrades\n",
+			m.StreamCalls, m.StreamFallbacks, m.StreamReconnects, m.StreamDowngrades)
+	}
 }
 
 // encodeCall builds the request body starting at ring index i: the
@@ -739,6 +955,9 @@ func (st *stats) report(w io.Writer) {
 			r, h, fb, st.coalesced.Load())
 	}
 	fmt.Fprintf(w, "decisions    %d (%.0f/s)", st.decisions.Load(), st.decisionsPerSec())
+	if tb := st.transportBreakdown(); tb != "" {
+		fmt.Fprintf(w, " [%s]", tb)
+	}
 	if e := st.itemErrs.Load(); e > 0 {
 		fmt.Fprintf(w, ", %d item errors", e)
 	}

@@ -107,7 +107,7 @@ func TestClientModeCompletesUnderFaults(t *testing.T) {
 	}
 	proxy.SetFaults(sc.Steps[0].Faults)
 
-	c, err := newResilientClient("http://"+paddr, "mvt1", false, false, 1)
+	c, err := newResilientClient("http://"+paddr, "mvt1", false, false, false, "", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,15 @@ const (
 	ProvenanceFallback Provenance = "fallback"
 )
 
+// Transport values carried on Verdict: which encoding/transport served
+// it. Local marks fallback verdicts served in-process.
+const (
+	TransportStream     = "stream"
+	TransportHTTPBinary = "http-binary"
+	TransportHTTPJSON   = "http-json"
+	TransportLocal      = "local"
+)
+
 // Verdict is a decision with its delivery story. Response.Verdict is
 // the chosen target's registry ID ("cpu/base", "gpu/prev", ...; "split"
 // for a cooperative split) and Response.Candidates the full ranking, so
@@ -71,6 +80,10 @@ type Verdict struct {
 	// Coalesced marks a verdict served by another caller's identical
 	// in-flight request rather than a network call of its own.
 	Coalesced bool
+	// Transport says which transport served the verdict (stream,
+	// http-binary, http-json, or local for fallback verdicts), so
+	// callers and load gates can attribute throughput per transport.
+	Transport string
 }
 
 // ErrCircuitOpen reports that the breaker rejected the call and no
@@ -153,6 +166,24 @@ type Config struct {
 	// vectors. Without the hook, frames carry named bindings, which is
 	// still far cheaper than JSON.
 	RegionParams func(region string) []string
+
+	// Stream routes decide-only single requests over a small pool of
+	// persistent multiplexed frame-stream connections (StreamConns of
+	// them, automatically redialed with backoff), falling back to HTTP
+	// inside the same attempt whenever a stream connection is dead,
+	// drained, or mid-reconnect — a dying connection costs latency,
+	// never a verdict. An endpoint that does not speak the stream
+	// dialect (version skew, refused upgrade) latches a sticky
+	// downgrade to HTTP framing, mirroring the binary→JSON ladder.
+	// Execute and batch requests always use HTTP.
+	Stream bool
+	// StreamAddr is the daemon's raw TCP stream listener
+	// (hybridseld -stream-addr). Empty negotiates the stream over the
+	// HTTP port via Upgrade on GET /v1/stream.
+	StreamAddr string
+	// StreamConns is the stream connection pool size. 0 selects
+	// DefaultStreamConns.
+	StreamConns int
 }
 
 // Client is a resilient hybridseld client. Safe for concurrent use.
@@ -167,6 +198,10 @@ type Client struct {
 	// wireDown latches a sticky downgrade from binary frames to JSON
 	// after the peer proves it does not speak the frame protocol.
 	wireDown atomic.Bool
+	// streamDown latches the analogous sticky downgrade from the
+	// stream transport to HTTP framing.
+	streamDown atomic.Bool
+	spool      *streamPool
 
 	jmu sync.Mutex
 	rng *rand.Rand
@@ -237,13 +272,21 @@ func New(cfg Config) (*Client, error) {
 	if cfg.BatchWindow > 0 {
 		c.batcher = newBatcher(c, cfg.BatchWindow, cfg.MaxBatch)
 	}
+	if cfg.Stream {
+		c.spool = newStreamPool(c)
+	}
 	return c, nil
 }
 
-// Close stops the background batcher, if any. In-flight calls finish.
+// Close stops the background batcher and tears down any pooled stream
+// connections. In-flight calls finish (stream in-flight fail over to
+// HTTP via the normal retry path).
 func (c *Client) Close() {
 	if c.batcher != nil {
 		c.batcher.close()
+	}
+	if c.spool != nil {
+		c.spool.close()
 	}
 }
 
@@ -330,6 +373,10 @@ func (c *Client) decideRemoteOrFallback(ctx context.Context, req server.DecideRe
 	if c.wireEnabled() {
 		p.wire = c.encodeWireSingle(req)
 	}
+	if !req.Execute && c.streamEnabled() {
+		wr := c.toWireRequest(req)
+		p.wreq = &wr
+	}
 	res, hedged, attempts, rerr := c.roundTrip(ctx, p, !req.Execute)
 	if rerr == nil {
 		var resp server.DecideResponseV2
@@ -343,7 +390,7 @@ func (c *Client) decideRemoteOrFallback(ctx context.Context, req server.DecideRe
 			prov = ProvenanceHedged
 		}
 		c.met.remoteOK.Add(1)
-		return &Verdict{Response: resp, Provenance: prov, Attempts: attempts}, nil
+		return &Verdict{Response: resp, Provenance: prov, Attempts: attempts, Transport: res.transport}, nil
 	}
 	var perm *permanentError
 	if errors.As(rerr, &perm) {
@@ -395,7 +442,7 @@ func (c *Client) decideBatch(ctx context.Context, reqs []server.DecideRequest) (
 		slot[i] = u
 	}
 
-	results, prov, attempts, err := c.batchRemoteOrFallback(ctx, unique, canHedge)
+	results, prov, transport, attempts, err := c.batchRemoteOrFallback(ctx, unique, canHedge)
 	if err != nil {
 		return nil, err
 	}
@@ -406,6 +453,7 @@ func (c *Client) decideBatch(ctx context.Context, reqs []server.DecideRequest) (
 			Provenance: prov,
 			Attempts:   attempts,
 			Coalesced:  slot[i] != i && i > 0 && sameSlotEarlier(slot, i),
+			Transport:  transport,
 		}
 	}
 	return out, nil
@@ -424,12 +472,12 @@ func sameSlotEarlier(slot []int, i int) bool {
 
 // batchRemoteOrFallback sends one batched call, degrading every item to
 // the fallback runtime if the remote is unavailable.
-func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.DecideRequest, canHedge bool) ([]server.DecideResponseV2, Provenance, int, error) {
+func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.DecideRequest, canHedge bool) ([]server.DecideResponseV2, Provenance, string, int, error) {
 	body, err := json.Marshal(struct {
 		Requests []server.DecideRequest `json:"requests"`
 	}{unique})
 	if err != nil {
-		return nil, "", 0, fmt.Errorf("client: encode batch: %w", err)
+		return nil, "", "", 0, fmt.Errorf("client: encode batch: %w", err)
 	}
 	p := payload{json: body, batch: true}
 	if c.wireEnabled() {
@@ -446,12 +494,12 @@ func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.Deci
 		} else {
 			var br server.BatchResponseV2
 			if err := json.Unmarshal(res.data, &br); err != nil {
-				return nil, "", 0, fmt.Errorf("client: decode batch response: %w", err)
+				return nil, "", "", 0, fmt.Errorf("client: decode batch response: %w", err)
 			}
 			results = br.Results
 		}
 		if len(results) != len(unique) {
-			return nil, "", 0, fmt.Errorf("client: batch returned %d results for %d requests",
+			return nil, "", "", 0, fmt.Errorf("client: batch returned %d results for %d requests",
 				len(results), len(unique))
 		}
 		prov := ProvenanceRemote
@@ -459,21 +507,21 @@ func (c *Client) batchRemoteOrFallback(ctx context.Context, unique []server.Deci
 			prov = ProvenanceHedged
 		}
 		c.met.remoteOK.Add(1)
-		return results, prov, attempts, nil
+		return results, prov, res.transport, attempts, nil
 	}
 	var perm *permanentError
 	if errors.As(rerr, &perm) {
-		return nil, "", 0, rerr
+		return nil, "", "", 0, rerr
 	}
 	results := make([]server.DecideResponseV2, len(unique))
 	for i, req := range unique {
 		v, ferr := c.fallbackOne(req, attempts)
 		if ferr != nil {
-			return nil, "", 0, fmt.Errorf("%w (fallback: %w)", rerr, ferr)
+			return nil, "", "", 0, fmt.Errorf("%w (fallback: %w)", rerr, ferr)
 		}
 		results[i] = v.Response
 	}
-	return results, ProvenanceFallback, attempts, nil
+	return results, ProvenanceFallback, TransportLocal, attempts, nil
 }
 
 // fallbackOne serves one verdict from the in-process runtime. Item-level
@@ -510,7 +558,7 @@ func (c *Client) fallbackOne(req server.DecideRequest, attempts int) (*Verdict, 
 		resp.DecisionNanos = out.DecisionOverhead.Nanoseconds()
 	}
 	c.met.fallbacks.Add(1)
-	return &Verdict{Response: resp, Provenance: ProvenanceFallback, Attempts: attempts}, nil
+	return &Verdict{Response: resp, Provenance: ProvenanceFallback, Attempts: attempts, Transport: TransportLocal}, nil
 }
 
 // ------------------------------------------------------------ transport --
@@ -676,11 +724,22 @@ func (c *Client) hedgeDelay(canHedge bool) time.Duration {
 	return p99
 }
 
-// attempt is one HTTP POST /v2/decide — a JSON body, or a frame body
-// when binary mode is on and the peer hasn't been demoted to JSON.
+// attempt is one try at the daemon: the stream transport first when
+// enabled for this request, then HTTP POST /v2/decide — a JSON body, or
+// a frame body when binary mode is on and the peer hasn't been demoted
+// to JSON. A stream failure at the transport level (dead connection,
+// Goaway, reconnect backoff) falls through to HTTP inside this same
+// attempt, so connection death never costs a verdict — the in-flight
+// request fails over immediately.
 func (c *Client) attempt(ctx context.Context, p payload) (rtResult, *callErr) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
+	if p.wreq != nil && c.streamEnabled() {
+		if res, cerr, resolved := c.streamAttempt(actx, p); resolved {
+			return res, cerr
+		}
+		c.met.streamFallbacks.Add(1)
+	}
 	body, contentType := p.json, "application/json"
 	useWire := p.wire != nil && !c.wireDown.Load()
 	if useWire {
@@ -714,13 +773,13 @@ func (c *Client) attempt(ctx context.Context, p payload) (rtResult, *callErr) {
 	if resp.StatusCode == http.StatusOK {
 		c.lat.observe(time.Since(start))
 		if !useWire {
-			return rtResult{data: data}, nil
+			return rtResult{data: data, transport: TransportHTTPJSON}, nil
 		}
 		fr, cerr := c.decodeWireOK(p, data, resp.Header.Get("Content-Type"))
 		if cerr != nil {
 			return rtResult{}, cerr
 		}
-		return rtResult{frame: fr}, nil
+		return rtResult{frame: fr, transport: TransportHTTPBinary}, nil
 	}
 	// Classify on the envelope's structured code when the daemon sent
 	// one; the HTTP status is the fallback for proxies and old daemons.

@@ -28,6 +28,11 @@ type metrics struct {
 	wireCalls      atomic.Uint64
 	wireDowngrades atomic.Uint64
 
+	streamCalls      atomic.Uint64
+	streamFallbacks  atomic.Uint64
+	streamReconnects atomic.Uint64
+	streamDowngrades atomic.Uint64
+
 	breakerOpened   atomic.Uint64
 	breakerHalfOpen atomic.Uint64
 	breakerClosed   atomic.Uint64
@@ -84,6 +89,16 @@ type Metrics struct {
 	// answered frames with something that is not the frame protocol.
 	WireCalls      uint64
 	WireDowngrades uint64
+	// StreamCalls counts decides sent over the stream transport;
+	// StreamFallbacks counts attempts that fell through to HTTP after a
+	// stream transport failure (dead connection, Goaway, backoff);
+	// StreamReconnects counts pool slots redialed after a connection
+	// died; StreamDowngrades counts sticky downgrades to HTTP framing
+	// after the peer proved it does not speak the stream dialect.
+	StreamCalls      uint64
+	StreamFallbacks  uint64
+	StreamReconnects uint64
+	StreamDowngrades uint64
 	// BreakerOpened/HalfOpen/Closed count transitions into each state;
 	// BreakerState is the state at snapshot time.
 	BreakerOpened   uint64
@@ -110,6 +125,10 @@ func (m *metrics) snapshot(state BreakerState) Metrics {
 		RetryAfterHonored: m.retryAfterHonored.Load(),
 		WireCalls:         m.wireCalls.Load(),
 		WireDowngrades:    m.wireDowngrades.Load(),
+		StreamCalls:       m.streamCalls.Load(),
+		StreamFallbacks:   m.streamFallbacks.Load(),
+		StreamReconnects:  m.streamReconnects.Load(),
+		StreamDowngrades:  m.streamDowngrades.Load(),
 		BreakerOpened:     m.breakerOpened.Load(),
 		BreakerHalfOpen:   m.breakerHalfOpen.Load(),
 		BreakerClosed:     m.breakerClosed.Load(),
@@ -146,6 +165,10 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	counter("hybridselc_retry_after_honored_total", "Backoffs stretched to a server Retry-After.", m.RetryAfterHonored)
 	counter("hybridselc_wire_calls_total", "Attempts sent in the binary frame format.", m.WireCalls)
 	counter("hybridselc_wire_downgrades_total", "Sticky downgrades from binary frames to JSON.", m.WireDowngrades)
+	counter("hybridselc_stream_calls_total", "Decides sent over the stream transport.", m.StreamCalls)
+	counter("hybridselc_stream_fallbacks_total", "Attempts that failed over from stream to HTTP.", m.StreamFallbacks)
+	counter("hybridselc_stream_reconnects_total", "Stream pool slots redialed after connection death.", m.StreamReconnects)
+	counter("hybridselc_stream_downgrades_total", "Sticky downgrades from stream transport to HTTP.", m.StreamDowngrades)
 	counter("hybridselc_breaker_open_total", "Circuit breaker transitions to open.", m.BreakerOpened)
 	counter("hybridselc_breaker_half_open_total", "Circuit breaker transitions to half-open.", m.BreakerHalfOpen)
 	counter("hybridselc_breaker_close_total", "Circuit breaker transitions to closed.", m.BreakerClosed)

@@ -24,19 +24,23 @@ import (
 
 // payload carries one request body in both encodings. wire is nil when
 // binary mode is off (or the request was built after a downgrade);
-// batch records which frame type a 200 must carry.
+// batch records which frame type a 200 must carry; wreq is the decoded
+// request for the stream transport (decide-only singles with streaming
+// on), which routes the attempt onto a persistent connection first.
 type payload struct {
 	json  []byte
 	wire  []byte
+	wreq  *wire.Request
 	batch bool
 }
 
 // rtResult is one successful round trip: the raw body for a JSON
-// attempt, the decoded frame for a binary one (exactly one of the two
-// is set).
+// attempt, the decoded frame for a binary or stream one (exactly one of
+// the two is set). transport tags which path served it.
 type rtResult struct {
-	data  []byte
-	frame *wire.Frame
+	data      []byte
+	frame     *wire.Frame
+	transport string
 }
 
 // wireEnabled reports whether the next request should carry a frame

@@ -1,0 +1,340 @@
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the raw-TCP half of faultnet: a byte-level proxy for
+// long-lived connections (the stream transport) that the HTTP proxy
+// cannot exercise. Faults are drawn per accepted connection from one
+// seeded RNG in accept order — each connection consumes exactly the
+// same number of draws whatever the configuration, so (seed,
+// accept-order) → fault mapping is stable, mirroring the HTTP proxy's
+// determinism contract.
+
+// TCPFaults configures the raw-TCP proxy. All rates are per-connection
+// probabilities drawn once at accept time.
+type TCPFaults struct {
+	// ResetRate is the probability a connection gets a scheduled
+	// mid-stream reset: after roughly ResetAfterBytes of
+	// upstream→client traffic, both sides are hard-closed (RST).
+	ResetRate float64
+	// ResetAfterBytes positions the scheduled reset. Zero means a
+	// seeded offset within the first 2 KiB, so the kill lands
+	// mid-stream rather than before the handshake.
+	ResetAfterBytes int64
+	// TruncateRate is the probability (among reset connections) that
+	// the chunk straddling the kill offset is partially delivered
+	// before the close — the client sees a torn frame, then EOF —
+	// instead of a cut at a chunk boundary.
+	TruncateRate float64
+	// StallRate is the probability a connection's upstream→client
+	// relay pauses for Stall before the first chunk is delivered.
+	StallRate float64
+	Stall     time.Duration
+	// Partition refuses the upstream dial outright: the client sees
+	// an accepted connection that dies before the handshake.
+	Partition bool
+}
+
+// Active reports whether any fault is switched on.
+func (f TCPFaults) Active() bool {
+	return f.ResetRate > 0 || f.TruncateRate > 0 ||
+		(f.StallRate > 0 && f.Stall > 0) || f.Partition
+}
+
+// TCPStats is a point-in-time snapshot of the TCP proxy's counters.
+type TCPStats struct {
+	Conns       uint64 // connections accepted
+	Relayed     uint64 // connections that completed relay without an injected fault
+	Resets      uint64 // scheduled mid-stream resets fired
+	Truncations uint64 // resets that delivered a torn chunk first
+	Stalls      uint64 // first-chunk stalls applied
+	Partitions  uint64 // connections refused by partition
+	Killed      uint64 // connections hard-closed by KillActive
+	UpstreamErr uint64 // upstream dial failures
+	BytesUp     uint64 // client→upstream bytes relayed
+	BytesDown   uint64 // upstream→client bytes relayed
+}
+
+// TCPProxy relays raw TCP connections to a fixed upstream address,
+// injecting connection-level faults. Create with NewTCP, point stream
+// clients at the address returned by Start.
+type TCPProxy struct {
+	target string // upstream host:port
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults TCPFaults
+	active map[*tcpRelay]struct{}
+
+	conns, relayed, resets, truncations atomic.Uint64
+	stalls, partitions, killed          atomic.Uint64
+	upstreamErr, bytesUp, bytesDown     atomic.Uint64
+
+	listener net.Listener
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// tcpRelay is one in-flight proxied connection pair.
+type tcpRelay struct {
+	client, upstream net.Conn
+}
+
+// hardClose drops both sides immediately. SetLinger(0) turns the close
+// into a TCP RST so the peer observes a reset, not a graceful FIN.
+func (r *tcpRelay) hardClose() {
+	for _, c := range []net.Conn{r.client, r.upstream} {
+		if c == nil {
+			continue
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+		_ = c.Close()
+	}
+}
+
+// close tears both sides down gracefully (FIN): bytes already written
+// stay readable by the peer, which keeps injected truncations
+// byte-exact instead of racing an RST against the peer's read.
+func (r *tcpRelay) close() {
+	for _, c := range []net.Conn{r.client, r.upstream} {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+}
+
+// NewTCP builds a raw-TCP proxy forwarding to target (host:port), with
+// every probabilistic fault decision drawn from a RNG seeded with seed.
+func NewTCP(target string, seed int64) *TCPProxy {
+	return &TCPProxy{
+		target: target,
+		rng:    rand.New(rand.NewSource(seed)),
+		active: make(map[*tcpRelay]struct{}),
+	}
+}
+
+// SetFaults swaps the active fault configuration.
+func (p *TCPProxy) SetFaults(f TCPFaults) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// Faults returns the active fault configuration.
+func (p *TCPProxy) Faults() TCPFaults {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
+
+// Stats returns a point-in-time snapshot of the proxy's counters.
+func (p *TCPProxy) Stats() TCPStats {
+	return TCPStats{
+		Conns:       p.conns.Load(),
+		Relayed:     p.relayed.Load(),
+		Resets:      p.resets.Load(),
+		Truncations: p.truncations.Load(),
+		Stalls:      p.stalls.Load(),
+		Partitions:  p.partitions.Load(),
+		Killed:      p.killed.Load(),
+		UpstreamErr: p.upstreamErr.Load(),
+		BytesUp:     p.bytesUp.Load(),
+		BytesDown:   p.bytesDown.Load(),
+	}
+}
+
+// Start binds addr (":0" for an ephemeral port) and serves the proxy on
+// a background goroutine. It returns the bound address.
+func (p *TCPProxy) Start(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	p.listener = l
+	p.wg.Add(1)
+	go p.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// KillActive hard-closes every connection currently being relayed and
+// returns how many were killed. This is the deterministic mid-stream
+// kill for chaos tests: no rate to tune, every in-flight stream dies
+// right now.
+func (p *TCPProxy) KillActive() int {
+	p.mu.Lock()
+	relays := make([]*tcpRelay, 0, len(p.active))
+	for r := range p.active {
+		relays = append(relays, r)
+	}
+	p.mu.Unlock()
+	for _, r := range relays {
+		r.hardClose()
+	}
+	p.killed.Add(uint64(len(relays)))
+	return len(relays)
+}
+
+// Close stops the listener and tears down in-flight relays.
+func (p *TCPProxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	if p.listener != nil {
+		err = p.listener.Close()
+	}
+	p.KillActive()
+	p.wg.Wait()
+	return err
+}
+
+// draw consumes one connection's random numbers under the lock. Every
+// connection consumes exactly four draws whatever the configuration.
+func (p *TCPProxy) draw() (f TCPFaults, reset, trunc, stall, off float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f = p.faults
+	reset = p.rng.Float64()
+	trunc = p.rng.Float64()
+	stall = p.rng.Float64()
+	off = p.rng.Float64()
+	return f, reset, trunc, stall, off
+}
+
+func (p *TCPProxy) acceptLoop(l net.Listener) {
+	defer p.wg.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		p.conns.Add(1)
+		// Draw in accept order, before the goroutine races: the Nth
+		// accepted connection always gets the Nth fault decision.
+		f, reset, trunc, stall, off := p.draw()
+		p.wg.Add(1)
+		go p.serve(c, f, reset, trunc, stall, off)
+	}
+}
+
+func (p *TCPProxy) serve(client net.Conn, f TCPFaults, reset, trunc, stall, off float64) {
+	defer p.wg.Done()
+	if f.Partition {
+		p.partitions.Add(1)
+		_ = client.Close()
+		return
+	}
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		p.upstreamErr.Add(1)
+		_ = client.Close()
+		return
+	}
+	r := &tcpRelay{client: client, upstream: up}
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		r.hardClose()
+		return
+	}
+	p.active[r] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.active, r)
+		p.mu.Unlock()
+		r.close()
+	}()
+
+	// The scheduled reset lands in the downstream direction: responses
+	// are where a torn frame is observable as a lost-in-flight verdict.
+	resetAt := int64(-1)
+	if reset < f.ResetRate {
+		resetAt = f.ResetAfterBytes
+		if resetAt <= 0 {
+			resetAt = 1 + int64(off*2047)
+		}
+	}
+	stallFirst := time.Duration(0)
+	if f.Stall > 0 && stall < f.StallRate {
+		stallFirst = f.Stall
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// client→upstream: plain relay, no faults.
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := client.Read(buf)
+			if n > 0 {
+				p.bytesUp.Add(uint64(n))
+				if _, werr := up.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		// Client side done: unblock the downstream pump too, so a
+		// half-dead pair never lingers.
+		r.close()
+	}()
+
+	// upstream→client: the faulted direction.
+	faulted := p.pumpDown(r, resetAt, trunc < f.TruncateRate, stallFirst)
+	r.close()
+	wg.Wait()
+	if !faulted {
+		p.relayed.Add(1)
+	}
+}
+
+// pumpDown relays upstream→client, firing the scheduled reset (and
+// optional torn-chunk truncation) when the byte offset is crossed. It
+// reports whether a fault was injected.
+func (p *TCPProxy) pumpDown(r *tcpRelay, resetAt int64, truncate bool, stallFirst time.Duration) bool {
+	buf := make([]byte, 32<<10)
+	var relayed int64
+	first := true
+	for {
+		n, rerr := r.upstream.Read(buf)
+		if n > 0 {
+			if first && stallFirst > 0 {
+				p.stalls.Add(1)
+				time.Sleep(stallFirst)
+			}
+			first = false
+			chunk := buf[:n]
+			if resetAt >= 0 && relayed+int64(n) > resetAt {
+				p.resets.Add(1)
+				if truncate {
+					if keep := resetAt - relayed; keep > 0 {
+						p.truncations.Add(1)
+						p.bytesDown.Add(uint64(keep))
+						_, _ = r.client.Write(chunk[:keep])
+					}
+				}
+				return true
+			}
+			relayed += int64(n)
+			p.bytesDown.Add(uint64(n))
+			if _, werr := r.client.Write(chunk); werr != nil {
+				return false
+			}
+		}
+		if rerr != nil {
+			return false
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpUpstream starts a raw TCP server running handler on every accepted
+// connection and returns its address.
+func tcpUpstream(t *testing.T, handler func(net.Conn)) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go handler(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// tcpEchoUpstream echoes every byte back.
+func tcpEchoUpstream(t *testing.T) string {
+	return tcpUpstream(t, func(c net.Conn) {
+		defer c.Close()
+		_, _ = io.Copy(c, c)
+	})
+}
+
+// burstUpstream writes n bytes of 'x' on connect, then closes.
+func burstUpstream(t *testing.T, n int) string {
+	return tcpUpstream(t, func(c net.Conn) {
+		defer c.Close()
+		_, _ = c.Write(bytes.Repeat([]byte{'x'}, n))
+	})
+}
+
+// burstHoldUpstream writes n bytes of 'x' on connect, then holds the
+// connection open until the peer goes away — keeps a relay in-flight
+// for KillActive to find.
+func burstHoldUpstream(t *testing.T, n int) string {
+	return tcpUpstream(t, func(c net.Conn) {
+		defer c.Close()
+		if _, err := c.Write(bytes.Repeat([]byte{'x'}, n)); err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, c)
+	})
+}
+
+func startTCPProxy(t *testing.T, target string, seed int64) *TCPProxy {
+	t.Helper()
+	p := NewTCP(target, seed)
+	if _, err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+func dialProxy(t *testing.T, p *TCPProxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.listener.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	return c
+}
+
+// TestTCPProxyRelays: with no faults configured, the proxy is a
+// transparent byte pipe in both directions.
+func TestTCPProxyRelays(t *testing.T) {
+	p := startTCPProxy(t, tcpEchoUpstream(t), 1)
+	c := dialProxy(t, p)
+
+	msg := []byte("hello, stream")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Resets != 0 || st.BytesUp < uint64(len(msg)) || st.BytesDown < uint64(len(msg)) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTCPProxyScheduledResetTruncates: a certain reset at byte 8 with
+// truncation delivers exactly 8 bytes of the straddling chunk, then the
+// connection dies — the torn-frame case a stream client must survive.
+func TestTCPProxyScheduledResetTruncates(t *testing.T) {
+	p := startTCPProxy(t, burstUpstream(t, 64), 1)
+	p.SetFaults(TCPFaults{ResetRate: 1, ResetAfterBytes: 8, TruncateRate: 1})
+	c := dialProxy(t, p)
+
+	got, err := io.ReadAll(c)
+	if err == nil && len(got) == 64 {
+		t.Fatal("64-byte burst survived a scheduled reset at byte 8")
+	}
+	if len(got) != 8 {
+		t.Fatalf("read %d bytes before the reset, want exactly 8", len(got))
+	}
+	st := p.Stats()
+	if st.Resets != 1 || st.Truncations != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTCPProxyScheduledResetChunkBoundary: without truncation the kill
+// drops the whole straddling chunk — the client sees a cut at a chunk
+// boundary, not a torn frame.
+func TestTCPProxyScheduledResetChunkBoundary(t *testing.T) {
+	p := startTCPProxy(t, burstUpstream(t, 64), 1)
+	p.SetFaults(TCPFaults{ResetRate: 1, ResetAfterBytes: 8})
+	c := dialProxy(t, p)
+
+	got, _ := io.ReadAll(c)
+	if len(got) != 0 {
+		t.Fatalf("read %d bytes, want 0 (whole chunk dropped)", len(got))
+	}
+	st := p.Stats()
+	if st.Resets != 1 || st.Truncations != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTCPProxyDeterministicDraws: two proxies with the same seed apply
+// the same per-connection fault pattern in accept order.
+func TestTCPProxyDeterministicDraws(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		p := startTCPProxy(t, burstUpstream(t, 64), seed)
+		p.SetFaults(TCPFaults{ResetRate: 0.5, ResetAfterBytes: 8})
+		out := make([]bool, 12)
+		for i := range out {
+			c := dialProxy(t, p)
+			got, _ := io.ReadAll(c)
+			out[i] = len(got) == 64 // survived
+			_ = c.Close()
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	if !bytes.Equal(boolsToBytes(a), boolsToBytes(b)) {
+		t.Fatalf("same seed, different fault pattern:\n a=%v\n b=%v", a, b)
+	}
+	survived := 0
+	for _, ok := range a {
+		if ok {
+			survived++
+		}
+	}
+	if survived == 0 || survived == len(a) {
+		t.Fatalf("0.5 reset rate produced a degenerate pattern: %v", a)
+	}
+}
+
+func boolsToBytes(bs []bool) []byte {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// TestTCPProxyStall delays the first downstream chunk.
+func TestTCPProxyStall(t *testing.T) {
+	p := startTCPProxy(t, burstUpstream(t, 16), 1)
+	p.SetFaults(TCPFaults{StallRate: 1, Stall: 60 * time.Millisecond})
+	c := dialProxy(t, p)
+
+	start := time.Now()
+	got := make([]byte, 16)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("first byte after %v, want a ~60ms stall", d)
+	}
+	if st := p.Stats(); st.Stalls != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTCPProxyPartition: the upstream dial is refused outright; the
+// accepted connection dies before any byte.
+func TestTCPProxyPartition(t *testing.T) {
+	p := startTCPProxy(t, tcpEchoUpstream(t), 1)
+	p.SetFaults(TCPFaults{Partition: true})
+	// Dial by hand: a partitioned connection may be torn down so fast
+	// the dial itself fails, which is an equally valid observation.
+	c, err := net.DialTimeout("tcp", p.listener.Addr().String(), 2*time.Second)
+	if err == nil {
+		_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+		if got, _ := io.ReadAll(c); len(got) != 0 {
+			t.Fatalf("partitioned connection delivered %d bytes", len(got))
+		}
+		_ = c.Close()
+	}
+	if st := p.Stats(); st.Partitions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTCPProxyKillActive hard-closes in-flight relays on demand — the
+// deterministic mid-stream kill used by the stream chaos suite.
+func TestTCPProxyKillActive(t *testing.T) {
+	p := startTCPProxy(t, burstHoldUpstream(t, 4), 1)
+	c := dialProxy(t, p)
+
+	// Wait for the relay to establish (first bytes arrive).
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.KillActive() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no active relay to kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Read(got); err == nil {
+		t.Fatal("killed connection still readable")
+	}
+	if st := p.Stats(); st.Killed == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

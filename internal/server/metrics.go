@@ -29,6 +29,13 @@ type serverMetrics struct {
 	inflight atomic.Int64
 	shed     atomic.Uint64
 
+	// Stream transport plane.
+	streamConns     atomic.Int64  // active stream connections
+	streamInflight  atomic.Int64  // streams dispatched, not yet answered
+	streamRequests  atomic.Uint64 // stream request frames received
+	streamWrites    atomic.Uint64 // write syscalls on stream conns
+	streamCoalesced atomic.Uint64 // response frames that rode a shared write
+
 	mu       sync.Mutex
 	requests map[string]uint64 // "path\x00code" -> count
 
@@ -91,6 +98,16 @@ func (m *serverMetrics) write(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# TYPE hybridseld_admission_queue_used gauge\nhybridseld_admission_queue_used %d\n", len(s.tickets))
 	fmt.Fprintf(w, "# HELP hybridseld_admission_queue_capacity Admission ticket capacity (concurrency + queue depth).\n")
 	fmt.Fprintf(w, "# TYPE hybridseld_admission_queue_capacity gauge\nhybridseld_admission_queue_capacity %d\n", cap(s.tickets))
+	fmt.Fprintf(w, "# HELP hybridsel_stream_connections Active stream-transport connections.\n")
+	fmt.Fprintf(w, "# TYPE hybridsel_stream_connections gauge\nhybridsel_stream_connections %d\n", m.streamConns.Load())
+	fmt.Fprintf(w, "# HELP hybridsel_stream_inflight Stream requests dispatched but not yet answered.\n")
+	fmt.Fprintf(w, "# TYPE hybridsel_stream_inflight gauge\nhybridsel_stream_inflight %d\n", m.streamInflight.Load())
+	fmt.Fprintf(w, "# HELP hybridsel_stream_requests_total Stream request frames received.\n")
+	fmt.Fprintf(w, "# TYPE hybridsel_stream_requests_total counter\nhybridsel_stream_requests_total %d\n", m.streamRequests.Load())
+	fmt.Fprintf(w, "# HELP hybridsel_stream_writes_total Write syscalls on stream connections.\n")
+	fmt.Fprintf(w, "# TYPE hybridsel_stream_writes_total counter\nhybridsel_stream_writes_total %d\n", m.streamWrites.Load())
+	fmt.Fprintf(w, "# HELP hybridsel_stream_coalesced_total Response frames that shared a coalesced write.\n")
+	fmt.Fprintf(w, "# TYPE hybridsel_stream_coalesced_total counter\nhybridsel_stream_coalesced_total %d\n", m.streamCoalesced.Load())
 	fmt.Fprintf(w, "# HELP hybridseld_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE hybridseld_uptime_seconds gauge\nhybridseld_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
 

@@ -86,6 +86,10 @@ type Config struct {
 	// MaxBatch caps the number of requests in one batched /v1/decide
 	// body. 0 selects DefaultMaxBatch.
 	MaxBatch int
+	// StreamCredit bounds in-flight streams per stream connection (the
+	// flow-control window granted on connect). 0 selects
+	// DefaultStreamCredit.
+	StreamCredit int
 	// Logger receives structured request logs (nil = slog.Default).
 	Logger *slog.Logger
 
@@ -118,6 +122,7 @@ type Server struct {
 	draining atomic.Bool
 	reqSeq   atomic.Uint64
 	met      serverMetrics
+	streams  streamRegistry
 
 	// holdForTest, when set, runs while an execution slot is held —
 	// lets tests saturate the queue deterministically.
@@ -159,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /v1/decide", s.admit(s.deprecated(s.handleDecideV1)))
 	s.mux.HandleFunc("POST /v2/decide", s.admit(s.handleDecideV2))
+	s.mux.HandleFunc("GET /v1/stream", s.handleStreamUpgrade)
 	s.mux.HandleFunc("GET /v1/regions", s.instrument(s.handleRegions))
 	s.mux.HandleFunc("GET /v1/targets", s.instrument(s.handleTargets))
 	s.mux.HandleFunc("GET /v1/audit", s.instrument(s.handleAudit))
@@ -193,14 +199,18 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains the server: health flips to 503 so load balancers stop
-// sending, no new request is admitted, and in-flight requests run to
-// completion (bounded by ctx).
+// sending, no new request is admitted, stream connections receive Goaway
+// and finish their in-flight streams, and in-flight HTTP requests run to
+// completion (all bounded by ctx).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	if s.httpSrv == nil {
-		return nil
+	serr := s.shutdownStreams(ctx)
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
 	}
-	return s.httpSrv.Shutdown(ctx)
+	return serr
 }
 
 // Draining reports whether Shutdown has begun.

@@ -29,16 +29,52 @@ import (
 // frame. Any other mix (pipelined requests, batch frames) answers HTTP
 // 200 with matching response frames in order, per-item failures riding
 // inside them — the frame analogue of the JSON batch contract.
+//
+// The single-frame case is the hot path and stays allocation-lean: the
+// body reads into a pooled buffer, exactly one frame decodes (no frame
+// slice), and the response encodes into the same scratch with its
+// candidate slice recycled across requests.
 func (s *Server) handleDecideWire(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	sc := wireScratches.Get().(*wireScratch)
+	defer putWireScratch(sc)
+	body, err := appendBody(sc.body[:0], w, r)
+	sc.body = body
 	if err != nil {
 		wireError(w, http.StatusBadRequest, ErrCodeBadRequest, "read body: "+err.Error())
 		return
 	}
-	frames, err := wire.DecodeAll(body)
+	if len(body) == 0 {
+		wireError(w, http.StatusBadRequest, ErrCodeBadRequest, "decode frames: empty body")
+		return
+	}
+	first, n, err := wire.DecodeFrame(body)
 	if err != nil {
 		wireError(w, http.StatusBadRequest, ErrCodeBadRequest, "decode frames: "+err.Error())
 		return
+	}
+
+	if n == len(body) && first.Type == wire.TypeRequest {
+		out, ei := s.decideOneWire(r.Context(), first.Req)
+		if ei != nil {
+			wireError(w, ei.status, ei.Code, ei.Message)
+			return
+		}
+		resp := projectWireInto(first.Req.Region, out, nil, sc.cands[:0])
+		sc.enc = wire.AppendResponse(sc.enc[:0], &resp)
+		sc.cands = resp.Candidates[:0]
+		writeFrames(w, http.StatusOK, sc.enc)
+		return
+	}
+
+	frames := []*wire.Frame{first}
+	for rest := body[n:]; len(rest) > 0; {
+		fr, adv, err := wire.DecodeFrame(rest)
+		if err != nil {
+			wireError(w, http.StatusBadRequest, ErrCodeBadRequest, "decode frames: "+err.Error())
+			return
+		}
+		frames = append(frames, fr)
+		rest = rest[adv:]
 	}
 	for _, fr := range frames {
 		switch fr.Type {
@@ -56,22 +92,7 @@ func (s *Server) handleDecideWire(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if len(frames) == 1 && frames[0].Type == wire.TypeRequest {
-		out, ei := s.decideOneWire(r.Context(), frames[0].Req)
-		if ei != nil {
-			wireError(w, ei.status, ei.Code, ei.Message)
-			return
-		}
-		resp := projectWire(frames[0].Req.Region, out, nil)
-		buf := frameBufs.Get().(*[]byte)
-		b := wire.AppendResponse((*buf)[:0], &resp)
-		writeFrames(w, http.StatusOK, b)
-		putFrameBuf(buf, b)
-		return
-	}
-
-	buf := frameBufs.Get().(*[]byte)
-	b := (*buf)[:0]
+	b := sc.enc[:0]
 	for _, fr := range frames {
 		if fr.Type == wire.TypeRequest {
 			out, ei := s.decideOneWire(r.Context(), fr.Req)
@@ -83,8 +104,31 @@ func (s *Server) handleDecideWire(w http.ResponseWriter, r *http.Request) {
 		coalesced := s.decideWireBatch(r.Context(), fr.Reqs, results)
 		b = wire.AppendBatchResponse(b, coalesced, results)
 	}
+	sc.enc = b
 	writeFrames(w, http.StatusOK, b)
-	putFrameBuf(buf, b)
+}
+
+// appendBody reads the request body into dst (pre-sizing from
+// Content-Length when the client declared one), enforcing the same 16MB
+// cap as the JSON path.
+func appendBody(dst []byte, w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, 16<<20)
+	if n := r.ContentLength; n > 0 && n <= 16<<20 && int64(cap(dst)) < n {
+		dst = append(make([]byte, 0, int(n)), dst...)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := rd.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
 
 // decideOneWire is decideOne over a wire request. Slot-form bindings
@@ -200,6 +244,14 @@ func wireCoalesceKey(dst []byte, req *wire.Request) []byte {
 // projectWire renders one outcome (or per-item failure) as a response
 // payload, mirroring v2Response field for field.
 func projectWire(region string, out *offload.Outcome, ei *ErrorInfo) wire.Response {
+	return projectWireInto(region, out, ei, nil)
+}
+
+// projectWireInto is projectWire with a caller-recycled candidate
+// slice: hot paths (single-frame HTTP, stream workers) hand back the
+// previous response's slice so steady state does not allocate one per
+// decision. The returned Response aliases cands.
+func projectWireInto(region string, out *offload.Outcome, ei *ErrorInfo, cands []wire.Candidate) wire.Response {
 	if ei != nil {
 		return wire.Response{Region: region, Err: &wire.Error{
 			Code: ei.Code, Message: ei.Message, RetryAfterSeconds: ei.RetryAfter,
@@ -217,17 +269,17 @@ func projectWire(region string, out *offload.Outcome, ei *ErrorInfo) wire.Respon
 		ActualSeconds: d.ActualSeconds,
 		DecisionNanos: d.DecisionOverhead.Nanoseconds(),
 	}
-	if n := len(d.Candidates); n > 0 {
-		resp.Candidates = make([]wire.Candidate, n)
+	if len(d.Candidates) > 0 {
 		for i := range d.Candidates {
 			c := &d.Candidates[i]
-			resp.Candidates[i] = wire.Candidate{
+			cands = append(cands, wire.Candidate{
 				Target:      c.Target,
 				Kind:        c.Kind.String(),
 				PredSeconds: c.PredSeconds,
 				CalSeconds:  c.CalSeconds,
-			}
+			})
 		}
+		resp.Candidates = cands
 	}
 	return resp
 }
@@ -242,6 +294,29 @@ func putFrameBuf(buf *[]byte, b []byte) {
 		*buf = b[:0]
 		frameBufs.Put(buf)
 	}
+}
+
+// wireScratch is the per-request working set of the binary decide
+// path: body read buffer, response encode buffer, and the candidate
+// slice recycled between single-frame responses.
+type wireScratch struct {
+	body  []byte
+	enc   []byte
+	cands []wire.Candidate
+}
+
+var wireScratches = sync.Pool{New: func() any {
+	return &wireScratch{
+		body: make([]byte, 0, 2048),
+		enc:  make([]byte, 0, 2048),
+	}
+}}
+
+func putWireScratch(sc *wireScratch) {
+	if cap(sc.body) > maxPooledEncodeBuf || cap(sc.enc) > maxPooledEncodeBuf {
+		return
+	}
+	wireScratches.Put(sc)
 }
 
 func writeFrames(w http.ResponseWriter, code int, b []byte) {

@@ -51,6 +51,14 @@ func FuzzWireFrame(f *testing.F) {
 			re = AppendBatchResponse(nil, fr.Coalesced, fr.Resps)
 		case TypeError:
 			re = AppendError(nil, fr.Err)
+		case TypeStreamRequest:
+			re = AppendStreamRequest(nil, fr.StreamID, fr.Req)
+		case TypeStreamResponse:
+			re = AppendStreamResponse(nil, fr.StreamID, fr.Resp)
+		case TypeCredit:
+			re = AppendCredit(nil, fr.Credit)
+		case TypeGoaway:
+			re = AppendGoaway(nil, fr.Away)
 		default:
 			t.Fatalf("decoder returned unknown type %d", fr.Type)
 		}
@@ -87,6 +95,14 @@ func framesEqual(a, b *Frame) bool {
 			return AppendResponse(nil, f.Resp)
 		case TypeBatchResponse:
 			return AppendBatchResponse(nil, f.Coalesced, f.Resps)
+		case TypeStreamRequest:
+			return AppendStreamRequest(nil, f.StreamID, f.Req)
+		case TypeStreamResponse:
+			return AppendStreamResponse(nil, f.StreamID, f.Resp)
+		case TypeCredit:
+			return AppendCredit(nil, f.Credit)
+		case TypeGoaway:
+			return AppendGoaway(nil, f.Away)
 		default:
 			return AppendError(nil, f.Err)
 		}

@@ -161,16 +161,21 @@ type Error struct {
 	RetryAfterSeconds float64
 }
 
-// Frame is one decoded frame. Exactly the field matching Type is set.
+// Frame is one decoded frame. Exactly the field matching Type is set;
+// stream request/response frames additionally carry StreamID.
 type Frame struct {
 	Type byte
 
-	Req       *Request   // TypeRequest
+	Req       *Request   // TypeRequest, TypeStreamRequest
 	Reqs      []Request  // TypeBatchRequest
-	Resp      *Response  // TypeResponse
+	Resp      *Response  // TypeResponse, TypeStreamResponse
 	Err       *Error     // TypeError
 	Resps     []Response // TypeBatchResponse
 	Coalesced int        // TypeBatchResponse
+
+	StreamID uint64  // TypeStreamRequest, TypeStreamResponse
+	Credit   uint64  // TypeCredit
+	Away     *Goaway // TypeGoaway
 }
 
 // ---- Encoding ----
@@ -531,7 +536,18 @@ func DecodeFrame(data []byte) (*Frame, int, error) {
 	if plen > maxFrameLen || headerLen+int(plen) > len(data) {
 		return nil, 0, fmt.Errorf("%w: payload length %d exceeds body", ErrMalformed, plen)
 	}
-	r := &reader{b: data[headerLen : headerLen+int(plen)]}
+	f, err := decodePayload(typ, data[headerLen:headerLen+int(plen)])
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, headerLen + int(plen), nil
+}
+
+// decodePayload decodes one frame payload whose header has already been
+// validated. It is shared between DecodeFrame (whole-body decoding) and
+// StreamReader.Next (incremental connection reads).
+func decodePayload(typ byte, payload []byte) (*Frame, error) {
+	r := &reader{b: payload}
 	f := &Frame{Type: typ}
 	var err error
 	switch typ {
@@ -567,16 +583,24 @@ func DecodeFrame(data []byte) (*Frame, int, error) {
 		}
 	case TypeError:
 		f.Err, err = decodeErrorPayload(r)
+	case TypeStreamRequest:
+		f.StreamID, f.Req, err = decodeStreamRequestPayload(r)
+	case TypeStreamResponse:
+		f.StreamID, f.Resp, err = decodeStreamResponsePayload(r)
+	case TypeCredit:
+		f.Credit, err = r.uvarint()
+	case TypeGoaway:
+		f.Away, err = decodeGoawayPayload(r)
 	default:
 		err = fmt.Errorf("%w: unknown frame type %d", ErrMalformed, typ)
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if err := r.done(); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	return f, headerLen + int(plen), nil
+	return f, nil
 }
 
 // DecodeAll decodes a body of one or more back-to-back frames. It

@@ -3,7 +3,8 @@
 # end-to-end serving benchmarks, freezing the results into the benchmark
 # ledgers (BENCH_decide.json and BENCH_serve.json). The ledgers'
 # machine-independent ratios (compiled-vs-interpreted speedup,
-# allocation ratio, binary-vs-JSON serving throughput) are what
+# allocation ratio, binary-vs-JSON and stream-vs-JSON serving
+# throughput) are what
 # scripts/check.sh gates against; raw ns/op is recorded for the curious
 # but never compared across machines.
 set -eu
@@ -23,13 +24,16 @@ echo "== ledger written to $OUT =="
 awk '/"summary"/,/^  }/' "$OUT"
 
 echo "== serve benchmarks (benchtime $BENCHTIME) =="
-# End-to-end /v2/decide over a live HTTP server, JSON vs the binary
-# frame format, single and 64-item batched. The acceptance floor:
-# binary batched serving must decide at >=2x the JSON batched rate.
-go test -run '^$' -bench 'BenchmarkServe(JSON|Binary)(Single|Batch64)$' \
+# End-to-end decide serving over a live server: JSON vs the binary
+# frame format on /v2/decide (single and 64-item batched) plus the
+# persistent stream transport (single in-flight and 64 pipelined).
+# Acceptance floors: binary batched >=2x JSON batched, and stream
+# single >=3x JSON single — the headline of killing per-request HTTP
+# overhead on the decide path.
+go test -run '^$' -bench 'BenchmarkServe(JSON|Binary)(Single|Batch64)$|BenchmarkServeStream(Single|Pipelined64)$' \
 	-benchtime "$BENCHTIME" -benchmem . | tee /tmp/bench_serve.$$ || {
 	rm -f /tmp/bench_serve.$$; exit 1; }
-go run ./cmd/benchjson -out "$SERVE_OUT" -min-wire-speedup 2 </tmp/bench_serve.$$
+go run ./cmd/benchjson -out "$SERVE_OUT" -min-wire-speedup 2 -min-stream-speedup 3 </tmp/bench_serve.$$
 rm -f /tmp/bench_serve.$$
 echo "== ledger written to $SERVE_OUT =="
 awk '/"summary"/,/^  }/' "$SERVE_OUT"

@@ -36,6 +36,7 @@ go test -run '^$' -fuzz '^FuzzDecideBodyV2$' -fuzztime 10s ./internal/server/
 go test -run '^$' -fuzz '^FuzzTraceRead$' -fuzztime 10s ./internal/trace/
 go test -run '^$' -fuzz '^FuzzLearnSnapshot$' -fuzztime 10s ./internal/learn/
 go test -run '^$' -fuzz '^FuzzWireFrame$' -fuzztime 10s ./internal/wire/
+go test -run '^$' -fuzz '^FuzzStreamFrame$' -fuzztime 10s ./internal/wire/
 
 echo "== perf smoke: cached vs interpreted-model launch =="
 # The bar predates the compiled decision programs: a cached launch must
@@ -71,17 +72,19 @@ go test -run '^$' \
 
 echo "== serve ledger: parse + regression gate =="
 # Same idea for the serving benchmarks: the committed ledger must parse
-# and the binary frame format must stay meaningfully faster than JSON.
-# Short CI runs over a live HTTP server are noisier than the in-process
-# micro-benchmarks, so the floors are relaxed relative to the 2x bar
-# bench.sh enforces when the ledger is regenerated.
+# and the binary frame format and stream transport must stay
+# meaningfully faster than JSON. Short CI runs over a live server are
+# noisier than the in-process micro-benchmarks, so the floors are
+# relaxed relative to the 2x/3x bars bench.sh enforces when the ledger
+# is regenerated.
 if [ ! -f BENCH_serve.json ]; then
 	echo "serve ledger: BENCH_serve.json missing (run make bench)"; exit 1
 fi
 go test -run '^$' \
-	-bench 'BenchmarkServe(JSON|Binary)(Single|Batch64)$' \
+	-bench 'BenchmarkServe(JSON|Binary)(Single|Batch64)$|BenchmarkServeStream(Single|Pipelined64)$' \
 	-benchtime=0.2s -benchmem . \
-	| go run ./cmd/benchjson -gate BENCH_serve.json -tolerance 0.5 -min-wire-speedup 1.5
+	| go run ./cmd/benchjson -gate BENCH_serve.json -tolerance 0.5 \
+		-min-wire-speedup 1.5 -min-stream-speedup 2
 
 echo "== daemon smoke: serve, decide, scrape, drain =="
 tmp=$(mktemp -d)
@@ -90,7 +93,9 @@ go build -o "$tmp/hybridseld" ./cmd/hybridseld
 go build -o "$tmp/loadgen" ./cmd/loadgen
 addr=127.0.0.1:18927
 pprof_addr=127.0.0.1:18928
+stream_addr=127.0.0.1:18929
 "$tmp/hybridseld" -addr "$addr" -regions gemm,mvt1,2dconv \
+	-stream-addr "$stream_addr" \
 	-trace "$tmp/decisions.jsonl" -pprof-addr "$pprof_addr" \
 	-audit-rate 1 -audit-workers 2 \
 	-learn -learn-out "$tmp/learner.json" 2>"$tmp/daemon.log" &
@@ -119,6 +124,19 @@ if ! "$tmp/loadgen" -addr "http://$addr" -wire binary -duration 2s \
 	exit 1
 fi
 echo "daemon smoke: binary frames served on /v2/decide"
+# Same daemon again over the persistent stream transport: loadgen
+# pipelines decide frames over long-lived connections dialed raw at
+# -stream-addr, proving the stream listener end to end.
+if ! "$tmp/loadgen" -addr "http://$addr" -stream-addr "$stream_addr" \
+	-wire stream -duration 2s -concurrency 4 -batch 8 \
+	-kernels gemm,mvt1,2dconv -mode test \
+	-min-throughput 500 -scrape=false; then
+	echo "daemon smoke: stream-mode loadgen failed; daemon log:"
+	cat "$tmp/daemon.log"
+	kill "$daemon" 2>/dev/null || true
+	exit 1
+fi
+echo "daemon smoke: stream transport served on $stream_addr"
 # The shadow auditor must have sampled the served decisions: scrape the
 # accuracy gauges off /metrics (retrying briefly — audits run on
 # background workers and may land just after the load stops).

@@ -1,26 +1,32 @@
 package hybridsel
 
-// The serve benchmarks measure end-to-end /v2/decide throughput over a
-// live HTTP server — request encode, admission, decision (cached steady
-// state), response encode — in both encodings: JSON and the binary
-// frame format (internal/wire), single-request and 64-item batched.
-// scripts/bench.sh freezes the results into BENCH_serve.json; the
-// machine-independent headline is the binary-vs-JSON decisions/s ratio,
-// which scripts/check.sh gates. Per-request p50/p99 latencies ride along
-// as custom metrics for the curious.
+// The serve benchmarks measure end-to-end decide throughput over a
+// live server — request encode, admission, decision (cached steady
+// state), response encode — across the transports: JSON and binary
+// frames on /v2/decide (single and 64-item batched), and the
+// persistent multiplexed stream transport (single in-flight and 64
+// pipelined). scripts/bench.sh freezes the results into
+// BENCH_serve.json; the machine-independent headlines are the
+// binary-vs-JSON and stream-vs-JSON decisions/s ratios, which
+// scripts/check.sh gates. Per-request p50/p99 latencies ride along as
+// custom metrics for the curious.
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
+	"github.com/hybridsel/hybridsel/internal/client"
 	"github.com/hybridsel/hybridsel/internal/machine"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/polybench"
@@ -182,6 +188,98 @@ func serveBenchPost(b *testing.B, client *http.Client, url, contentType string, 
 	}
 }
 
+// serveBenchStreamConn starts the same server with a raw stream
+// listener and dials one persistent connection at it.
+func serveBenchStreamConn(b *testing.B) *client.StreamConn {
+	b.Helper()
+	rt := offload.NewRuntime(offload.Config{Platform: machine.PlatformP9V100()})
+	for _, name := range decideKernels {
+		k, err := polybench.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rt.Register(k.IR); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Runtime: rt,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.ServeStream(l)
+	b.Cleanup(func() { l.Close() })
+	sc, err := client.DialStream(client.StreamDialConfig{Addr: l.Addr().String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sc.Close() })
+	return sc
+}
+
+// runStreamBench drives the request ring over one stream connection,
+// `window` decisions in flight at a time, and reports decisions/s plus
+// per-decision p50/p99 latency.
+func runStreamBench(b *testing.B, sc *client.StreamConn, window int) {
+	reqs := serveBenchRequests()
+	wrs := make([]wire.Request, len(reqs))
+	for i, req := range reqs {
+		wrs[i] = wireBenchRequest(req)
+	}
+	ctx := context.Background()
+	decide := func(i int) time.Duration {
+		start := time.Now()
+		resp, err := sc.Decide(ctx, &wrs[i%len(wrs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Err != nil {
+			b.Fatalf("stream error: %s %s", resp.Err.Code, resp.Err.Message)
+		}
+		return time.Since(start)
+	}
+	// Warm the decision cache off the clock.
+	for i := range wrs {
+		decide(i)
+	}
+	lat := make([]time.Duration, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if window <= 1 {
+		for i := 0; i < b.N; i++ {
+			lat[i] = decide(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for base := 0; base < b.N; base += window {
+			n := min(window, b.N-base)
+			wg.Add(n)
+			for j := 0; j < n; j++ {
+				go func(i int) {
+					defer wg.Done()
+					lat[i] = decide(i)
+				}(base + j)
+			}
+			wg.Wait()
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if n := len(lat); n > 0 {
+		b.ReportMetric(float64(lat[n/2].Nanoseconds()), "p50-ns")
+		b.ReportMetric(float64(lat[n*99/100].Nanoseconds()), "p99-ns")
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "decisions/s")
+	}
+}
+
 func BenchmarkServeJSONSingle(b *testing.B) {
 	url, client := serveBenchServer(b)
 	runServeBench(b, client, url, "application/json", jsonSingleBodies(b), 1)
@@ -200,4 +298,17 @@ func BenchmarkServeJSONBatch64(b *testing.B) {
 func BenchmarkServeBinaryBatch64(b *testing.B) {
 	url, client := serveBenchServer(b)
 	runServeBench(b, client, url, wire.ContentType, wireBatchBodies(b), serveBenchBatch)
+}
+
+// BenchmarkServeStreamSingle is one decision in flight over one
+// persistent connection — the latency-bound view of the stream
+// transport, directly comparable to BenchmarkServeJSONSingle.
+func BenchmarkServeStreamSingle(b *testing.B) {
+	runStreamBench(b, serveBenchStreamConn(b), 1)
+}
+
+// BenchmarkServeStreamPipelined64 keeps a full credit window (64
+// streams) in flight on one connection — the throughput-bound view.
+func BenchmarkServeStreamPipelined64(b *testing.B) {
+	runStreamBench(b, serveBenchStreamConn(b), serveBenchBatch)
 }
