@@ -19,13 +19,13 @@ race:
 	$(GO) test -race ./internal/offload/ ./internal/experiments/ \
 		./internal/server/ ./internal/trace/ ./internal/client/ \
 		./internal/faultnet/ ./internal/regiongen/ ./internal/learn/ \
-		./internal/wire/
+		./internal/wire/ ./internal/cluster/
 
 # Chaos regression suite: scripted fault scenarios driven through the
 # fault-injection proxy against a live in-process daemon, race detector on.
 chaos:
 	$(GO) test -race -count=1 -run '^TestChaos' \
-		./internal/client/ ./internal/faultnet/
+		./internal/client/ ./internal/faultnet/ ./internal/cluster/
 
 # Fuzz each parser briefly (the checked-in seed corpora always run as
 # part of plain `make test`). FUZZTIME=1m make fuzz digs deeper.
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzLearnSnapshot$$' -fuzztime $(FUZZTIME) ./internal/learn/
 	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz '^FuzzStreamFrame$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz '^FuzzGossipFrame$$' -fuzztime $(FUZZTIME) ./internal/wire/
 
 # Run the decision hot-path micro-benchmarks and the end-to-end serving
 # benchmarks, refreshing both ledgers (BENCH_decide.json and

@@ -20,6 +20,8 @@
 //	hybridseld -attrdb-out snapshot.json -dry-run   # write the DB and exit
 //	hybridseld -attrdb snapshot.json                # verify DB against snapshot
 //	hybridseld -chaos flap -chaos-addr :8081        # faulty front door for drills
+//	hybridseld -node node-a -gossip-addr :7946 \
+//	    -peers node-b=http://h2:7946,node-c=http://h3:7946   # 3-replica ring
 //
 // With -chaos the daemon additionally listens on -chaos-addr behind a
 // deterministic fault-injection proxy (internal/faultnet) replaying the
@@ -43,6 +45,15 @@
 // below the gate. Learner state is inspectable on GET /v1/learn and
 // /metrics (hybridsel_learner_* series), can be seeded from a snapshot
 // with -learn-in, and is persisted to -learn-out on drain.
+//
+// With -node/-peers the daemon joins a consistent-hash replica ring
+// (internal/cluster): the static seed membership defines key ownership,
+// a lightweight gossip exchange on -gossip-addr replicates member
+// health plus calibration and learner state (so any replica serves any
+// key warm), and GET /v1/cluster exposes membership, incarnations, and
+// replication status alongside hybridsel_cluster_* series on /metrics.
+// Cluster-aware clients (client.NewCluster, loadgen -cluster) route
+// each key to its owner and hedge or fail over to ring successors.
 //
 // POST /v2/decide additionally speaks the compact binary frame format
 // (internal/wire) via content negotiation: requests with Content-Type
@@ -75,6 +86,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -83,6 +95,7 @@ import (
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
 	"github.com/hybridsel/hybridsel/internal/audit"
+	"github.com/hybridsel/hybridsel/internal/cluster"
 	"github.com/hybridsel/hybridsel/internal/faultnet"
 	"github.com/hybridsel/hybridsel/internal/learn"
 	"github.com/hybridsel/hybridsel/internal/machine"
@@ -134,6 +147,14 @@ func main() {
 		"seed the learner from this snapshot at startup")
 	learnOut := flag.String("learn-out", "",
 		"write the learner's snapshot to this file on drain")
+	nodeID := flag.String("node", "",
+		"this replica's cluster member ID (enables cluster mode, e.g. node-a)")
+	peers := flag.String("peers", "",
+		"static peer set as comma-separated id=gossip-url pairs (e.g. node-b=http://host:7946)")
+	gossipAddr := flag.String("gossip-addr", "127.0.0.1:0",
+		"listen address for the cluster gossip exchange (cluster mode only)")
+	gossipInterval := flag.Duration("gossip-interval", 500*time.Millisecond,
+		"gossip exchange cadence")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this separate listener (empty = off; keep it loopback)")
 	chaos := flag.String("chaos", "",
@@ -223,6 +244,24 @@ func main() {
 		}
 	}
 
+	// Cluster state-replication sources wrap the calibrator and learner
+	// (when present) behind monotonic versions. They are created even
+	// before cluster mode is decided so the audit hook below can bump
+	// them unconditionally — a bump is one atomic add.
+	var calSrc, lrnSrc *cluster.VersionedSource
+	if cal != nil {
+		calSrc = cluster.NewVersionedSource("calibration", cal.SnapshotState, cal.MergeState)
+	}
+	if lrn != nil {
+		lrnSrc = cluster.NewVersionedSource("learner", lrn.EncodeState, func(data []byte) (bool, error) {
+			s, err := learn.DecodeState(data)
+			if err != nil {
+				return false, err
+			}
+			return lrn.Merge(s)
+		})
+	}
+
 	rt := offload.NewRuntime(cfg)
 	names, err := registerRegions(rt, *regions)
 	if err != nil {
@@ -244,6 +283,21 @@ func main() {
 		}
 		if tw != nil {
 			acfg.OnVerdict = audit.RecordObserver(tw)
+		}
+		if calSrc != nil {
+			// Every completed audit verdict may have moved calibration (and
+			// learner) state: mark both for replication on the next gossip
+			// exchange.
+			prev := acfg.OnVerdict
+			acfg.OnVerdict = func(v audit.Verdict) {
+				if prev != nil {
+					prev(v)
+				}
+				calSrc.Bump()
+				if lrnSrc != nil {
+					lrnSrc.Bump()
+				}
+			}
 		}
 		auditor = audit.New(acfg)
 		var decisionObs func(offload.Decision)
@@ -282,6 +336,53 @@ func main() {
 		return
 	}
 
+	// Cluster mode: join the consistent-hash member ring and gossip
+	// health plus calibration/learner state with the static peer set.
+	// Ownership is fixed by the seed membership — gossip never moves it —
+	// so clients route and fail over purely by ring order while state
+	// replication keeps every replica warm for any key.
+	var node *cluster.Node
+	var gossipSrv *http.Server
+	var gossipStop func()
+	if *nodeID != "" || *peers != "" {
+		if *nodeID == "" {
+			fatal(logger, errors.New("-peers requires -node"))
+		}
+		members, err := parsePeers(*peers)
+		if err != nil {
+			fatal(logger, err)
+		}
+		gl, err := net.Listen("tcp", *gossipAddr)
+		if err != nil {
+			fatal(logger, err)
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:      cluster.Member{ID: *nodeID, Addr: *addr, Gossip: "http://" + gl.Addr().String()},
+			Peers:     members,
+			Transport: &cluster.HTTPTransport{},
+			Logger:    logger,
+		})
+		if err != nil {
+			fatal(logger, err)
+		}
+		if calSrc != nil {
+			node.Register(calSrc.Source())
+		}
+		if lrnSrc != nil {
+			node.Register(lrnSrc.Source())
+		}
+		gossipSrv = &http.Server{Handler: node.Handler()}
+		go func() {
+			if err := gossipSrv.Serve(gl); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("gossip listener", "err", err)
+			}
+		}()
+		gossipStop = node.Start(*gossipInterval)
+		logger.Info("cluster node up",
+			"id", *nodeID, "gossip", "http://"+gl.Addr().String(),
+			"peers", len(members), "interval", gossipInterval.String())
+	}
+
 	srv, err := server.New(server.Config{
 		Runtime:        rt,
 		Concurrency:    *workers,
@@ -291,6 +392,7 @@ func main() {
 		Logger:         logger,
 		Auditor:        auditor,
 		Learner:        lrn,
+		Cluster:        node,
 	})
 	if err != nil {
 		fatal(logger, err)
@@ -373,6 +475,7 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
 			logger.Error("drain incomplete", "err", err)
+			closeCluster(logger, gossipStop, gossipSrv)
 			closeChaos(logger, chaosProxy)
 			closePprof(logger, pprofSrv, dctx)
 			closeAudit(logger, auditor)
@@ -388,6 +491,7 @@ func main() {
 			"launches", m.Launches, "decides", m.Decides,
 			"cache_hits", m.DecisionCacheHits, "cache_misses", m.DecisionCacheMisses)
 	}
+	closeCluster(logger, gossipStop, gossipSrv)
 	closeChaos(logger, chaosProxy)
 	closePprof(logger, pprofSrv, context.Background())
 	closeAudit(logger, auditor)
@@ -443,6 +547,37 @@ func closeLearn(logger *slog.Logger, l *learn.Learner, out string) {
 		return
 	}
 	logger.Info("learner snapshot written", "path", out)
+}
+
+// parsePeers parses the -peers list: comma-separated id=gossip-url
+// pairs naming the static seed membership (this node excluded).
+func parsePeers(s string) ([]cluster.Member, error) {
+	var out []cluster.Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=gossip-url", part)
+		}
+		out = append(out, cluster.Member{ID: id, Gossip: url})
+	}
+	return out, nil
+}
+
+// closeCluster stops the gossip loop and listener, if cluster mode was
+// on.
+func closeCluster(logger *slog.Logger, stop func(), srv *http.Server) {
+	if stop != nil {
+		stop()
+	}
+	if srv != nil {
+		if err := srv.Close(); err != nil {
+			logger.Error("gossip listener close", "err", err)
+		}
+	}
 }
 
 // closeChaos stops the fault-injection listener, if one was started.

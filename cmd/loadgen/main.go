@@ -30,6 +30,13 @@
 //
 //	loadgen -addr http://127.0.0.1:8080 -client -faults faults30 -duration 10s
 //
+// Cluster runs: -cluster takes the replica set as comma-separated
+// id=base-url pairs and drives the cluster client instead — every key
+// routes to its consistent-hash owner, hedges go to the ring successor,
+// and a killed replica's traffic fails over without losing verdicts:
+//
+//	loadgen -cluster node-a=http://h1:8080,node-b=http://h2:8080,node-c=http://h3:8080
+//
 // Wire format: -wire binary switches the decide traffic to the compact
 // frame encoding on POST /v2/decide (internal/wire) — slot-form binding
 // vectors going out, ranked-candidate frames coming back. JSON plain
@@ -108,6 +115,9 @@ func main() {
 		"client mode: disable the in-process fallback runtime")
 	faults := flag.String("faults", "",
 		"front the daemon with a fault-injection proxy scripted by this scenario (preset or DSL)")
+	clusterSet := flag.String("cluster", "",
+		"route through the cluster client over this replica set (comma-separated id=base-url pairs); "+
+			"each key goes to its ring owner with hedging/failover to successors")
 	wireFormat := flag.String("wire", "json", "decide encoding: json|binary|stream")
 	streamAddr := flag.String("stream-addr", "",
 		"raw TCP stream address for -wire stream (empty = HTTP Upgrade on -addr)")
@@ -127,6 +137,12 @@ func main() {
 	}
 	if stream && *faults != "" && !*useClient {
 		fatal(fmt.Errorf("loadgen: -wire stream -faults needs -client (the HTTP fault proxy cannot carry stream connections)"))
+	}
+	if *clusterSet != "" && *wireFormat != "json" {
+		fatal(fmt.Errorf("loadgen: -cluster supports -wire json only"))
+	}
+	if *clusterSet != "" && *faults != "" {
+		fatal(fmt.Errorf("loadgen: -cluster and -faults are mutually exclusive (a single proxy cannot front a replica set; kill replicas instead)"))
 	}
 
 	httpClient := &http.Client{
@@ -181,6 +197,26 @@ func main() {
 
 	var st *stats
 	var rc *client.Client
+	if *clusterSet != "" {
+		cc, err := newClusterLoadClient(*clusterSet, *kernels, *noFallback, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		defer cc.Close()
+		st = runClient(cc, reqs, *concurrency, *rate, *batch, *duration)
+		st.report(os.Stdout)
+		reportCluster(cc, os.Stdout)
+		if *scrape {
+			scrapeMetrics(httpClient, *addr, os.Stdout)
+		}
+		if err := st.gateErr(*minThroughput); err != nil {
+			fatal(err)
+		}
+		if err := st.hardErr(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *useClient {
 		rc, err = newResilientClient(target, *kernels, *noFallback, binary, stream, *streamAddr, *streamConns, *seed)
 		if err != nil {
@@ -708,11 +744,18 @@ func countWireDecisions(raw []byte, st *stats) int {
 	return decisions
 }
 
+// decider is the request surface runClient drives: both the
+// single-daemon resilient client and the cluster client satisfy it.
+type decider interface {
+	Decide(context.Context, server.DecideRequest) (*client.Verdict, error)
+	DecideBatch(context.Context, []server.DecideRequest) ([]client.Verdict, error)
+}
+
 // runClient is run's counterpart over the resilient client: same loop
 // models and ring, but every call goes through retries, hedging, the
 // breaker and (when configured) the in-process fallback, and every
 // verdict's provenance is tallied.
-func runClient(c *client.Client, reqs []server.DecideRequest,
+func runClient(c decider, reqs []server.DecideRequest,
 	concurrency, rate, batch int, duration time.Duration) *stats {
 	st := &stats{}
 	var next atomic.Uint64
@@ -875,6 +918,60 @@ func newResilientClient(baseURL, kernels string, noFallback, binary, stream bool
 		cfg.Fallback = rt
 	}
 	return client.New(cfg)
+}
+
+// newClusterLoadClient builds the cluster client for -cluster mode from
+// the id=base-url member list.
+func newClusterLoadClient(members, kernels string, noFallback bool, seed int64) (*client.ClusterClient, error) {
+	ccfg := client.ClusterConfig{Replica: client.Config{Seed: seed}}
+	for _, part := range strings.Split(members, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-cluster entry %q: want id=base-url", part)
+		}
+		ccfg.Members = append(ccfg.Members, client.ClusterMember{ID: id, BaseURL: url})
+	}
+	if !noFallback {
+		rt := offload.NewRuntime(offload.Config{
+			Platform: machine.PlatformP9V100(),
+			Threads:  160,
+			CPUSim:   sim.CPUConfig{SampleItems: 8, MaxLoopSample: 32},
+			GPUSim:   sim.GPUConfig{SampleWarps: 2, MaxLoopSample: 32, MaxRepSample: 1},
+		})
+		want := kernelSubset(kernels)
+		for _, k := range polybench.Suite() {
+			if len(want) > 0 && !want[k.Name] {
+				continue
+			}
+			if _, err := rt.Register(k.IR); err != nil {
+				return nil, err
+			}
+		}
+		ccfg.Fallback = rt
+	}
+	return client.NewCluster(ccfg)
+}
+
+// reportCluster prints the cluster-layer counters after a -cluster run:
+// routing outcomes first, then each replica's own client snapshot.
+func reportCluster(cc *client.ClusterClient, w io.Writer) {
+	m := cc.Metrics()
+	fmt.Fprintf(w, "cluster      %d requests, %d failovers, %d cross hedges (%d won), %d fallbacks, %d demoted routes\n",
+		m.Requests, m.Failovers, m.CrossHedges, m.CrossHedgeWins, m.Fallbacks, m.Demoted)
+	ids := make([]string, 0, len(m.Replicas))
+	for id := range m.Replicas {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rm := m.Replicas[id]
+		fmt.Fprintf(w, "  %-10s %d retries, %d fallbacks, breaker %s (opened %d)\n",
+			id, rm.Retries, rm.Fallbacks, rm.BreakerState, rm.BreakerOpened)
+	}
 }
 
 // reportClient prints the client-side resilience counters after a

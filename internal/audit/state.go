@@ -1,0 +1,117 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Replicated calibrator state. A cluster of daemons gossips each
+// replica's EWMA corrections so any replica serves any region warm. The
+// merge rule below makes the state a join semilattice — idempotent,
+// commutative, associative — so however exchanges interleave during a
+// partition, every replica converges to the same state (and, because
+// Go's JSON encoder emits map keys sorted, to byte-identical snapshot
+// bytes) once the partition heals.
+
+// CalTargetState is one (region, target) correction in a calibrator
+// state snapshot: the audit count and the signed log-error EWMA. The
+// correction factor is not serialized; it is recomputed as exp(ewma).
+type CalTargetState struct {
+	N    uint64  `json:"n"`
+	EWMA float64 `json:"ewma"`
+}
+
+// CalRegionState is one region's row: the region audit count plus the
+// per-target corrections.
+type CalRegionState struct {
+	N       uint64                    `json:"n"`
+	Targets map[string]CalTargetState `json:"targets"`
+}
+
+// CalState is a deterministic serialization of a calibrator's full
+// state, used as the gossip payload between replicas.
+type CalState struct {
+	Regions map[string]CalRegionState `json:"regions"`
+}
+
+// SnapshotState serializes the calibrator's current state
+// deterministically: identical state yields identical bytes.
+func (c *Calibrator) SnapshotState() []byte {
+	st := CalState{Regions: map[string]CalRegionState{}}
+	c.mu.RLock()
+	for region, s := range c.regions {
+		rs := CalRegionState{N: s.n, Targets: make(map[string]CalTargetState, len(s.targets))}
+		for id, t := range s.targets {
+			rs.Targets[id] = CalTargetState{N: t.n, EWMA: t.ewma}
+		}
+		st.Regions[region] = rs
+	}
+	c.mu.RUnlock()
+	b, err := json.Marshal(st)
+	if err != nil {
+		// Marshaling maps of plain structs cannot fail.
+		panic("audit: marshal calibrator state: " + err.Error())
+	}
+	return b
+}
+
+// moreEvolved reports whether remote should replace local under the
+// join order: more audits win; at equal audits the larger EWMA wins,
+// which is arbitrary but total, so both sides of a tie pick the same
+// winner.
+func moreEvolved(local CalTargetState, remote CalTargetState) bool {
+	if remote.N != local.N {
+		return remote.N > local.N
+	}
+	return remote.EWMA > local.EWMA
+}
+
+// MergeState folds a peer replica's serialized state into this
+// calibrator: per (region, target), the more-evolved entry (see
+// moreEvolved) wins and its correction factor is recomputed. It reports
+// whether anything changed — the signal that memoized decisions may be
+// stale and that this replica's own gossiped state has a new version.
+func (c *Calibrator) MergeState(data []byte) (changed bool, err error) {
+	var st CalState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return false, fmt.Errorf("audit: decode calibrator state: %w", err)
+	}
+	for region, rs := range st.Regions {
+		for id, ts := range rs.Targets {
+			if ts.N == 0 {
+				return false, fmt.Errorf("audit: calibrator state %s/%s has zero audit count", region, id)
+			}
+			if math.IsNaN(ts.EWMA) || math.IsInf(ts.EWMA, 0) {
+				return false, fmt.Errorf("audit: calibrator state %s/%s has non-finite ewma", region, id)
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for region, rs := range st.Regions {
+		s := c.regions[region]
+		if s == nil {
+			s = &calState{targets: map[string]*targetCal{}}
+			c.regions[region] = s
+		}
+		if rs.N > s.n {
+			s.n = rs.N
+			changed = true
+		}
+		for id, ts := range rs.Targets {
+			t := s.targets[id]
+			if t == nil {
+				t = &targetCal{fac: 1}
+				s.targets[id] = t
+			}
+			if moreEvolved(CalTargetState{N: t.n, EWMA: t.ewma}, ts) {
+				t.n = ts.N
+				t.ewma = ts.EWMA
+				t.fac = math.Exp(ts.EWMA)
+				changed = true
+			}
+		}
+	}
+	return changed, nil
+}

@@ -84,6 +84,12 @@ type Verdict struct {
 	// http-binary, http-json, or local for fallback verdicts), so
 	// callers and load gates can attribute throughput per transport.
 	Transport string
+	// Replica is the cluster member ID that served the verdict when the
+	// call went through a ClusterClient ("" for single-daemon clients
+	// and for in-process fallback verdicts), so callers can audit
+	// routing: owner for plain verdicts, the ring successor for hedged
+	// and failed-over ones.
+	Replica string
 }
 
 // ErrCircuitOpen reports that the breaker rejected the call and no
@@ -192,8 +198,13 @@ type Client struct {
 	http    *http.Client
 	breaker *breaker
 	met     metrics
-	lat     *latencySampler
-	batcher *batcher
+	// Hedge-delay estimation is per transport: stream and HTTP attempt
+	// latencies live in different regimes (no per-request framing vs
+	// full request/response cycles), so mixing them would fire stream
+	// hedges on stale HTTP p99s and vice versa.
+	latHTTP   *latencySampler
+	latStream *latencySampler
+	batcher   *batcher
 
 	// wireDown latches a sticky downgrade from binary frames to JSON
 	// after the peer proves it does not speak the frame protocol.
@@ -261,11 +272,12 @@ func New(cfg Config) (*Client, error) {
 		}
 	}
 	c := &Client{
-		cfg:      cfg,
-		http:     hc,
-		lat:      newLatencySampler(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		inflight: map[string]*flight{},
+		cfg:       cfg,
+		http:      hc,
+		latHTTP:   newLatencySampler(),
+		latStream: newLatencySampler(),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		inflight:  map[string]*flight{},
 	}
 	c.breaker = newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown,
 		func(from, to BreakerState) { c.met.breakerTransition(to) })
@@ -646,7 +658,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 // hedgedAttempt runs one attempt, racing a duplicate after the hedge
 // delay when allowed. It reports whether the hedge produced the result.
 func (c *Client) hedgedAttempt(ctx context.Context, p payload, canHedge bool) (rtResult, bool, *callErr) {
-	delay := c.hedgeDelay(canHedge)
+	delay := c.hedgeDelay(canHedge, p.wreq != nil && c.streamEnabled())
 	if delay <= 0 {
 		res, cerr := c.attempt(ctx, p)
 		return res, false, cerr
@@ -701,15 +713,22 @@ func (c *Client) hedgedAttempt(ctx context.Context, p payload, canHedge bool) (r
 }
 
 // hedgeDelay returns the delay before a duplicate request is launched
-// (0 = hedging off for this call).
-func (c *Client) hedgeDelay(canHedge bool) time.Duration {
+// (0 = hedging off for this call). stream selects which transport's
+// latency estimate to derive the delay from: the sampler matching the
+// transport the attempt will actually use, so a client that switched
+// transports never hedges on the other transport's stale p99.
+func (c *Client) hedgeDelay(canHedge, stream bool) time.Duration {
 	if !canHedge || c.cfg.DisableHedging {
 		return 0
 	}
 	if c.cfg.HedgeAfter > 0 {
 		return c.cfg.HedgeAfter
 	}
-	p99 := c.lat.p99(c.cfg.HedgeMinSamples)
+	lat := c.latHTTP
+	if stream {
+		lat = c.latStream
+	}
+	p99 := lat.p99(c.cfg.HedgeMinSamples)
 	if p99 <= 0 {
 		return 0
 	}
@@ -771,7 +790,7 @@ func (c *Client) attempt(ctx context.Context, p payload) (rtResult, *callErr) {
 		}
 	}
 	if resp.StatusCode == http.StatusOK {
-		c.lat.observe(time.Since(start))
+		c.latHTTP.observe(time.Since(start))
 		if !useWire {
 			return rtResult{data: data, transport: TransportHTTPJSON}, nil
 		}

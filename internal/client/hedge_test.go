@@ -1,0 +1,61 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHedgeDelayPerTransport is the regression test for hedge-delay
+// estimation mixing transports: a client that has switched to the
+// stream transport must derive its hedge delay from stream attempt
+// latencies, never from the stale HTTP p99 accumulated before the
+// switch (and vice versa).
+func TestHedgeDelayPerTransport(t *testing.T) {
+	c, err := New(Config{
+		BaseURL:         "http://127.0.0.1:1",
+		Timeout:         time.Second,
+		HedgeMinSamples: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-switch history: slow HTTP attempts.
+	for i := 0; i < 64; i++ {
+		c.latHTTP.observe(40 * time.Millisecond)
+	}
+	if d := c.hedgeDelay(true, false); d != 40*time.Millisecond {
+		t.Fatalf("http hedge delay = %v, want 40ms from the http sampler", d)
+	}
+	// No stream samples yet: stream hedging must stay off, not fire at
+	// the HTTP transport's 40ms.
+	if d := c.hedgeDelay(true, true); d != 0 {
+		t.Fatalf("stream hedge delay with no stream samples = %v, want 0", d)
+	}
+
+	// Post-switch: fast stream attempts. The stream hedge derives from
+	// them (clamped at the 500µs floor), while the HTTP estimate is
+	// untouched.
+	for i := 0; i < 64; i++ {
+		c.latStream.observe(1 * time.Millisecond)
+	}
+	if d := c.hedgeDelay(true, true); d != 1*time.Millisecond {
+		t.Fatalf("stream hedge delay = %v, want 1ms from the stream sampler", d)
+	}
+	if d := c.hedgeDelay(true, false); d != 40*time.Millisecond {
+		t.Fatalf("http hedge delay after stream traffic = %v, want 40ms still", d)
+	}
+
+	// Clamps still apply per transport: a sub-floor stream p99 hedges at
+	// the 500µs floor instead of doubling load immediately.
+	fast, err := New(Config{BaseURL: "http://127.0.0.1:1", Timeout: time.Second, HedgeMinSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		fast.latStream.observe(50 * time.Microsecond)
+	}
+	if d := fast.hedgeDelay(true, true); d != 500*time.Microsecond {
+		t.Fatalf("clamped stream hedge delay = %v, want 500µs floor", d)
+	}
+}

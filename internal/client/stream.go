@@ -482,7 +482,7 @@ func (c *Client) streamAttempt(ctx context.Context, p payload) (rtResult, *callE
 			}, true
 		}
 	}
-	c.lat.observe(time.Since(start))
+	c.latStream.observe(time.Since(start))
 	return rtResult{
 		frame:     &wire.Frame{Type: wire.TypeStreamResponse, Resp: resp},
 		transport: TransportStream,

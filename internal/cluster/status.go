@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MemberStatus is one member's row in a Status snapshot.
+type MemberStatus struct {
+	ID          string            `json:"id"`
+	Addr        string            `json:"addr,omitempty"`
+	Gossip      string            `json:"gossip,omitempty"`
+	Self        bool              `json:"self,omitempty"`
+	Health      string            `json:"health"`
+	Incarnation uint64            `json:"incarnation"`
+	Fails       int               `json:"fails,omitempty"`
+	States      map[string]uint64 `json:"states,omitempty"`
+}
+
+// Status is a point-in-time snapshot of the node's cluster view, the
+// payload of the daemon's /v1/cluster endpoint.
+type Status struct {
+	Self    string         `json:"self"`
+	Vnodes  int            `json:"vnodes"`
+	Members []MemberStatus `json:"members"`
+
+	Ticks         uint64 `json:"gossipTicks"`
+	Exchanges     uint64 `json:"gossipExchanges"`
+	ExchangeFails uint64 `json:"gossipExchangeFails"`
+	StatesApplied uint64 `json:"gossipStatesApplied"`
+	StateErrors   uint64 `json:"gossipStateErrors"`
+	Refutes       uint64 `json:"gossipRefutes"`
+}
+
+// Status returns the node's current cluster view, members sorted by ID.
+func (n *Node) Status() Status {
+	st := Status{
+		Self:          n.cfg.Self.ID,
+		Vnodes:        n.ring.Vnodes(),
+		Ticks:         n.ticks.Load(),
+		Exchanges:     n.exchanges.Load(),
+		ExchangeFails: n.exchangeFails.Load(),
+		StatesApplied: n.statesApplied.Load(),
+		StateErrors:   n.stateErrors.Load(),
+		Refutes:       n.refutes.Load(),
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]string, 0, len(n.members))
+	for id := range n.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m := n.members[id]
+		ms := MemberStatus{
+			ID:          m.ID,
+			Addr:        m.Addr,
+			Gossip:      m.Gossip,
+			Self:        id == n.cfg.Self.ID,
+			Health:      m.health.String(),
+			Incarnation: m.incarnation,
+			Fails:       m.fails,
+		}
+		if len(m.states) > 0 {
+			ms.States = make(map[string]uint64, len(m.states))
+			for name, blob := range m.states {
+				ms.States[name] = blob.version
+			}
+		}
+		st.Members = append(st.Members, ms)
+	}
+	return st
+}
+
+// WritePrometheus renders the node's cluster metrics in the Prometheus
+// text exposition format under the hybridsel_cluster_ namespace.
+func (s Status) WritePrometheus(w io.Writer) error {
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	alive, suspect, dead := 0, 0, 0
+	for _, m := range s.Members {
+		switch m.Health {
+		case "alive":
+			alive++
+		case "suspect":
+			suspect++
+		default:
+			dead++
+		}
+	}
+	emit("# HELP hybridsel_cluster_members Cluster members by current health verdict.\n# TYPE hybridsel_cluster_members gauge\n")
+	emit("hybridsel_cluster_members{health=\"alive\"} %d\n", alive)
+	emit("hybridsel_cluster_members{health=\"suspect\"} %d\n", suspect)
+	emit("hybridsel_cluster_members{health=\"dead\"} %d\n", dead)
+	counter := func(name, help string, v uint64) {
+		emit("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("hybridsel_cluster_gossip_ticks_total", "Gossip rounds started.", s.Ticks)
+	counter("hybridsel_cluster_gossip_exchanges_total", "Gossip exchanges attempted.", s.Exchanges)
+	counter("hybridsel_cluster_gossip_exchange_fails_total", "Gossip exchanges that failed.", s.ExchangeFails)
+	counter("hybridsel_cluster_gossip_states_applied_total", "Peer state blobs folded into local replicas.", s.StatesApplied)
+	counter("hybridsel_cluster_gossip_state_errors_total", "Peer state blobs rejected by a source.", s.StateErrors)
+	counter("hybridsel_cluster_gossip_refutes_total", "Rumors about the local member refuted.", s.Refutes)
+	for _, m := range s.Members {
+		if m.Self {
+			emit("# HELP hybridsel_cluster_incarnation The local member's incarnation number.\n# TYPE hybridsel_cluster_incarnation gauge\nhybridsel_cluster_incarnation %d\n", m.Incarnation)
+		}
+	}
+	return err
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/hybridsel/hybridsel/internal/wire"
+)
+
+// Transport performs one gossip exchange: deliver the local view to a
+// peer's gossip address and return the peer's view. Implementations
+// must be safe for concurrent use.
+type Transport interface {
+	Exchange(ctx context.Context, addr string, view *wire.GossipMsg) (*wire.GossipMsg, error)
+}
+
+// maxGossipBody bounds an exchange body. Gossip carries EWMA tables and
+// learner sufficient statistics, not bulk data; anything bigger is a
+// protocol error, not a bigger buffer.
+const maxGossipBody = 8 << 20
+
+// HTTPTransport gossips over HTTP POST: the request and response bodies
+// are single TypeGossip frames, Content-Type wire.ContentType.
+type HTTPTransport struct {
+	// Client is the HTTP client to use; nil uses a private client with a
+	// 2-second timeout (gossip is latency-tolerant but must not wedge
+	// the loop behind a black-holed peer).
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// Exchange implements Transport.
+func (t *HTTPTransport) Exchange(ctx context.Context, addr string, view *wire.GossipMsg) (*wire.GossipMsg, error) {
+	body := wire.AppendGossip(nil, view)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: gossip exchange: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxGossipBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxGossipBody {
+		return nil, fmt.Errorf("cluster: gossip response exceeds %d bytes", maxGossipBody)
+	}
+	return decodeGossipBody(data)
+}
+
+func decodeGossipBody(data []byte) (*wire.GossipMsg, error) {
+	f, consumed, err := wire.DecodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != wire.TypeGossip || consumed != len(data) {
+		return nil, fmt.Errorf("%w: gossip body is not a single gossip frame", wire.ErrMalformed)
+	}
+	return f.Gossip, nil
+}
+
+// Handler returns the HTTP handler for the node's gossip surface:
+// POST / accepts a peer's view, merges it, and answers with the local
+// view (post-merge, so a refutation is visible in the same round trip).
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /{$}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxGossipBody+1))
+		if err != nil || len(data) > maxGossipBody {
+			http.Error(w, "gossip body unreadable or too large", http.StatusBadRequest)
+			return
+		}
+		msg, err := decodeGossipBody(data)
+		if err != nil {
+			http.Error(w, "malformed gossip frame", http.StatusBadRequest)
+			return
+		}
+		n.Merge(msg)
+		// The peer reached us, so it is alive by direct evidence,
+		// exactly as if our own probe had succeeded.
+		n.noteExchangeSuccess(msg.From)
+		body := wire.AppendGossip(nil, n.snapshotView())
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	})
+	return mux
+}

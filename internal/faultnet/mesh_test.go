@@ -1,0 +1,140 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// meshRig wires a 3-node mesh (plus a client endpoint) where every edge
+// forwards to a stub upstream that answers with the target's name.
+func meshRig(t *testing.T) (*Mesh, map[string]string) {
+	t.Helper()
+	m := NewMesh(5)
+	t.Cleanup(func() { _ = m.Close() })
+	names := []string{"node-a", "node-b", "node-c"}
+	upstreams := map[string]*httptest.Server{}
+	for _, name := range names {
+		name := name
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, name)
+		}))
+		t.Cleanup(ts.Close)
+		upstreams[name] = ts
+	}
+	addrs := map[string]string{} // "from>to" -> proxy URL
+	ends := append([]string{"client"}, names...)
+	for _, from := range ends {
+		for _, to := range names {
+			if from == to {
+				continue
+			}
+			addr, err := m.Link(from, to, upstreams[to].URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs[edgeKey(from, to)] = "http://" + addr
+		}
+	}
+	return m, addrs
+}
+
+func meshGet(t *testing.T, url string) (string, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestMeshLinksAreIndependent(t *testing.T) {
+	m, addrs := meshRig(t)
+
+	body, err := meshGet(t, addrs["client>node-a"])
+	if err != nil || body != "node-a" {
+		t.Fatalf("client>node-a: %q, %v", body, err)
+	}
+	// Fault one edge: only that edge drops.
+	m.SetFaults("client", "node-a", Faults{Partition: true})
+	if _, err := meshGet(t, addrs["client>node-a"]); err == nil {
+		t.Fatal("partitioned edge served a response")
+	}
+	if body, err := meshGet(t, addrs["client>node-b"]); err != nil || body != "node-b" {
+		t.Fatalf("unrelated edge disturbed: %q, %v", body, err)
+	}
+	if body, err := meshGet(t, addrs["node-b>node-a"]); err != nil || body != "node-a" {
+		t.Fatalf("reverse-direction edge disturbed: %q, %v", body, err)
+	}
+	m.Heal()
+	if body, err := meshGet(t, addrs["client>node-a"]); err != nil || body != "node-a" {
+		t.Fatalf("healed edge: %q, %v", body, err)
+	}
+}
+
+func TestMeshNodeFaultsCutEveryInboundEdge(t *testing.T) {
+	m, addrs := meshRig(t)
+	m.SetNodeFaults("node-c", Faults{Partition: true})
+	for _, from := range []string{"client", "node-a", "node-b"} {
+		if _, err := meshGet(t, addrs[edgeKey(from, "node-c")]); err == nil {
+			t.Fatalf("%s still reaches the killed node-c", from)
+		}
+	}
+	// The killed node still dials out.
+	if body, err := meshGet(t, addrs["node-c>node-a"]); err != nil || body != "node-a" {
+		t.Fatalf("killed node's outbound edge disturbed: %q, %v", body, err)
+	}
+}
+
+func TestMeshPartitionGroups(t *testing.T) {
+	m, addrs := meshRig(t)
+	m.Partition([]string{"node-a"}, []string{"node-b", "node-c"})
+
+	if _, err := meshGet(t, addrs["node-a>node-b"]); err == nil {
+		t.Fatal("cross-partition edge a>b still up")
+	}
+	if _, err := meshGet(t, addrs["node-b>node-a"]); err == nil {
+		t.Fatal("cross-partition edge b>a still up")
+	}
+	if body, err := meshGet(t, addrs["node-b>node-c"]); err != nil || body != "node-c" {
+		t.Fatalf("same-side edge b>c: %q, %v", body, err)
+	}
+	// The client endpoint is in no group: its edges are untouched.
+	if body, err := meshGet(t, addrs["client>node-a"]); err != nil || body != "node-a" {
+		t.Fatalf("ungrouped client edge: %q, %v", body, err)
+	}
+	// Healing via a single all-in group restores cross edges.
+	m.Partition([]string{"node-a", "node-b", "node-c"})
+	if body, err := meshGet(t, addrs["node-a>node-b"]); err != nil || body != "node-b" {
+		t.Fatalf("post-heal edge a>b: %q, %v", body, err)
+	}
+}
+
+func TestMeshDuplicateLinkRejected(t *testing.T) {
+	m := NewMesh(1)
+	t.Cleanup(func() { _ = m.Close() })
+	if _, err := m.Link("a", "b", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Link("a", "b", "http://127.0.0.1:1"); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestMeshLinkSeedsStable(t *testing.T) {
+	// The per-edge seed is a pure function of (mesh seed, edge name):
+	// wiring order must not matter.
+	if linkSeed(5, "a>b") != linkSeed(5, "a>b") {
+		t.Fatal("linkSeed not deterministic")
+	}
+	if linkSeed(5, "a>b") == linkSeed(5, "b>a") {
+		t.Fatal("direction does not separate edge seeds")
+	}
+	if linkSeed(5, "a>b") == linkSeed(6, "a>b") {
+		t.Fatal("mesh seed ignored")
+	}
+}

@@ -1,0 +1,89 @@
+package learn
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Replica merge: a cluster of daemons gossips learner snapshots so any
+// replica's residual models are warm for any region. Like the audit
+// calibrator's MergeState, the rule below is a join semilattice over
+// per-model entries — idempotent, commutative, associative — so all
+// replicas converge to identical models (and identical snapshot bytes)
+// once every state has reached every replica.
+
+// modelWins reports whether the remote model should replace the local
+// one under the join order: more samples win; at equal samples the
+// lexically larger canonical encoding wins — arbitrary but total, so
+// both sides of a tie pick the same winner.
+func modelWins(local, remote ModelSnapshot) bool {
+	if remote.N != local.N {
+		return remote.N > local.N
+	}
+	lb, _ := json.Marshal(local)
+	rb, _ := json.Marshal(remote)
+	return bytes.Compare(rb, lb) > 0
+}
+
+// Merge folds a peer replica's snapshot into this learner: per model
+// (global and per-region), the winning side's sufficient statistics are
+// kept and the weights re-solved with the local lambda. Hyperparameters
+// stay local. It reports whether anything changed — the signal that this
+// replica's own gossiped snapshot has a new version.
+func (l *Learner) Merge(s *Snapshot) (changed bool, err error) {
+	if err := validateSnapshot(s); err != nil {
+		return false, fmt.Errorf("learn: merge: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lambda := l.cfg.Lambda
+	mergeInto := func(dst map[string]*model, id string, ms ModelSnapshot) {
+		m := dst[id]
+		if m == nil {
+			dst[id] = restoreModel(ms, lambda)
+			changed = true
+			return
+		}
+		if modelWins(snapshotModel(m), ms) {
+			dst[id] = restoreModel(ms, lambda)
+			changed = true
+		}
+	}
+	for id, ms := range s.Global {
+		mergeInto(l.global, id, ms)
+	}
+	for region, rm := range s.Regions {
+		dst := l.regions[region]
+		if dst == nil {
+			dst = make(map[string]*model, len(rm))
+			l.regions[region] = dst
+		}
+		for id, ms := range rm {
+			mergeInto(dst, id, ms)
+		}
+	}
+	return changed, nil
+}
+
+// EncodeState serializes the learner's snapshot compactly and
+// deterministically for gossip. DecodeState is its inverse.
+func (l *Learner) EncodeState() []byte {
+	b, err := json.Marshal(l.Snapshot())
+	if err != nil {
+		panic("learn: marshal snapshot: " + err.Error())
+	}
+	return b
+}
+
+// DecodeState deserializes a snapshot encoded by EncodeState.
+func DecodeState(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("learn: decode state: %w", err)
+	}
+	if err := validateSnapshot(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,98 @@
+package learn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestLearnerMergeConverges: two replicas trained on different slices of
+// the audit stream must converge to byte-identical state after a full
+// bidirectional exchange — the split-brain heal property.
+func TestLearnerMergeConverges(t *testing.T) {
+	cfg := Config{MinSamples: 2}
+	a, b := New(cfg), New(cfg)
+	stream := seedStream(5)
+	for i, s := range stream {
+		if i%2 == 0 {
+			a.ObserveVerdict(s.region, s.f, s.ms)
+		} else {
+			b.ObserveVerdict(s.region, s.f, s.ms)
+		}
+	}
+	if bytes.Equal(a.EncodeState(), b.EncodeState()) {
+		t.Fatal("replicas started identical; the test has no teeth")
+	}
+
+	sa, err := DecodeState(a.EncodeState())
+	if err != nil {
+		t.Fatalf("DecodeState: %v", err)
+	}
+	sb, err := DecodeState(b.EncodeState())
+	if err != nil {
+		t.Fatalf("DecodeState: %v", err)
+	}
+	if changed, err := a.Merge(sb); err != nil || !changed {
+		t.Fatalf("a.Merge(b): changed=%v err=%v", changed, err)
+	}
+	if changed, err := b.Merge(sa); err != nil || !changed {
+		t.Fatalf("b.Merge(a): changed=%v err=%v", changed, err)
+	}
+	ea, eb := a.EncodeState(), b.EncodeState()
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("post-exchange state diverges:\n a %s\n b %s", ea, eb)
+	}
+
+	// Idempotent: merging either side again changes nothing.
+	if changed, err := a.Merge(sb); err != nil || changed {
+		t.Fatalf("re-merge reported change: %v %v", changed, err)
+	}
+	// And the merged learner still answers: every model kept the side
+	// with more samples, so multipliers come from real statistics.
+	s := stream[0]
+	m := s.ms[0]
+	if mult, _ := a.Multiplier(s.region, m.Target, m.PredSeconds, s.f); mult <= 0 {
+		t.Fatalf("merged learner multiplier = %v, want positive", mult)
+	}
+}
+
+// TestLearnerMergeOrderIndependent: folding two remote states in either
+// order yields byte-identical learners.
+func TestLearnerMergeOrderIndependent(t *testing.T) {
+	cfg := Config{MinSamples: 2}
+	x, y := New(cfg), New(cfg)
+	stream := seedStream(4)
+	for i, s := range stream {
+		if i%3 == 0 {
+			x.ObserveVerdict(s.region, s.f, s.ms)
+		} else {
+			y.ObserveVerdict(s.region, s.f, s.ms)
+		}
+	}
+	sx, _ := DecodeState(x.EncodeState())
+	sy, _ := DecodeState(y.EncodeState())
+
+	xy, yx := New(cfg), New(cfg)
+	for _, s := range []*Snapshot{sx, sy} {
+		if _, err := xy.Merge(s); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	}
+	for _, s := range []*Snapshot{sy, sx} {
+		if _, err := yx.Merge(s); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	}
+	if !bytes.Equal(xy.EncodeState(), yx.EncodeState()) {
+		t.Fatal("merge order changed the learner state")
+	}
+}
+
+func TestLearnerMergeRejectsMalformed(t *testing.T) {
+	l := New(Config{MinSamples: 2})
+	if _, err := DecodeState([]byte(`{"version":99}`)); err == nil {
+		t.Error("DecodeState accepted unsupported version")
+	}
+	if _, err := l.Merge(&Snapshot{Version: 1}); err == nil {
+		t.Error("Merge accepted snapshot with zero hyperparameters")
+	}
+}

@@ -54,6 +54,7 @@ import (
 
 	"github.com/hybridsel/hybridsel/internal/attrdb"
 	"github.com/hybridsel/hybridsel/internal/audit"
+	"github.com/hybridsel/hybridsel/internal/cluster"
 	"github.com/hybridsel/hybridsel/internal/learn"
 	"github.com/hybridsel/hybridsel/internal/offload"
 	"github.com/hybridsel/hybridsel/internal/symbolic"
@@ -105,6 +106,13 @@ type Config struct {
 	// gauges folded into /metrics. Wiring (offload.Config.Calibrator,
 	// the auditor's training feed) stays with the caller.
 	Learner *learn.Learner
+
+	// Cluster, when non-nil, is this replica's gossip node. The server
+	// only reads from it: membership and state-replication status are
+	// exposed on GET /v1/cluster and the hybridsel_cluster_* series
+	// folded into /metrics. Lifecycle (the gossip loop, the gossip
+	// listener) stays with the caller.
+	Cluster *cluster.Node
 }
 
 // Server is the HTTP decision service.
@@ -171,6 +179,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/learn", s.instrument(s.handleLearn))
 	s.mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	if cfg.Cluster != nil {
+		s.mux.HandleFunc("GET /v1/cluster", s.instrument(s.handleCluster))
+	}
 	return s, nil
 }
 
@@ -714,7 +725,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if s.cfg.Cluster != nil {
+		if err := s.cfg.Cluster.Status().WritePrometheus(w); err != nil {
+			return
+		}
+	}
 	s.met.write(w, s)
+}
+
+// ------------------------------------------------------------- cluster --
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Cluster.Status())
 }
 
 // ------------------------------------------------------------- healthz --

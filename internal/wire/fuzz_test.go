@@ -103,6 +103,8 @@ func framesEqual(a, b *Frame) bool {
 			return AppendCredit(nil, f.Credit)
 		case TypeGoaway:
 			return AppendGoaway(nil, f.Away)
+		case TypeGossip:
+			return AppendGossip(nil, f.Gossip)
 		default:
 			return AppendError(nil, f.Err)
 		}

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzGossipFrame feeds arbitrary bytes to the gossip frame decoder,
+// mirroring FuzzStreamFrame's invariants: decoding never panics, the
+// incremental stream reader agrees frame-for-frame with the whole-body
+// decoder, and every gossip frame the decoder accepts re-encodes
+// canonically (decode∘encode is the identity on the decoder's image).
+func FuzzGossipFrame(f *testing.F) {
+	f.Add(AppendGossip(nil, &GossipMsg{From: "a"}))
+	f.Add(AppendGossip(nil, &GossipMsg{
+		From: "a",
+		Entries: []GossipEntry{
+			{ID: "a", Addr: "http://127.0.0.1:8080", Incarnation: 1, Health: GossipAlive,
+				States: []GossipState{{Name: "calibration", Version: 3, Data: []byte(`{"regions":{}}`)}}},
+			{ID: "b", Addr: "http://127.0.0.1:8081", Incarnation: 2, Health: GossipSuspect},
+		},
+	}))
+	f.Add(AppendGossip(nil, &GossipMsg{
+		From: "c",
+		Entries: []GossipEntry{
+			{ID: "c", Incarnation: 1 << 40, Health: GossipDead,
+				States: []GossipState{
+					{Name: "learner", Version: 1, Data: []byte{0x00, 0xff, 0x7f}},
+					{Name: "", Version: 0},
+				}},
+		},
+	}))
+	multi := AppendGossip(nil, &GossipMsg{From: "x"})
+	multi = AppendGossip(multi, &GossipMsg{From: "y",
+		Entries: []GossipEntry{{ID: "y", Health: GossipAlive}}})
+	f.Add(multi)
+	f.Add([]byte{'H', 'S', 1, TypeGossip, 1, 0, 0, 0, 0})    // From = ""
+	f.Add([]byte{'H', 'S', 2, TypeGossip, 1, 0, 0, 0, 0})    // version skew
+	f.Add([]byte{'H', 'S', 1, TypeGossip, 3, 0, 0, 0, 0, 1}) // truncated entry
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr := NewStreamReader(bytes.NewReader(data))
+		rest := data
+		for {
+			got, err := sr.Next()
+			want, n, derr := DecodeFrame(rest)
+			if err != nil {
+				if derr == nil && err != io.EOF {
+					t.Fatalf("StreamReader rejected (%v) what DecodeFrame accepts", err)
+				}
+				return
+			}
+			if derr != nil {
+				t.Fatalf("StreamReader accepted what DecodeFrame rejects: %v", derr)
+			}
+			if !framesEqual(got, want) {
+				t.Fatalf("decoder disagreement:\n stream %+v\n  whole %+v", got, want)
+			}
+			rest = rest[n:]
+			if got.Type != TypeGossip {
+				continue // other frame types are the other fuzzers' job
+			}
+			re := AppendGossip(nil, got.Gossip)
+			re2, n2, err := DecodeFrame(re)
+			if err != nil || n2 != len(re) {
+				t.Fatalf("re-encoded gossip frame does not decode: %v (%d of %d bytes)", err, n2, len(re))
+			}
+			if !framesEqual(got, re2) {
+				t.Fatalf("re-encode changed frame:\n was %+v\n now %+v", got, re2)
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func gossipFixture() *GossipMsg {
+	return &GossipMsg{
+		From: "a",
+		Entries: []GossipEntry{
+			{
+				ID: "a", Addr: "http://127.0.0.1:8080", Incarnation: 3, Health: GossipAlive,
+				States: []GossipState{
+					{Name: "calibration", Version: 17, Data: []byte(`{"v":17}`)},
+					{Name: "learner", Version: 2, Data: []byte{0, 1, 2, 255}},
+				},
+			},
+			{ID: "b", Addr: "http://127.0.0.1:8081", Incarnation: 1, Health: GossipSuspect},
+			{ID: "c", Addr: "", Incarnation: 9, Health: GossipDead,
+				States: []GossipState{{Name: "calibration", Version: 4}}},
+		},
+	}
+}
+
+func TestGossipRoundTrip(t *testing.T) {
+	for _, g := range []*GossipMsg{
+		gossipFixture(),
+		{From: "solo"},
+		{From: "x", Entries: []GossipEntry{{ID: "x", Incarnation: 0, Health: GossipAlive}}},
+	} {
+		enc := AppendGossip(nil, g)
+		f, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", n, len(enc))
+		}
+		if f.Type != TypeGossip || f.Gossip == nil {
+			t.Fatalf("decoded frame = %+v, want TypeGossip", f)
+		}
+		if !reflect.DeepEqual(f.Gossip, g) {
+			t.Fatalf("round trip changed message:\n was %+v\n now %+v", g, f.Gossip)
+		}
+	}
+}
+
+func TestGossipRoundTripViaStreamReader(t *testing.T) {
+	g := gossipFixture()
+	enc := AppendGossip(nil, g)
+	enc = AppendGossip(enc, &GossipMsg{From: "b"})
+	sr := NewStreamReader(strings.NewReader(string(enc)))
+	f1, err := sr.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if !reflect.DeepEqual(f1.Gossip, g) {
+		t.Fatalf("stream decode changed message:\n was %+v\n now %+v", g, f1.Gossip)
+	}
+	f2, err := sr.Next()
+	if err != nil || f2.Gossip == nil || f2.Gossip.From != "b" {
+		t.Fatalf("second frame = %+v, %v", f2, err)
+	}
+}
+
+func TestGossipDecodeRejectsMalformed(t *testing.T) {
+	good := AppendGossip(nil, gossipFixture())
+	cases := map[string][]byte{
+		"truncated payload": good[:len(good)-3],
+		"bad health": func() []byte {
+			b := AppendGossip(nil, &GossipMsg{From: "a", Entries: []GossipEntry{{ID: "a"}}})
+			// Health is the byte right before the trailing zero state
+			// count; bump it past GossipDead.
+			b[len(b)-2] = GossipDead + 1
+			return b
+		}(),
+		"trailing garbage in payload": func() []byte {
+			b := AppendGossip(nil, &GossipMsg{From: "a"})
+			b = append(b, 0xee)
+			b[4]++ // grow the declared payload length to cover it
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if f, _, err := DecodeFrame(data); err == nil {
+			t.Errorf("%s: decoded %+v, want error", name, f)
+		}
+	}
+}

@@ -173,9 +173,10 @@ type Frame struct {
 	Resps     []Response // TypeBatchResponse
 	Coalesced int        // TypeBatchResponse
 
-	StreamID uint64  // TypeStreamRequest, TypeStreamResponse
-	Credit   uint64  // TypeCredit
-	Away     *Goaway // TypeGoaway
+	StreamID uint64     // TypeStreamRequest, TypeStreamResponse
+	Credit   uint64     // TypeCredit
+	Away     *Goaway    // TypeGoaway
+	Gossip   *GossipMsg // TypeGossip
 }
 
 // ---- Encoding ----
@@ -591,6 +592,8 @@ func decodePayload(typ byte, payload []byte) (*Frame, error) {
 		f.Credit, err = r.uvarint()
 	case TypeGoaway:
 		f.Away, err = decodeGoawayPayload(r)
+	case TypeGossip:
+		f.Gossip, err = decodeGossipPayload(r)
 	default:
 		err = fmt.Errorf("%w: unknown frame type %d", ErrMalformed, typ)
 	}

@@ -25,7 +25,7 @@ echo "== go test -race (concurrent packages) =="
 go test -race ./internal/offload/ ./internal/experiments/ \
 	./internal/server/ ./internal/trace/ ./internal/audit/ \
 	./internal/client/ ./internal/faultnet/ ./internal/regiongen/ \
-	./internal/learn/ ./internal/wire/
+	./internal/learn/ ./internal/wire/ ./internal/cluster/
 
 echo "== fuzz smoke (10s per parser) =="
 # Short randomized runs on top of the checked-in seed corpora, one
@@ -37,6 +37,7 @@ go test -run '^$' -fuzz '^FuzzTraceRead$' -fuzztime 10s ./internal/trace/
 go test -run '^$' -fuzz '^FuzzLearnSnapshot$' -fuzztime 10s ./internal/learn/
 go test -run '^$' -fuzz '^FuzzWireFrame$' -fuzztime 10s ./internal/wire/
 go test -run '^$' -fuzz '^FuzzStreamFrame$' -fuzztime 10s ./internal/wire/
+go test -run '^$' -fuzz '^FuzzGossipFrame$' -fuzztime 10s ./internal/wire/
 
 echo "== perf smoke: cached vs interpreted-model launch =="
 # The bar predates the compiled decision programs: a cached launch must
@@ -213,5 +214,63 @@ if ! [ -s "$tmp/learner.json" ]; then
 	exit 1
 fi
 echo "daemon smoke: ok ($(wc -l < "$tmp/decisions.jsonl") decisions traced)"
+
+echo "== cluster smoke: 3-replica ring, mid-run kill, 100% completion =="
+# Three real daemons form a gossip ring; loadgen drives the cluster
+# client across them while one replica is SIGKILLed mid-run. The bar:
+# every call completes with a verdict (the killed replica's keys fail
+# over to their ring successor), and the survivors' /v1/cluster must
+# report the dead peer.
+ca=127.0.0.1:18931; cb=127.0.0.1:18932; cc=127.0.0.1:18933
+ga=127.0.0.1:18941; gb=127.0.0.1:18942; gc=127.0.0.1:18943
+"$tmp/hybridseld" -addr "$ca" -regions gemm,mvt1,2dconv \
+	-node node-a -gossip-addr "$ga" -gossip-interval 100ms \
+	-peers "node-b=http://$gb,node-c=http://$gc" 2>"$tmp/node-a.log" &
+node_a=$!
+"$tmp/hybridseld" -addr "$cb" -regions gemm,mvt1,2dconv \
+	-node node-b -gossip-addr "$gb" -gossip-interval 100ms \
+	-peers "node-a=http://$ga,node-c=http://$gc" 2>"$tmp/node-b.log" &
+node_b=$!
+"$tmp/hybridseld" -addr "$cc" -regions gemm,mvt1,2dconv \
+	-node node-c -gossip-addr "$gc" -gossip-interval 100ms \
+	-peers "node-a=http://$ga,node-b=http://$gb" 2>"$tmp/node-c.log" &
+node_c=$!
+( sleep 2; kill -9 "$node_c" 2>/dev/null ) &
+killer=$!
+if ! "$tmp/loadgen" -addr "http://$ca" -wait 10s \
+	-cluster "node-a=http://$ca,node-b=http://$cb,node-c=http://$cc" \
+	-duration 5s -concurrency 4 -kernels gemm,mvt1,2dconv -mode test \
+	-scrape=false; then
+	echo "cluster smoke: loadgen lost verdicts during the kill; logs:"
+	cat "$tmp/node-a.log" "$tmp/node-b.log" "$tmp/node-c.log"
+	kill "$node_a" "$node_b" "$node_c" 2>/dev/null || true
+	exit 1
+fi
+wait "$killer" 2>/dev/null || true
+# The survivors' gossip must have declared the killed replica dead.
+dead=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+	dead=$(curl -s "http://$ca/v1/cluster" \
+		| grep -o '"id":"node-c"[^}]*"health":"dead"' || true)
+	[ -n "$dead" ] && break
+	sleep 0.5
+done
+if [ -z "$dead" ]; then
+	echo "cluster smoke: node-a never saw node-c dead on /v1/cluster:"
+	curl -s "http://$ca/v1/cluster"; echo
+	kill "$node_a" "$node_b" 2>/dev/null || true
+	exit 1
+fi
+if ! curl -s "http://$ca/metrics" | grep -q '^hybridsel_cluster_members{health="dead"} 1'; then
+	echo "cluster smoke: /metrics not reporting the dead member"
+	kill "$node_a" "$node_b" 2>/dev/null || true
+	exit 1
+fi
+kill -TERM "$node_a" "$node_b"
+wait "$node_a" "$node_b" || {
+	echo "cluster smoke: surviving replicas did not drain cleanly"
+	exit 1
+}
+echo "cluster smoke: 100% completion with node-c killed mid-run"
 
 echo "OK"
